@@ -1,0 +1,49 @@
+// Command benchreport regenerates the paper's evaluation: every
+// quantitative claim in §7 (throughput, CPU shares, code sizes, process
+// counts) plus the measurable claims of §3.1, §5.4 and §5.9, printed as
+// the tables EXPERIMENTS.md records.
+//
+//	benchreport            run everything
+//	benchreport -exp e5    run one experiment
+//	benchreport -root DIR  repository root for the code-size experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "run only this experiment id (e.g. e5)")
+		root = flag.String("root", ".", "repository root (for the code-size experiment)")
+	)
+	flag.Parse()
+
+	specs := experiments.All(*root)
+	ran := 0
+	for _, spec := range specs {
+		if *exp != "" && !strings.EqualFold(*exp, spec.ID) {
+			continue
+		}
+		ran++
+		r, err := spec.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", spec.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Format())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no experiment %q; available:", *exp)
+		for _, spec := range specs {
+			fmt.Fprintf(os.Stderr, " %s", spec.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+}

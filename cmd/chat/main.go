@@ -1,0 +1,56 @@
+// Command chat runs a uucp L.sys-style chat script against a program —
+// the 1978 baseline the paper credits for expect's name (§7.1). Usage:
+//
+//	chat 'ogin:--ogin: uucp ssword: secret' loginsim -host durer
+//
+// The script alternates expect and send fields; expect fields support the
+// one alternation uucico had (expect-send-expect). The child runs over a
+// pty. Exit status 0 means the chat completed; anything else is exactly
+// the all-or-nothing failure mode the paper criticizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline/uucpchat"
+	"repro/internal/proc"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 45*time.Second, "per-expect-field timeout (uucico used 45s)")
+		pipe    = flag.Bool("pipe", false, "run the child over pipes instead of a pty")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: chat [-timeout d] [-pipe] 'script' program [args...]")
+		os.Exit(2)
+	}
+	script, err := uucpchat.Parse(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chat: bad script: %v\n", err)
+		os.Exit(2)
+	}
+	var p *proc.Process
+	if *pipe {
+		p, err = proc.SpawnPipe(args[1], args[2:], proc.Options{})
+	} else {
+		p, err = proc.SpawnPty(args[1], args[2:], proc.Options{})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chat: spawn: %v\n", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+	r := uucpchat.NewRunner(p)
+	r.Timeout = *timeout
+	if err := r.Run(script); err != nil {
+		fmt.Fprintf(os.Stderr, "chat: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("chat: completed")
+}

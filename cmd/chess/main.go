@@ -1,0 +1,31 @@
+// Command chess is the simulated chess(6): it accepts moves in old
+// descriptive notation ("p/k2-k3") and announces its replies with the
+// move-number prefix ("1. ... p/k7-k5") that makes its output unusable as
+// input — the asymmetry the paper's two-chess example must translate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/programs/chess"
+)
+
+func main() {
+	var (
+		white = flag.Bool("white", false, "engine plays white (moves first)")
+		seed  = flag.Int64("seed", 0, "move-choice seed (0 = random)")
+		limit = flag.Int("max-moves", 0, "engine offers a draw after this many of its moves (0 = none)")
+	)
+	flag.Parse()
+	side := chess.Black
+	if *white {
+		side = chess.White
+	}
+	prog := chess.New(chess.Config{EngineSide: side, Seed: *seed, MaxMoves: *limit})
+	if err := prog(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "chess: %v\n", err)
+		os.Exit(1)
+	}
+}

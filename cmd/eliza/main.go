@@ -1,0 +1,25 @@
+// Command eliza is Weizenbaum's doctor as a standalone interactive
+// program. Two of them can be wired to each other with a goexpect script
+// (§5.8 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/programs/eliza"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 0, "response-choice seed (0 = random)")
+		prompt = flag.Bool("prompt", false, `print "> " before each read`)
+	)
+	flag.Parse()
+	prog := eliza.New(eliza.Config{Seed: *seed, Prompt: *prompt})
+	if err := prog(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "eliza: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,39 @@
+// Command fscksim checks a synthetic filesystem image, asking the classic
+// CLEAR? / RECONNECT? / ADJUST? / SALVAGE? questions. The -y and -n flags
+// reproduce the blanket answers the paper's §5.6 quotes the manual
+// against ("a free license to continue"); without them the questions are
+// interactive, which is where expect earns its keep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/programs/fsck"
+)
+
+func main() {
+	var (
+		yes    = flag.Bool("y", false, "assume a yes response to all questions")
+		no     = flag.Bool("n", false, "assume a no response to all questions")
+		seed   = flag.Int64("seed", 1990, "image generation seed")
+		files  = flag.Int("files", 20, "files in the synthetic image")
+		blocks = flag.Int("blocks", 100, "blocks in the synthetic image")
+		errs   = flag.Int("errors", 6, "inconsistencies to inject")
+	)
+	flag.Parse()
+	if *yes && *no {
+		fmt.Fprintln(os.Stderr, "fscksim: -y and -n are mutually exclusive")
+		os.Exit(2)
+	}
+	fs := fsck.Generate(*seed, *files, *blocks, *errs)
+	prog := fsck.New(fsck.Config{FS: fs, AnswerYes: *yes, AnswerNo: *no})
+	if err := prog(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "fscksim: %v\n", err)
+		os.Exit(1)
+	}
+	if rem := fs.Problems(); len(rem) > 0 {
+		os.Exit(1) // like fsck: nonzero when the filesystem is still dirty
+	}
+}

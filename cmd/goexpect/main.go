@@ -1,0 +1,138 @@
+// Command goexpect is the expect interpreter: it reads a script in the
+// paper's dialect (Tcl plus spawn/send/expect/interact/…) and controls
+// interactive programs with it.
+//
+// Usage:
+//
+//	goexpect script.exp [args...]      run a script file
+//	goexpect -c "commands" [script]    run commands before the script
+//	goexpect -transport pipe script    spawn over pipes instead of ptys
+//	goexpect -sims script              make the simulated programs
+//	                                   (rogue-sim, chess-sim, eliza-sim,
+//	                                   fsck-sim, tip-sim, passwd-sim,
+//	                                   login-sim) spawnable by name
+//
+// Scripts see their arguments in the argv variable, paper-style
+// ([index $argv 1] is the first argument). Scripts may also start with
+// #! and be executed directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/authsim"
+	"repro/internal/programs/chess"
+	"repro/internal/programs/eliza"
+	"repro/internal/programs/fsck"
+	"repro/internal/programs/ftpsim"
+	"repro/internal/programs/modem"
+	"repro/internal/programs/rogue"
+	"repro/internal/pty"
+	"repro/internal/tcl"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		commands  = flag.String("c", "", "commands to execute before (or instead of) the script")
+		transport = flag.String("transport", "pty", `spawn transport: "pty" or "pipe"`)
+		sims      = flag.Bool("sims", false, "register the simulated interactive programs as spawnable names")
+		quiet     = flag.Bool("q", false, "start with log_user 0 (script output only)")
+		timeout   = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
+	)
+	flag.Parse()
+
+	logUser := !*quiet
+	eng := core.NewEngine(core.EngineOptions{
+		Transport: *transport,
+		LogUser:   &logUser,
+	})
+	defer eng.Shutdown()
+	if *sims {
+		registerSims(eng)
+	}
+
+	// argv holds the script name and its arguments, as in the paper's
+	// callback.exp example.
+	args := flag.Args()
+	eng.Interp.GlobalSet("argv", tcl.FormList(args))
+	if *timeout > 0 {
+		eng.Interp.GlobalSet("timeout", fmt.Sprint(*timeout))
+	}
+
+	// Raw mode on the real terminal during the run makes interact faithful:
+	// every keystroke passes through. Restore on exit.
+	if pty.IsTerminal(os.Stdin) {
+		if restore, err := pty.MakeRaw(os.Stdin); err == nil {
+			defer restore()
+		}
+	}
+
+	if *commands != "" {
+		if _, err := eng.Run(*commands); err != nil {
+			fmt.Fprintf(os.Stderr, "goexpect: -c: %v\n", err)
+			return 1
+		}
+	}
+	if len(args) > 0 {
+		if _, err := eng.RunFile(args[0]); err != nil {
+			fmt.Fprintf(os.Stderr, "goexpect: %v\n", err)
+			if te, ok := err.(*tcl.TclError); ok && te.ErrorInfo != "" {
+				fmt.Fprintln(os.Stderr, te.ErrorInfo)
+			}
+			return 1
+		}
+	} else if *commands == "" {
+		fmt.Fprintln(os.Stderr, "usage: goexpect [-c commands] [-transport pty|pipe] [-sims] script [args...]")
+		return 2
+	}
+	code, _ := eng.ExitCode()
+	return code
+}
+
+// registerSims installs the simulated interactive programs so hermetic
+// scripts can spawn them without separate binaries. EXPECT_SIM_LUCK_DEN
+// tunes the rogue roll (default 16, the realistic odds; tests set 1 so
+// the faithful timeout-per-bad-game loop doesn't dominate wall clock).
+func registerSims(eng *core.Engine) {
+	luckDen := 16
+	if v, err := strconv.Atoi(os.Getenv("EXPECT_SIM_LUCK_DEN")); err == nil && v > 0 {
+		luckDen = v
+	}
+	eng.RegisterVirtual("rogue-sim", rogue.New(rogue.Config{LuckNumerator: 1, LuckDenominator: luckDen}))
+	eng.RegisterVirtual("chess-sim", chess.New(chess.Config{EngineSide: chess.Black}))
+	eng.RegisterVirtual("chess-sim-white", chess.New(chess.Config{EngineSide: chess.White}))
+	eng.RegisterVirtual("eliza-sim", eliza.New(eliza.Config{}))
+	eng.RegisterVirtual("fsck-sim", fsck.New(fsck.Config{FS: fsck.Generate(time.Now().UnixNano(), 20, 100, 6)}))
+	eng.RegisterVirtual("passwd-sim", authsim.NewPasswd(authsim.PasswdConfig{
+		User:       os.Getenv("USER"),
+		Dictionary: []string{"password", "dragon", "letmein", "qwerty"},
+	}))
+	eng.RegisterVirtual("login-sim", authsim.NewLogin(authsim.LoginConfig{
+		Accounts: map[string]string{"guest": "guest", "don": "secret"},
+	}))
+	eng.RegisterVirtual("su-sim", authsim.NewSu(authsim.SuConfig{Password: "rootpw"}))
+	eng.RegisterVirtual("crypt-sim", authsim.NewCrypt(authsim.CryptConfig{}))
+	eng.RegisterVirtual("ftp-sim", ftpsim.New(ftpsim.Config{
+		Interactive: true,
+		Files: []ftpsim.File{
+			{Name: "expect.shar.Z", Size: 81920},
+			{Name: "README", Size: 1200},
+		},
+	}))
+	eng.RegisterVirtual("tip-sim", modem.NewTip(modem.TipConfig{Modem: modem.Config{
+		Directory: map[string]modem.Entry{
+			"12016442332": {Result: modem.ResultConnect, Delay: 500 * time.Millisecond},
+			"5550000":     {Result: modem.ResultBusy},
+		},
+		Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: time.Second},
+	}}))
+}

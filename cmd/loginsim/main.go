@@ -1,0 +1,42 @@
+// Command loginsim is the login greeter plus toy shell on stdio: the
+// target for uucp chat scripts, stelnet conversations, and goexpect
+// sessions alike. Flags select the failure modes experiment E12 injects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/programs/authsim"
+)
+
+func main() {
+	var (
+		accounts = flag.String("accounts", "guest:guest,don:secret", "comma-separated user:password pairs")
+		host     = flag.String("host", "unixhost", "hostname in the banner")
+		busy     = flag.Bool("busy", false, "refuse connections with a busy banner")
+		variant  = flag.Bool("variant-prompt", false, `prompt "Username:" instead of "login:"`)
+		delay    = flag.Duration("delay", 0, "getty delay before the first prompt")
+	)
+	flag.Parse()
+	table := map[string]string{}
+	for _, pair := range strings.Split(*accounts, ",") {
+		if u, p, ok := strings.Cut(strings.TrimSpace(pair), ":"); ok {
+			table[u] = p
+		}
+	}
+	prog := authsim.NewLogin(authsim.LoginConfig{
+		Accounts:      table,
+		Hostname:      *host,
+		Busy:          *busy,
+		PromptVariant: *variant,
+		LoginDelay:    time.Duration(*delay),
+	})
+	if err := prog(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loginsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Command modemsim emulates a Hayes modem on stdio (optionally behind a
+// tip(1)-style front end with -tip). Its phone directory answers the
+// paper's callback number and a busy test line; unknown numbers get NO
+// CARRIER after a delay.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/programs/authsim"
+	"repro/internal/programs/modem"
+)
+
+func main() {
+	var (
+		tip   = flag.Bool("tip", false, `print the "connected" banner first, like tip(1)`)
+		delay = flag.Duration("dial-delay", 300*time.Millisecond, "time to establish a call")
+	)
+	flag.Parse()
+	cfg := modem.Config{
+		Directory: map[string]modem.Entry{
+			// The paper's example number, +1 (201) 644-2332, answers with
+			// a login greeter so callback scripts have something to talk to.
+			"12016442332": {Result: modem.ResultConnect, Delay: *delay,
+				Remote: authsim.NewLogin(authsim.LoginConfig{
+					Accounts: map[string]string{"don": "secret"},
+					Hostname: "durer",
+				})},
+			"5550000": {Result: modem.ResultBusy, Delay: *delay},
+		},
+		Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: *delay},
+	}
+	var prog func() error
+	if *tip {
+		p := modem.NewTip(modem.TipConfig{Modem: cfg})
+		prog = func() error { return p(os.Stdin, os.Stdout) }
+	} else {
+		p := modem.New(cfg)
+		prog = func() error { return p(os.Stdin, os.Stdout) }
+	}
+	if err := prog(); err != nil {
+		fmt.Fprintf(os.Stderr, "modemsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,58 @@
+// Command passwdsim changes a (pretend) password, and — like the real
+// passwd of §1 and §5.3 — insists on conversing with its controlling
+// terminal: it opens /dev/tty for the dialogue, bypassing any stdin/stdout
+// redirection. Run it from a shell script with redirected input and it
+// ignores the redirection; run it under goexpect's pty and the engine is
+// the terminal. That is the whole point of the paper.
+//
+// Without a controlling terminal it exits with an error (pass
+// -allow-stdio to fall back to stdin/stdout, which demonstrates what the
+// real program refused to do).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/programs/authsim"
+)
+
+func main() {
+	var (
+		user       = flag.String("user", userName(), "account to change")
+		old        = flag.String("old", "", "current password (empty = none required)")
+		allowStdio = flag.Bool("allow-stdio", false, "converse on stdin/stdout if /dev/tty is unavailable")
+	)
+	flag.Parse()
+
+	var in io.Reader
+	var out io.Writer
+	tty, err := os.OpenFile("/dev/tty", os.O_RDWR, 0)
+	if err == nil {
+		defer tty.Close()
+		in, out = tty, tty
+	} else if *allowStdio {
+		in, out = os.Stdin, os.Stdout
+	} else {
+		fmt.Fprintln(os.Stderr, "passwdsim: no controlling terminal (the real passwd talks only to /dev/tty)")
+		os.Exit(1)
+	}
+
+	prog := authsim.NewPasswd(authsim.PasswdConfig{
+		User:        *user,
+		OldPassword: *old,
+		Dictionary:  []string{"password", "dragon", "letmein", "qwerty", "unix"},
+	})
+	if err := prog(in, out); err != nil {
+		os.Exit(1)
+	}
+}
+
+func userName() string {
+	if u := os.Getenv("USER"); u != "" {
+		return u
+	}
+	return "nobody"
+}

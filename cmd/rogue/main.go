@@ -1,0 +1,28 @@
+// Command rogue is the simulated BSD game as a standalone binary, for
+// driving over a real pty: it draws a dungeon screen with the classic
+// status line (Level/Gold/Hp/Str/Arm/Exp) and answers movement keys.
+// The paper's rogue.exp script restarts it until Str: 18 appears.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/programs/rogue"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 0, "character roll seed (0 = random)")
+		num    = flag.Int("luck-num", 1, "numerator of the Str-18 probability")
+		den    = flag.Int("luck-den", 16, "denominator of the Str-18 probability")
+		curses = flag.Bool("curses", false, "paint with VT100 cursor addressing like the real game")
+	)
+	flag.Parse()
+	cfg := rogue.Config{Seed: *seed, LuckNumerator: *num, LuckDenominator: *den, Curses: *curses}
+	if err := rogue.Main(cfg, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "rogue: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "expect: Curing
+// Those Uncontrollable Fits of Interaction" (Don Libes, USENIX Summer
+// 1990): a programmed-dialogue engine for interactive programs, the Tcl
+// language core it embeds, the pty machinery underneath, the interactive
+// programs the paper drives, and the uucp-chat and stelnet baselines it
+// compares against.
+//
+// The root package carries the repository documentation and the
+// repo-level benchmark suite (bench_test.go), one benchmark per table or
+// figure in the paper's evaluation; the implementation lives under
+// internal/ (see DESIGN.md for the inventory) and the runnable
+// demonstrations under examples/ and cmd/.
+package repro

@@ -1,0 +1,65 @@
+// callback.exp (§4): dial the computer back so the phone charges land on
+// it. The script is the paper's, verbatim but for a shorter logout grace
+// period; tip and the Hayes modem are simulated, and the dialed number
+// answers with a login greeter.
+//
+//	go run ./examples/callback 12016442332
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/authsim"
+	"repro/internal/programs/modem"
+	"repro/internal/tcl"
+)
+
+const callbackExp = `
+	# first give the user some time to logout
+	exec sleep 1
+	spawn tip modem
+	expect {*connected*} {}
+	send ATZ\r
+	expect {*OK*} {}
+	send ATDT[index $argv 1]\r
+	# modem takes a while to connect
+	set timeout 60
+	expect {*CONNECT*} {send_user "\ncall established, getty will take the line\n"} \
+		{*BUSY*} {send_user "\nline busy\n"; exit 1} \
+		timeout {send_user "\nno answer\n"; exit 2}
+`
+
+func main() {
+	number := "12016442332"
+	if len(os.Args) > 1 {
+		number = os.Args[1]
+	}
+
+	eng := core.NewEngine(core.EngineOptions{UserOut: os.Stdout})
+	defer eng.Shutdown()
+	eng.RegisterVirtual("tip", modem.NewTip(modem.TipConfig{Modem: modem.Config{
+		Directory: map[string]modem.Entry{
+			"12016442332": {Result: modem.ResultConnect, Delay: 800 * time.Millisecond,
+				Remote: authsim.NewLogin(authsim.LoginConfig{
+					Accounts: map[string]string{"don": "secret"},
+					Hostname: "durer",
+				})},
+			"5550000": {Result: modem.ResultBusy, Delay: 200 * time.Millisecond},
+		},
+		Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: 500 * time.Millisecond},
+	}}))
+
+	eng.Interp.GlobalSet("argv", tcl.FormList([]string{"callback.exp", number}))
+	if _, err := eng.Run(callbackExp); err != nil {
+		log.Fatalf("callback.exp: %v", err)
+	}
+	if code, called := eng.ExitCode(); called && code != 0 {
+		fmt.Printf("callback failed with status %d\n", code)
+		os.Exit(code)
+	}
+	fmt.Println("callback.exp finished")
+}

@@ -1,0 +1,81 @@
+// Chess duel (§2.2, §3.2): two chess programs that were never designed to
+// talk to each other, wired together by the expect engine. The white
+// engine announces "N. p/k2-k4"; that text is not valid input for the
+// black engine, so the relay strips the move-number prefix — the exact
+// translation the paper leaves "as an exercise for the reader".
+//
+//	go run ./examples/chessduel
+package main
+
+import (
+	"fmt"
+	"log"
+	"regexp"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/chess"
+)
+
+var movePattern = regexp.MustCompile(`\d+\. (?:\.\.\. )?([pnbrqk]/[a-z0-9]+-[a-z0-9]+)`)
+
+// readMove waits for the engine to announce a move (or the game to end)
+// and returns the bare move text.
+func readMove(s *core.Session) (string, bool) {
+	r, err := s.ExpectTimeout(5*time.Second,
+		core.Regexp(`\d+\. (\.\.\. )?[pnbrqk]/[a-z0-9]+-[a-z0-9]+`),
+		core.Glob("*Checkmate*"),
+		core.Glob("*Stalemate*"),
+		core.Glob("*Draw*"),
+		core.EOFCase(),
+	)
+	if err != nil {
+		log.Fatalf("%s stopped talking: %v", s.Name(), err)
+	}
+	if r.Index != 0 {
+		return strings.TrimSpace(r.Text), false
+	}
+	m := movePattern.FindStringSubmatch(r.Text)
+	if m == nil {
+		log.Fatalf("unparseable move announcement %q", r.Text)
+	}
+	return m[1], true
+}
+
+func main() {
+	white, err := core.SpawnProgram(nil, "chess-white",
+		chess.New(chess.Config{EngineSide: chess.White, Seed: 1, MaxMoves: 20}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer white.Close()
+	black, err := core.SpawnProgram(nil, "chess-black",
+		chess.New(chess.Config{EngineSide: chess.Black, Seed: 2}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer black.Close()
+
+	// Swallow both banners. A regexp consumes only through the banner —
+	// an anchored glob would also eat white's first move if it arrived in
+	// the same read.
+	white.Expect(core.Regexp("Chess\n"))
+	black.Expect(core.Regexp("Chess\n"))
+
+	// White opens; thereafter moves are relayed until someone ends it.
+	move, ok := readMove(white)
+	fmt.Printf("white: %s\n", move)
+	for turn := 0; ok && turn < 60; turn++ {
+		target, name := black, "black"
+		if turn%2 == 1 {
+			target, name = white, "white"
+		}
+		if err := target.Send(move + "\n"); err != nil {
+			log.Fatalf("relay to %s: %v", name, err)
+		}
+		move, ok = readMove(target)
+		fmt.Printf("%s: %s\n", name, move)
+	}
+	fmt.Println("duel over")
+}

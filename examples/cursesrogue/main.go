@@ -1,0 +1,58 @@
+// The §8 open question, answered: "If expect had a built-in terminal
+// emulator, could one look for 'regions' of character graphics?"
+//
+// This example drives the curses flavor of the rogue simulator — whose
+// raw output is VT100 escape-sequence soup — through a screen-tracking
+// session, and restarts the game until the *status-line region* of the
+// rendered display shows Str: 18. Pattern matching happens on the screen
+// the program painted, not on the bytes it emitted.
+//
+//	go run ./examples/cursesrogue
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/rogue"
+	"repro/internal/vt"
+)
+
+func main() {
+	cfg := &core.Config{
+		ScreenRows: 24,
+		ScreenCols: 80,
+		MatchMax:   1 << 14,
+	}
+	for game := 1; ; game++ {
+		s, err := core.SpawnProgram(cfg, "rogue", rogue.New(rogue.Config{
+			Seed:            int64(game),
+			LuckNumerator:   1,
+			LuckDenominator: 4,
+			Curses:          true,
+		}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Wait for the status line to be painted at all (bottom row).
+		if err := s.ExpectScreen(2*time.Second, func(sc *vt.Screen) bool {
+			return strings.Contains(sc.Row(23), "Str:")
+		}); err != nil {
+			log.Fatalf("game %d never painted: %v", game, err)
+		}
+		// Region match on the rendered display, not the byte stream.
+		err = s.ExpectScreenRegion(200*time.Millisecond, 23, 0, 23, 79, "*Str: 18*")
+		if err == nil {
+			fmt.Printf("game %d rolled Str 18; the screen as rendered:\n\n", game)
+			fmt.Println(s.Screen().Text())
+			fmt.Printf("(raw stream carried %d bytes of escape sequences)\n", s.TotalSeen())
+			s.Close()
+			return
+		}
+		fmt.Printf("game %d: %s — restarting\n", game, strings.TrimSpace(s.Screen().Row(23)))
+		s.Close()
+	}
+}

@@ -1,0 +1,64 @@
+// Eliza vs. Eliza (§2.2, §5.8): two copies of a program written to talk
+// to humans, talking to each other through the expect engine's job
+// control. Each turn uses Select to wait for whichever doctor speaks.
+//
+//	go run ./examples/elizachat
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/eliza"
+)
+
+func main() {
+	a, err := core.SpawnProgram(nil, "doctor-a", eliza.New(eliza.Config{Seed: 7}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer a.Close()
+	b, err := core.SpawnProgram(nil, "doctor-b", eliza.New(eliza.Config{Seed: 8}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+
+	lastLine := func(s *core.Session) string {
+		r, err := s.ExpectTimeout(3*time.Second, core.Regexp(`[^\n]+\n`))
+		if err != nil {
+			log.Fatalf("%s is speechless: %v", s.Name(), err)
+		}
+		lines := strings.Split(strings.TrimSpace(r.Text), "\n")
+		return strings.TrimSpace(lines[len(lines)-1])
+	}
+
+	// Both greet; doctor A's greeting becomes the first "patient" line.
+	msg := lastLine(a)
+	lastLine(b)
+	fmt.Printf("a> %s\n", msg)
+
+	for turn := 0; turn < 10; turn++ {
+		speaker, listener := b, a
+		tag := "b"
+		if turn%2 == 1 {
+			speaker, listener = a, b
+			tag = "a"
+		}
+		_ = listener
+		// Job control, §2.2: wait until the addressed doctor is ready.
+		if ready := core.Select(3*time.Second, speaker); len(ready) == 0 && speaker.Buffer() == "" {
+			// Quiet is fine — it is waiting for input.
+			_ = ready
+		}
+		if err := speaker.Send(msg + "\n"); err != nil {
+			log.Fatal(err)
+		}
+		msg = lastLine(speaker)
+		fmt.Printf("%s> %s\n", tag, msg)
+	}
+	fmt.Println("(session ends; both doctors bill for the hour)")
+}

@@ -1,0 +1,61 @@
+// fsck with judgment (§5.6): the paper's answer to "-y is a free license
+// to continue". The script answers the routine questions (RECONNECT,
+// ADJUST, SALVAGE) with yes, but declines the destructive CLEAR — the
+// per-question policy neither -y nor -n can express.
+//
+//	go run ./examples/fsckauto
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/fsck"
+)
+
+func main() {
+	fs := fsck.Generate(1990, 20, 100, 6)
+	fmt.Printf("before: %d problems\n", len(fs.Problems()))
+
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 16}, "fsck",
+		fsck.New(fsck.Config{FS: fs}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	answered := map[string]int{}
+	for {
+		r, err := s.ExpectTimeout(5*time.Second,
+			core.Exact("CLEAR? "),
+			core.Exact("RECONNECT? "),
+			core.Exact("ADJUST? "),
+			core.Exact("SALVAGE? "),
+			core.EOFCase(),
+		)
+		if err != nil {
+			log.Fatalf("fsck dialogue: %v", err)
+		}
+		if r.Eof {
+			break
+		}
+		switch r.Index {
+		case 0:
+			// Clearing deletes data: a human should decide. Here, decline.
+			answered["CLEAR:no"]++
+			s.Send("no\n")
+		default:
+			answered[[]string{"", "RECONNECT", "ADJUST", "SALVAGE"}[r.Index]+":yes"]++
+			s.Send("yes\n")
+		}
+	}
+	s.Wait()
+
+	fmt.Println("answers given:")
+	for q, n := range answered {
+		fmt.Printf("  %-14s x%d\n", q, n)
+	}
+	fmt.Printf("after: %d problems remain (the declined CLEARs)\n", len(fs.Problems()))
+}

@@ -1,0 +1,69 @@
+// The passwd problem (§1): "it is impossible to write a [shell] script
+// that, say, rejects passwords that are in the system dictionary".
+// Here the expect engine drives passwd's interactive dialogue, reacts to
+// its rejections, and retries with progressively better candidates —
+// the paper's opening example, solved.
+//
+//	go run ./examples/passwd
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/authsim"
+)
+
+func main() {
+	passwd := authsim.NewPasswd(authsim.PasswdConfig{
+		User:       "don",
+		Dictionary: []string{"password", "dragon", "letmein"},
+	})
+	s, err := core.SpawnProgram(&core.Config{Timeout: 5 * time.Second}, "passwd", passwd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	candidates := []string{"dragon", "short", "korrekt-horse-battery"}
+	ci := 0
+	next := func() string {
+		pw := candidates[ci]
+		if ci < len(candidates)-1 {
+			ci++
+		}
+		return pw
+	}
+
+	if _, err := s.ExpectMatch("*New password:*"); err != nil {
+		log.Fatalf("no prompt: %v", err)
+	}
+	for {
+		pw := next()
+		fmt.Printf("trying %q\n", pw)
+		s.Send(pw + "\n")
+		r, err := s.Expect(
+			core.Glob("*English word*New password:*"),
+			core.Glob("*longer*New password:*"),
+			core.Glob("*Retype new password:*"),
+		)
+		if err != nil {
+			log.Fatalf("unexpected reply: %v", err)
+		}
+		switch r.Index {
+		case 0:
+			fmt.Println("  rejected: dictionary word")
+		case 1:
+			fmt.Println("  rejected: too short")
+		case 2:
+			s.Send(pw + "\n")
+			if _, err := s.ExpectMatch("*Password changed*"); err != nil {
+				log.Fatalf("confirmation failed: %v", err)
+			}
+			fmt.Println("  accepted — password changed")
+			return
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Dynamic and complex pipes (§5.9): the shell's pipes are "unabashedly
+// linear", and systems like gsh and MTX were built to escape that. The
+// paper notes expect gets the same power as a byproduct: it can emulate
+// process graphs, rearrange connections mid-stream ("either under the
+// control of a user or when signalled by data"), and fan out to several
+// consumers, superseding tee.
+//
+// This example wires a producer to consumer A, then — when the data
+// itself signals a phase change — rearranges the graph mid-stream so the
+// remaining output flows to consumer B, while a third tap receives
+// everything (the tee superset).
+//
+//	go run ./examples/pipegraph
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// producer emits phase-1 lines, a SWITCH marker, then phase-2 lines.
+func producer(stdin io.Reader, stdout io.Writer) error {
+	for i := 1; i <= 3; i++ {
+		fmt.Fprintf(stdout, "phase1 record %d\n", i)
+	}
+	fmt.Fprintln(stdout, "SWITCH")
+	for i := 1; i <= 3; i++ {
+		fmt.Fprintf(stdout, "phase2 record %d\n", i)
+	}
+	return nil
+}
+
+// consumer counts the lines it is fed and reports on EOF.
+func consumer(name string, report chan<- string) func(io.Reader, io.Writer) error {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		data, _ := io.ReadAll(stdin)
+		lines := 0
+		for _, l := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(l) != "" {
+				lines++
+			}
+		}
+		report <- fmt.Sprintf("%s received %d lines", name, lines)
+		return nil
+	}
+}
+
+func main() {
+	report := make(chan string, 3)
+	src, err := core.SpawnProgram(nil, "producer", producer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer src.Close()
+	a, err := core.SpawnProgram(nil, "consumer-a", consumer("A", report))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := core.SpawnProgram(nil, "consumer-b", consumer("B", report))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tap, err := core.SpawnProgram(nil, "tap", consumer("tap", report))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The expect loop IS the graph: every line is routed according to the
+	// current wiring, and the SWITCH marker rearranges it mid-stream.
+	target := a
+	for {
+		r, err := src.ExpectTimeout(5*time.Second, core.Regexp(`[^\n]*\n`), core.EOFCase())
+		if err != nil {
+			log.Fatalf("relay: %v", err)
+		}
+		if r.Eof {
+			break
+		}
+		line := r.Text
+		tap.Send(line) // fan-out: the tap sees everything
+		if strings.Contains(line, "SWITCH") {
+			fmt.Println("data signalled a rearrangement: A -> B")
+			target = b
+			continue
+		}
+		if err := target.Send(line); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Hang up all sinks so they report.
+	a.CloseWrite()
+	b.CloseWrite()
+	tap.CloseWrite()
+	for i := 0; i < 3; i++ {
+		fmt.Println(<-report)
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart: drive an interactive login dialogue from Go.
+//
+// This is the library flavor of the paper's core loop — spawn, expect,
+// send — against the simulated login greeter. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/authsim"
+)
+
+func main() {
+	login := authsim.NewLogin(authsim.LoginConfig{
+		Accounts: map[string]string{"don": "secret"},
+		Hostname: "durer",
+	})
+
+	// Sessions wrap a spawned program with the expect match buffer.
+	// SpawnProgram runs it in-process; SpawnCommand would fork a real
+	// binary under a pty instead — the API is the same from here on.
+	s, err := core.SpawnProgram(&core.Config{Timeout: 5 * time.Second}, "login", login)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	// expect/send pairs, exactly like the script language.
+	if _, err := s.ExpectMatch("*login:*"); err != nil {
+		log.Fatalf("no login prompt: %v", err)
+	}
+	s.Send("don\n")
+	if _, err := s.ExpectMatch("*Password:*"); err != nil {
+		log.Fatalf("no password prompt: %v", err)
+	}
+	s.Send("secret\n")
+	r, err := s.Expect(
+		core.Glob("*Welcome*"),
+		core.Glob("*incorrect*"),
+	)
+	if err != nil {
+		log.Fatalf("login outcome unclear: %v", err)
+	}
+	if r.Index != 0 {
+		log.Fatal("login rejected")
+	}
+	fmt.Println("logged in; asking the remote shell who is on")
+
+	s.ExpectMatch("*$ *")
+	s.Send("who\n")
+	who, err := s.ExpectMatch("*ttyp0*")
+	if err != nil {
+		log.Fatalf("who failed: %v", err)
+	}
+	fmt.Printf("remote says: %s\n", trimLines(who.Text))
+
+	s.ExpectMatch("*$ *")
+	s.Send("logout\n")
+	s.ExpectTimeout(time.Second, core.EOFCase())
+	fmt.Println("session closed cleanly")
+}
+
+func trimLines(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		if line != "" && line != "$ " {
+			out = line
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' || s[i] == '\r' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(lines, s[start:])
+}

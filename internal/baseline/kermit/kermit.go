@@ -1,0 +1,208 @@
+// Package kermit implements the other send/expect precursor the paper
+// names (§1, §7.1: "the idea of send/expect sequences popularized by
+// uucp, kermit and other communications programs ... are quite primitive
+// and do not even provide adequate flexibility for their own tasks").
+//
+// The dialect is the C-Kermit 4E TAKE-file subset of the era:
+//
+//	INPUT 10 login:
+//	OUTPUT don\13
+//	PAUSE 1
+//	CLEAR
+//
+// INPUT waits (with a per-command timeout) for a fixed string; OUTPUT
+// sends text with \ddd decimal escapes; PAUSE sleeps; CLEAR drops
+// buffered input. Strictly straight-line: a failed INPUT aborts the whole
+// script — there is no IF FAILURE, no loop, no alternation (this subset
+// predates kermit's later script programming), which is precisely the
+// baseline property experiment E12 measures.
+package kermit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Op is a script command kind.
+type Op int
+
+// Command kinds.
+const (
+	OpInput Op = iota
+	OpOutput
+	OpPause
+	OpClear
+	OpEcho
+)
+
+// Cmd is one script line.
+type Cmd struct {
+	Op      Op
+	Timeout time.Duration // INPUT, PAUSE
+	Text    string        // INPUT target / OUTPUT payload / ECHO message
+}
+
+// Script is a parsed TAKE file.
+type Script struct {
+	Cmds []Cmd
+}
+
+// ErrInputTimeout reports an INPUT that never matched.
+var ErrInputTimeout = errors.New("kermit: INPUT timed out")
+
+// ErrHangup reports a stream that closed mid-script.
+var ErrHangup = errors.New("kermit: connection closed")
+
+// Parse reads a TAKE file. Lines are commands; blank lines and lines
+// starting with ';' or '#' are comments.
+func Parse(text string) (*Script, error) {
+	s := &Script{}
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		word, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch strings.ToUpper(word) {
+		case "INPUT":
+			secsText, target, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("kermit: line %d: INPUT needs timeout and text", ln+1)
+			}
+			secs, err := strconv.ParseFloat(secsText, 64)
+			if err != nil {
+				return nil, fmt.Errorf("kermit: line %d: bad INPUT timeout %q", ln+1, secsText)
+			}
+			s.Cmds = append(s.Cmds, Cmd{Op: OpInput,
+				Timeout: time.Duration(secs * float64(time.Second)),
+				Text:    decode(target)})
+		case "OUTPUT":
+			s.Cmds = append(s.Cmds, Cmd{Op: OpOutput, Text: decode(rest)})
+		case "PAUSE":
+			secs := 1.0
+			if rest != "" {
+				v, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					return nil, fmt.Errorf("kermit: line %d: bad PAUSE %q", ln+1, rest)
+				}
+				secs = v
+			}
+			s.Cmds = append(s.Cmds, Cmd{Op: OpPause,
+				Timeout: time.Duration(secs * float64(time.Second))})
+		case "CLEAR":
+			s.Cmds = append(s.Cmds, Cmd{Op: OpClear})
+		case "ECHO":
+			s.Cmds = append(s.Cmds, Cmd{Op: OpEcho, Text: decode(rest)})
+		default:
+			return nil, fmt.Errorf("kermit: line %d: unknown command %q", ln+1, word)
+		}
+	}
+	return s, nil
+}
+
+// decode handles kermit's \ddd decimal escapes (\13 is CR) and \\.
+func decode(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 >= len(s) {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if s[i] == '\\' {
+			sb.WriteByte('\\')
+			continue
+		}
+		val, digits := 0, 0
+		for digits < 3 && i+digits < len(s) && s[i+digits] >= '0' && s[i+digits] <= '9' {
+			val = val*10 + int(s[i+digits]-'0')
+			digits++
+		}
+		if digits == 0 {
+			sb.WriteByte(s[i])
+			continue
+		}
+		sb.WriteByte(byte(val))
+		i += digits - 1
+	}
+	return sb.String()
+}
+
+// Runner executes scripts over a stream. Like the uucp runner it owns a
+// primitive reader pump: one buffer, substring search.
+type Runner struct {
+	rw    io.ReadWriter
+	Echo  io.Writer // ECHO output (default: discarded)
+	input chan []byte
+	buf   []byte
+}
+
+// NewRunner prepares to run scripts over rw.
+func NewRunner(rw io.ReadWriter) *Runner {
+	r := &Runner{rw: rw, Echo: io.Discard, input: make(chan []byte, 16)}
+	go func() {
+		defer close(r.input)
+		for {
+			b := make([]byte, 512)
+			n, err := rw.Read(b)
+			if n > 0 {
+				r.input <- b[:n]
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Run executes the script; the first INPUT failure aborts it, as the
+// original's straight-line TAKE files did.
+func (r *Runner) Run(s *Script) error {
+	for _, c := range s.Cmds {
+		switch c.Op {
+		case OpOutput:
+			if _, err := r.rw.Write([]byte(c.Text)); err != nil {
+				return fmt.Errorf("%w (OUTPUT failed: %v)", ErrHangup, err)
+			}
+		case OpPause:
+			time.Sleep(c.Timeout)
+		case OpClear:
+			r.buf = nil
+			// Also drain anything already queued.
+			drained := false
+			for !drained {
+				select {
+				case _, ok := <-r.input:
+					if !ok {
+						return nil
+					}
+				default:
+					drained = true
+				}
+			}
+		case OpEcho:
+			fmt.Fprintln(r.Echo, c.Text)
+		case OpInput:
+			deadline := time.After(c.Timeout)
+			for !strings.Contains(string(r.buf), c.Text) {
+				select {
+				case chunk, ok := <-r.input:
+					if !ok {
+						return fmt.Errorf("%w (waiting for %q)", ErrHangup, c.Text)
+					}
+					r.buf = append(r.buf, chunk...)
+				case <-deadline:
+					return fmt.Errorf("%w waiting for %q", ErrInputTimeout, c.Text)
+				}
+			}
+			r.buf = nil // matched: start fresh, like the original
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Package stelnet reimplements the precursor the paper's acknowledgements
+// describe: Scott Paisley's "smart telnet", which "ran telnet and
+// performed a simple send/expect conversation to login. stelnet had only
+// straight-line control without error processing, used pipes instead of
+// ptys, and lacked pattern matching and job control."
+//
+// Those four limitations are reproduced deliberately — this is the second
+// baseline of experiment E12. Steps run strictly in order; an expect step
+// blocks until its fixed string arrives or the stream ends; there is no
+// alternation, no timeout action, no second process.
+package stelnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Step is one line of a straight-line conversation.
+type Step struct {
+	// Send, when true, writes Text; otherwise the step waits for Text to
+	// appear in the output (fixed string — no patterns).
+	Send bool
+	Text string
+}
+
+// Expect builds a wait step.
+func Expect(text string) Step { return Step{Text: text} }
+
+// Send builds a write step.
+func Send(text string) Step { return Step{Send: true, Text: text} }
+
+// ErrHangup reports that the stream ended mid-conversation.
+var ErrHangup = errors.New("stelnet: connection closed during conversation")
+
+// ErrDeadline reports that the harness deadline expired; the original had
+// no timeouts at all and would simply hang, so the deadline exists only so
+// experiments can observe the hang without hanging themselves.
+var ErrDeadline = errors.New("stelnet: conversation deadline exceeded (original would hang forever)")
+
+// Run drives the conversation over rw. A zero deadline means wait forever
+// — faithful to the original.
+func Run(rw io.ReadWriter, steps []Step, deadline time.Duration) error {
+	var timeout <-chan time.Time
+	if deadline > 0 {
+		timeout = time.After(deadline)
+	}
+	input := make(chan []byte, 16)
+	go func() {
+		defer close(input)
+		for {
+			b := make([]byte, 512)
+			n, err := rw.Read(b)
+			if n > 0 {
+				input <- b[:n]
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	var buf []byte
+	for _, st := range steps {
+		if st.Send {
+			if _, err := rw.Write([]byte(st.Text)); err != nil {
+				// Writing into a dead peer is a hangup; the original would
+				// have taken a SIGPIPE here.
+				return fmt.Errorf("%w (send failed: %v)", ErrHangup, err)
+			}
+			continue
+		}
+		for !strings.Contains(string(buf), st.Text) {
+			select {
+			case chunk, ok := <-input:
+				if !ok {
+					return fmt.Errorf("%w (waiting for %q)", ErrHangup, st.Text)
+				}
+				buf = append(buf, chunk...)
+			case <-timeout:
+				return fmt.Errorf("%w (waiting for %q)", ErrDeadline, st.Text)
+			}
+		}
+		buf = nil // straight-line: each expect starts fresh
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package stelnet
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/programs/authsim"
+)
+
+func loginSteps() []Step {
+	return []Step{
+		Expect("login: "),
+		Send("don\n"),
+		Expect("Password: "),
+		Send("secret\n"),
+		Expect("Welcome"),
+		Send("logout\n"),
+	}
+}
+
+func TestStraightLineLogin(t *testing.T) {
+	// stelnet's one trick, §9: log in over pipes with fixed strings.
+	p, err := proc.SpawnPipe("sh", []string{"-c", `printf 'login: '; read u; printf 'Password: '; read p; echo Welcome; read bye`}, proc.Options{})
+	if err != nil {
+		t.Skipf("spawn: %v", err)
+	}
+	defer p.Close()
+	if err := Run(p, loginSteps(), 5*time.Second); err != nil {
+		t.Fatalf("straight-line login failed: %v", err)
+	}
+}
+
+func TestStraightLineLoginVirtual(t *testing.T) {
+	p, err := proc.SpawnVirtual("login", authsim.NewLogin(authsim.LoginConfig{
+		Accounts: map[string]string{"don": "secret"},
+	}), proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := Run(p, loginSteps(), 5*time.Second); err != nil {
+		t.Fatalf("login via stelnet failed: %v", err)
+	}
+}
+
+func TestNoErrorProcessingMeansHang(t *testing.T) {
+	// Against a busy host the conversation simply never advances; the
+	// original would hang forever — the harness deadline observes it.
+	p, err := proc.SpawnVirtual("login", authsim.NewLogin(authsim.LoginConfig{
+		Busy: true,
+	}), proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	err = Run(p, loginSteps(), 200*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) && !errors.Is(err, ErrHangup) {
+		t.Fatalf("err = %v, want deadline/hangup", err)
+	}
+}
+
+func TestNoPatternMatching(t *testing.T) {
+	// "Str: 18" as a fixed string cannot express the rogue experiment's
+	// *Str:\ 18* — a variant spacing defeats it.
+	p, err := proc.SpawnVirtual("rogue-ish", func(stdin io.Reader, stdout io.Writer) error {
+		stdout.Write([]byte("Str:  18\n")) // double space
+		return nil
+	}, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	err = Run(p, []Step{Expect("Str: 18")}, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("fixed-string match succeeded against variant output")
+	}
+}
+
+func TestHangupMidConversation(t *testing.T) {
+	p, err := proc.SpawnVirtual("dies", func(stdin io.Reader, stdout io.Writer) error {
+		stdout.Write([]byte("login: "))
+		return nil // dies before password stage
+	}, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	err = Run(p, loginSteps(), 2*time.Second)
+	if !errors.Is(err, ErrHangup) {
+		t.Fatalf("err = %v, want hangup", err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package uucpchat implements the send/expect chat scripts of uucp's
+// L.sys file — the mechanism the paper credits for expect's name and
+// dismisses as "quite primitive": straight-line expect/send pairs,
+// substring matching, one alternate subexpression per field, and nothing
+// else. No control flow, no multiple outcomes, no job control.
+//
+// A script is a whitespace-separated alternation of expect and send
+// fields:
+//
+//	"" \r ogin:--ogin: uucp ssword: secret
+//
+// reads: expect nothing, send CR, expect "ogin:" (and if it does not come,
+// send nothing and expect "ogin:" once more), send "uucp", expect
+// "ssword:", send "secret". This is the baseline of experiment E12: it
+// handles exactly the happy path it was written for.
+package uucpchat
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// ErrChatTimeout reports an expect field that never matched.
+var ErrChatTimeout = errors.New("uucpchat: expect timed out")
+
+// subChat is one expect[-send-expect...] alternation within a field.
+type subChat struct {
+	expect string
+	send   string // sent if expect times out, before the next expect
+	more   *subChat
+}
+
+// Field is one script field: either an expect (with optional alternates)
+// or a send.
+type Field struct {
+	IsExpect bool
+	Expect   *subChat
+	Send     string
+	sendCR   bool
+}
+
+// Script is a parsed chat script.
+type Script struct {
+	Fields []Field
+}
+
+// Parse splits a chat string into alternating expect/send fields. Fields
+// at even positions (0-based) are expects, odd are sends, exactly as
+// uucico reads L.sys.
+func Parse(chat string) (*Script, error) {
+	raw := strings.Fields(chat)
+	s := &Script{}
+	for i, f := range raw {
+		if i%2 == 0 {
+			s.Fields = append(s.Fields, parseExpectField(f))
+		} else {
+			send, cr := parseSendText(f)
+			s.Fields = append(s.Fields, Field{Send: send, sendCR: cr})
+		}
+	}
+	return s, nil
+}
+
+func parseExpectField(f string) Field {
+	parts := strings.Split(f, "-")
+	head := &subChat{expect: unquote(parts[0])}
+	cur := head
+	// parts alternate: expect, send, expect, send, ...
+	for k := 1; k+1 < len(parts); k += 2 {
+		next := &subChat{expect: unquote(parts[k+1])}
+		cur.send = unquote(parts[k])
+		cur.more = next
+		cur = next
+	}
+	return Field{IsExpect: true, Expect: head}
+}
+
+// unquote handles "" (empty) and the escape set uucp understood.
+func unquote(s string) string {
+	if s == `""` {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'r':
+				sb.WriteByte('\r')
+			case 'n':
+				sb.WriteByte('\n')
+			case 's':
+				sb.WriteByte(' ')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(s[i])
+			}
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// parseSendText handles the \c suffix (suppress the trailing CR).
+func parseSendText(f string) (text string, cr bool) {
+	cr = true
+	if strings.HasSuffix(f, `\c`) {
+		cr = false
+		f = strings.TrimSuffix(f, `\c`)
+	}
+	return unquote(f), cr
+}
+
+// Runner executes a script against a byte stream. It owns a tiny reader
+// pump — deliberately reimplemented at uucp's level of sophistication:
+// one buffer, substring search, full rescans.
+type Runner struct {
+	rw      io.ReadWriter
+	Timeout time.Duration // per expect field; default 45s like uucico
+
+	input chan []byte
+	errCh chan error
+	buf   []byte
+}
+
+// NewRunner prepares to run scripts over rw.
+func NewRunner(rw io.ReadWriter) *Runner {
+	r := &Runner{rw: rw, Timeout: 45 * time.Second,
+		input: make(chan []byte, 16), errCh: make(chan error, 1)}
+	go func() {
+		for {
+			b := make([]byte, 512)
+			n, err := rw.Read(b)
+			if n > 0 {
+				r.input <- b[:n]
+			}
+			if err != nil {
+				r.errCh <- err
+				close(r.input)
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Run executes the script. The first expect failure aborts the whole chat
+// — a uucico would hang up and retry later, which is exactly the
+// inflexibility the paper calls out ("system administrators always embed
+// calls to uucp in shell scripts which can repeat dialing upon failure").
+func (r *Runner) Run(s *Script) error {
+	for _, f := range s.Fields {
+		if f.IsExpect {
+			if err := r.expectField(f.Expect); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := r.sendText(f.Send, f.sendCR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runner) sendText(text string, cr bool) error {
+	if cr {
+		text += "\r"
+	}
+	if text == "" {
+		return nil
+	}
+	_, err := r.rw.Write([]byte(text))
+	return err
+}
+
+// expectField waits for sub.expect, falling through the alternates.
+func (r *Runner) expectField(sub *subChat) error {
+	for sub != nil {
+		err := r.waitFor(sub.expect)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrChatTimeout) {
+			return err
+		}
+		if sub.more == nil {
+			return fmt.Errorf("%w waiting for %q", ErrChatTimeout, sub.expect)
+		}
+		if serr := r.sendText(sub.send, true); serr != nil {
+			return serr
+		}
+		sub = sub.more
+	}
+	return nil
+}
+
+// waitFor blocks until needle appears in the stream (substring, not
+// pattern) or the per-field timeout passes.
+func (r *Runner) waitFor(needle string) error {
+	if needle == "" {
+		return nil
+	}
+	deadline := time.After(r.Timeout)
+	for {
+		if strings.Contains(string(r.buf), needle) {
+			// uucp discards everything once a field matches.
+			r.buf = nil
+			return nil
+		}
+		select {
+		case chunk, ok := <-r.input:
+			if !ok {
+				return io.EOF
+			}
+			r.buf = append(r.buf, chunk...)
+		case <-deadline:
+			return ErrChatTimeout
+		}
+	}
+}

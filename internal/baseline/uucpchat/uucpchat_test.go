@@ -1,0 +1,153 @@
+package uucpchat
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/programs/authsim"
+)
+
+func TestParse(t *testing.T) {
+	s, err := Parse(`"" \r ogin:--ogin: uucp ssword: secret`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Fields) != 6 {
+		t.Fatalf("fields = %d, want 6", len(s.Fields))
+	}
+	if !s.Fields[0].IsExpect || s.Fields[0].Expect.expect != "" {
+		t.Errorf("field 0 = %+v", s.Fields[0])
+	}
+	if s.Fields[1].IsExpect || s.Fields[1].Send != "\r" {
+		t.Errorf("field 1 = %+v", s.Fields[1])
+	}
+	f2 := s.Fields[2]
+	if !f2.IsExpect || f2.Expect.expect != "ogin:" {
+		t.Fatalf("field 2 = %+v", f2)
+	}
+	if f2.Expect.more == nil || f2.Expect.more.expect != "ogin:" || f2.Expect.send != "" {
+		t.Errorf("alternate of field 2 = %+v", f2.Expect.more)
+	}
+	if s.Fields[3].Send != "uucp" {
+		t.Errorf("field 3 = %+v", s.Fields[3])
+	}
+}
+
+func TestEscapes(t *testing.T) {
+	if got := unquote(`a\r\n\s\tb`); got != "a\r\n \tb" {
+		t.Errorf("unquote = %q", got)
+	}
+	text, cr := parseSendText(`word\c`)
+	if text != "word" || cr {
+		t.Errorf("parseSendText = %q, %v", text, cr)
+	}
+}
+
+func spawnLogin(t *testing.T, cfg authsim.LoginConfig) *proc.Process {
+	t.Helper()
+	p, err := proc.SpawnVirtual("login", authsim.NewLogin(cfg), proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestChatLoginHappyPath(t *testing.T) {
+	p := spawnLogin(t, authsim.LoginConfig{
+		Accounts: map[string]string{"uucp": "secret"},
+	})
+	r := NewRunner(p)
+	r.Timeout = 3 * time.Second
+	script, _ := Parse(`ogin: uucp ssword: secret elcome ""`)
+	if err := r.Run(script); err != nil {
+		t.Fatalf("chat failed on the happy path: %v", err)
+	}
+}
+
+func TestChatTimesOutOnVariantPrompt(t *testing.T) {
+	// The fixed "ogin:" expectation cannot cope with a "Username:" prompt
+	// — the rigidity the paper criticizes.
+	p := spawnLogin(t, authsim.LoginConfig{
+		Accounts:      map[string]string{"uucp": "secret"},
+		PromptVariant: true,
+	})
+	r := NewRunner(p)
+	r.Timeout = 150 * time.Millisecond
+	script, _ := Parse(`ogin: uucp ssword: secret`)
+	err := r.Run(script)
+	if !errors.Is(err, ErrChatTimeout) {
+		t.Fatalf("err = %v, want chat timeout", err)
+	}
+}
+
+func TestChatAlternateResendsOnSilence(t *testing.T) {
+	// ogin:--ogin: — a getty that says nothing until poked.
+	poked := false
+	prog := func(stdin io.Reader, stdout io.Writer) error {
+		buf := make([]byte, 64)
+		for {
+			n, err := stdin.Read(buf)
+			if err != nil {
+				return nil
+			}
+			if n > 0 {
+				if !poked {
+					poked = true
+					io.WriteString(stdout, "login: ")
+					continue
+				}
+				if strings.Contains(string(buf[:n]), "uucp") {
+					io.WriteString(stdout, "Password: ")
+					return nil
+				}
+			}
+		}
+	}
+	p, err := proc.SpawnVirtual("shy-getty", prog, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := NewRunner(p)
+	r.Timeout = 200 * time.Millisecond
+	script, _ := Parse(`ogin:--ogin: uucp ssword:`)
+	if err := r.Run(script); err != nil {
+		t.Fatalf("alternate did not rescue the chat: %v", err)
+	}
+	if !poked {
+		t.Error("alternate never sent the wake-up CR")
+	}
+}
+
+func TestChatCannotBranch(t *testing.T) {
+	// A busy system needs a retry loop — chat scripts have no way to
+	// express one; the whole run just fails (E12's capability gap).
+	p := spawnLogin(t, authsim.LoginConfig{Busy: true})
+	r := NewRunner(p)
+	r.Timeout = 300 * time.Millisecond
+	script, _ := Parse(`ogin: uucp ssword: secret`)
+	if err := r.Run(script); err == nil {
+		t.Fatal("chat against a busy system succeeded?!")
+	}
+}
+
+func TestChatEOFSurfaced(t *testing.T) {
+	p, err := proc.SpawnVirtual("dead", func(stdin io.Reader, stdout io.Writer) error {
+		return nil // exits immediately
+	}, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := NewRunner(p)
+	r.Timeout = time.Second
+	script, _ := Parse(`ogin: uucp`)
+	if err := r.Run(script); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/tcl"
+)
+
+// Engine is the script-level expect: a Tcl interpreter extended with the
+// paper's commands (spawn, send, expect, interact, close, select, …), a
+// table of live sessions addressed by spawn_id, and the user terminal as
+// an I/O source/sink.
+type Engine struct {
+	// Interp is the underlying Tcl interpreter. Callers may register
+	// additional commands on it before Run.
+	Interp *tcl.Interp
+
+	mu       sync.Mutex
+	sessions map[int]*Session
+	nextID   int
+
+	userIn  io.Reader
+	userOut io.Writer
+	userSes *Session
+
+	logUser  bool
+	logFile  io.WriteCloser
+	logMu    sync.Mutex
+	prof     *metrics.Profiler
+	matcher  MatcherMode
+	virtuals map[string]proc.Program
+	// transport selects how spawn starts real programs.
+	transport string
+
+	exitCode   int
+	exitCalled bool
+}
+
+// EngineOptions configures a script engine.
+type EngineOptions struct {
+	// UserIn/UserOut are the user's terminal (default os.Stdin/os.Stdout).
+	UserIn  io.Reader
+	UserOut io.Writer
+	// Prof receives phase timings.
+	Prof *metrics.Profiler
+	// Matcher selects the glob scan strategy for all sessions.
+	Matcher MatcherMode
+	// Transport is "pty" (default) or "pipe" for real program spawns.
+	Transport string
+	// LogUser sets the initial log_user state (default true: the user sees
+	// the dialogue as it happens).
+	LogUser *bool
+}
+
+// NewEngine builds an engine with a fresh interpreter and the expect
+// command set registered.
+func NewEngine(opt EngineOptions) *Engine {
+	e := &Engine{
+		Interp:    tcl.New(),
+		sessions:  make(map[int]*Session),
+		userIn:    opt.UserIn,
+		userOut:   opt.UserOut,
+		logUser:   true,
+		prof:      opt.Prof,
+		matcher:   opt.Matcher,
+		virtuals:  make(map[string]proc.Program),
+		transport: opt.Transport,
+	}
+	if e.userIn == nil {
+		e.userIn = os.Stdin
+	}
+	if e.userOut == nil {
+		e.userOut = os.Stdout
+	}
+	if opt.LogUser != nil {
+		e.logUser = *opt.LogUser
+	}
+	if e.transport == "" {
+		e.transport = "pty"
+	}
+	e.Interp.Stdout = e.userOut
+	// Script-visible defaults (§3.1).
+	e.Interp.GlobalSet("timeout", "10")
+	e.Interp.GlobalSet("match_max", strconv.Itoa(DefaultMatchMax))
+	e.Interp.GlobalSet("expect_match", "")
+	e.Interp.OnExit(func(code int) { e.exitCalled, e.exitCode = true, code })
+	registerExpectCommands(e)
+	return e
+}
+
+// RegisterVirtual installs an in-process program under name: a subsequent
+// `spawn name` in a script runs it on the virtual transport instead of
+// exec'ing a binary. The simulated rogue/chess/fsck/… programs register
+// this way for hermetic scripts, tests, and benchmarks.
+func (e *Engine) RegisterVirtual(name string, program proc.Program) {
+	e.virtuals[name] = program
+}
+
+// Profiler returns the engine's profiler (may be nil).
+func (e *Engine) Profiler() *metrics.Profiler { return e.prof }
+
+// sessionConfig builds the per-session config from engine state.
+func (e *Engine) sessionConfig() *Config {
+	return &Config{
+		MatchMax: e.varInt("match_max", DefaultMatchMax),
+		Matcher:  e.matcher,
+		Prof:     e.prof,
+		Logger:   e.logSink(),
+	}
+}
+
+// logSink returns the child-output tap implementing log_user/log_file.
+func (e *Engine) logSink() func([]byte) {
+	return func(b []byte) {
+		e.logMu.Lock()
+		lu, lf := e.logUser, e.logFile
+		e.logMu.Unlock()
+		if lu {
+			e.userOut.Write(b)
+		}
+		if lf != nil {
+			lf.Write(b)
+		}
+	}
+}
+
+// varInt reads a global integer variable with a default.
+func (e *Engine) varInt(name string, def int) int {
+	s, ok := e.Interp.GlobalGet(name)
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// scriptTimeout converts the script's timeout variable to a duration
+// (seconds; -1 means forever).
+func (e *Engine) scriptTimeout() time.Duration {
+	secs := e.varInt("timeout", 10)
+	if secs < 0 {
+		return -1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// addSession registers s, makes it current, and returns its spawn id.
+func (e *Engine) addSession(s *Session) int {
+	e.mu.Lock()
+	id := e.nextID
+	e.nextID++
+	e.sessions[id] = s
+	e.mu.Unlock()
+	e.Interp.GlobalSet("spawn_id", strconv.Itoa(id))
+	return id
+}
+
+// Current returns the session selected by the spawn_id variable — "the
+// variable spawn_id determines the current process" (§3.2).
+func (e *Engine) Current() (*Session, error) {
+	idStr, ok := e.Interp.GlobalGet("spawn_id")
+	if !ok || idStr == "" {
+		return nil, fmt.Errorf("no current process (nothing spawned yet)")
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad spawn_id %q", idStr)
+	}
+	e.mu.Lock()
+	s := e.sessions[id]
+	e.mu.Unlock()
+	if s == nil {
+		return nil, fmt.Errorf("spawn_id %d refers to no live process", id)
+	}
+	return s, nil
+}
+
+// SessionByID looks up a session by spawn id.
+func (e *Engine) SessionByID(id int) (*Session, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.sessions[id]
+	return s, ok
+}
+
+// SessionIDs returns the live spawn ids in ascending order.
+func (e *Engine) SessionIDs() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]int, 0, len(e.sessions))
+	for id := range e.sessions {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// removeSession drops id from the table (after close).
+func (e *Engine) removeSession(id int) {
+	e.mu.Lock()
+	delete(e.sessions, id)
+	e.mu.Unlock()
+}
+
+// UserSession lazily wraps the user terminal as a session so scripts can
+// expect_user/send_user — the user "is essentially treated as just another
+// process" (Figure 5).
+func (e *Engine) UserSession() *Session {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.userSes == nil {
+		e.userSes = NewSession(&Config{Prof: e.prof, Matcher: e.matcher},
+			"user", userRW{e.userIn, e.userOut})
+	}
+	return e.userSes
+}
+
+type userRW struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (u userRW) Read(b []byte) (int, error)  { return u.r.Read(b) }
+func (u userRW) Write(b []byte) (int, error) { return u.w.Write(b) }
+func (u userRW) Close() error                { return nil }
+
+// Spawn starts program args under the engine's transport (or as a
+// registered virtual program) and makes it the current process.
+func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
+	cfg := e.sessionConfig()
+	var (
+		s   *Session
+		err error
+	)
+	if prog, ok := e.virtuals[name]; ok {
+		s, err = SpawnProgram(cfg, name, prog)
+	} else if e.transport == "pipe" {
+		s, err = SpawnPipeCommand(cfg, name, args...)
+	} else {
+		s, err = SpawnCommand(cfg, name, args...)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	id := e.addSession(s)
+	return s, id, nil
+}
+
+// Run evaluates a complete script.
+func (e *Engine) Run(script string) (string, error) {
+	out, err := e.Interp.Eval(script)
+	if e.exitCalled {
+		return out, nil
+	}
+	return out, err
+}
+
+// RunFile loads and evaluates a script file.
+func (e *Engine) RunFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return e.Run(string(data))
+}
+
+// ExitCode returns the code passed to the script's exit command (0 if exit
+// was never called) and whether exit was called.
+func (e *Engine) ExitCode() (int, bool) { return e.exitCode, e.exitCalled }
+
+// Shutdown closes every live session and the log file.
+func (e *Engine) Shutdown() {
+	e.mu.Lock()
+	sessions := make([]*Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.sessions = make(map[int]*Session)
+	e.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	e.logMu.Lock()
+	if e.logFile != nil {
+		e.logFile.Close()
+		e.logFile = nil
+	}
+	e.logMu.Unlock()
+}
+
+// SetLogUser flips the log_user state (what the user sees of the ongoing
+// dialogue, §3.3).
+func (e *Engine) SetLogUser(on bool) {
+	e.logMu.Lock()
+	e.logUser = on
+	e.logMu.Unlock()
+}
+
+// LogUser reports the current log_user state.
+func (e *Engine) LogUser() bool {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	return e.logUser
+}
+
+// SetLogFile starts (or stops, with "") logging all dialogue to a file.
+func (e *Engine) SetLogFile(path string) error {
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	if e.logFile != nil {
+		e.logFile.Close()
+		e.logFile = nil
+	}
+	if path == "" {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	e.logFile = f
+	return nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScriptSystemCommand(t *testing.T) {
+	e, out := newTestEngine(t)
+	if _, err := e.Run(`system echo from-the-shell`); err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	if !strings.Contains(out.String(), "from-the-shell") {
+		t.Errorf("system output: %q", out.String())
+	}
+	if _, err := e.Run(`system exit 3`); err == nil {
+		t.Error("system swallowed a nonzero status")
+	}
+}
+
+func TestScriptSleep(t *testing.T) {
+	e, _ := newTestEngine(t)
+	start := time.Now()
+	if _, err := e.Run(`sleep 0.1`); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 90*time.Millisecond {
+		t.Error("sleep returned early")
+	}
+	if _, err := e.Run(`sleep banana`); err == nil {
+		t.Error("sleep accepted a bad duration")
+	}
+	if _, err := e.Run(`sleep -1`); err == nil {
+		t.Error("sleep accepted a negative duration")
+	}
+}
+
+func TestScriptSendUserMultipleWords(t *testing.T) {
+	e, out := newTestEngine(t)
+	if _, err := e.Run(`send_user one two three`); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "one two three" {
+		t.Errorf("send_user joined = %q", out.String())
+	}
+}
+
+func TestEnginePipeTransport(t *testing.T) {
+	var out lockedBuffer
+	off := false
+	e := NewEngine(EngineOptions{
+		UserIn:    newScriptedReader(),
+		UserOut:   &out,
+		LogUser:   &off,
+		Transport: "pipe",
+	})
+	defer e.Shutdown()
+	res, err := e.Run(`
+		set timeout 5
+		spawn sh -c {if [ -t 0 ]; then echo TTY; else echo NOTTY; fi}
+		expect {*NOTTY*} {set r pipe-mode} {*TTY*} {set r pty-mode}
+		set r
+	`)
+	if err != nil {
+		t.Fatalf("pipe transport: %v", err)
+	}
+	if res != "pipe-mode" {
+		t.Errorf("r = %q — engine did not honor Transport: pipe", res)
+	}
+}
+
+func TestEnginePtyTransportReal(t *testing.T) {
+	e, _ := newTestEngine(t) // default transport is pty
+	res, err := e.Run(`
+		set timeout 5
+		spawn sh -c {if [ -t 0 ]; then echo YES-TTY; else echo NO-TTY; fi}
+		expect {*YES-TTY*} {set r tty} {*NO-TTY*} {set r no-tty}
+		set r
+	`)
+	if err != nil {
+		t.Skipf("pty spawn failed (no pty in env?): %v", err)
+	}
+	if res != "tty" {
+		t.Errorf("r = %q — pty spawn did not give the child a terminal", res)
+	}
+}
+
+func TestUserSessionIsSingleton(t *testing.T) {
+	e, _ := newTestEngine(t, "line\n")
+	a := e.UserSession()
+	b := e.UserSession()
+	if a != b {
+		t.Error("UserSession created two sessions for one user")
+	}
+}
+
+func TestExpectUserTimeout(t *testing.T) {
+	e, _ := newTestEngine(t) // user types nothing
+	out, err := e.Run(`
+		set timeout 1
+		expect_user {*yes*} {set r got} timeout {set r silent}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "silent" {
+		t.Errorf("r = %q", out)
+	}
+}
+
+func TestScriptCloseById(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	out, err := e.Run(`
+		spawn p
+		set a $spawn_id
+		spawn p
+		close $a
+		llength [list]
+	`)
+	_ = out
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := e.SessionIDs(); len(ids) != 1 {
+		t.Errorf("sessions after close-by-id: %v", ids)
+	}
+	if _, err := e.Run(`close 999`); err == nil {
+		t.Error("close of bogus id succeeded")
+	}
+}
+
+func TestScriptSelectErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if _, err := e.Run(`select`); err == nil {
+		t.Error("select with no args succeeded")
+	}
+	if _, err := e.Run(`select banana`); err == nil {
+		t.Error("select with bad id succeeded")
+	}
+	if _, err := e.Run(`select 42`); err == nil {
+		t.Error("select with dead id succeeded")
+	}
+}
+
+func TestScriptLogFileToggleErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if _, err := e.Run(`log_file /no/such/dir/x.log`); err == nil {
+		t.Error("log_file to bogus path succeeded")
+	}
+	if _, err := e.Run(`log_file`); err != nil {
+		t.Errorf("log_file off: %v", err)
+	}
+	if _, err := e.Run(`log_user banana`); err == nil {
+		t.Error("log_user accepted garbage")
+	}
+	// log_user returns the previous value.
+	out, err := e.Run(`log_user 1`)
+	if err != nil || out != "0" {
+		t.Errorf("log_user 1 = %q, %v (engine started with 0)", out, err)
+	}
+}
+
+func TestEngineExpectErrorsWithoutSpawn(t *testing.T) {
+	e, _ := newTestEngine(t)
+	for _, script := range []string{
+		`expect {*x*} {}`,
+		`send hello`,
+		`close`,
+		`wait`,
+		`interact`,
+		`match_max 99`,
+	} {
+		_, err := e.Run(script)
+		if script == `match_max 99` {
+			// match_max works without a session (sets the global).
+			if err != nil {
+				t.Errorf("%q: %v", script, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q succeeded with nothing spawned", script)
+		}
+	}
+}
+
+func TestEngineSpawnIdManualSwitch(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("alpha", lineServer("from-alpha\n", func(string) (string, bool) { return "", true }))
+	e.RegisterVirtual("beta", lineServer("from-beta\n", func(string) (string, bool) { return "", true }))
+	out, err := e.Run(`
+		set timeout 5
+		spawn alpha
+		set a $spawn_id
+		spawn beta
+		set b $spawn_id
+		set spawn_id $a
+		expect {*from-alpha*} {set r1 ok-a}
+		set spawn_id $b
+		expect {*from-beta*} {set r2 ok-b}
+		list $r1 $r2
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "ok-a ok-b" {
+		t.Errorf("job switching result = %q", out)
+	}
+}
+
+func TestEngineLoggerToFileAndUser(t *testing.T) {
+	// log_user and log_file can both be active; the tap fans out.
+	e, out := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("DOUBLE-TAP"))
+	path := t.TempDir() + "/both.log"
+	_, err := e.Run(`
+		log_user 1
+		log_file ` + path + `
+		set timeout 5
+		spawn p
+		expect {*login:*} {}
+		log_file
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "DOUBLE-TAP") {
+		t.Error("user missed the output")
+	}
+	data, _ := readFileString(path)
+	if !strings.Contains(data, "DOUBLE-TAP") {
+		t.Error("log file missed the output")
+	}
+}
+
+func readFileString(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

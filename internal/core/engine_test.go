@@ -1,0 +1,658 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestEngine builds an engine with quiet logging and scripted user IO.
+func newTestEngine(t *testing.T, userInput ...string) (*Engine, *lockedBuffer) {
+	t.Helper()
+	var out lockedBuffer
+	off := false
+	e := NewEngine(EngineOptions{
+		UserIn:  newScriptedReader(userInput...),
+		UserOut: &out,
+		LogUser: &off,
+	})
+	t.Cleanup(e.Shutdown)
+	return e, &out
+}
+
+// greeter is a login-: style virtual program for script tests.
+func greeter(banner string) func(io.Reader, io.Writer) error {
+	return lineServer(banner+"\nlogin: ", func(line string) (string, bool) {
+		switch line {
+		case "don":
+			return "Password: ", true
+		case "secret":
+			return "welcome to unix\n$ ", true
+		case "logout":
+			return "bye\n", false
+		default:
+			return "failed\nlogin: ", true
+		}
+	})
+}
+
+func TestScriptSpawnSendExpect(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("login-sim", greeter("test system"))
+	out, err := e.Run(`
+		set timeout 5
+		spawn login-sim
+		expect {*login:*} {}
+		send don\n
+		expect {*Password:*} {}
+		send secret\n
+		expect {*welcome*} {set result ok} {*failed*} {set result bad}
+		set result
+	`)
+	if err != nil {
+		t.Fatalf("script failed: %v", err)
+	}
+	if out != "ok" {
+		t.Errorf("result = %q, want ok", out)
+	}
+}
+
+func TestScriptSpawnReturnsPid(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	out, err := e.Run(`set pid [spawn p]; set pid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" || out == "0" {
+		t.Errorf("spawn returned %q, want a pid", out)
+	}
+	// spawn_id is set as a side effect and differs from the pid (§3.2).
+	id, _ := e.Interp.GlobalGet("spawn_id")
+	if id == out {
+		t.Errorf("spawn_id %q equals pid — they must be distinct namespaces", id)
+	}
+}
+
+func TestScriptExpectMatchVariable(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("HELLO-BANNER"))
+	_, err := e.Run(`
+		set timeout 5
+		spawn p
+		expect {*login:*} {}
+		set m $expect_match
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := e.Interp.GlobalGet("m")
+	if !strings.Contains(m, "HELLO-BANNER") || !strings.Contains(m, "login:") {
+		t.Errorf("expect_match = %q", m)
+	}
+}
+
+// TestPaperLoginFragment runs the §3.1 example (adapted: abort is a proc).
+func TestPaperLoginFragment(t *testing.T) {
+	e, _ := newTestEngine(t)
+	busy := 0
+	e.RegisterVirtual("remote", func(stdin io.Reader, stdout io.Writer) error {
+		busy++
+		if busy < 3 {
+			fmt.Fprint(stdout, "system busy, try later\n")
+			return nil
+		}
+		fmt.Fprint(stdout, "welcome to unix\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	out, err := e.Run(`
+		proc abort {} {error aborted}
+		set timeout 5
+		set tries 0
+		for {} 1 {} {
+			incr tries
+			spawn remote
+			expect {*welcome*} break \
+				{*busy*} {continue} \
+				{*failed*} abort \
+				timeout abort
+		}
+		set tries
+	`)
+	if err != nil {
+		t.Fatalf("fragment failed: %v", err)
+	}
+	if out != "3" {
+		t.Errorf("tries = %q, want 3 (two busy rounds then welcome)", out)
+	}
+}
+
+// TestPaperRogueScript runs rogue.exp from §4 nearly verbatim (interact is
+// replaced by a marker since there is no human).
+func TestPaperRogueScript(t *testing.T) {
+	e, _ := newTestEngine(t)
+	games := 0
+	e.RegisterVirtual("rogue", func(stdin io.Reader, stdout io.Writer) error {
+		games++
+		str := 16
+		if games == 4 {
+			str = 18
+		}
+		fmt.Fprintf(stdout, "Level: 1  Gold: 0  Hp: 12(12)  Str: %d(%d)  Arm: 4  Exp: 1/0\n", str, str)
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	_, err := e.Run(`
+		# rogue.exp - find a good game of rogue
+		set timeout 3
+		for {} 1 {} {
+			spawn rogue
+			expect {*Str:\ 18*} break \
+				timeout close
+		}
+		set found 1
+	`)
+	if err != nil {
+		t.Fatalf("rogue.exp failed: %v", err)
+	}
+	if games != 4 {
+		t.Errorf("played %d games, want 4", games)
+	}
+	// The good game is still alive for interact.
+	if _, err := e.Current(); err != nil {
+		t.Errorf("no current session after break: %v", err)
+	}
+}
+
+// TestPaperCallbackScript runs callback.exp from §4 (sleep shortened, tip
+// and modem simulated).
+func TestPaperCallbackScript(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("tip", tipProgram())
+	e.Interp.GlobalSet("argv", "callback.exp 12016442332")
+	start := time.Now()
+	_, err := e.Run(`
+		# first give the user some time to logout
+		exec sleep 0.1
+		spawn tip modem
+		expect {*connected*} {}
+		send ATZ\r
+		expect {*OK*} {}
+		send ATDT[index $argv 1]\r
+		# modem takes a while to connect
+		set timeout 60
+		expect {*CONNECT*} {set connected 1}
+		set connected
+	`)
+	if err != nil {
+		t.Fatalf("callback.exp failed: %v", err)
+	}
+	if time.Since(start) < 100*time.Millisecond {
+		t.Error("exec sleep did not block")
+	}
+	c, _ := e.Interp.GlobalGet("connected")
+	if c != "1" {
+		t.Error("never saw CONNECT")
+	}
+}
+
+// tipProgram is a minimal inline tip+modem for the callback script test
+// (the full simulator lives in internal/programs/modem; core tests stay
+// dependency-light).
+func tipProgram() func(io.Reader, io.Writer) error {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "connected\r\n")
+		buf := make([]byte, 256)
+		var acc string
+		for {
+			n, err := stdin.Read(buf)
+			if err != nil {
+				return nil
+			}
+			acc += string(buf[:n])
+			for {
+				idx := strings.IndexAny(acc, "\r\n")
+				if idx < 0 {
+					break
+				}
+				cmd := strings.TrimSpace(acc[:idx])
+				acc = acc[idx+1:]
+				switch {
+				case cmd == "":
+				case cmd == "ATZ":
+					fmt.Fprint(stdout, "OK\r\n")
+				case strings.HasPrefix(cmd, "ATDT"):
+					time.Sleep(20 * time.Millisecond)
+					fmt.Fprint(stdout, "CONNECT 1200\r\n")
+				default:
+					fmt.Fprint(stdout, "ERROR\r\n")
+				}
+			}
+		}
+	}
+}
+
+// TestPaperChessLoop reproduces the §3.2 job-control example: two chess-
+// like processes wired together, one move sent by hand to get things
+// started, with read_move/send_move written in the script language.
+func TestPaperChessLoop(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// A toy "chess" that replies to any move with a counter-move of its
+	// own, numbered so the relay can be verified.
+	e.RegisterVirtual("chess", func(stdin io.Reader, stdout io.Writer) error {
+		n := 0
+		return lineServer("Chess\n", func(line string) (string, bool) {
+			n++
+			if n >= 4 {
+				return fmt.Sprintf("%d. ... p/q%d-q%d\nCheckmate\n", n, n, n+1), false
+			}
+			return fmt.Sprintf("%d. ... p/q%d-q%d\n", n, n, n+1), true
+		})(stdin, stdout)
+	})
+	out, err := e.Run(`
+		set timeout 5
+		proc read_move {} {
+			global expect_match
+			expect {*...*} {}
+			regexp {\.\.\. ([a-z0-9/-]+)} $expect_match whole move
+			return $move
+		}
+		proc send_move {m} { send $m\n }
+
+		spawn chess
+		set chess1 $spawn_id
+		expect {*Chess*} {}
+		spawn chess
+		set chess2 $spawn_id
+		expect {*Chess*} {}
+
+		# force someone to go first
+		set spawn_id $chess1
+		send p/k2-k3\n
+		set relayed 0
+		for {} {$relayed < 3} {} {
+			set spawn_id $chess1
+			set m [read_move]
+			set spawn_id $chess2
+			send_move $m
+			set m2 [read_move]
+			set spawn_id $chess1
+			send_move $m2
+			incr relayed
+		}
+		set relayed
+	`)
+	if err != nil {
+		t.Fatalf("chess loop failed: %v", err)
+	}
+	if out != "3" {
+		t.Errorf("relayed = %q, want 3", out)
+	}
+}
+
+func TestScriptClose(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	_, err := e.Run(`spawn p; expect {*login:*} {}; close`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := e.SessionIDs(); len(ids) != 0 {
+		t.Errorf("sessions after close: %v", ids)
+	}
+}
+
+func TestScriptWaitExitStatus(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("failing", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "dying\n")
+		return fmt.Errorf("boom")
+	})
+	out, err := e.Run(`spawn failing; expect {*dying*} {}; wait`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "1" {
+		t.Errorf("wait = %q, want 1", out)
+	}
+}
+
+func TestScriptSelect(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("fast", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "data\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	e.RegisterVirtual("slow", func(stdin io.Reader, stdout io.Writer) error {
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(stdout, "late\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	out, err := e.Run(`
+		set timeout 5
+		spawn fast
+		set a $spawn_id
+		spawn slow
+		set b $spawn_id
+		select $a $b
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := e.Interp.GlobalGet("a")
+	if out != a {
+		t.Errorf("select = %q, want only the fast id %q", out, a)
+	}
+}
+
+func TestScriptTimeoutVariable(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("quiet", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	start := time.Now()
+	out, err := e.Run(`
+		set timeout 1
+		spawn quiet
+		expect {*never*} {set r matched} timeout {set r timedout}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "timedout" {
+		t.Errorf("r = %q", out)
+	}
+	if e := time.Since(start); e < 900*time.Millisecond || e > 5*time.Second {
+		t.Errorf("timeout honored badly: %v", e)
+	}
+}
+
+func TestScriptEofArm(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("brief", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "so long\n")
+		return nil
+	})
+	out, err := e.Run(`
+		set timeout 5
+		spawn brief
+		expect {*so\ long*} {}
+		expect {*more*} {set r data} eof {set r eof}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "eof" {
+		t.Errorf("r = %q, want eof", out)
+	}
+	// Implicit close must have reaped the session (§3.2).
+	if ids := e.SessionIDs(); len(ids) != 0 {
+		t.Errorf("sessions after implicit close: %v", ids)
+	}
+}
+
+func TestScriptMultiplePatternsOneAction(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("system going down"))
+	out, err := e.Run(`
+		set timeout 5
+		spawn p
+		expect {{*going down*} {*login:*}} {set r either}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "either" {
+		t.Errorf("r = %q", out)
+	}
+}
+
+func TestScriptLogUserGatesOutput(t *testing.T) {
+	e, out := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("VISIBLE-BANNER"))
+	_, err := e.Run(`
+		log_user 1
+		set timeout 5
+		spawn p
+		expect {*login:*} {}
+		log_user 0
+		send don\n
+		expect {*Password:*} {}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "VISIBLE-BANNER") {
+		t.Errorf("log_user 1 output missing banner: %q", got)
+	}
+	if strings.Contains(got, "Password:") {
+		t.Errorf("output after log_user 0 leaked: %q", got)
+	}
+}
+
+func TestScriptLogFile(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("LOGGED-LINE"))
+	path := filepath.Join(t.TempDir(), "dialogue.log")
+	_, err := e.Run(fmt.Sprintf(`
+		log_file %s
+		set timeout 5
+		spawn p
+		expect {*login:*} {}
+		log_file
+	`, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "LOGGED-LINE") {
+		t.Errorf("log file contents: %q", data)
+	}
+}
+
+func TestScriptSendUserAndExpectUser(t *testing.T) {
+	e, out := newTestEngine(t, "yes\n")
+	result, err := e.Run(`
+		send_user "continue? "
+		set timeout 5
+		expect_user {*yes*} {set r affirmative} {*no*} {set r negative}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != "affirmative" {
+		t.Errorf("r = %q", result)
+	}
+	if !strings.Contains(out.String(), "continue? ") {
+		t.Errorf("user never saw prompt: %q", out.String())
+	}
+}
+
+func TestScriptInteract(t *testing.T) {
+	// User types a command at the process, then the process exits.
+	e, out := newTestEngine(t, "hello\n", "quit\n")
+	e.RegisterVirtual("echoer", lineServer("ready\n", func(line string) (string, bool) {
+		if line == "quit" {
+			return "goodbye\n", false
+		}
+		return "echo:" + line + "\n", true
+	}))
+	_, err := e.Run(`
+		set timeout 5
+		spawn echoer
+		expect {*ready*} {}
+		interact
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "echo:hello") || !strings.Contains(got, "goodbye") {
+		t.Errorf("interact pass-through missing: %q", got)
+	}
+	if ids := e.SessionIDs(); len(ids) != 0 {
+		t.Errorf("sessions after interact EOF: %v", ids)
+	}
+}
+
+func TestScriptInteractEscapeReturn(t *testing.T) {
+	// ^] escapes to command mode; `return done` ends the interaction.
+	e, _ := newTestEngine(t, "abc\n", "\x1d", "return done\n")
+	e.RegisterVirtual("echoer", lineServer("ready\n", func(line string) (string, bool) {
+		return "echo:" + line + "\n", true
+	}))
+	out, err := e.Run("set timeout 5\nspawn echoer\nexpect {*ready*} {}\nset r [interact \x1d]\nset r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "done" {
+		t.Errorf("interact returned %q, want done", out)
+	}
+}
+
+func TestScriptMatchMaxCommand(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	out, err := e.Run(`match_max`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "2000" {
+		t.Errorf("default match_max = %q, want 2000 (§3.1)", out)
+	}
+	if _, err := e.Run(`spawn p; match_max 512`); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := e.Current()
+	if s.MatchMax() != 512 {
+		t.Errorf("session match_max = %d, want 512", s.MatchMax())
+	}
+}
+
+func TestScriptExit(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	_, err := e.Run(`spawn p; exit 4; spawn p`)
+	if err != nil {
+		t.Fatalf("exit surfaced as error: %v", err)
+	}
+	code, called := e.ExitCode()
+	if !called || code != 4 {
+		t.Errorf("exit code = %d called=%v", code, called)
+	}
+}
+
+func TestScriptTraceToggle(t *testing.T) {
+	e, _ := newTestEngine(t)
+	var errBuf lockedBuffer
+	e.Interp.Stderr = &errBuf
+	if _, err := e.Run(`trace on; set x 1; trace off; set y 2`); err != nil {
+		t.Fatal(err)
+	}
+	got := errBuf.String()
+	if !strings.Contains(got, "set x 1") {
+		t.Errorf("trace output missing: %q", got)
+	}
+	if strings.Contains(got, "set y 2") {
+		t.Errorf("trace off leaked: %q", got)
+	}
+}
+
+func TestScriptSpawnUnknownProgram(t *testing.T) {
+	e, _ := newTestEngine(t)
+	_, err := e.Run(`spawn /no/such/binary/exists`)
+	if err == nil || !strings.Contains(err.Error(), "spawn") {
+		t.Errorf("spawn of missing binary: %v", err)
+	}
+}
+
+func TestScriptDefaultTimeoutIsTen(t *testing.T) {
+	e, _ := newTestEngine(t)
+	v, _ := e.Interp.GlobalGet("timeout")
+	if v != "10" {
+		t.Errorf("default timeout variable = %q, want 10 (§3.1)", v)
+	}
+}
+
+func TestScriptExpectRegexpFlag(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("build 12345 ready"))
+	out, err := e.Run(`
+		set timeout 5
+		spawn p
+		expect -re {build [0-9]+ ready} {set r regexp-hit} timeout {set r miss}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "regexp-hit" {
+		t.Errorf("r = %q", out)
+	}
+	// expect_match holds everything through the end of the match.
+	m, _ := e.Interp.GlobalGet("expect_match")
+	if !strings.Contains(m, "build 12345 ready") {
+		t.Errorf("expect_match = %q", m)
+	}
+}
+
+func TestScriptExpectExactFlag(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("literal *stars* here"))
+	out, err := e.Run(`
+		set timeout 5
+		spawn p
+		expect -ex {*stars*} {set r exact-hit} timeout {set r miss}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "exact-hit" {
+		t.Errorf("r = %q (exact match must treat stars literally)", out)
+	}
+}
+
+func TestScriptExpectBadRegexp(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("x"))
+	_, err := e.Run(`spawn p; expect -re {[unclosed} {}`)
+	if err == nil || !strings.Contains(err.Error(), "-re") {
+		t.Errorf("bad regexp error = %v", err)
+	}
+}
+
+func TestScriptExpectMixedFlagsAndGlobs(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("p", greeter("code-777"))
+	out, err := e.Run(`
+		set timeout 5
+		spawn p
+		expect {*nothing*} {set r glob} \
+			-re {code-[0-9]+} {set r re} \
+			timeout {set r miss}
+		set r
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "re" {
+		t.Errorf("r = %q", out)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pattern"
+)
+
+// chunkedEmitter writes text in the given chunk sizes with tiny pauses, so
+// the pump observes many small reads — the §7.4 slow-arrival regime.
+func chunkedEmitter(text string, chunks []int) func(io.Reader, io.Writer) error {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		pos := 0
+		ci := 0
+		for pos < len(text) {
+			n := 1
+			if len(chunks) > 0 {
+				n = chunks[ci%len(chunks)]
+				ci++
+			}
+			if n < 1 {
+				n = 1
+			}
+			if pos+n > len(text) {
+				n = len(text) - pos
+			}
+			if _, err := io.WriteString(stdout, text[pos:pos+n]); err != nil {
+				return nil
+			}
+			pos += n
+			time.Sleep(200 * time.Microsecond)
+		}
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+}
+
+// TestMatcherModesEquivalentQuick is the engine-level equivalence
+// property behind E5: for random dialogue text and random chunkings, the
+// rescanning and incremental matchers must fire the same case with the
+// same matched text.
+func TestMatcherModesEquivalentQuick(t *testing.T) {
+	words := []string{"login:", "Password:", "busy", "welcome", "noise", "xyz ", "-- "}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for k := 0; k < 3+r.Intn(10); k++ {
+			sb.WriteString(words[r.Intn(len(words))])
+		}
+		text := sb.String()
+		chunks := make([]int, 1+r.Intn(4))
+		for i := range chunks {
+			chunks[i] = 1 + r.Intn(5)
+		}
+		cases := []Case{
+			Glob("*welcome*"),
+			Glob("*busy*"),
+			Glob("*Password:*"),
+		}
+		run := func(mode MatcherMode) (int, string, error) {
+			s, err := SpawnProgram(&Config{Matcher: mode}, "emitter",
+				chunkedEmitter(text, chunks))
+			if err != nil {
+				return 0, "", err
+			}
+			defer s.Close()
+			res, err := s.ExpectTimeout(time.Second, cases...)
+			if err != nil {
+				return -1, "", nil // no pattern present in text: both must agree
+			}
+			return res.Index, res.Text, nil
+		}
+		ri, rt, err1 := run(MatcherRescan)
+		ii, it, err2 := run(MatcherIncremental)
+		if err1 != nil || err2 != nil {
+			t.Logf("spawn errors: %v %v", err1, err2)
+			return false
+		}
+		// Both modes must agree on whether a match exists at all.
+		if (ri >= 0) != (ii >= 0) {
+			t.Logf("text=%q chunks=%v: rescan case %d vs incremental case %d", text, chunks, ri, ii)
+			return false
+		}
+		// Each run's match must be a prefix of the emitted stream on which
+		// its winning pattern holds. (Exact case/text equality across the
+		// two runs would require identical pump scheduling — when several
+		// patterns appear in the stream, chunk coalescing legitimately
+		// decides which fires first.)
+		for _, m := range []struct {
+			idx  int
+			text string
+		}{{ri, rt}, {ii, it}} {
+			if m.idx < 0 {
+				continue
+			}
+			if !strings.HasPrefix(text, m.text) {
+				t.Logf("match %q is not a prefix of %q", m.text, text)
+				return false
+			}
+			if !pattern.Match(cases[m.idx].Pattern, m.text) {
+				t.Logf("match %q does not satisfy %q", m.text, cases[m.idx].Pattern)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

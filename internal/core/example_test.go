@@ -1,0 +1,131 @@
+package core_test
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Example shows the basic spawn/expect/send loop against an in-process
+// interactive program.
+func Example() {
+	greeter := func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "login: ")
+		buf := make([]byte, 64)
+		n, _ := stdin.Read(buf)
+		fmt.Fprintf(stdout, "welcome, %s", string(buf[:n]))
+		return nil
+	}
+	s, err := core.SpawnProgram(nil, "greeter", greeter)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	if _, err := s.ExpectMatch("*login:*"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	s.Send("don")
+	r, err := s.ExpectMatch("*welcome, don*")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(r.Text)
+	// Output: welcome, don
+}
+
+// ExampleSession_Expect demonstrates multiple cases with the paper's
+// first-match-wins ordering and the timeout case.
+func ExampleSession_Expect() {
+	prog := func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "system busy, try later\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+	s, _ := core.SpawnProgram(&core.Config{Timeout: 2 * time.Second}, "remote", prog)
+	defer s.Close()
+	r, err := s.Expect(
+		core.Glob("*welcome*"),
+		core.Glob("*busy*"),
+		core.TimeoutCase(),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	switch r.Index {
+	case 0:
+		fmt.Println("logged in")
+	case 1:
+		fmt.Println("line busy")
+	case 2:
+		fmt.Println("timed out")
+	}
+	// Output: line busy
+}
+
+// ExampleEngine runs a script through the full interpreter: spawn, expect
+// with pattern/action arms, and the expect_match variable.
+func ExampleEngine() {
+	eng := core.NewEngine(core.EngineOptions{
+		UserIn:  emptyReader{},
+		UserOut: io.Discard,
+	})
+	defer eng.Shutdown()
+	eng.RegisterVirtual("echo-server", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "ready\n")
+		buf := make([]byte, 64)
+		n, _ := stdin.Read(buf)
+		fmt.Fprintf(stdout, "you said %s", string(buf[:n]))
+		return nil
+	})
+	out, err := eng.Run(`
+		set timeout 5
+		spawn echo-server
+		expect {*ready*} {}
+		send ping
+		# A patlist is a Tcl LIST of patterns, so spaces inside one
+		# pattern are escaped — the paper writes {*Str:\ 18*} for the
+		# same reason.
+		expect {*you\ said\ ping*} {set result heard} timeout {set result lost}
+		set result
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(out)
+	// Output: heard
+}
+
+// ExampleSelect waits for the first of several processes to speak —
+// programmed job control (§2.2).
+func ExampleSelect() {
+	mk := func(name string, delay time.Duration) *core.Session {
+		s, _ := core.SpawnProgram(nil, name, func(stdin io.Reader, stdout io.Writer) error {
+			time.Sleep(delay)
+			fmt.Fprintf(stdout, "%s done\n", name)
+			io.Copy(io.Discard, stdin)
+			return nil
+		})
+		return s
+	}
+	fast := mk("fast", 0)
+	slow := mk("slow", time.Minute)
+	defer fast.Close()
+	defer slow.Close()
+	ready := core.Select(5*time.Second, fast, slow)
+	fmt.Println(ready[0].Name())
+	// Output: fast
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) {
+	time.Sleep(time.Hour)
+	return 0, io.EOF
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+)
+
+// CaseKind classifies an expect case.
+type CaseKind int
+
+// Case kinds. Glob is the paper's pattern flavor ("the usual
+// C-shell-style regular expressions", anchored to the whole buffer, §3.1);
+// Exact and Regexp are the library extensions later expect versions grew.
+const (
+	CaseGlob CaseKind = iota
+	CaseExact
+	CaseRegexp
+	CaseEOF
+	CaseTimeout
+)
+
+// Case is one pattern/action arm of an expect command.
+type Case struct {
+	Kind    CaseKind
+	Pattern string
+	re      *regexp.Regexp
+	inc     *pattern.Incremental
+}
+
+// Glob builds a glob case. Per the paper, the pattern must match the
+// entire buffered output, "hence the reason most are surrounded by the *
+// wildcard".
+func Glob(pat string) Case { return Case{Kind: CaseGlob, Pattern: pat} }
+
+// Exact builds a literal-substring case.
+func Exact(s string) Case { return Case{Kind: CaseExact, Pattern: s} }
+
+// Regexp builds a regular-expression case; it panics on a bad pattern
+// (compile with regexp.Compile first to handle errors).
+func Regexp(pat string) Case {
+	return Case{Kind: CaseRegexp, Pattern: pat, re: regexp.MustCompile(pat)}
+}
+
+// EOFCase fires when the process closes its output.
+func EOFCase() Case { return Case{Kind: CaseEOF} }
+
+// TimeoutCase fires when the expect deadline passes.
+func TimeoutCase() Case { return Case{Kind: CaseTimeout} }
+
+// MatchResult describes how an Expect call completed.
+type MatchResult struct {
+	// Index is the position of the winning case in the argument list.
+	Index int
+	// Case is the winning case.
+	Case Case
+	// Text is "the exact string matched (or read but unmatched, if a
+	// timeout occurred)" — the paper's expect_match variable. For glob
+	// cases this is the entire buffer (anchored semantics); for exact and
+	// regexp cases it is everything consumed through the end of the match.
+	Text string
+	// TimedOut and Eof report which special condition fired, if any.
+	TimedOut bool
+	Eof      bool
+}
+
+// Expect waits with the session's default timeout. See ExpectTimeout.
+func (s *Session) Expect(cases ...Case) (*MatchResult, error) {
+	return s.ExpectTimeout(s.Timeout(), cases...)
+}
+
+// ExpectMatch is the one-pattern convenience: wait for a single glob.
+func (s *Session) ExpectMatch(glob string) (*MatchResult, error) {
+	return s.Expect(Glob(glob))
+}
+
+// ExpectTimeout waits until the process output matches one of cases, the
+// deadline d passes (d < 0 waits forever), or EOF arrives. Cases are
+// checked in order on every new chunk of output; the first match wins.
+// On match the consumed bytes are removed from the buffer, so consecutive
+// Expect calls see only fresh output ("patterns must match the entire
+// output of the current process since the previous expect", §3.1).
+//
+// Timeout and EOF return errors (ErrTimeout, ErrEOF) unless the case list
+// includes TimeoutCase or EOFCase, in which case they complete normally
+// with the corresponding case index.
+func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, error) {
+	var deadline time.Time
+	if d >= 0 {
+		deadline = time.Now().Add(d)
+	}
+	// Compile incremental matchers when enabled: one per glob case,
+	// carrying NFA state across wakeups so nothing is rescanned.
+	incremental := s.matcher == MatcherIncremental
+	var fed int64 // totalSeen high-water mark already fed to matchers
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if incremental {
+		for i := range cases {
+			if cases[i].Kind == CaseGlob {
+				cases[i].inc = pattern.NewIncremental(cases[i].Pattern)
+			}
+		}
+		fed = s.totalSeen - int64(len(s.buf))
+	}
+
+	for {
+		if incremental {
+			// Feed only bytes not yet seen by the matchers. If match_max
+			// trimming outran the feed (a torrent arrived in one read),
+			// the skipped bytes are exactly the ones the engine forgot.
+			delta := s.totalSeen - fed
+			if delta > int64(len(s.buf)) {
+				delta = int64(len(s.buf))
+			}
+			if delta > 0 {
+				fresh := s.buf[int64(len(s.buf))-delta:]
+				stop := s.prof.Start(metrics.PhaseMatch)
+				for i := range cases {
+					if cases[i].inc != nil {
+						cases[i].inc.Feed(fresh)
+					}
+				}
+				stop()
+				fed = s.totalSeen
+			}
+		}
+
+		// Scan cases in order against the buffered output.
+		stop := s.prof.Start(metrics.PhaseMatch)
+		idx, consumed := s.scanLocked(cases, incremental)
+		stop()
+		if idx >= 0 {
+			text := string(s.buf[:consumed])
+			s.buf = s.buf[consumed:]
+			if len(s.buf) == 0 {
+				s.buf = nil
+			}
+			return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
+		}
+
+		if s.eof {
+			text := string(s.buf)
+			for i, c := range cases {
+				if c.Kind == CaseEOF {
+					s.buf = nil
+					return &MatchResult{Index: i, Case: c, Text: text, Eof: true}, nil
+				}
+			}
+			if s.readErr != nil {
+				return &MatchResult{Index: -1, Text: text, Eof: true},
+					fmt.Errorf("%w (read error: %v)", ErrEOF, s.readErr)
+			}
+			return &MatchResult{Index: -1, Text: text, Eof: true}, ErrEOF
+		}
+
+		// Nothing matched and the stream is live: wait for more output.
+		var remaining time.Duration
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				text := string(s.buf)
+				for i, c := range cases {
+					if c.Kind == CaseTimeout {
+						return &MatchResult{Index: i, Case: c, Text: text, TimedOut: true}, nil
+					}
+				}
+				return &MatchResult{Index: -1, Text: text, TimedOut: true}, ErrTimeout
+			}
+		}
+		s.waitLocked(remaining)
+	}
+}
+
+// scanLocked checks cases in order; it returns the winning index and how
+// many buffer bytes the match consumes, or (-1, 0).
+func (s *Session) scanLocked(cases []Case, incremental bool) (int, int) {
+	for i, c := range cases {
+		switch c.Kind {
+		case CaseGlob:
+			if incremental && c.inc != nil {
+				if c.inc.Matched() {
+					return i, len(s.buf)
+				}
+				continue
+			}
+			if pattern.Match(c.Pattern, string(s.buf)) {
+				// Anchored semantics: the whole buffer is the match.
+				return i, len(s.buf)
+			}
+		case CaseExact:
+			if idx := bytes.Index(s.buf, []byte(c.Pattern)); idx >= 0 {
+				return i, idx + len(c.Pattern)
+			}
+		case CaseRegexp:
+			if loc := c.re.FindIndex(s.buf); loc != nil {
+				return i, loc[1]
+			}
+		}
+	}
+	return -1, 0
+}
+
+// waitLocked blocks on the session condition for at most remaining
+// (forever when remaining == 0, used for no-deadline waits). The caller
+// holds s.mu.
+func (s *Session) waitLocked(remaining time.Duration) {
+	if remaining <= 0 {
+		s.cond.Wait()
+		return
+	}
+	stop := s.prof.Start(metrics.PhaseTimer)
+	t := time.AfterFunc(remaining, func() {
+		s.mu.Lock()
+		// Locking before broadcasting guarantees the waiter is parked in
+		// cond.Wait and cannot miss the wakeup.
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	stop()
+	s.cond.Wait()
+	stop = s.prof.Start(metrics.PhaseTimer)
+	t.Stop()
+	stop()
+}

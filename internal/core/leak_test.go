@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSessionChurnDoesNotLeakGoroutines spawns and closes many sessions
+// and checks the pump goroutines all exit. One pump per session is the
+// engine's entire concurrency budget (§7.2); leaks would make long-lived
+// scripts (the paper's nightly mail checks) accumulate threads.
+func TestSessionChurnDoesNotLeakGoroutines(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	const churn = 300
+	for i := 0; i < churn; i++ {
+		s, err := SpawnProgram(nil, fmt.Sprintf("p%d", i), func(stdin io.Reader, stdout io.Writer) error {
+			fmt.Fprint(stdout, "hello\n")
+			io.Copy(io.Discard, stdin)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ExpectTimeout(2*time.Second, Glob("*hello*")); err != nil {
+			t.Fatal(err)
+		}
+		s.Close()
+		s.WaitPumpDrained()
+	}
+	// Allow stragglers (program goroutines finishing) to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+10 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestSelectWatcherCleanup verifies Select unregisters its wakeup channel.
+func TestSelectWatcherCleanup(t *testing.T) {
+	s := spawnEcho(t, nil)
+	s.ExpectMatch("*ready*")
+	for i := 0; i < 50; i++ {
+		Select(time.Millisecond, s)
+	}
+	s.mu.Lock()
+	n := len(s.watchers)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d watchers leaked", n)
+	}
+}
+
+// TestExpectAnyWatcherCleanup does the same for the combined command.
+func TestExpectAnyWatcherCleanup(t *testing.T) {
+	s := spawnEcho(t, nil)
+	s.ExpectMatch("*ready*")
+	for i := 0; i < 50; i++ {
+		ExpectAny(time.Millisecond, []*Session{s}, Glob("*nothing-here*"))
+	}
+	s.mu.Lock()
+	n := len(s.watchers)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Errorf("%d watchers leaked", n)
+	}
+}

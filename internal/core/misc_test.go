@@ -1,0 +1,194 @@
+package core
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func TestSessionAccessors(t *testing.T) {
+	s := spawnEcho(t, nil)
+	if s.Kind() != "virtual" {
+		t.Errorf("Kind = %q", s.Kind())
+	}
+	s.SetTimeout(3 * time.Second)
+	if s.Timeout() != 3*time.Second {
+		t.Errorf("Timeout = %v", s.Timeout())
+	}
+	if s.Eof() {
+		t.Error("Eof true on a live session")
+	}
+	s.ExpectMatch("*ready*")
+	s.Send("quit\n")
+	s.ExpectTimeout(2*time.Second, Glob("*bye*"), EOFCase())
+	s.WaitPumpDrained()
+	if !s.Eof() {
+		t.Error("Eof false after program exit")
+	}
+}
+
+func TestStreamSessionKind(t *testing.T) {
+	in := newScriptedReader("x")
+	var out lockedBuffer
+	s := NewSession(nil, "user", rwPair{in, &out})
+	defer s.Close()
+	if s.Kind() != "stream" {
+		t.Errorf("Kind = %q", s.Kind())
+	}
+	if s.Pid() != 0 {
+		t.Errorf("Pid = %d", s.Pid())
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Errorf("Wait on stream session: %v", err)
+	}
+	if err := s.Kill(); err != nil {
+		t.Errorf("Kill on stream session: %v", err)
+	}
+	if err := s.CloseWrite(); err != nil {
+		t.Errorf("CloseWrite on stream session: %v", err)
+	}
+}
+
+func TestSessionCloseWriteDeliversEOF(t *testing.T) {
+	sawEOF := make(chan struct{})
+	s, err := SpawnProgram(nil, "watcher", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		close(sawEOF)
+		// Still able to speak after stdin closed.
+		io.WriteString(stdout, "after-eof\n")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sawEOF:
+	case <-time.After(2 * time.Second):
+		t.Fatal("program never saw stdin EOF after CloseWrite")
+	}
+	if _, err := s.ExpectTimeout(2*time.Second, Glob("*after-eof*")); err != nil {
+		t.Fatalf("half-close killed the read side too: %v", err)
+	}
+}
+
+func TestEngineRunFile(t *testing.T) {
+	e, _ := newTestEngine(t)
+	path := filepath.Join(t.TempDir(), "s.exp")
+	if err := os.WriteFile(path, []byte(`set x from-file; set x`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.RunFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "from-file" {
+		t.Errorf("RunFile = %q", out)
+	}
+	if _, err := e.RunFile("/no/such/script.exp"); err == nil {
+		t.Error("RunFile of missing path succeeded")
+	}
+}
+
+func TestEngineProfilerExposed(t *testing.T) {
+	prof := metrics.NewProfiler()
+	off := false
+	e := NewEngine(EngineOptions{
+		UserIn:  newScriptedReader(),
+		UserOut: io.Discard,
+		LogUser: &off,
+		Prof:    prof,
+	})
+	defer e.Shutdown()
+	if e.Profiler() != prof {
+		t.Error("Profiler() did not return the configured profiler")
+	}
+	e.RegisterVirtual("p", lineServer("hi\n", func(string) (string, bool) { return "", true }))
+	if _, err := e.Run(`set timeout 5; spawn p; expect {*hi*} {}`); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range prof.Snapshot() {
+		if s.Total > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("profiler collected nothing")
+	}
+}
+
+func TestInteractReasonStrings(t *testing.T) {
+	for r, want := range map[InteractReason]string{
+		InteractEOF:        "process-eof",
+		InteractUserEOF:    "user-eof",
+		InteractReturn:     "return",
+		InteractReason(99): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("reason %d = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+// TestEscapeCommandLoopEvaluates drives the interact escape interpreter:
+// a command with output, an error, continue.
+func TestEscapeCommandLoopEvaluates(t *testing.T) {
+	e, out := newTestEngine(t,
+		"\x1d",            // escape immediately
+		"set x 41\n",      // plain command (prints nothing: empty result? returns 41)
+		"nosuchcommand\n", // error path
+		"incr x\n",        // prints 42
+		"continue\n",      // resume interact
+		"quit\n",          // then quit the program
+	)
+	e.RegisterVirtual("echoer", lineServer("ready\n", func(line string) (string, bool) {
+		if line == "quit" {
+			return "bye\n", false
+		}
+		return "", true
+	}))
+	_, err := e.Run("set timeout 5\nspawn echoer\nexpect {*ready*} {}\ninteract \x1d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "expect>") {
+		t.Errorf("no command prompt: %q", got)
+	}
+	if !strings.Contains(got, "error: invalid command name") {
+		t.Errorf("error not surfaced: %q", got)
+	}
+	if !strings.Contains(got, "42") {
+		t.Errorf("command result not echoed: %q", got)
+	}
+}
+
+func TestExpectAnyExactAndRegexpCases(t *testing.T) {
+	a := spawnSpeaker(t, "a", "code=555 end", 0)
+	_, r, err := ExpectAny(2*time.Second, []*Session{a},
+		Exact("code="),
+		Regexp(`\d+`),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Index != 0 || !strings.HasSuffix(r.Text, "code=") {
+		t.Errorf("exact case: %+v", r)
+	}
+	_, r, err = ExpectAny(2*time.Second, []*Session{a}, Regexp(`\d+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(r.Text, "555") {
+		t.Errorf("regexp case: %+v", r)
+	}
+}

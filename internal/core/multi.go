@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+)
+
+// ExpectAny is the combined expect/select the paper's §8 wonders about
+// ("How would the buffering work in a combined expect/select command?").
+// The answer implemented here: every session keeps its own independent
+// match buffer; ExpectAny scans the case list against each session in
+// argument order and the first session with a match wins, consuming only
+// from that session's buffer. EOF/timeout cases fire only when every
+// session is at EOF (for EOFCase) or the shared deadline passes.
+//
+// It returns the winning session alongside the match.
+func ExpectAny(d time.Duration, sessions []*Session, cases ...Case) (*Session, *MatchResult, error) {
+	var deadline time.Time
+	if d >= 0 {
+		deadline = time.Now().Add(d)
+	}
+	wake := make(chan struct{}, 1)
+	for _, s := range sessions {
+		s.addWatcher(wake)
+		defer s.removeWatcher(wake)
+	}
+	for {
+		allEOF := len(sessions) > 0
+		for _, s := range sessions {
+			s.mu.Lock()
+			stop := s.prof.Start(metrics.PhaseMatch)
+			idx, consumed := scanBuffer(s.buf, cases)
+			stop()
+			if idx >= 0 {
+				text := string(s.buf[:consumed])
+				s.buf = s.buf[consumed:]
+				if len(s.buf) == 0 {
+					s.buf = nil
+				}
+				s.mu.Unlock()
+				return s, &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
+			}
+			if !s.eof {
+				allEOF = false
+			}
+			s.mu.Unlock()
+		}
+		if allEOF {
+			for i, c := range cases {
+				if c.Kind == CaseEOF {
+					return nil, &MatchResult{Index: i, Case: c, Eof: true}, nil
+				}
+			}
+			return nil, &MatchResult{Index: -1, Eof: true}, ErrEOF
+		}
+		var remaining time.Duration
+		if !deadline.IsZero() {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				for i, c := range cases {
+					if c.Kind == CaseTimeout {
+						return nil, &MatchResult{Index: i, Case: c, TimedOut: true}, nil
+					}
+				}
+				return nil, &MatchResult{Index: -1, TimedOut: true}, ErrTimeout
+			}
+			t := time.NewTimer(remaining)
+			select {
+			case <-wake:
+				t.Stop()
+			case <-t.C:
+			}
+			continue
+		}
+		<-wake
+	}
+}
+
+// scanBuffer checks cases against a raw buffer (rescan strategy); it
+// mirrors Session.scanLocked for the multi-session path.
+func scanBuffer(buf []byte, cases []Case) (int, int) {
+	for i, c := range cases {
+		switch c.Kind {
+		case CaseGlob:
+			if pattern.Match(c.Pattern, string(buf)) {
+				return i, len(buf)
+			}
+		case CaseExact:
+			if idx := bytes.Index(buf, []byte(c.Pattern)); idx >= 0 {
+				return i, idx + len(c.Pattern)
+			}
+		case CaseRegexp:
+			if loc := c.re.FindIndex(buf); loc != nil {
+				return i, loc[1]
+			}
+		}
+	}
+	return -1, 0
+}

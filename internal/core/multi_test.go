@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func spawnSpeaker(t *testing.T, name, line string, delay time.Duration) *Session {
+	t.Helper()
+	s, err := SpawnProgram(nil, name, func(stdin io.Reader, stdout io.Writer) error {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		fmt.Fprintln(stdout, line)
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestExpectAnyFirstSpeakerWins(t *testing.T) {
+	slow := spawnSpeaker(t, "slow", "slow-data", 300*time.Millisecond)
+	fast := spawnSpeaker(t, "fast", "fast-data", 0)
+	winner, r, err := ExpectAny(2*time.Second, []*Session{slow, fast},
+		Glob("*data*"))
+	if err != nil {
+		t.Fatalf("ExpectAny: %v", err)
+	}
+	if winner != fast {
+		t.Errorf("winner = %s, want fast", winner.Name())
+	}
+	if !strings.Contains(r.Text, "fast-data") {
+		t.Errorf("Text = %q", r.Text)
+	}
+}
+
+func TestExpectAnyConsumesOnlyWinner(t *testing.T) {
+	a := spawnSpeaker(t, "a", "alpha", 0)
+	b := spawnSpeaker(t, "b", "beta", 0)
+	// Wait until both have data so consumption is observable.
+	deadline := time.Now().Add(2 * time.Second)
+	for (a.Buffer() == "" || b.Buffer() == "") && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	winner, _, err := ExpectAny(2*time.Second, []*Session{a, b}, Glob("*alpha*"), Glob("*beta*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loser := b
+	if winner == b {
+		loser = a
+	}
+	if winner.Buffer() != "" {
+		t.Errorf("winner buffer not consumed: %q", winner.Buffer())
+	}
+	if loser.Buffer() == "" {
+		t.Error("loser buffer consumed — buffering must be per-session (§8)")
+	}
+}
+
+func TestExpectAnyCaseSelection(t *testing.T) {
+	a := spawnSpeaker(t, "a", "only-here", 0)
+	quiet := spawnSpeaker(t, "quiet", "", 10*time.Second)
+	_, r, err := ExpectAny(2*time.Second, []*Session{quiet, a},
+		Glob("*nothing*"), Glob("*only-here*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Index != 1 {
+		t.Errorf("case index = %d, want 1", r.Index)
+	}
+}
+
+func TestExpectAnyTimeout(t *testing.T) {
+	quiet := spawnSpeaker(t, "quiet", "", 10*time.Second)
+	start := time.Now()
+	_, _, err := ExpectAny(80*time.Millisecond, []*Session{quiet}, Glob("*x*"))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 70*time.Millisecond {
+		t.Error("returned too early")
+	}
+	// With an explicit timeout case it completes normally.
+	_, r, err := ExpectAny(80*time.Millisecond, []*Session{quiet}, Glob("*x*"), TimeoutCase())
+	if err != nil || !r.TimedOut {
+		t.Errorf("timeout case: %v %+v", err, r)
+	}
+}
+
+func TestExpectAnyAllEOF(t *testing.T) {
+	a := spawnSpeaker(t, "a", "", 0)
+	b := spawnSpeaker(t, "b", "", 0)
+	a.Close()
+	b.Close()
+	a.WaitPumpDrained()
+	b.WaitPumpDrained()
+	_, _, err := ExpectAny(time.Second, []*Session{a, b}, Glob("*x*"))
+	if err != ErrEOF {
+		t.Fatalf("err = %v, want ErrEOF", err)
+	}
+	_, r, err := ExpectAny(time.Second, []*Session{a, b}, Glob("*x*"), EOFCase())
+	if err != nil || !r.Eof {
+		t.Errorf("eof case: %v %+v", err, r)
+	}
+}
+
+func TestExpectAnyOneEOFOneLive(t *testing.T) {
+	dead := spawnSpeaker(t, "dead", "", 0)
+	dead.Close()
+	dead.WaitPumpDrained()
+	dead.ClearBuffer()
+	live := spawnSpeaker(t, "live", "eventually", 100*time.Millisecond)
+	winner, r, err := ExpectAny(2*time.Second, []*Session{dead, live}, Glob("*eventually*"))
+	if err != nil {
+		t.Fatalf("ExpectAny with one dead peer: %v", err)
+	}
+	if winner != live || !strings.Contains(r.Text, "eventually") {
+		t.Errorf("winner=%v text=%q", winner.Name(), r.Text)
+	}
+}
+
+// TestScriptExpectAny exercises the script-level combined expect/select:
+// spawn_id follows the winner.
+func TestScriptExpectAny(t *testing.T) {
+	e, _ := newTestEngine(t)
+	e.RegisterVirtual("fast", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprintln(stdout, "from-fast")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	e.RegisterVirtual("slow", func(stdin io.Reader, stdout io.Writer) error {
+		time.Sleep(250 * time.Millisecond)
+		fmt.Fprintln(stdout, "from-slow")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	out, err := e.Run(`
+		set timeout 5
+		spawn slow
+		set s $spawn_id
+		spawn fast
+		set f $spawn_id
+		expect_any "$s $f" {*from-fast*} {set who fast} {*from-slow*} {set who slow}
+		list $who [expr {$spawn_id == $f}]
+	`)
+	if err != nil {
+		t.Fatalf("script: %v", err)
+	}
+	if out != "fast 1" {
+		t.Errorf("result = %q, want 'fast 1' (winner selected and spawn_id switched)", out)
+	}
+}

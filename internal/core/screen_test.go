@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/programs/rogue"
+	"repro/internal/vt"
+)
+
+func TestScreenDisabledByDefault(t *testing.T) {
+	s := spawnEcho(t, nil)
+	if s.Screen() != nil {
+		t.Error("screen enabled without config")
+	}
+	err := s.ExpectScreenGlob(100*time.Millisecond, "*")
+	if err == nil || !strings.Contains(err.Error(), "no screen") {
+		t.Errorf("ExpectScreen without screen: %v", err)
+	}
+}
+
+func TestScreenTracksCursesOutput(t *testing.T) {
+	cfg := &Config{ScreenRows: 24, ScreenCols: 80}
+	prog := func(stdin io.Reader, stdout io.Writer) error {
+		// Paint out of order, curses style.
+		fmt.Fprint(stdout, "\x1b[24;1HSTATUS LINE HERE")
+		fmt.Fprint(stdout, "\x1b[1;1Htop")
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+	s, err := SpawnProgram(cfg, "painter", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ExpectScreen(2*time.Second, func(sc *vt.Screen) bool {
+		return strings.Contains(sc.Row(23), "STATUS LINE HERE") &&
+			sc.Row(0) == "top"
+	}); err != nil {
+		t.Fatalf("screen never converged: %v\nscreen:\n%s", err, s.Screen().Text())
+	}
+}
+
+func TestExpectScreenRegion(t *testing.T) {
+	cfg := &Config{ScreenRows: 10, ScreenCols: 40}
+	prog := func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "\x1b[5;10HXYZ")
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+	s, err := SpawnProgram(cfg, "painter", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ExpectScreenRegion(2*time.Second, 4, 9, 4, 11, "XYZ"); err != nil {
+		t.Fatalf("region match: %v", err)
+	}
+	// A region elsewhere must time out.
+	if err := s.ExpectScreenRegion(100*time.Millisecond, 0, 0, 0, 5, "XYZ*"); err != ErrTimeout {
+		t.Errorf("wrong-region err = %v, want timeout", err)
+	}
+}
+
+func TestExpectScreenTimeoutAndEOF(t *testing.T) {
+	cfg := &Config{ScreenRows: 4, ScreenCols: 20}
+	s, err := SpawnProgram(cfg, "brief", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "done")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.ExpectScreenGlob(2*time.Second, "*done*"); err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	// Program exited; a never-true predicate must see EOF.
+	if err := s.ExpectScreenGlob(2*time.Second, "*never*"); err != ErrEOF {
+		t.Errorf("err = %v, want ErrEOF", err)
+	}
+}
+
+// TestCursesRogueThroughScreen is the §8 demonstration end to end: the
+// curses rogue paints with escape sequences; the raw stream is
+// unmatchable soup, but the screen region holds the status line.
+func TestCursesRogueThroughScreen(t *testing.T) {
+	cfg := &Config{ScreenRows: 24, ScreenCols: 80, MatchMax: 1 << 14}
+	s, err := SpawnProgram(cfg, "rogue",
+		rogue.New(rogue.Config{Seed: 7, LuckNumerator: 1, LuckDenominator: 1, Curses: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Screen-level: status line appears on row 24.
+	if err := s.ExpectScreen(2*time.Second, func(sc *vt.Screen) bool {
+		return strings.Contains(sc.Row(23), "Str: 18")
+	}); err != nil {
+		t.Fatalf("status line never painted: %v\n%s", err, s.Screen().Text())
+	}
+	// The raw stream contains escape garbage around the same text.
+	if !strings.Contains(s.Buffer(), "\x1b[") {
+		t.Error("raw buffer suspiciously clean — curses mode not painting")
+	}
+	// Move; the @ must relocate on the screen.
+	s.Send("l")
+	if err := s.ExpectScreen(2*time.Second, func(sc *vt.Screen) bool {
+		return strings.Contains(sc.Region(9, 4, 11, 24), "@")
+	}); err != nil {
+		t.Fatalf("rogue vanished after move: %v\n%s", err, s.Screen().Text())
+	}
+}

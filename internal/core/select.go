@@ -1,0 +1,52 @@
+package core
+
+import (
+	"time"
+)
+
+// Select returns the subset of sessions that have input pending, waiting
+// until at least one can be read or the timeout expires (§3.2's select
+// command). A session with buffered data or EOF counts as readable. A nil
+// result means the timeout expired; d < 0 waits forever.
+//
+// This is the primitive behind programmed job control: the chess-vs-chess
+// and Eliza-vs-Eliza loops of §2.2 poll their two children with it instead
+// of the 200 hand-typed ^Z/fg sequences the shell would demand.
+func Select(d time.Duration, sessions ...*Session) []*Session {
+	var deadline time.Time
+	if d >= 0 {
+		deadline = time.Now().Add(d)
+	}
+	// One shared wakeup channel, registered with every session.
+	wake := make(chan struct{}, 1)
+	for _, s := range sessions {
+		s.addWatcher(wake)
+		defer s.removeWatcher(wake)
+	}
+	for {
+		var ready []*Session
+		for _, s := range sessions {
+			if s.HasData() {
+				ready = append(ready, s)
+			}
+		}
+		if len(ready) > 0 {
+			return ready
+		}
+		if deadline.IsZero() {
+			<-wake
+			continue
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return nil
+		}
+	}
+}

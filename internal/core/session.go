@@ -1,0 +1,431 @@
+// Package core implements the expect engine, the paper's contribution: a
+// programmed-dialogue controller for interactive programs. A Session wraps
+// a spawned process (pty-, pipe-, or virtually-backed) with the paper's
+// match buffer; Expect waits for patterns in the accumulated output, Send
+// types at the process, Interact couples the user to it, and Select waits
+// across many sessions at once (§2.2's job control, Figure 5).
+//
+// The package is usable two ways: directly from Go through Session and the
+// Spawn functions, or from scripts through Engine, which grafts the
+// paper's twelve commands onto a Tcl interpreter (§3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/vt"
+)
+
+// DefaultMatchMax is the buffer bound: "more than 2000 bytes of output can
+// force earlier bytes to be 'forgotten'" (§3.1).
+const DefaultMatchMax = 2000
+
+// DefaultTimeout is the expect default: "The default timeout period is 10
+// seconds" (§3.1).
+const DefaultTimeout = 10 * time.Second
+
+// MatcherMode selects the pattern-scan strategy for glob patterns.
+type MatcherMode int
+
+const (
+	// MatcherRescan re-runs the full-buffer match on every read, as the
+	// original implementation did ("if characters arrive slowly, the
+	// pattern matcher scans the same data many times", §7.4).
+	MatcherRescan MatcherMode = iota
+	// MatcherIncremental carries NFA state across reads and never rescans
+	// earlier data — the paper's open question, answered.
+	MatcherIncremental
+)
+
+// Config carries session-creation options. The zero value gives the
+// paper's defaults.
+type Config struct {
+	// MatchMax bounds the match buffer in bytes (default 2000).
+	MatchMax int
+	// Timeout is the default Expect timeout (default 10s). Negative means
+	// wait forever; zero means the default.
+	Timeout time.Duration
+	// Matcher selects rescan (default, faithful) or incremental matching.
+	Matcher MatcherMode
+	// Prof receives phase timings for the §7.4 breakdown; nil disables.
+	Prof *metrics.Profiler
+	// Logger, when non-nil, receives every chunk of child output as it
+	// arrives (the engine's log_user / log_file tap).
+	Logger func([]byte)
+	// ScreenRows/ScreenCols, when both nonzero, enable terminal
+	// emulation: the session maintains a vt.Screen of that size from the
+	// output stream, queryable with Screen/ExpectScreen (the paper's §8
+	// "regions of character graphics" question).
+	ScreenRows, ScreenCols int
+	// Spawn options passed through to the transport layer.
+	SpawnOptions proc.Options
+}
+
+func (c *Config) matchMax() int {
+	if c == nil || c.MatchMax <= 0 {
+		return DefaultMatchMax
+	}
+	return c.MatchMax
+}
+
+func (c *Config) timeout() time.Duration {
+	if c == nil || c.Timeout == 0 {
+		return DefaultTimeout
+	}
+	return c.Timeout
+}
+
+// Session is one controlled dialogue: a spawned process plus the match
+// buffer its output accumulates in.
+type Session struct {
+	name string
+	p    *proc.Process // nil for raw-stream sessions (e.g. the user)
+	rw   io.ReadWriteCloser
+	prof *metrics.Profiler
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buf       []byte
+	totalSeen int64
+	forgotten int64
+	eof       bool
+	readErr   error
+	closed    bool
+	matchMax  int
+	matcher   MatcherMode
+	timeout   time.Duration
+	logger    func([]byte)
+	watchers  map[chan struct{}]struct{}
+	screen    *vt.Screen
+
+	pumpDone chan struct{}
+}
+
+// ErrTimeout is returned by Expect when no pattern matched in time and no
+// explicit timeout case was supplied.
+var ErrTimeout = errors.New("expect: timeout")
+
+// ErrEOF is returned by Expect when the process closed its output and no
+// explicit eof case was supplied.
+var ErrEOF = errors.New("expect: end of file from process")
+
+// ErrClosed is returned for operations on a closed session.
+var ErrClosed = errors.New("expect: session closed")
+
+// SpawnCommand starts a program under a pseudo-terminal and returns its
+// session — the script-level spawn command (§3.2).
+func SpawnCommand(cfg *Config, name string, args ...string) (*Session, error) {
+	opt := spawnOptions(cfg)
+	p, err := proc.SpawnPty(name, args, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(cfg, name, p, p), nil
+}
+
+// SpawnPipeCommand starts a program over plain pipes (no terminal
+// semantics) — the baseline transport that §2.1 explains is insufficient
+// for programs like rogue, kept for comparison experiments.
+func SpawnPipeCommand(cfg *Config, name string, args ...string) (*Session, error) {
+	opt := spawnOptions(cfg)
+	p, err := proc.SpawnPipe(name, args, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(cfg, name, p, p), nil
+}
+
+// SpawnProgram runs an in-process virtual program as a session. Tests,
+// benchmarks, and the simulated interactive programs use this transport.
+func SpawnProgram(cfg *Config, name string, program proc.Program) (*Session, error) {
+	opt := spawnOptions(cfg)
+	p, err := proc.SpawnVirtual(name, program, opt)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(cfg, name, p, p), nil
+}
+
+// NewSession wraps an arbitrary byte stream (for example the user's
+// stdin/stdout pair) as a session, fulfilling §2.2's "the user can also be
+// manipulated as if they were a process".
+func NewSession(cfg *Config, name string, rw io.ReadWriteCloser) *Session {
+	return newSession(cfg, name, nil, rw)
+}
+
+func spawnOptions(cfg *Config) proc.Options {
+	if cfg == nil {
+		return proc.Options{}
+	}
+	opt := cfg.SpawnOptions
+	if opt.Prof == nil {
+		opt.Prof = cfg.Prof
+	}
+	return opt
+}
+
+func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser) *Session {
+	s := &Session{
+		name:     name,
+		p:        p,
+		rw:       rw,
+		matchMax: cfg.matchMax(),
+		timeout:  cfg.timeout(),
+		watchers: make(map[chan struct{}]struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	if cfg != nil {
+		s.prof = cfg.Prof
+		s.logger = cfg.Logger
+		s.matcher = cfg.Matcher
+		if cfg.ScreenRows > 0 && cfg.ScreenCols > 0 {
+			s.screen = vt.NewScreen(cfg.ScreenRows, cfg.ScreenCols)
+		}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+// pump moves child output into the match buffer, enforcing match_max and
+// waking waiters. One pump goroutine per session is the whole of the
+// engine's concurrency — the dialogue logic itself stays single-threaded,
+// like the original select-loop implementation (§7.2).
+func (s *Session) pump() {
+	defer close(s.pumpDone)
+	chunk := make([]byte, 4096)
+	for {
+		stop := s.prof.Start(metrics.PhaseIO)
+		n, err := s.rw.Read(chunk)
+		stop()
+		if n > 0 {
+			if s.logger != nil {
+				s.logger(chunk[:n])
+			}
+			if s.screen != nil {
+				s.screen.Write(chunk[:n])
+			}
+			s.mu.Lock()
+			s.buf = append(s.buf, chunk[:n]...)
+			s.totalSeen += int64(n)
+			if over := len(s.buf) - s.matchMax; over > 0 {
+				// Forget the earliest bytes, per §3.1.
+				s.buf = append(s.buf[:0:0], s.buf[over:]...)
+				s.forgotten += int64(over)
+			}
+			s.notifyLocked()
+			s.mu.Unlock()
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.eof = true
+			if err != io.EOF {
+				s.readErr = err
+			}
+			s.notifyLocked()
+			s.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (s *Session) notifyLocked() {
+	s.cond.Broadcast()
+	for ch := range s.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// addWatcher registers a channel poked whenever new data or EOF arrives.
+func (s *Session) addWatcher(ch chan struct{}) {
+	s.mu.Lock()
+	s.watchers[ch] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Session) removeWatcher(ch chan struct{}) {
+	s.mu.Lock()
+	delete(s.watchers, ch)
+	s.mu.Unlock()
+}
+
+// Name returns the spawned program name.
+func (s *Session) Name() string { return s.name }
+
+// Pid returns the process id, or 0 for raw-stream sessions.
+func (s *Session) Pid() int {
+	if s.p == nil {
+		return 0
+	}
+	return s.p.Pid()
+}
+
+// Kind returns the transport kind, or "stream" for raw sessions.
+func (s *Session) Kind() string {
+	if s.p == nil {
+		return "stream"
+	}
+	return string(s.p.Kind())
+}
+
+// SetMatchMax adjusts the buffer bound ("this may be changed by setting
+// the variable match_max", §3.1).
+func (s *Session) SetMatchMax(n int) {
+	if n <= 0 {
+		n = DefaultMatchMax
+	}
+	s.mu.Lock()
+	s.matchMax = n
+	if over := len(s.buf) - s.matchMax; over > 0 {
+		s.buf = append(s.buf[:0:0], s.buf[over:]...)
+		s.forgotten += int64(over)
+	}
+	s.mu.Unlock()
+}
+
+// MatchMax returns the current buffer bound.
+func (s *Session) MatchMax() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.matchMax
+}
+
+// SetTimeout changes the session's default Expect timeout; d < 0 waits
+// forever.
+func (s *Session) SetTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.timeout = d
+	s.mu.Unlock()
+}
+
+// Timeout returns the session's default Expect timeout.
+func (s *Session) Timeout() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timeout
+}
+
+// Send writes s to the process — keystrokes, as far as the child can tell.
+func (s *Session) Send(text string) error {
+	return s.SendBytes([]byte(text))
+}
+
+// SendBytes writes raw bytes to the process.
+func (s *Session) SendBytes(b []byte) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	stop := s.prof.Start(metrics.PhaseIO)
+	_, err := s.rw.Write(b)
+	stop()
+	if err != nil {
+		return fmt.Errorf("expect: send to %s: %w", s.name, err)
+	}
+	return nil
+}
+
+// Buffer returns a copy of the current unmatched output.
+func (s *Session) Buffer() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.buf)
+}
+
+// ClearBuffer empties the match buffer and returns what was discarded.
+func (s *Session) ClearBuffer() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := string(s.buf)
+	s.buf = nil
+	return out
+}
+
+// TotalSeen returns the total bytes of output ever received.
+func (s *Session) TotalSeen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalSeen
+}
+
+// Forgotten returns the bytes dropped from the front of the buffer by the
+// match_max bound.
+func (s *Session) Forgotten() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.forgotten
+}
+
+// Eof reports whether the process has closed its output.
+func (s *Session) Eof() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eof
+}
+
+// HasData reports whether unread output is buffered (used by select).
+func (s *Session) HasData() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf) > 0 || s.eof
+}
+
+// CloseWrite half-closes the channel toward the process, delivering EOF on
+// its stdin while its remaining output stays readable.
+func (s *Session) CloseWrite() error {
+	if s.p != nil {
+		return s.p.CloseWrite()
+	}
+	return nil
+}
+
+// Close closes the connection to the process (§3.2 close). The process
+// sees EOF/hangup; its pump drains and the session records EOF.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.rw.Close()
+	if s.p != nil {
+		s.p.Close()
+	}
+	return err
+}
+
+// Kill forcibly terminates the child (backstop for EOF-ignoring programs).
+func (s *Session) Kill() error {
+	if s.p != nil {
+		return s.p.Kill()
+	}
+	return nil
+}
+
+// Wait blocks until the process exits and returns its status. Raw-stream
+// sessions return immediately.
+func (s *Session) Wait() (int, error) {
+	if s.p == nil {
+		return 0, nil
+	}
+	return s.p.Wait()
+}
+
+// WaitPumpDrained blocks until the reader pump has observed EOF; useful in
+// tests that need every byte accounted for.
+func (s *Session) WaitPumpDrained() {
+	<-s.pumpDone
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "fmt"
+
+// Spec names one runnable experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func() (Result, error)
+}
+
+// All returns every experiment, sized for a full report run. repoRoot is
+// needed by the code-size experiment (E3).
+func All(repoRoot string) []Spec {
+	return []Spec{
+		{"E1", "rogue throughput", func() (Result, error) { return RogueThroughput(200) }},
+		{"E2", "phase breakdown", func() (Result, error) { return PhaseBreakdown(200) }},
+		{"E3", "code size", func() (Result, error) { return CodeSize(repoRoot) }},
+		{"E4", "match_max forgetting", MatchMaxSweep},
+		{"E5", "matcher rescan vs incremental", MatcherComparison},
+		{"E6", "select scaling + V7 process count", SelectScaling},
+		{"E7", "input flushing", FlushComparison},
+		{"E8", "expect vs human", HumanVsExpect},
+		{"E9", "pipe interposition penalty", PipePenalty},
+		{"E12", "capability matrix", CapabilityMatrix},
+		{"E13", "timeout semantics", TimeoutSemantics},
+	}
+}
+
+// RunAll executes every experiment and returns the formatted report.
+// Experiments E10/E11/E14 are behavioural reproductions of Figures 1–4
+// and the paper's scripts; they live in the test suite (internal/core
+// and repo-level integration tests) rather than here.
+func RunAll(repoRoot string) (string, []Result, error) {
+	var out string
+	var results []Result
+	for _, spec := range All(repoRoot) {
+		r, err := spec.Run()
+		if err != nil {
+			return out, results, fmt.Errorf("%s (%s): %w", spec.ID, spec.Title, err)
+		}
+		results = append(results, r)
+		out += r.Format() + "\n"
+	}
+	return out, results, nil
+}

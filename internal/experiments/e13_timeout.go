@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TimeoutSemantics is experiment E13: §3.1's timeout contract — "The
+// default timeout period is 10 seconds but may, for example, be set to 30
+// by the command set timeout 30." The sweep checks that a session's
+// default is 10 s, that overridden timeouts fire when they should (within
+// scheduler noise), that -1 waits past any configured deadline, and that
+// a match always preempts the clock.
+func TimeoutSemantics() (Result, error) {
+	t := &table{header: []string{"configured", "observed", "error", "outcome"}}
+	m := map[string]float64{}
+
+	silent := func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+
+	// Default: a fresh session must carry the paper's 10 s.
+	def, err := core.SpawnProgram(nil, "silent", silent)
+	if err != nil {
+		return Result{}, err
+	}
+	defaultTimeout := def.Timeout()
+	def.Close()
+	t.add("(default)", defaultTimeout.String(), "", "10s per §3.1")
+	m["default_seconds"] = defaultTimeout.Seconds()
+
+	worstErr := 0.0
+	for _, d := range []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 1500 * time.Millisecond} {
+		s, err := core.SpawnProgram(nil, "silent", silent)
+		if err != nil {
+			return Result{}, err
+		}
+		start := time.Now()
+		_, eerr := s.ExpectTimeout(d, core.Glob("*never*"))
+		observed := time.Since(start)
+		s.Close()
+		if eerr != core.ErrTimeout {
+			return Result{}, fmt.Errorf("timeout %v: err = %v", d, eerr)
+		}
+		relErr := math.Abs(observed.Seconds()-d.Seconds()) / d.Seconds()
+		if relErr > worstErr {
+			worstErr = relErr
+		}
+		t.add(d.String(), observed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f%%", relErr*100), "timed out")
+		m[fmt.Sprintf("rel_err_%dms", d.Milliseconds())] = relErr
+	}
+
+	// -1 waits forever: output arriving after any short deadline must win.
+	late, err := core.SpawnProgram(nil, "late", func(stdin io.Reader, stdout io.Writer) error {
+		time.Sleep(300 * time.Millisecond)
+		fmt.Fprint(stdout, "finally\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	_, eerr := late.ExpectTimeout(-1, core.Glob("*finally*"))
+	lateTook := time.Since(start)
+	late.Close()
+	outcome := "matched"
+	if eerr != nil {
+		outcome = fmt.Sprintf("ERROR: %v", eerr)
+	}
+	t.add("-1 (forever)", lateTook.Round(time.Millisecond).String(), "", outcome)
+
+	// A match preempts a long timeout.
+	quickMatch, err := core.SpawnProgram(nil, "prompt", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "prompt> ")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	start = time.Now()
+	_, eerr = quickMatch.ExpectTimeout(30*time.Second, core.Glob("*prompt>*"))
+	preempt := time.Since(start)
+	quickMatch.Close()
+	if eerr != nil {
+		return Result{}, fmt.Errorf("preempt: %v", eerr)
+	}
+	t.add("30s, data early", preempt.Round(time.Millisecond).String(), "", "match preempted clock")
+	m["preempt_seconds"] = preempt.Seconds()
+	m["worst_rel_err"] = worstErr
+
+	verdict := fmt.Sprintf("default is 10s; overrides fire within %.0f%%; -1 waits; matches preempt", worstErr*100)
+	if defaultTimeout != 10*time.Second || worstErr > 0.25 || eerr != nil {
+		verdict = "SHAPE MISMATCH: timeout contract violated"
+	}
+	return Result{
+		ID:         "E13",
+		Title:      "timeout semantics: default, override, forever, preemption",
+		PaperClaim: `"The default timeout period is 10 seconds but may, for example, be set to 30 by the command set timeout 30." (§3.1)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    verdict,
+	}, nil
+}

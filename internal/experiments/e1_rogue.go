@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pattern"
+	"repro/internal/programs/rogue"
+)
+
+// rogueLoop runs the paper's rogue.exp loop body count times: spawn the
+// game, scan for *Str:\ 18*, close, repeat. It returns the elapsed time.
+// luckDen=1 makes every game good (pure engine cost); a higher denominator
+// reproduces the restart behaviour of the real script.
+func rogueLoop(count int, transport string, prof *metrics.Profiler, luckDen int) (time.Duration, error) {
+	cfg := &core.Config{Prof: prof, Timeout: 3 * time.Second}
+	start := time.Now()
+	for g := 0; g < count; g++ {
+		var (
+			s   *core.Session
+			err error
+		)
+		switch transport {
+		case "pty", "pipe":
+			// A real child process under a real pty (or pipes), printing
+			// the same status line the game would. The fork and pty
+			// allocation costs are the real ones the paper profiled.
+			str := 16
+			if luckDen <= 1 || g%luckDen == 0 {
+				str = 18
+			}
+			script := fmt.Sprintf(
+				`echo "Level: 1  Gold: 0  Hp: 12(12)  Str: %d(%d)  Arm: 4  Exp: 1/0"; read line`, str, str)
+			if transport == "pty" {
+				s, err = core.SpawnCommand(cfg, "sh", "-c", script)
+			} else {
+				s, err = core.SpawnPipeCommand(cfg, "sh", "-c", script)
+			}
+		default: // virtual
+			s, err = core.SpawnProgram(cfg, "rogue",
+				rogue.New(rogue.Config{Seed: int64(g + 1), LuckNumerator: 1, LuckDenominator: luckDen}))
+		}
+		if err != nil {
+			return 0, err
+		}
+		r, err := s.ExpectTimeout(3*time.Second, core.Glob("*Str: 18*"), core.TimeoutCase(), core.EOFCase())
+		if err != nil {
+			s.Close()
+			return 0, fmt.Errorf("game %d: %v", g, err)
+		}
+		_ = r
+		s.Close()
+	}
+	return time.Since(start), nil
+}
+
+// RogueThroughput is experiment E1: §7.4's "the rogue script ... examines
+// about 10 games per second", on each transport.
+func RogueThroughput(games int) (Result, error) {
+	t := &table{header: []string{"transport", "games", "elapsed", "games/sec"}}
+	m := map[string]float64{}
+	for _, tr := range []string{"virtual", "pipe", "pty"} {
+		elapsed, err := rogueLoop(games, tr, nil, 1)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", tr, err)
+		}
+		rate := float64(games) / elapsed.Seconds()
+		t.add(tr, fmt.Sprint(games), elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1f", rate))
+		m["games_per_sec_"+tr] = rate
+	}
+	verdict := "pty transport is the binding one; the paper's Sun 3 managed ~10/s"
+	if m["games_per_sec_pty"] >= 10 {
+		verdict = fmt.Sprintf("pty rate %.0f/s ≥ the paper's ~10/s (modern hardware)", m["games_per_sec_pty"])
+	}
+	return Result{
+		ID:         "E1",
+		Title:      "rogue script throughput (games examined per second)",
+		PaperClaim: `"the rogue script presented earlier examines about 10 games per second" (§7.4)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    verdict,
+	}, nil
+}
+
+// PhaseBreakdown is experiment E2: the §7.4 CPU-share table, regenerated
+// by bracketing the engine's phases during the same rogue loop.
+func PhaseBreakdown(games int) (Result, error) {
+	prof := metrics.NewProfiler()
+	if _, err := rogueLoop(games, "pty", prof, 1); err != nil {
+		return Result{}, err
+	}
+	paper := map[metrics.Phase]float64{
+		metrics.PhaseMatch: 0.40,
+		metrics.PhaseIO:    0.26,
+		metrics.PhasePty:   0.16,
+		metrics.PhaseFork:  0.08,
+		metrics.PhaseTimer: 0.05,
+	}
+	t := &table{header: []string{"phase", "paper", "measured", "total"}}
+	m := map[string]float64{}
+	samples := prof.Snapshot()
+	for _, s := range samples {
+		p, ok := paper[s.Phase]
+		paperCell := "—"
+		if ok {
+			paperCell = fmt.Sprintf("%.0f%%", p*100)
+		}
+		t.add(s.Phase.String(), paperCell,
+			fmt.Sprintf("%.1f%%", s.Share*100),
+			s.Total.Round(time.Microsecond).String())
+		m["share_"+s.Phase.String()] = s.Share
+	}
+	// On modern Linux with an NFA matcher, process setup dominates; on the
+	// paper's Sun 3 pattern matching led (40%) because curses output
+	// dribbled in and the Tcl-era matcher rescanned the buffer on every
+	// read. Replaying that regime — the same rogue screen delivered in
+	// c-byte chunks, whole-buffer rescan per chunk, against the per-game
+	// fork/pty/io costs measured above — recovers the paper's ranking.
+	perGame := func(p metrics.Phase) time.Duration {
+		for _, s := range samples {
+			if s.Phase == p {
+				return s.Total / time.Duration(games)
+			}
+		}
+		return 0
+	}
+	screen := rogueScreenBytes()
+	t2 := &table{header: []string{"chunk size", "match/game (rescan)", "match share", "ranking"}}
+	var matchShare1 float64
+	for _, c := range []int{1, 4, 16} {
+		matchCost := rescanCost(screen, c)
+		fixed := perGame(metrics.PhaseFork) + perGame(metrics.PhasePty) +
+			perGame(metrics.PhaseIO) + perGame(metrics.PhaseTimer)
+		share := float64(matchCost) / float64(matchCost+fixed)
+		if c == 1 {
+			matchShare1 = share
+		}
+		rank := "setup-bound"
+		if share > 0.4 {
+			rank = "match-bound (1990 regime)"
+		}
+		t2.add(fmt.Sprint(c), matchCost.String(), fmt.Sprintf("%.0f%%", share*100), rank)
+	}
+	m["replay_match_share_c1"] = matchShare1
+
+	setup := m["share_fork"] + m["share_open/close/ioctl (pty)"]
+	verdict := fmt.Sprintf(
+		"measured: setup-bound (fork+pty %.0f%%); replayed 1990 regime (rescan, dribbled input): match share %.0f%% ≥ the paper's 40%%",
+		setup*100, matchShare1*100)
+	if matchShare1 < 0.4 {
+		verdict = fmt.Sprintf("SHAPE MISMATCH: replayed match share %.0f%% below the paper's 40%%", matchShare1*100)
+	}
+	return Result{
+		ID:    "E2",
+		Title: "CPU share by engine phase during the rogue loop",
+		PaperClaim: `"about 40% is spent pattern matching ..., 26% in I/O, 16% in open, close, ` +
+			`and ioctl, 8% in fork, and 5% in timer calls" (§7.4)`,
+		Table: t.String() + "\nreplay of the 1990 matcher regime (whole-buffer rescan per read):\n" +
+			t2.String(),
+		Metrics: m,
+		Verdict: verdict,
+	}, nil
+}
+
+// rogueScreenBytes is one game's worth of output as the 1990 pattern scan
+// saw it: a full 24×80 curses frame (~2 KB — not coincidentally the size
+// at which the default match_max starts forgetting) ending in the status
+// line.
+func rogueScreenBytes() string {
+	s := rogue.Stats{Level: 1, Gold: 0, Hp: 12, MaxHp: 12, Str: 18, MaxStr: 18, Arm: 4, Exp: 1}
+	var sb []byte
+	for row := 0; row < 23; row++ {
+		for col := 0; col < 79; col++ {
+			sb = append(sb, '.')
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb) + s.StatusLine() + "\n"
+}
+
+// rescanCost measures the 1990 strategy on one screen: after every c-byte
+// read, re-match the whole accumulated buffer.
+func rescanCost(screen string, c int) time.Duration {
+	start := time.Now()
+	for pos := 0; pos < len(screen); pos += c {
+		end := pos + c
+		if end > len(screen) {
+			end = len(screen)
+		}
+		pattern.Match("*Str: 18*", screen[:end])
+	}
+	return time.Since(start)
+}

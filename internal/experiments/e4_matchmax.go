@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MatchMaxSweep is experiment E4: §3.1's bounded match buffer — "more
+// than 2000 bytes of output can force earlier bytes to be 'forgotten'".
+// A torrent of output many times match_max must leave the buffer bounded,
+// with the overflow accounted as forgotten, and a pattern that needs
+// forgotten bytes must fail while one within the window still matches.
+func MatchMaxSweep() (Result, error) {
+	const streamLen = 64 * 1024
+	t := &table{header: []string{"match_max", "streamed", "buffered", "forgotten", "early pattern", "late pattern"}}
+	m := map[string]float64{}
+	for _, mm := range []int{512, 2000, 8192} {
+		marker := "NEEDLE-IN-THE-TAIL"
+		prog := func(stdin io.Reader, stdout io.Writer) error {
+			// An early marker that will scroll out, padding, then a late
+			// marker inside every window size.
+			io.WriteString(stdout, "EARLY-MARKER ")
+			io.WriteString(stdout, strings.Repeat("x", streamLen))
+			io.WriteString(stdout, " "+marker)
+			io.Copy(io.Discard, stdin)
+			return nil
+		}
+		s, err := core.SpawnProgram(&core.Config{MatchMax: mm}, "torrent", prog)
+		if err != nil {
+			return Result{}, err
+		}
+		late, err := s.ExpectTimeout(5*time.Second, core.Glob("*"+marker))
+		if err != nil {
+			s.Close()
+			return Result{}, fmt.Errorf("match_max %d: late pattern: %v", mm, err)
+		}
+		lateOK := len(late.Text) <= mm
+		// The early marker is gone: a fresh spawn, waiting for the whole
+		// stream, must NOT be able to match it.
+		s2, err := core.SpawnProgram(&core.Config{MatchMax: mm}, "torrent2", prog)
+		if err != nil {
+			s.Close()
+			return Result{}, err
+		}
+		_, eerr := s2.ExpectTimeout(300*time.Millisecond, core.Glob("*EARLY-MARKER*"+marker+"*"))
+		earlyFails := eerr == core.ErrTimeout || eerr == core.ErrEOF
+		t.add(fmt.Sprint(mm), fmt.Sprint(streamLen+len(marker)+14),
+			fmt.Sprintf("<=%d", mm), fmt.Sprint(s.Forgotten()),
+			boolCell(!earlyFails, "matched (BAD)", "forgotten (ok)"),
+			boolCell(lateOK, "matched (ok)", "oversized (BAD)"))
+		m[fmt.Sprintf("forgotten_%d", mm)] = float64(s.Forgotten())
+		s.Close()
+		s2.Close()
+		if !earlyFails || !lateOK {
+			return Result{}, fmt.Errorf("match_max %d semantics violated", mm)
+		}
+	}
+	return Result{
+		ID:         "E4",
+		Title:      "match_max buffer forgetting",
+		PaperClaim: `"more than 2000 bytes of output can force earlier bytes to be 'forgotten'. This may be changed by setting the variable match_max." (§3.1)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    "memory stays O(match_max) regardless of child verbosity; early data is unmatchable",
+	}, nil
+}
+
+func boolCell(b bool, yes, no string) string {
+	if b {
+		return yes
+	}
+	return no
+}

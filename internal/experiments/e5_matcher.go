@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/pattern"
+)
+
+// MatcherComparison is experiment E5: the §7.4 open question. "If
+// characters arrive slowly, the pattern matcher scans the same data many
+// times. ... The performance of a pattern matcher that does not need to
+// rescan over earlier data needs to be studied." We study it: the naive
+// strategy re-matches the whole accumulated buffer after every chunk
+// (what the original shipped); the incremental matcher carries NFA state.
+// Work for an N-byte stream in c-byte chunks is O(N²/c) vs O(N).
+func MatcherComparison() (Result, error) {
+	const pat = "*Str: 18*"
+	t := &table{header: []string{"stream N", "chunk c", "rescan", "incremental", "speedup"}}
+	m := map[string]float64{}
+	for _, n := range []int{2000, 8000, 32000} {
+		// The needle sits at the very end: worst case for rescanning.
+		stream := strings.Repeat("x", n-8) + "Str: 18\n"
+		for _, c := range []int{1, 16, 256} {
+			rescan := timeIt(func() bool {
+				matched := false
+				for pos := 0; pos < len(stream); pos += c {
+					end := pos + c
+					if end > len(stream) {
+						end = len(stream)
+					}
+					matched = pattern.Match(pat, stream[:end])
+				}
+				return matched
+			})
+			incr := timeIt(func() bool {
+				im := pattern.NewIncremental(pat)
+				matched := false
+				for pos := 0; pos < len(stream); pos += c {
+					end := pos + c
+					if end > len(stream) {
+						end = len(stream)
+					}
+					matched = im.Feed([]byte(stream[pos:end]))
+				}
+				return matched
+			})
+			speed := float64(rescan) / float64(incr)
+			t.add(fmt.Sprint(n), fmt.Sprint(c),
+				rescan.Round(time.Microsecond).String(),
+				incr.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.1fx", speed))
+			m[fmt.Sprintf("speedup_n%d_c%d", n, c)] = speed
+		}
+	}
+	// Shape check: at the smallest chunk size the gap must grow with N.
+	grows := m["speedup_n32000_c1"] > m["speedup_n2000_c1"]
+	verdict := "incremental matching removes the rescan blow-up; gap grows with N/c"
+	if !grows {
+		verdict = "SHAPE MISMATCH: speedup did not grow with stream length"
+	}
+	return Result{
+		ID:         "E5",
+		Title:      "rescanning vs incremental pattern matching",
+		PaperClaim: `"If characters arrive slowly, the pattern matcher scans the same data many times ... a pattern matcher that does not need to rescan over earlier data needs to be studied." (§7.4)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    verdict,
+	}, nil
+}
+
+// timeIt measures fn once (it is internally repetitive enough).
+func timeIt(fn func() bool) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

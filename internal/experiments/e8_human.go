@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/programs/authsim"
+)
+
+// HumanVsExpect is experiment E8: §7.4's only cross-comparison — "about
+// the only thing that is clear is that expect uses a fraction of the real
+// time that a user does." The same login-and-run-a-command dialogue is
+// driven by the engine at full speed and by a simulated human typist
+// (classic touch-typist figures: ~280 ms per keystroke plus a second of
+// think time per prompt).
+func HumanVsExpect() (Result, error) {
+	const (
+		keystroke = 280 * time.Millisecond
+		think     = time.Second
+	)
+	// Expect-driven run, measured.
+	expectTime, keys, prompts, err := runLoginDialogue(0, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	// Human-driven run: measure with scaled-down delays (so the
+	// experiment finishes) and project to the full figures analytically;
+	// also report the directly simulated scaled run.
+	const scale = 20
+	humanScaled, _, _, err := runLoginDialogue(keystroke/scale, think/scale)
+	if err != nil {
+		return Result{}, err
+	}
+	humanProjected := time.Duration(keys)*keystroke + time.Duration(prompts)*think
+	t := &table{header: []string{"driver", "keystrokes", "prompts", "dialogue time"}}
+	t.add("expect engine", fmt.Sprint(keys), fmt.Sprint(prompts),
+		expectTime.Round(time.Microsecond).String())
+	t.add(fmt.Sprintf("human (1/%d scale, measured)", scale), fmt.Sprint(keys), fmt.Sprint(prompts),
+		humanScaled.Round(time.Millisecond).String())
+	t.add("human (projected full speed)", fmt.Sprint(keys), fmt.Sprint(prompts),
+		humanProjected.Round(time.Millisecond).String())
+	frac := expectTime.Seconds() / humanProjected.Seconds()
+	m := map[string]float64{
+		"expect_seconds":   expectTime.Seconds(),
+		"human_seconds":    humanProjected.Seconds(),
+		"expect_fraction":  frac,
+		"speedup_vs_human": 1 / frac,
+	}
+	verdict := fmt.Sprintf("expect uses %.2g of the human's real time (%.0fx faster)", frac, 1/frac)
+	if frac >= 0.5 {
+		verdict = "SHAPE MISMATCH: expect not clearly faster than a human"
+	}
+	return Result{
+		ID:         "E8",
+		Title:      "wall-clock: expect vs a human running the same dialogue",
+		PaperClaim: `"expect uses a fraction of the real time that a user does" (§7.4)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    verdict,
+	}, nil
+}
+
+// runLoginDialogue logs into the greeter, runs who, and logs out,
+// inserting the given per-keystroke and per-prompt delays. It returns the
+// elapsed time plus the keystroke and prompt counts.
+func runLoginDialogue(perKey, perPrompt time.Duration) (time.Duration, int, int, error) {
+	login := authsim.NewLogin(authsim.LoginConfig{
+		Accounts: map[string]string{"don": "secret"},
+	})
+	s, err := core.SpawnProgram(&core.Config{Timeout: 10 * time.Second}, "login", login)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer s.Close()
+	keys, prompts := 0, 0
+	typeLine := func(text string) error {
+		for i := 0; i < len(text); i++ {
+			if perKey > 0 {
+				time.Sleep(perKey)
+			}
+			keys++
+			if err := s.SendBytes([]byte{text[i]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	await := func(pat string) error {
+		prompts++
+		if _, err := s.ExpectMatch(pat); err != nil {
+			return fmt.Errorf("waiting for %q: %w", pat, err)
+		}
+		if perPrompt > 0 {
+			time.Sleep(perPrompt) // think time before answering
+		}
+		return nil
+	}
+	start := time.Now()
+	steps := []struct{ pat, reply string }{
+		{"*login:*", "don\n"},
+		{"*Password:*", "secret\n"},
+		{"*$ *", "who\n"},
+		{"*$ *", "logout\n"},
+	}
+	for _, st := range steps {
+		if err := await(st.pat); err != nil {
+			return 0, 0, 0, err
+		}
+		if err := typeLine(st.reply); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if _, err := s.ExpectTimeout(5*time.Second, core.Glob("*logout*"), core.EOFCase()); err != nil {
+		return 0, 0, 0, err
+	}
+	return time.Since(start), keys, prompts, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+)
+
+// PipePenalty is experiment E9: §5.9 — expect "can emulate dynamic and
+// complex pipes and redirection ... the result will not be as fast
+// because expect necessarily interposes itself in order to control the
+// dialogue", and arbitrary fan-out "easily supercedes the capabilities of
+// tee". We pump a payload producer→consumer directly, then through an
+// interposed expect session, then fan one producer out to k consumers.
+func PipePenalty() (Result, error) {
+	const payload = 4 << 20 // 4 MiB
+	t := &table{header: []string{"topology", "bytes", "elapsed", "MB/s"}}
+	m := map[string]float64{}
+
+	directRate, err := pumpDirect(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	t.add("direct pipe", fmt.Sprint(payload), "", fmt.Sprintf("%.0f", directRate))
+	m["direct_mb_s"] = directRate
+
+	interposedRate, err := pumpInterposed(payload)
+	if err != nil {
+		return Result{}, err
+	}
+	t.add("expect interposed", fmt.Sprint(payload), "", fmt.Sprintf("%.0f", interposedRate))
+	m["interposed_mb_s"] = interposedRate
+	penalty := directRate / interposedRate
+	m["penalty_factor"] = penalty
+
+	for _, k := range []int{2, 4} {
+		rate, err := pumpFanOut(payload/4, k)
+		if err != nil {
+			return Result{}, err
+		}
+		t.add(fmt.Sprintf("fan-out 1->%d", k), fmt.Sprint(payload/4), "",
+			fmt.Sprintf("%.0f", rate))
+		m[fmt.Sprintf("fanout%d_mb_s", k)] = rate
+	}
+	verdict := fmt.Sprintf("interposition costs %.1fx over a direct pipe — present but tolerable, as §5.9 concedes", penalty)
+	if penalty < 1 {
+		verdict = "SHAPE MISMATCH: interposed path measured faster than direct"
+	}
+	return Result{
+		ID:         "E9",
+		Title:      "throughput: direct pipe vs expect-interposed, plus tee-style fan-out",
+		PaperClaim: `"the result will not be as fast because expect necessarily interposes itself"; "arbitrary fan-out is also trivial and easily supercedes the capabilities of tee" (§5.9)`,
+		Table:      t.String(),
+		Metrics:    m,
+		Verdict:    verdict,
+	}, nil
+}
+
+func producer(total int) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		chunk := make([]byte, 32*1024)
+		for i := range chunk {
+			chunk[i] = byte('a' + i%26)
+		}
+		sent := 0
+		for sent < total {
+			n := total - sent
+			if n > len(chunk) {
+				n = len(chunk)
+			}
+			if _, err := stdout.Write(chunk[:n]); err != nil {
+				return nil
+			}
+			sent += n
+		}
+		return nil
+	}
+}
+
+// pumpDirect wires producer to a counting sink with no engine in between.
+func pumpDirect(total int) (float64, error) {
+	p, err := proc.SpawnVirtual("producer", producer(total), proc.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer p.Close()
+	start := time.Now()
+	n, err := io.Copy(io.Discard, p)
+	if err != nil {
+		return 0, err
+	}
+	if int(n) != total {
+		return 0, fmt.Errorf("direct: copied %d of %d", n, total)
+	}
+	return mbPerSec(total, time.Since(start)), nil
+}
+
+// pumpInterposed relays through an expect session: every chunk passes
+// through the match buffer and a pattern evaluation, exactly as when a
+// script supervises a pipeline.
+func pumpInterposed(total int) (float64, error) {
+	// The relay must size match_max to its largest burst: there is no
+	// back-pressure between the pump and the expect loop, so a too-small
+	// window would forget bytes (exactly the §3.1 semantics E4 verifies).
+	s, err := core.SpawnProgram(&core.Config{MatchMax: total + 1024}, "producer", producer(total))
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	consumer, cEnd := proc.NewDuplexPair(1 << 20)
+	go io.Copy(io.Discard, cEnd)
+	start := time.Now()
+	moved := 0
+	for moved < total {
+		r, err := s.ExpectTimeout(10*time.Second, core.Regexp(`(?s).+`), core.EOFCase())
+		if err != nil {
+			return 0, fmt.Errorf("interposed after %d bytes: %w", moved, err)
+		}
+		if len(r.Text) == 0 && r.Eof {
+			break
+		}
+		if _, err := consumer.Write([]byte(r.Text)); err != nil {
+			return 0, err
+		}
+		moved += len(r.Text)
+	}
+	elapsed := time.Since(start)
+	consumer.Close()
+	if moved != total {
+		return 0, fmt.Errorf("interposed: moved %d of %d", moved, total)
+	}
+	return mbPerSec(total, elapsed), nil
+}
+
+// pumpFanOut relays one producer to k sinks — the §5.9 tee superset.
+func pumpFanOut(total, k int) (float64, error) {
+	s, err := core.SpawnProgram(&core.Config{MatchMax: total + 1024}, "producer", producer(total))
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	sinks := make([]*proc.Duplex, k)
+	for i := range sinks {
+		a, b := proc.NewDuplexPair(1 << 20)
+		go io.Copy(io.Discard, b)
+		sinks[i] = a
+	}
+	start := time.Now()
+	moved := 0
+	for moved < total {
+		r, err := s.ExpectTimeout(10*time.Second, core.Regexp(`(?s).+`), core.EOFCase())
+		if err != nil {
+			return 0, err
+		}
+		if len(r.Text) == 0 && r.Eof {
+			break
+		}
+		for _, sink := range sinks {
+			if _, err := sink.Write([]byte(r.Text)); err != nil {
+				return 0, err
+			}
+		}
+		moved += len(r.Text)
+	}
+	elapsed := time.Since(start)
+	for _, sink := range sinks {
+		sink.Close()
+	}
+	if moved != total {
+		return 0, fmt.Errorf("fan-out: moved %d of %d", moved, total)
+	}
+	return mbPerSec(total, elapsed), nil
+}
+
+func mbPerSec(bytes int, d time.Duration) float64 {
+	return float64(bytes) / (1 << 20) / d.Seconds()
+}

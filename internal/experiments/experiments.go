@@ -1,0 +1,105 @@
+// Package experiments regenerates every quantitative claim in the paper's
+// evaluation (§7, plus the measurable claims embedded in §2, §3.1, §5.4,
+// §5.9 and §7.1–§7.3). Each experiment returns a Result holding the
+// paper's claim, the measured table, and machine-readable metrics; the
+// cmd/benchreport binary prints them and EXPERIMENTS.md records a run.
+//
+// Absolute numbers will differ from a 1990 Sun 3 — what must (and does)
+// hold is the shape: who wins, by what factor, and where the crossovers
+// fall.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
+	ID string
+	// Title names the experiment.
+	Title string
+	// PaperClaim quotes what the paper reports.
+	PaperClaim string
+	// Table is the regenerated table/series, formatted for a terminal.
+	Table string
+	// Metrics holds the headline numbers keyed by name.
+	Metrics map[string]float64
+	// Verdict is a one-line comparison of shape vs the paper.
+	Verdict string
+}
+
+// Format renders a result as a report section.
+func (r Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&sb, "paper: %s\n\n", r.PaperClaim)
+	sb.WriteString(r.Table)
+	if !strings.HasSuffix(r.Table, "\n") {
+		sb.WriteByte('\n')
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("\nmetrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %s=%.4g", k, r.Metrics[k])
+		}
+		sb.WriteByte('\n')
+	}
+	if r.Verdict != "" {
+		fmt.Fprintf(&sb, "verdict: %s\n", r.Verdict)
+	}
+	return sb.String()
+}
+
+// table is a small fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

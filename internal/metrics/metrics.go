@@ -1,0 +1,160 @@
+// Package metrics implements the phase accounting behind the paper's §7.4
+// throughput table. The original work profiled expect on a Sun 3 and
+// reported CPU shares — "about 40% is spent pattern matching …, 26% in I/O,
+// 16% in open, close, and ioctl, 8% in fork, and 5% in timer calls". The
+// engine brackets the equivalent code regions with a Profiler so the same
+// share table can be regenerated on any host (experiment E2).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase identifies one of the paper's cost categories.
+type Phase int
+
+const (
+	// PhaseMatch is time spent pattern matching to guide the script.
+	PhaseMatch Phase = iota
+	// PhaseIO is time spent reading from and writing to processes.
+	PhaseIO
+	// PhasePty is time spent locating and initializing ptys ("open,
+	// close, and ioctl" in the paper).
+	PhasePty
+	// PhaseFork is time spent creating processes.
+	PhaseFork
+	// PhaseTimer is time spent arming and fielding timeouts.
+	PhaseTimer
+	// PhaseOther is everything else (script interpretation and bookkeeping).
+	PhaseOther
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"pattern matching",
+	"I/O",
+	"open/close/ioctl (pty)",
+	"fork",
+	"timer",
+	"other",
+}
+
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return fmt.Sprintf("phase-%d", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Phases lists all phases in report order.
+func Phases() []Phase {
+	out := make([]Phase, numPhases)
+	for i := range out {
+		out[i] = Phase(i)
+	}
+	return out
+}
+
+// Profiler accumulates wall time per phase. The zero value is unusable; a
+// nil *Profiler is a valid no-op sink, so instrumented code needs no checks
+// beyond calling through the pointer.
+type Profiler struct {
+	mu    sync.Mutex
+	total [numPhases]time.Duration
+	count [numPhases]int64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler { return &Profiler{} }
+
+// Add records d in phase p. Safe on a nil receiver.
+func (pr *Profiler) Add(p Phase, d time.Duration) {
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	pr.total[p] += d
+	pr.count[p]++
+	pr.mu.Unlock()
+}
+
+// Time runs fn and charges its duration to phase p.
+func (pr *Profiler) Time(p Phase, fn func()) {
+	if pr == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	pr.Add(p, time.Since(start))
+}
+
+// Start begins a region and returns a stop function charging phase p.
+func (pr *Profiler) Start(p Phase) (stop func()) {
+	if pr == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { pr.Add(p, time.Since(start)) }
+}
+
+// Reset clears all accumulated samples.
+func (pr *Profiler) Reset() {
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	pr.total = [numPhases]time.Duration{}
+	pr.count = [numPhases]int64{}
+	pr.mu.Unlock()
+}
+
+// Sample is one row of a phase report.
+type Sample struct {
+	Phase Phase
+	Total time.Duration
+	Count int64
+	Share float64 // fraction of the sum over all phases
+}
+
+// Snapshot returns per-phase samples, largest share first.
+func (pr *Profiler) Snapshot() []Sample {
+	if pr == nil {
+		return nil
+	}
+	pr.mu.Lock()
+	totals := pr.total
+	counts := pr.count
+	pr.mu.Unlock()
+
+	var sum time.Duration
+	for _, d := range totals {
+		sum += d
+	}
+	out := make([]Sample, 0, numPhases)
+	for p := Phase(0); p < numPhases; p++ {
+		s := Sample{Phase: p, Total: totals[p], Count: counts[p]}
+		if sum > 0 {
+			s.Share = float64(totals[p]) / float64(sum)
+		}
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Total > out[b].Total })
+	return out
+}
+
+// Report renders the share table in the paper's style.
+func (pr *Profiler) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-26s %8s %10s %8s\n", "phase", "share", "total", "samples")
+	for _, s := range pr.Snapshot() {
+		fmt.Fprintf(&sb, "%-26s %7.1f%% %10s %8d\n",
+			s.Phase, s.Share*100, s.Total.Round(time.Microsecond), s.Count)
+	}
+	return sb.String()
+}

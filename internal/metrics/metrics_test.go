@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndSnapshot(t *testing.T) {
+	p := NewProfiler()
+	p.Add(PhaseMatch, 40*time.Millisecond)
+	p.Add(PhaseIO, 60*time.Millisecond)
+	p.Add(PhaseIO, 0)
+	snap := p.Snapshot()
+	if len(snap) != int(numPhases) {
+		t.Fatalf("snapshot has %d rows", len(snap))
+	}
+	// Sorted by total, descending: IO first.
+	if snap[0].Phase != PhaseIO || snap[1].Phase != PhaseMatch {
+		t.Errorf("order: %v then %v", snap[0].Phase, snap[1].Phase)
+	}
+	if snap[0].Count != 2 {
+		t.Errorf("IO count = %d", snap[0].Count)
+	}
+	if got := snap[0].Share; got < 0.59 || got > 0.61 {
+		t.Errorf("IO share = %f, want 0.6", got)
+	}
+}
+
+func TestNilProfilerIsNoop(t *testing.T) {
+	var p *Profiler
+	p.Add(PhaseFork, time.Second) // must not panic
+	p.Time(PhaseFork, func() {})
+	stop := p.Start(PhaseFork)
+	stop()
+	if p.Snapshot() != nil {
+		t.Error("nil profiler produced samples")
+	}
+	p.Reset()
+}
+
+func TestStartStop(t *testing.T) {
+	p := NewProfiler()
+	stop := p.Start(PhaseTimer)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	snap := p.Snapshot()
+	if snap[0].Phase != PhaseTimer || snap[0].Total < 4*time.Millisecond {
+		t.Errorf("timer sample = %+v", snap[0])
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := NewProfiler()
+	p.Add(PhaseMatch, time.Millisecond)
+	p.Reset()
+	for _, s := range p.Snapshot() {
+		if s.Total != 0 || s.Count != 0 {
+			t.Errorf("after reset: %+v", s)
+		}
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	p := NewProfiler()
+	p.Add(PhaseMatch, 10*time.Millisecond)
+	rep := p.Report()
+	if !strings.Contains(rep, "pattern matching") || !strings.Contains(rep, "share") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	for _, ph := range Phases() {
+		if ph.String() == "" || strings.HasPrefix(ph.String(), "phase-") {
+			t.Errorf("phase %d has no name", int(ph))
+		}
+	}
+	if Phase(99).String() != "phase-99" {
+		t.Errorf("out-of-range phase name: %q", Phase(99).String())
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	p := NewProfiler()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				p.Add(PhaseIO, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, s := range p.Snapshot() {
+		if s.Phase == PhaseIO && s.Count != 800 {
+			t.Errorf("IO count = %d, want 800", s.Count)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package pattern
+
+// Incremental is a glob matcher that consumes input a chunk at a time and
+// never re-reads earlier data. It simulates the pattern's NFA: the live set
+// of pattern positions is carried across Feed calls, so the total work for
+// an N-byte stream is O(N · |pattern|) regardless of how many reads deliver
+// it. The naive alternative — re-running Match over the whole buffer after
+// every read, which is what the original expect did — costs O(N²/c) for
+// c-byte chunks; benchmark BenchmarkMatcherRescan quantifies the gap.
+//
+// The matcher implements the paper's anchored semantics: it answers "does
+// the entire stream seen so far match the pattern?" after each feed.
+type Incremental struct {
+	pat string
+	// ops is the compiled pattern: one op per element.
+	ops []globOp
+	// live[i] reports that ops[i:] still needs to match the remaining
+	// input; live[len(ops)] is the accept state.
+	live []bool
+	// scratch is the next-state buffer, reused across feeds.
+	scratch []bool
+	n       int64 // total bytes consumed
+}
+
+type globOpKind uint8
+
+const (
+	opLiteral globOpKind = iota
+	opAny                // ?
+	opStar               // *
+	opClass              // [...]
+)
+
+type globOp struct {
+	kind   globOpKind
+	ch     byte
+	class  *classSet
+	negate bool
+}
+
+type classSet struct {
+	bits [4]uint64
+}
+
+func (c *classSet) add(b byte)           { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *classSet) contains(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+
+// NewIncremental compiles pat into an incremental matcher.
+func NewIncremental(pat string) *Incremental {
+	m := &Incremental{pat: pat, ops: compileGlob(pat)}
+	m.live = make([]bool, len(m.ops)+1)
+	m.scratch = make([]bool, len(m.ops)+1)
+	m.Reset()
+	return m
+}
+
+// Pattern returns the original pattern text.
+func (m *Incremental) Pattern() string { return m.pat }
+
+// Consumed returns the total number of bytes fed so far.
+func (m *Incremental) Consumed() int64 { return m.n }
+
+// Reset restarts the matcher as if no input had been seen.
+func (m *Incremental) Reset() {
+	for i := range m.live {
+		m.live[i] = false
+	}
+	m.n = 0
+	m.live[0] = true
+	m.closure(m.live)
+}
+
+// closure expands star positions: a live state sitting on '*' may also skip
+// it without consuming input.
+func (m *Incremental) closure(set []bool) {
+	for i := 0; i < len(m.ops); i++ {
+		if set[i] && m.ops[i].kind == opStar {
+			set[i+1] = true
+		}
+	}
+}
+
+// Feed consumes a chunk and reports whether the entire input seen so far
+// matches the pattern.
+func (m *Incremental) Feed(chunk []byte) bool {
+	for _, c := range chunk {
+		next := m.scratch
+		for i := range next {
+			next[i] = false
+		}
+		for i := 0; i < len(m.ops); i++ {
+			if !m.live[i] {
+				continue
+			}
+			op := m.ops[i]
+			switch op.kind {
+			case opStar:
+				next[i] = true // star eats c and stays
+			case opAny:
+				next[i+1] = true
+			case opLiteral:
+				if op.ch == c {
+					next[i+1] = true
+				}
+			case opClass:
+				if op.class.contains(c) != op.negate {
+					next[i+1] = true
+				}
+			}
+		}
+		m.closure(next)
+		m.live, m.scratch = next, m.live
+	}
+	m.n += int64(len(chunk))
+	return m.live[len(m.ops)]
+}
+
+// Matched reports whether the input consumed so far matches.
+func (m *Incremental) Matched() bool { return m.live[len(m.ops)] }
+
+// Dead reports that no future input can produce a match (the live set is
+// empty), letting callers fail fast on streams that have diverged.
+func (m *Incremental) Dead() bool {
+	for _, l := range m.live {
+		if l {
+			return false
+		}
+	}
+	return true
+}
+
+// compileGlob translates a glob pattern into ops. Malformed classes compile
+// as a literal '[' to mirror Match's behaviour.
+func compileGlob(pat string) []globOp {
+	var ops []globOp
+	for i := 0; i < len(pat); {
+		switch pat[i] {
+		case '*':
+			// Collapse runs of stars: "**" ≡ "*".
+			if len(ops) == 0 || ops[len(ops)-1].kind != opStar {
+				ops = append(ops, globOp{kind: opStar})
+			}
+			i++
+		case '?':
+			ops = append(ops, globOp{kind: opAny})
+			i++
+		case '\\':
+			if i+1 < len(pat) {
+				ops = append(ops, globOp{kind: opLiteral, ch: pat[i+1]})
+				i += 2
+			} else {
+				ops = append(ops, globOp{kind: opLiteral, ch: '\\'})
+				i++
+			}
+		case '[':
+			set, negate, next := compileClass(pat, i)
+			if next == 0 {
+				ops = append(ops, globOp{kind: opLiteral, ch: '['})
+				i++
+			} else {
+				ops = append(ops, globOp{kind: opClass, class: set, negate: negate})
+				i = next
+			}
+		default:
+			ops = append(ops, globOp{kind: opLiteral, ch: pat[i]})
+			i++
+		}
+	}
+	return ops
+}
+
+func compileClass(pat string, start int) (*classSet, bool, int) {
+	i := start + 1
+	negate := false
+	if i < len(pat) && (pat[i] == '^' || pat[i] == '!') {
+		negate = true
+		i++
+	}
+	set := &classSet{}
+	first := true
+	for i < len(pat) {
+		if pat[i] == ']' && !first {
+			return set, negate, i + 1
+		}
+		first = false
+		if pat[i] == '\\' && i+1 < len(pat) {
+			i++
+		}
+		lo := pat[i]
+		hi := lo
+		if i+2 < len(pat) && pat[i+1] == '-' && pat[i+2] != ']' {
+			i += 2
+			if pat[i] == '\\' && i+1 < len(pat) {
+				i++
+			}
+			hi = pat[i]
+		}
+		for c := int(lo); c <= int(hi); c++ {
+			set.add(byte(c))
+		}
+		i++
+	}
+	return nil, false, 0
+}

@@ -1,0 +1,135 @@
+// Package pattern implements the matching machinery of the expect engine:
+// C-shell-style glob patterns (`*`, `?`, `[...]`, `\`), matched against the
+// entire accumulated output of a process — the paper's §3.1 semantics, which
+// is why expect scripts write `*welcome*` — plus an incremental matcher that
+// carries NFA state across reads so data arriving in many small chunks is
+// never rescanned (the paper's §7.4 open performance question).
+package pattern
+
+// Match reports whether s matches glob pattern pat in its entirety
+// (anchored at both ends). Supported syntax:
+//
+//   - any run of characters, including empty
+//     ?        any single character
+//     [a-z]    character class, ranges allowed, ^ or ! negates
+//     \x       literal x
+//
+// A malformed class (unterminated '[') matches a literal '['.
+func Match(pat, s string) bool {
+	return matchHere(pat, s)
+}
+
+func matchHere(pat, s string) bool {
+	px, sx := 0, 0
+	starPx, starSx := -1, -1
+	for sx < len(s) {
+		if px < len(pat) {
+			switch pat[px] {
+			case '*':
+				// Remember backtrack point; try matching zero chars first.
+				starPx, starSx = px, sx
+				px++
+				continue
+			case '?':
+				px++
+				sx++
+				continue
+			case '[':
+				if ok, next := classMatch(pat, px, s[sx]); next > 0 {
+					if ok {
+						px = next
+						sx++
+						continue
+					}
+				} else if s[sx] == '[' { // malformed class: literal
+					px++
+					sx++
+					continue
+				}
+			case '\\':
+				if px+1 < len(pat) {
+					if pat[px+1] == s[sx] {
+						px += 2
+						sx++
+						continue
+					}
+				} else if s[sx] == '\\' {
+					px++
+					sx++
+					continue
+				}
+			default:
+				if pat[px] == s[sx] {
+					px++
+					sx++
+					continue
+				}
+			}
+		}
+		// Mismatch: backtrack to the last '*' and let it eat one more char.
+		if starPx >= 0 {
+			starSx++
+			px, sx = starPx+1, starSx
+			continue
+		}
+		return false
+	}
+	// Input exhausted: remaining pattern must be all '*'.
+	for px < len(pat) && pat[px] == '*' {
+		px++
+	}
+	return px == len(pat)
+}
+
+// classMatch evaluates the character class starting at pat[start] (which is
+// '[') against c. It returns whether c matches and the index just past the
+// closing ']'; next == 0 signals a malformed (unterminated) class.
+func classMatch(pat string, start int, c byte) (matched bool, next int) {
+	i := start + 1
+	negate := false
+	if i < len(pat) && (pat[i] == '^' || pat[i] == '!') {
+		negate = true
+		i++
+	}
+	first := true
+	found := false
+	for i < len(pat) {
+		if pat[i] == ']' && !first {
+			if negate {
+				return !found, i + 1
+			}
+			return found, i + 1
+		}
+		first = false
+		var lo byte
+		if pat[i] == '\\' && i+1 < len(pat) {
+			i++
+		}
+		lo = pat[i]
+		hi := lo
+		if i+2 < len(pat) && pat[i+1] == '-' && pat[i+2] != ']' {
+			i += 2
+			if pat[i] == '\\' && i+1 < len(pat) {
+				i++
+			}
+			hi = pat[i]
+		}
+		if lo <= c && c <= hi {
+			found = true
+		}
+		i++
+	}
+	return false, 0 // unterminated
+}
+
+// HasWildcards reports whether pat contains any glob metacharacters; plain
+// strings can use fast substring checks.
+func HasWildcards(pat string) bool {
+	for i := 0; i < len(pat); i++ {
+		switch pat[i] {
+		case '*', '?', '[', '\\':
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+package pattern
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var matchCases = []struct {
+	pat, s string
+	want   bool
+}{
+	// Literals.
+	{"", "", true},
+	{"", "a", false},
+	{"a", "a", true},
+	{"a", "b", false},
+	{"abc", "abc", true},
+	{"abc", "abx", false},
+	{"abc", "ab", false},
+	{"ab", "abc", false},
+
+	// Star.
+	{"*", "", true},
+	{"*", "anything at all", true},
+	{"a*", "a", true},
+	{"a*", "abc", true},
+	{"a*", "ba", false},
+	{"*a", "a", true},
+	{"*a", "bca", true},
+	{"*a", "ab", false},
+	{"a*b", "ab", true},
+	{"a*b", "axxxb", true},
+	{"a*b", "axxxc", false},
+	{"*a*", "xax", true},
+	{"*a*", "xxx", false},
+	{"**", "abc", true},
+	{"*abc*def*", "xxabcyydefzz", true},
+	{"*abc*def*", "xxabcyydezz", false},
+
+	// The paper's anchored semantics: patterns must match the ENTIRE
+	// output, which is why scripts write *welcome*.
+	{"welcome", "login: welcome to unix", false},
+	{"*welcome*", "login: welcome to unix", true},
+	{"*Str:\\ 18*", "Level: 1  Str: 18  Gold: 0", true},
+	{"*Str: 18*", "Level: 1  Str: 17  Gold: 0", false},
+	{"*CONNECT*", "ATDT5551212\r\nCONNECT 1200\r\n", true},
+	{"*OK*", "ATZ\r\nOK\r\n", true},
+	{"*busy*", "line is busy, try later", true},
+
+	// Question mark.
+	{"?", "a", true},
+	{"?", "", false},
+	{"?", "ab", false},
+	{"a?c", "abc", true},
+	{"a?c", "ac", false},
+	{"???", "abc", true},
+	{"?*", "x", true},
+	{"?*", "", false},
+
+	// Character classes.
+	{"[abc]", "b", true},
+	{"[abc]", "d", false},
+	{"[a-z]", "m", true},
+	{"[a-z]", "M", false},
+	{"[a-zA-Z]", "M", true},
+	{"[^abc]", "d", true},
+	{"[^abc]", "a", false},
+	{"[!abc]", "d", true},
+	{"x[0-9]y", "x5y", true},
+	{"x[0-9]y", "xay", false},
+	{"[]]", "]", true},
+	{"[-a]", "-", true},
+	{"[a-]", "-", true},
+	{"*[0-9]*", "Str: 18", true},
+
+	// Backslash escapes.
+	{`\*`, "*", true},
+	{`\*`, "a", false},
+	{`\?`, "?", true},
+	{`a\*b`, "a*b", true},
+	{`a\*b`, "axb", false},
+	{`\\`, `\`, true},
+	{`\[a\]`, "[a]", true},
+
+	// Malformed class degrades to literal '['.
+	{"[abc", "[abc", true},
+	{"a[", "a[", true},
+
+	// Pathological backtracking shapes still work.
+	{"*a*a*a*a*", "aaaa", true},
+	{"*a*a*a*a*a*", "aaaa", false},
+	{"a*a*a*b", strings.Repeat("a", 30) + "b", true},
+}
+
+func TestMatch(t *testing.T) {
+	for _, tc := range matchCases {
+		if got := Match(tc.pat, tc.s); got != tc.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestIncrementalAgreesWithMatch(t *testing.T) {
+	for _, tc := range matchCases {
+		m := NewIncremental(tc.pat)
+		if got := m.Feed([]byte(tc.s)); got != tc.want {
+			t.Errorf("Incremental(%q).Feed(%q) = %v, want %v", tc.pat, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestIncrementalByteAtATime(t *testing.T) {
+	for _, tc := range matchCases {
+		m := NewIncremental(tc.pat)
+		got := m.Matched()
+		for k := 0; k < len(tc.s); k++ {
+			got = m.Feed([]byte{tc.s[k]})
+		}
+		if got != tc.want {
+			t.Errorf("Incremental(%q) byte-at-a-time over %q = %v, want %v",
+				tc.pat, tc.s, got, tc.want)
+		}
+		if m.Consumed() != int64(len(tc.s)) {
+			t.Errorf("Consumed = %d, want %d", m.Consumed(), len(tc.s))
+		}
+	}
+}
+
+func TestIncrementalReset(t *testing.T) {
+	m := NewIncremental("*abc*")
+	if !m.Feed([]byte("xxabcyy")) {
+		t.Fatal("expected match before reset")
+	}
+	m.Reset()
+	if m.Matched() {
+		t.Error("matched immediately after reset")
+	}
+	if m.Consumed() != 0 {
+		t.Errorf("Consumed after reset = %d", m.Consumed())
+	}
+	if !m.Feed([]byte("abc")) {
+		t.Error("expected match after reset and refeed")
+	}
+}
+
+func TestIncrementalDead(t *testing.T) {
+	m := NewIncremental("abc") // fully anchored literal
+	m.Feed([]byte("x"))
+	if !m.Dead() {
+		t.Error("literal pattern fed wrong first byte should be dead")
+	}
+	m2 := NewIncremental("*abc*")
+	m2.Feed([]byte("zzzzzz"))
+	if m2.Dead() {
+		t.Error("leading-star pattern can always still match")
+	}
+}
+
+func TestIncrementalEmptyPattern(t *testing.T) {
+	m := NewIncremental("")
+	if !m.Matched() {
+		t.Error("empty pattern should match empty input")
+	}
+	if m.Feed([]byte("a")) {
+		t.Error("empty pattern must not match non-empty input")
+	}
+}
+
+func TestHasWildcards(t *testing.T) {
+	for pat, want := range map[string]bool{
+		"abc":   false,
+		"a*c":   true,
+		"a?c":   true,
+		"a[b]c": true,
+		`a\*`:   true,
+		"":      false,
+	} {
+		if got := HasWildcards(pat); got != want {
+			t.Errorf("HasWildcards(%q) = %v, want %v", pat, got, want)
+		}
+	}
+}
+
+// randomPattern builds a small glob pattern over {a, b, *, ?, [ab]}.
+func randomPattern(r *rand.Rand) string {
+	n := r.Intn(8)
+	var sb strings.Builder
+	for k := 0; k < n; k++ {
+		switch r.Intn(6) {
+		case 0:
+			sb.WriteByte('a')
+		case 1:
+			sb.WriteByte('b')
+		case 2:
+			sb.WriteByte('c')
+		case 3:
+			sb.WriteByte('*')
+		case 4:
+			sb.WriteByte('?')
+		case 5:
+			sb.WriteString("[ab]")
+		}
+	}
+	return sb.String()
+}
+
+func randomInput(r *rand.Rand) string {
+	n := r.Intn(12)
+	var sb strings.Builder
+	for k := 0; k < n; k++ {
+		sb.WriteByte("abc"[r.Intn(3)])
+	}
+	return sb.String()
+}
+
+// Property: the incremental matcher agrees with the backtracking matcher on
+// random pattern/input pairs, regardless of how the input is chunked.
+func TestIncrementalEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pat := randomPattern(r)
+		in := randomInput(r)
+		want := Match(pat, in)
+
+		whole := NewIncremental(pat).Feed([]byte(in))
+		if whole != want {
+			t.Logf("pat=%q in=%q: whole-feed=%v want=%v", pat, in, whole, want)
+			return false
+		}
+		m := NewIncremental(pat)
+		got := m.Matched()
+		pos := 0
+		for pos < len(in) {
+			step := 1 + r.Intn(3)
+			if pos+step > len(in) {
+				step = len(in) - pos
+			}
+			got = m.Feed([]byte(in[pos : pos+step]))
+			pos += step
+		}
+		if got != want {
+			t.Logf("pat=%q in=%q: chunked=%v want=%v", pat, in, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a pattern always matches itself once wildcards are escaped.
+func TestEscapedSelfMatchQuick(t *testing.T) {
+	f := func(s string) bool {
+		var pat strings.Builder
+		for i := 0; i < len(s); i++ {
+			switch s[i] {
+			case '*', '?', '[', '\\':
+				pat.WriteByte('\\')
+			}
+			pat.WriteByte(s[i])
+		}
+		return Match(pat.String(), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

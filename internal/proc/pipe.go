@@ -1,0 +1,127 @@
+package proc
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// memPipe is a buffered in-memory byte pipe with backpressure: writers
+// block once cap bytes are buffered, the way a real pty's output queue
+// clogs when nobody drains it (the paper notes free-running processes
+// "will eventually clog the pty if not periodically flushed").
+type memPipe struct {
+	mu          sync.Mutex
+	dataReady   *sync.Cond
+	spaceReady  *sync.Cond
+	buf         []byte
+	max         int
+	writeClosed bool
+	readClosed  bool
+}
+
+// errPipeClosed is returned for writes into a pipe whose read side is gone.
+var errPipeClosed = errors.New("proc: write to closed pipe")
+
+func newMemPipe(max int) *memPipe {
+	p := &memPipe{max: max}
+	p.dataReady = sync.NewCond(&p.mu)
+	p.spaceReady = sync.NewCond(&p.mu)
+	return p
+}
+
+func (p *memPipe) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.buf) == 0 {
+		if p.writeClosed || p.readClosed {
+			return 0, io.EOF
+		}
+		p.dataReady.Wait()
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	if len(p.buf) == 0 {
+		p.buf = nil
+	}
+	p.spaceReady.Broadcast()
+	return n, nil
+}
+
+func (p *memPipe) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	written := 0
+	for written < len(b) {
+		if p.readClosed || p.writeClosed {
+			return written, errPipeClosed
+		}
+		for len(p.buf) >= p.max {
+			p.spaceReady.Wait()
+			if p.readClosed || p.writeClosed {
+				return written, errPipeClosed
+			}
+		}
+		room := p.max - len(p.buf)
+		chunk := b[written:]
+		if len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		p.buf = append(p.buf, chunk...)
+		written += len(chunk)
+		p.dataReady.Broadcast()
+	}
+	return written, nil
+}
+
+// CloseWrite signals EOF to the reader once the buffer drains.
+func (p *memPipe) CloseWrite() error {
+	p.mu.Lock()
+	p.writeClosed = true
+	p.dataReady.Broadcast()
+	p.spaceReady.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// CloseRead tears down the read side; subsequent writes fail.
+func (p *memPipe) CloseRead() error {
+	p.mu.Lock()
+	p.readClosed = true
+	p.buf = nil
+	p.dataReady.Broadcast()
+	p.spaceReady.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// Duplex is one endpoint of an in-memory bidirectional byte stream — the
+// virtual-program analogue of a pty master or slave.
+type Duplex struct {
+	in  *memPipe // what this endpoint reads
+	out *memPipe // what this endpoint writes
+}
+
+// NewDuplexPair creates a connected pair of endpoints, each side buffering
+// up to capacity bytes in each direction.
+func NewDuplexPair(capacity int) (*Duplex, *Duplex) {
+	ab := newMemPipe(capacity)
+	ba := newMemPipe(capacity)
+	return &Duplex{in: ba, out: ab}, &Duplex{in: ab, out: ba}
+}
+
+func (d *Duplex) Read(b []byte) (int, error)  { return d.in.Read(b) }
+func (d *Duplex) Write(b []byte) (int, error) { return d.out.Write(b) }
+
+// Close shuts down both directions as seen from this endpoint: the peer
+// reads EOF, and the peer's writes start failing.
+func (d *Duplex) Close() error {
+	d.out.CloseWrite()
+	d.in.CloseRead()
+	return nil
+}
+
+// CloseWrite half-closes: the peer reads EOF but can still write to us.
+// close(1) in an expect script maps to this on virtual processes, matching
+// "most interactive programs will detect EOF on their standard input".
+func (d *Duplex) CloseWrite() error { return d.out.CloseWrite() }

@@ -1,0 +1,356 @@
+// Package authsim simulates the authentication-shaped programs the paper
+// keeps returning to: passwd, the program whose insistence on prompting
+// motivates the whole system (§1); a login greeter (the target of uucp
+// chat scripts and stelnet); and an rn-style input-flushing program
+// (§5.4), against which blind shell redirection demonstrably loses data.
+package authsim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// crlfReader reads lines terminated by \n, \r, or \r\n — programs of this
+// vintage sit behind ttys and modems, where bare carriage returns are the
+// norm (uucp chat scripts send \r, not \n).
+type crlfReader struct {
+	in        *bufio.Reader
+	lastWasCR bool
+}
+
+func newCRLFReader(r io.Reader) *crlfReader {
+	return &crlfReader{in: bufio.NewReader(r)}
+}
+
+// ReadLine returns the next line (without its terminator) and whether the
+// stream is still usable.
+func (r *crlfReader) ReadLine() (string, bool) {
+	var sb strings.Builder
+	for {
+		c, err := r.in.ReadByte()
+		if err != nil {
+			return sb.String(), sb.Len() > 0
+		}
+		switch c {
+		case '\n':
+			if r.lastWasCR && sb.Len() == 0 {
+				// The \n of a \r\n pair: not a new line.
+				r.lastWasCR = false
+				continue
+			}
+			r.lastWasCR = false
+			return sb.String(), true
+		case '\r':
+			r.lastWasCR = true
+			return sb.String(), true
+		default:
+			r.lastWasCR = false
+			sb.WriteByte(c)
+		}
+	}
+}
+
+// PasswdConfig configures the passwd clone.
+type PasswdConfig struct {
+	User        string
+	OldPassword string
+	// Dictionary lists forbidden passwords (the system dictionary of the
+	// paper's §1 example: "rejects passwords that are in the system
+	// dictionary").
+	Dictionary []string
+	// MinLength rejects short passwords (default 6).
+	MinLength int
+	// MaxTries bounds new-password attempts (default 3).
+	MaxTries int
+	// OnSuccess, when non-nil, receives the accepted password.
+	OnSuccess func(newPassword string)
+}
+
+// NewPasswd returns the passwd program. Like the real one it refuses to
+// take the password any way but interactively — there is no flag, no
+// stdin-redirection convention, nothing: you must answer its prompts.
+func NewPasswd(cfg PasswdConfig) proc.Program {
+	minLen := cfg.MinLength
+	if minLen == 0 {
+		minLen = 6
+	}
+	maxTries := cfg.MaxTries
+	if maxTries == 0 {
+		maxTries = 3
+	}
+	dict := make(map[string]bool, len(cfg.Dictionary))
+	for _, w := range cfg.Dictionary {
+		dict[strings.ToLower(w)] = true
+	}
+	return func(stdin io.Reader, stdout io.Writer) error {
+		in := newCRLFReader(stdin)
+		readLine := in.ReadLine
+
+		fmt.Fprintf(stdout, "Changing password for %s\n", cfg.User)
+		if cfg.OldPassword != "" {
+			fmt.Fprint(stdout, "Old password: ")
+			old, ok := readLine()
+			if !ok || old != cfg.OldPassword {
+				fmt.Fprintln(stdout, "\nSorry.")
+				return fmt.Errorf("passwd: bad old password")
+			}
+			fmt.Fprintln(stdout)
+		}
+		for try := 0; try < maxTries; try++ {
+			fmt.Fprint(stdout, "New password: ")
+			pw, ok := readLine()
+			if !ok {
+				return fmt.Errorf("passwd: EOF")
+			}
+			fmt.Fprintln(stdout)
+			switch {
+			case len(pw) < minLen:
+				fmt.Fprintln(stdout, "Please use a longer password.")
+				continue
+			case dict[strings.ToLower(pw)]:
+				fmt.Fprintln(stdout, "Please don't use an English word as your password.")
+				continue
+			}
+			fmt.Fprint(stdout, "Retype new password: ")
+			again, ok := readLine()
+			if !ok {
+				return fmt.Errorf("passwd: EOF")
+			}
+			fmt.Fprintln(stdout)
+			if again != pw {
+				fmt.Fprintln(stdout, "Mismatch - password unchanged.")
+				return fmt.Errorf("passwd: mismatch")
+			}
+			if cfg.OnSuccess != nil {
+				cfg.OnSuccess(pw)
+			}
+			fmt.Fprintln(stdout, "Password changed.")
+			return nil
+		}
+		fmt.Fprintln(stdout, "Too many tries; password unchanged.")
+		return fmt.Errorf("passwd: too many tries")
+	}
+}
+
+// LoginConfig configures the login greeter.
+type LoginConfig struct {
+	// Accounts maps user names to passwords.
+	Accounts map[string]string
+	// Hostname appears in the banner (default "unixhost").
+	Hostname string
+	// Banner replaces the default pre-login banner when non-empty.
+	Banner string
+	// PromptVariant, when set, changes "login: " to "Username: " — the
+	// kind of drift that breaks fixed chat scripts (experiment E12).
+	PromptVariant bool
+	// Busy makes the system print a busy message and hang up, another E12
+	// failure mode.
+	Busy bool
+	// MaxAttempts before giving up (default 3) — the §5.4 lockout
+	// countermeasure against relentless password guessing.
+	MaxAttempts int
+	// LoginDelay pauses before the first prompt (a slow getty).
+	LoginDelay time.Duration
+	// Mail holds messages the shell's mail command will print — used by
+	// the §5.8 remote-mail-retrieval example.
+	Mail []string
+}
+
+// NewLogin returns the login-plus-shell program. After authentication it
+// answers a tiny command set (ls, who, echo, mail, logout) with a "$ "
+// prompt, enough dialogue surface for every login-driving experiment.
+func NewLogin(cfg LoginConfig) proc.Program {
+	host := cfg.Hostname
+	if host == "" {
+		host = "unixhost"
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 3
+	}
+	return func(stdin io.Reader, stdout io.Writer) error {
+		if cfg.LoginDelay > 0 {
+			time.Sleep(cfg.LoginDelay)
+		}
+		if cfg.Busy {
+			fmt.Fprintf(stdout, "\r\n%s: all lines busy, try again later\r\n", host)
+			return fmt.Errorf("login: busy")
+		}
+		if cfg.Banner != "" {
+			fmt.Fprintf(stdout, "%s\r\n", cfg.Banner)
+		} else {
+			fmt.Fprintf(stdout, "\r\n%s UNIX (4.3BSD)\r\n\r\n", host)
+		}
+		in := newCRLFReader(stdin)
+		readLine := in.ReadLine
+		prompt := "login: "
+		if cfg.PromptVariant {
+			prompt = "Username: "
+		}
+		var user string
+		authed := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			fmt.Fprint(stdout, prompt)
+			u, ok := readLine()
+			if !ok {
+				return nil
+			}
+			fmt.Fprint(stdout, "Password: ")
+			p, ok := readLine()
+			if !ok {
+				return nil
+			}
+			fmt.Fprint(stdout, "\r\n")
+			if want, exists := cfg.Accounts[u]; exists && want == p {
+				user = u
+				authed = true
+				break
+			}
+			fmt.Fprint(stdout, "Login incorrect\r\n")
+		}
+		if !authed {
+			return fmt.Errorf("login: too many attempts")
+		}
+		fmt.Fprintf(stdout, "Last login: Tue Jun  5 09:15:03 on ttyp0\r\nWelcome to %s.\r\n", host)
+		mail := cfg.Mail
+		if len(mail) > 0 {
+			fmt.Fprint(stdout, "You have mail.\r\n")
+		}
+		for {
+			fmt.Fprint(stdout, "$ ")
+			line, ok := readLine()
+			if !ok {
+				return nil
+			}
+			fields := strings.Fields(line)
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "logout", "exit":
+				fmt.Fprint(stdout, "logout\r\n")
+				return nil
+			case "ls":
+				fmt.Fprint(stdout, "Mail\t\tbin\t\tnotes.txt\r\n")
+			case "who":
+				fmt.Fprintf(stdout, "%s\tttyp0\tJun  5 09:15\r\n", user)
+			case "echo":
+				fmt.Fprintf(stdout, "%s\r\n", strings.Join(fields[1:], " "))
+			case "mail":
+				if len(mail) == 0 {
+					fmt.Fprint(stdout, "No mail.\r\n")
+					continue
+				}
+				for i, m := range mail {
+					fmt.Fprintf(stdout, "Message %d:\r\n%s\r\n", i+1, m)
+				}
+				mail = nil
+			default:
+				fmt.Fprintf(stdout, "%s: Command not found.\r\n", fields[0])
+			}
+		}
+	}
+}
+
+// FlusherConfig configures the rn-style input flusher of §5.4:
+// "Particularly clever programs such as rn not only flush input already
+// received but continue to flush input for a short time afterwards."
+type FlusherConfig struct {
+	// Commands is how many prompts the program issues.
+	Commands int
+	// ThinkTime is how long the program "works" before each prompt; input
+	// arriving during this window is flushed unread.
+	ThinkTime time.Duration
+	// PostFlush keeps flushing for this long after each prompt would have
+	// appeared following an error — modeled as a flat extension of the
+	// flush window.
+	PostFlush time.Duration
+	// OnProcessed, when non-nil, is called with each command line that
+	// actually survived to be read.
+	OnProcessed func(line string)
+}
+
+// NewFlusher returns the flushing program. Input sent before a prompt is
+// discarded, so a writer that does not wait for prompts (blind shell
+// redirection) loses lines; expect, waiting for each prompt, loses none.
+func NewFlusher(cfg FlusherConfig) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		// A dedicated goroutine owns stdin and timestamps arrivals; the
+		// command loop flushes whatever predates its prompt.
+		input := make(chan []byte, 64)
+		go func() {
+			defer close(input)
+			for {
+				buf := make([]byte, 256)
+				n, err := stdin.Read(buf)
+				if n > 0 {
+					input <- buf[:n]
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		var pending []byte
+		processed := 0
+		for i := 0; i < cfg.Commands; i++ {
+			// Think, then flush everything that arrived meanwhile.
+			deadline := time.After(cfg.ThinkTime + cfg.PostFlush)
+		flushLoop:
+			for {
+				select {
+				case _, ok := <-input:
+					if !ok {
+						fmt.Fprintf(stdout, "processed %d of %d\n", processed, cfg.Commands)
+						return nil
+					}
+					// flushed unread
+				case <-deadline:
+					break flushLoop
+				}
+			}
+			pending = nil
+			fmt.Fprintf(stdout, "Command %d> ", i+1)
+			// Now read one line; input after the prompt is honored.
+			line, ok := readLineFrom(input, &pending)
+			if !ok {
+				fmt.Fprintf(stdout, "processed %d of %d\n", processed, cfg.Commands)
+				return nil
+			}
+			processed++
+			if cfg.OnProcessed != nil {
+				cfg.OnProcessed(line)
+			}
+			fmt.Fprintf(stdout, "ok: %s\n", line)
+		}
+		fmt.Fprintf(stdout, "processed %d of %d\n", processed, cfg.Commands)
+		return nil
+	}
+}
+
+func readLineFrom(input chan []byte, pending *[]byte) (string, bool) {
+	var sb strings.Builder
+	for {
+		for len(*pending) > 0 {
+			c := (*pending)[0]
+			*pending = (*pending)[1:]
+			if c == '\n' || c == '\r' {
+				if sb.Len() == 0 {
+					continue
+				}
+				return sb.String(), true
+			}
+			sb.WriteByte(c)
+		}
+		ch, ok := <-input
+		if !ok {
+			return sb.String(), sb.Len() > 0
+		}
+		*pending = append(*pending, ch...)
+	}
+}

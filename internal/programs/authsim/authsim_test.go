@@ -1,0 +1,271 @@
+package authsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestPasswdHappyPath(t *testing.T) {
+	var accepted string
+	prog := NewPasswd(PasswdConfig{
+		User:        "libes",
+		OldPassword: "old-secret",
+		Dictionary:  []string{"password", "dragon"},
+		OnSuccess:   func(pw string) { accepted = pw },
+	})
+	s, err := core.SpawnProgram(nil, "passwd", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Old password:*")); err != nil {
+		t.Fatalf("old prompt: %v", err)
+	}
+	s.Send("old-secret\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*New password:*")); err != nil {
+		t.Fatalf("new prompt: %v", err)
+	}
+	s.Send("xkcd-grue-42\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Retype new password:*")); err != nil {
+		t.Fatalf("retype prompt: %v", err)
+	}
+	s.Send("xkcd-grue-42\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Password changed*")); err != nil {
+		t.Fatalf("no success: %v", err)
+	}
+	if code, _ := s.Wait(); code != 0 {
+		t.Errorf("exit %d", code)
+	}
+	if accepted != "xkcd-grue-42" {
+		t.Errorf("accepted %q", accepted)
+	}
+}
+
+// TestPasswdRejectsDictionary is the paper's opening problem: "it is
+// impossible to write a [shell] script that, say, rejects passwords that
+// are in the system dictionary" — passwd itself enforces it here, and an
+// expect-driven dialogue can react to the rejection.
+func TestPasswdRejectsDictionary(t *testing.T) {
+	prog := NewPasswd(PasswdConfig{
+		User:       "libes",
+		Dictionary: []string{"dragon"},
+	})
+	s, err := core.SpawnProgram(nil, "passwd", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*New password:*")); err != nil {
+		t.Fatalf("prompt: %v", err)
+	}
+	s.Send("dragon\n")
+	// Anchored globs consume the whole buffer, so the rejection and the
+	// retry prompt are matched together, idiomatic-expect style.
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*English word*New password:*")); err != nil {
+		t.Fatalf("no dictionary rejection + retry prompt: %v", err)
+	}
+	s.Send("g00d-and-l0ng\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Retype*")); err != nil {
+		t.Fatalf("no retype: %v", err)
+	}
+	s.Send("g00d-and-l0ng\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*changed*")); err != nil {
+		t.Fatalf("no success: %v", err)
+	}
+}
+
+func TestPasswdShortAndMismatch(t *testing.T) {
+	prog := NewPasswd(PasswdConfig{User: "u"})
+	s, err := core.SpawnProgram(nil, "passwd", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectTimeout(2*time.Second, core.Glob("*New password:*"))
+	s.Send("ab\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*longer*")); err != nil {
+		t.Fatalf("no short rejection: %v", err)
+	}
+	s.ExpectTimeout(2*time.Second, core.Glob("*New password:*"))
+	s.Send("long-enough\n")
+	s.ExpectTimeout(2*time.Second, core.Glob("*Retype*"))
+	s.Send("different\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Mismatch*")); err != nil {
+		t.Fatalf("no mismatch: %v", err)
+	}
+	if code, _ := s.Wait(); code == 0 {
+		t.Error("mismatch exited 0")
+	}
+}
+
+func TestPasswdWrongOld(t *testing.T) {
+	prog := NewPasswd(PasswdConfig{User: "u", OldPassword: "right"})
+	s, err := core.SpawnProgram(nil, "passwd", prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectTimeout(2*time.Second, core.Glob("*Old password:*"))
+	s.Send("wrong\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Sorry*")); err != nil {
+		t.Fatalf("no rejection: %v", err)
+	}
+}
+
+func loginSession(t *testing.T, cfg LoginConfig) *core.Session {
+	t.Helper()
+	s, err := core.SpawnProgram(nil, "login", NewLogin(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestLoginSuccessAndShell(t *testing.T) {
+	s := loginSession(t, LoginConfig{
+		Accounts: map[string]string{"don": "expect1990"},
+		Hostname: "nist",
+	})
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*login:*")); err != nil {
+		t.Fatalf("prompt: %v", err)
+	}
+	s.Send("don\n")
+	s.ExpectTimeout(2*time.Second, core.Glob("*Password:*"))
+	s.Send("expect1990\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Welcome to nist*")); err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	// The shell reads lines as they come; anchored matches above already
+	// consumed each prompt, so don't wait on them again.
+	s.Send("echo hello there\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*hello there*")); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	s.Send("who\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*don*ttyp0*")); err != nil {
+		t.Fatalf("who: %v", err)
+	}
+	s.Send("logout\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*logout*")); err != nil {
+		t.Fatalf("logout: %v", err)
+	}
+}
+
+func TestLoginLockout(t *testing.T) {
+	s := loginSession(t, LoginConfig{
+		Accounts:    map[string]string{"don": "right"},
+		MaxAttempts: 2,
+	})
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*login:*")); err != nil {
+		t.Fatalf("first prompt: %v", err)
+	}
+	// The greeter reads lines whether or not we pace ourselves, so feed
+	// both failing attempts and watch both rejections arrive.
+	s.Send("don\nwrong\ndon\nwrong\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Regexp(`(?s)Login incorrect.*Login incorrect`)); err != nil {
+		t.Fatalf("rejections: %v", err)
+	}
+	// §5.4's countermeasure: the account locks out, the program exits.
+	if _, err := s.ExpectTimeout(2*time.Second, core.EOFCase()); err != nil {
+		t.Fatalf("after lockout: %v", err)
+	}
+	if code, _ := s.Wait(); code == 0 {
+		t.Error("lockout exited 0")
+	}
+}
+
+func TestLoginBusyVariant(t *testing.T) {
+	s := loginSession(t, LoginConfig{Busy: true})
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*busy*")); err != nil {
+		t.Fatalf("busy banner: %v", err)
+	}
+}
+
+func TestLoginPromptVariant(t *testing.T) {
+	s := loginSession(t, LoginConfig{
+		Accounts:      map[string]string{"don": "pw"},
+		PromptVariant: true,
+	})
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Username:*")); err != nil {
+		t.Fatalf("variant prompt: %v", err)
+	}
+}
+
+func TestLoginMail(t *testing.T) {
+	s := loginSession(t, LoginConfig{
+		Accounts: map[string]string{"don": "pw"},
+		Mail:     []string{"From mci!sys: your build is done"},
+	})
+	s.ExpectTimeout(2*time.Second, core.Glob("*login:*"))
+	s.Send("don\n")
+	s.ExpectTimeout(2*time.Second, core.Glob("*Password:*"))
+	s.Send("pw\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*You have mail*")); err != nil {
+		t.Fatalf("mail notice: %v", err)
+	}
+	s.Send("mail\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*your build is done*")); err != nil {
+		t.Fatalf("mail body: %v", err)
+	}
+}
+
+// TestFlusherLosesBlindInput pins §5.4: input sent before the prompt is
+// flushed; input sent after each prompt survives.
+func TestFlusherLosesBlindInput(t *testing.T) {
+	var mu sync.Mutex
+	var processed []string
+	record := func(line string) {
+		mu.Lock()
+		processed = append(processed, line)
+		mu.Unlock()
+	}
+	cfg := FlusherConfig{Commands: 3, ThinkTime: 60 * time.Millisecond, OnProcessed: record}
+
+	// Blind writer: everything up front, like `prog < cmds.txt`.
+	s, err := core.SpawnProgram(nil, "rn", NewFlusher(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Send("one\ntwo\nthree\n")
+	s.CloseWrite() // blind writer is done; without EOF rn would wait forever
+	if _, err := s.ExpectTimeout(5*time.Second, core.Glob("*processed*"), core.EOFCase()); err != nil {
+		t.Fatalf("flusher never finished: %v", err)
+	}
+	s.Wait()
+	s.Close()
+	mu.Lock()
+	blindCount := len(processed)
+	processed = nil
+	mu.Unlock()
+	if blindCount == 3 {
+		t.Error("blind writer lost nothing — flusher is not flushing")
+	}
+
+	// Prompt-aware writer (what expect does): wait for each prompt.
+	s2, err := core.SpawnProgram(nil, "rn", NewFlusher(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i, cmd := range []string{"one", "two", "three"} {
+		if _, err := s2.ExpectTimeout(5*time.Second, core.Glob("*Command*> *")); err != nil {
+			t.Fatalf("prompt %d: %v", i+1, err)
+		}
+		s2.Send(cmd + "\n")
+	}
+	r, err := s2.ExpectTimeout(5*time.Second, core.Glob("*processed 3 of 3*"), core.EOFCase())
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	_ = r
+	mu.Lock()
+	awareCount := len(processed)
+	mu.Unlock()
+	if awareCount != 3 {
+		t.Errorf("prompt-aware writer processed %d of 3", awareCount)
+	}
+}

@@ -1,0 +1,128 @@
+package authsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// The other two programs §5.3 names alongside passwd: "passwd, crypt, and
+// su are examples of programs that cannot be controlled by the shell but
+// can by expect."
+
+// CryptConfig configures the crypt(1) clone.
+type CryptConfig struct {
+	// KeyIn/KeyOut, when non-nil, are the terminal the key dialogue uses
+	// — crypt's defining rudeness is that the key prompt bypasses stdio
+	// ("crypt does this because its input is redirected while it
+	// interactively demands an encryption password", §2). Under a pty
+	// transport stdin IS the terminal, so leaving these nil converses on
+	// stdio, which is exactly what the pty arrangement achieves.
+	KeyIn  io.Reader
+	KeyOut io.Writer
+}
+
+// NewCrypt returns a crypt(1)-alike: it demands a key interactively, then
+// transforms stdin to stdout with a (deliberately toy) Vigenère XOR — the
+// cryptography is beside the point; the interface is the point.
+func NewCrypt(cfg CryptConfig) func(stdin io.Reader, stdout io.Writer) error {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		keyIn := cfg.KeyIn
+		keyOut := cfg.KeyOut
+		if keyIn == nil {
+			keyIn = stdin
+		}
+		if keyOut == nil {
+			keyOut = stdout
+		}
+		fmt.Fprint(keyOut, "Enter key: ")
+		// Read the key byte-at-a-time: a buffered reader would swallow
+		// the head of the data that follows on the same stream.
+		key, ok := readLineUnbuffered(keyIn)
+		if !ok || key == "" {
+			fmt.Fprintln(keyOut, "\ncrypt: no key")
+			return fmt.Errorf("crypt: no key")
+		}
+		fmt.Fprint(keyOut, "\n")
+		buf := make([]byte, 4096)
+		pos := 0
+		for {
+			n, err := stdin.Read(buf)
+			if n > 0 {
+				out := make([]byte, n)
+				for i := 0; i < n; i++ {
+					out[i] = buf[i] ^ key[pos%len(key)]
+					pos++
+				}
+				if _, werr := stdout.Write(out); werr != nil {
+					return nil
+				}
+			}
+			if err != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// readLineUnbuffered reads one \n- or \r-terminated line a byte at a
+// time, consuming nothing past the terminator.
+func readLineUnbuffered(r io.Reader) (string, bool) {
+	var sb []byte
+	one := make([]byte, 1)
+	for {
+		n, err := r.Read(one)
+		if n > 0 {
+			c := one[0]
+			if c == '\n' || c == '\r' {
+				return string(sb), true
+			}
+			sb = append(sb, c)
+		}
+		if err != nil {
+			return string(sb), len(sb) > 0
+		}
+	}
+}
+
+// SuConfig configures the su(1) clone.
+type SuConfig struct {
+	// Password for the target account.
+	Password string
+	// Target account name (default root).
+	Target string
+}
+
+// NewSu returns an su(1)-alike: one password prompt, then either a root
+// shell prompt ("# ") answering a couple of commands, or "Sorry".
+func NewSu(cfg SuConfig) func(stdin io.Reader, stdout io.Writer) error {
+	target := cfg.Target
+	if target == "" {
+		target = "root"
+	}
+	return func(stdin io.Reader, stdout io.Writer) error {
+		in := newCRLFReader(stdin)
+		fmt.Fprint(stdout, "Password:")
+		pw, ok := in.ReadLine()
+		fmt.Fprint(stdout, "\r\n")
+		if !ok || pw != cfg.Password {
+			fmt.Fprint(stdout, "Sorry\r\n")
+			return fmt.Errorf("su: authentication failure")
+		}
+		for {
+			fmt.Fprint(stdout, "# ")
+			line, ok := in.ReadLine()
+			if !ok {
+				return nil
+			}
+			switch line {
+			case "whoami":
+				fmt.Fprintf(stdout, "%s\r\n", target)
+			case "exit", "logout":
+				return nil
+			case "":
+			default:
+				fmt.Fprintf(stdout, "%s: not found\r\n", line)
+			}
+		}
+	}
+}

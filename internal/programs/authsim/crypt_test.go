@@ -1,0 +1,102 @@
+package authsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestCryptRoundTrip(t *testing.T) {
+	// Encrypt, then decrypt with the same key, through two sessions.
+	encrypt := func(key, plaintext string) string {
+		s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 14}, "crypt", NewCrypt(CryptConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		if _, err := s.ExpectMatch("*Enter key: *"); err != nil {
+			t.Fatalf("key prompt: %v", err)
+		}
+		s.Send(key + "\n")
+		s.Send(plaintext)
+		s.CloseWrite()
+		var out strings.Builder
+		for {
+			r, err := s.ExpectTimeout(2*time.Second, core.Regexp(`(?s).+`), core.EOFCase())
+			if r != nil {
+				out.WriteString(r.Text)
+			}
+			if err != nil || r.Eof {
+				break
+			}
+		}
+		// Drop the "\n" echoed after the key prompt.
+		return strings.TrimPrefix(out.String(), "\n")
+	}
+	plain := "attack at dawn"
+	cipher := encrypt("k3y", plain)
+	if cipher == plain {
+		t.Fatal("ciphertext equals plaintext")
+	}
+	back := encrypt("k3y", cipher)
+	if back != plain {
+		t.Errorf("round trip = %q, want %q", back, plain)
+	}
+}
+
+func TestCryptNoKey(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "crypt", NewCrypt(CryptConfig{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectMatch("*Enter key: *")
+	s.Send("\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*no key*")); err != nil {
+		t.Fatalf("no complaint: %v", err)
+	}
+	if code, _ := s.Wait(); code == 0 {
+		t.Error("exit 0 without a key")
+	}
+}
+
+func TestSuSuccess(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "su", NewSu(SuConfig{Password: "rootpw"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectMatch("*Password:*"); err != nil {
+		t.Fatalf("prompt: %v", err)
+	}
+	s.Send("rootpw\n")
+	if _, err := s.ExpectMatch("*# *"); err != nil {
+		t.Fatalf("no root prompt: %v", err)
+	}
+	s.Send("whoami\n")
+	if _, err := s.ExpectMatch("*root*"); err != nil {
+		t.Fatalf("whoami: %v", err)
+	}
+	s.Send("exit\n")
+	if code, _ := s.Wait(); code != 0 {
+		t.Errorf("exit %d", code)
+	}
+}
+
+func TestSuWrongPassword(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "su", NewSu(SuConfig{Password: "rootpw"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectMatch("*Password:*")
+	s.Send("guess\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Sorry*")); err != nil {
+		t.Fatalf("no rejection: %v", err)
+	}
+	if code, _ := s.Wait(); code == 0 {
+		t.Error("wrong password exited 0")
+	}
+}

@@ -1,0 +1,357 @@
+// Package chess implements a small but legal chess engine speaking the old
+// Unix chess(6) dialogue the paper connects back to back (§2.2, §3.2): the
+// user types moves like "p/k2-k3" in descriptive notation and the program
+// answers with "1. ... p/k7-k5". The announced form is not directly usable
+// as input — exactly the property that forces the paper's read_move /
+// send_move translation procedures.
+package chess
+
+// The board is 0x88: 128 cells, of which the low nibbles 0-7 of each
+// 16-cell row are on-board. Index validity is (sq & 0x88) == 0.
+
+// Piece codes; color is carried separately.
+type Piece int8
+
+// Piece kinds.
+const (
+	Empty Piece = iota
+	Pawn
+	Knight
+	Bishop
+	Rook
+	Queen
+	King
+)
+
+// Color of a side.
+type Color int8
+
+// Colors.
+const (
+	White Color = iota
+	Black
+)
+
+// Opp returns the other color.
+func (c Color) Opp() Color { return 1 - c }
+
+func (c Color) String() string {
+	if c == White {
+		return "white"
+	}
+	return "black"
+}
+
+type square struct {
+	piece Piece
+	color Color
+}
+
+// Board is a complete game position.
+type Board struct {
+	cells  [128]square
+	turn   Color
+	moveNo int // full-move counter, 1-based
+}
+
+// NewBoard sets up the initial position.
+func NewBoard() *Board {
+	b := &Board{turn: White, moveNo: 1}
+	back := []Piece{Rook, Knight, Bishop, Queen, King, Bishop, Knight, Rook}
+	for f := 0; f < 8; f++ {
+		b.cells[sq(f, 0)] = square{back[f], White}
+		b.cells[sq(f, 1)] = square{Pawn, White}
+		b.cells[sq(f, 6)] = square{Pawn, Black}
+		b.cells[sq(f, 7)] = square{back[f], Black}
+	}
+	return b
+}
+
+// sq builds an 0x88 index from file (0=a) and rank (0=1st).
+func sq(file, rank int) int { return rank*16 + file }
+
+func fileOf(s int) int   { return s & 7 }
+func rankOf(s int) int   { return s >> 4 }
+func onBoard(s int) bool { return s&0x88 == 0 }
+
+// Turn returns the side to move.
+func (b *Board) Turn() Color { return b.turn }
+
+// MoveNumber returns the full-move number (1 before white's first move).
+func (b *Board) MoveNumber() int { return b.moveNo }
+
+// Move is a from-to pair with bookkeeping for unmake.
+type Move struct {
+	From, To int
+	piece    Piece
+	captured Piece
+	capColor Color
+	wasCap   bool
+	promoted bool
+}
+
+var (
+	knightOffsets = []int{-33, -31, -18, -14, 14, 18, 31, 33}
+	kingOffsets   = []int{-17, -16, -15, -1, 1, 15, 16, 17}
+	bishopDirs    = []int{-17, -15, 15, 17}
+	rookDirs      = []int{-16, -1, 1, 16}
+)
+
+// pseudoMoves appends all pseudo-legal moves for the side to move.
+func (b *Board) pseudoMoves(out []Move) []Move {
+	us := b.turn
+	for s := 0; s < 128; s++ {
+		if !onBoard(s) {
+			continue
+		}
+		c := b.cells[s]
+		if c.piece == Empty || c.color != us {
+			continue
+		}
+		switch c.piece {
+		case Pawn:
+			dir := 16
+			startRank := 1
+			if us == Black {
+				dir = -16
+				startRank = 6
+			}
+			fwd := s + dir
+			if onBoard(fwd) && b.cells[fwd].piece == Empty {
+				out = append(out, Move{From: s, To: fwd, piece: Pawn})
+				if rankOf(s) == startRank {
+					fwd2 := fwd + dir
+					if onBoard(fwd2) && b.cells[fwd2].piece == Empty {
+						out = append(out, Move{From: s, To: fwd2, piece: Pawn})
+					}
+				}
+			}
+			for _, dc := range []int{dir - 1, dir + 1} {
+				t := s + dc
+				if onBoard(t) && b.cells[t].piece != Empty && b.cells[t].color != us {
+					out = append(out, Move{From: s, To: t, piece: Pawn})
+				}
+			}
+		case Knight:
+			out = b.stepMoves(s, knightOffsets, out)
+		case King:
+			out = b.stepMoves(s, kingOffsets, out)
+		case Bishop:
+			out = b.slideMoves(s, bishopDirs, out)
+		case Rook:
+			out = b.slideMoves(s, rookDirs, out)
+		case Queen:
+			out = b.slideMoves(s, bishopDirs, out)
+			out = b.slideMoves(s, rookDirs, out)
+		}
+	}
+	return out
+}
+
+func (b *Board) stepMoves(s int, offsets []int, out []Move) []Move {
+	us := b.cells[s].color
+	for _, d := range offsets {
+		t := s + d
+		if !onBoard(t) {
+			continue
+		}
+		if b.cells[t].piece == Empty || b.cells[t].color != us {
+			out = append(out, Move{From: s, To: t, piece: b.cells[s].piece})
+		}
+	}
+	return out
+}
+
+func (b *Board) slideMoves(s int, dirs []int, out []Move) []Move {
+	us := b.cells[s].color
+	for _, d := range dirs {
+		for t := s + d; onBoard(t); t += d {
+			if b.cells[t].piece == Empty {
+				out = append(out, Move{From: s, To: t, piece: b.cells[s].piece})
+				continue
+			}
+			if b.cells[t].color != us {
+				out = append(out, Move{From: s, To: t, piece: b.cells[s].piece})
+			}
+			break
+		}
+	}
+	return out
+}
+
+// attacked reports whether square s is attacked by side by.
+func (b *Board) attacked(s int, by Color) bool {
+	// Knights.
+	for _, d := range knightOffsets {
+		t := s + d
+		if onBoard(t) && b.cells[t].piece == Knight && b.cells[t].color == by {
+			return true
+		}
+	}
+	// King.
+	for _, d := range kingOffsets {
+		t := s + d
+		if onBoard(t) && b.cells[t].piece == King && b.cells[t].color == by {
+			return true
+		}
+	}
+	// Pawns: a white pawn attacks diagonally upward, so s is attacked from
+	// below-left/right.
+	pd := -16
+	if by == Black {
+		pd = 16
+	}
+	for _, dc := range []int{pd - 1, pd + 1} {
+		t := s + dc
+		if onBoard(t) && b.cells[t].piece == Pawn && b.cells[t].color == by {
+			return true
+		}
+	}
+	// Sliders.
+	for _, d := range bishopDirs {
+		for t := s + d; onBoard(t); t += d {
+			c := b.cells[t]
+			if c.piece == Empty {
+				continue
+			}
+			if c.color == by && (c.piece == Bishop || c.piece == Queen) {
+				return true
+			}
+			break
+		}
+	}
+	for _, d := range rookDirs {
+		for t := s + d; onBoard(t); t += d {
+			c := b.cells[t]
+			if c.piece == Empty {
+				continue
+			}
+			if c.color == by && (c.piece == Rook || c.piece == Queen) {
+				return true
+			}
+			break
+		}
+	}
+	return false
+}
+
+// kingSquare locates c's king (-1 if captured, which legality prevents).
+func (b *Board) kingSquare(c Color) int {
+	for s := 0; s < 128; s++ {
+		if onBoard(s) && b.cells[s].piece == King && b.cells[s].color == c {
+			return s
+		}
+	}
+	return -1
+}
+
+// InCheck reports whether the side to move is in check.
+func (b *Board) InCheck() bool {
+	k := b.kingSquare(b.turn)
+	return k >= 0 && b.attacked(k, b.turn.Opp())
+}
+
+// make applies m (which must be pseudo-legal) and returns it annotated for
+// unmake.
+func (b *Board) make(m Move) Move {
+	tgt := b.cells[m.To]
+	if tgt.piece != Empty {
+		m.wasCap = true
+		m.captured = tgt.piece
+		m.capColor = tgt.color
+	}
+	mover := b.cells[m.From]
+	b.cells[m.To] = mover
+	b.cells[m.From] = square{}
+	// Auto-queen promotion.
+	if mover.piece == Pawn {
+		r := rankOf(m.To)
+		if (mover.color == White && r == 7) || (mover.color == Black && r == 0) {
+			b.cells[m.To].piece = Queen
+			m.promoted = true
+		}
+	}
+	if b.turn == Black {
+		b.moveNo++
+	}
+	b.turn = b.turn.Opp()
+	return m
+}
+
+// unmake reverses a move returned by make.
+func (b *Board) unmake(m Move) {
+	b.turn = b.turn.Opp()
+	if b.turn == Black {
+		b.moveNo--
+	}
+	mover := b.cells[m.To]
+	if m.promoted {
+		mover.piece = Pawn
+	}
+	b.cells[m.From] = mover
+	if m.wasCap {
+		b.cells[m.To] = square{m.captured, m.capColor}
+	} else {
+		b.cells[m.To] = square{}
+	}
+}
+
+// LegalMoves returns every legal move for the side to move.
+func (b *Board) LegalMoves() []Move {
+	pseudo := b.pseudoMoves(nil)
+	legal := pseudo[:0]
+	for _, m := range pseudo {
+		mm := b.make(m)
+		k := b.kingSquare(b.turn.Opp()) // mover's king after the move
+		ok := k >= 0 && !b.attacked(k, b.turn)
+		b.unmake(mm)
+		if ok {
+			legal = append(legal, m)
+		}
+	}
+	return legal
+}
+
+// Apply plays m if it is legal; it reports success.
+func (b *Board) Apply(m Move) bool {
+	for _, lm := range b.LegalMoves() {
+		if lm.From == m.From && lm.To == m.To {
+			b.make(lm)
+			return true
+		}
+	}
+	return false
+}
+
+// PieceAt returns the piece and color on an 0x88 square.
+func (b *Board) PieceAt(s int) (Piece, Color) {
+	return b.cells[s].piece, b.cells[s].color
+}
+
+// Ascii renders the position for the `show` command, white at the bottom.
+func (b *Board) Ascii() string {
+	glyphs := map[Piece]byte{Pawn: 'p', Knight: 'n', Bishop: 'b', Rook: 'r', Queen: 'q', King: 'k'}
+	out := make([]byte, 0, 9*18)
+	for r := 7; r >= 0; r-- {
+		out = append(out, byte('1'+r), ' ')
+		for f := 0; f < 8; f++ {
+			c := b.cells[sq(f, r)]
+			if c.piece == Empty {
+				out = append(out, '.', ' ')
+				continue
+			}
+			g := glyphs[c.piece]
+			if c.color == White {
+				g -= 'a' - 'A'
+			}
+			out = append(out, g, ' ')
+		}
+		out = append(out, '\n')
+	}
+	out = append(out, ' ', ' ')
+	for f := 0; f < 8; f++ {
+		out = append(out, byte('a'+f), ' ')
+	}
+	out = append(out, '\n')
+	return string(out)
+}

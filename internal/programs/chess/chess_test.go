@@ -1,0 +1,164 @@
+package chess
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestInitialPositionMoveCount(t *testing.T) {
+	b := NewBoard()
+	moves := b.LegalMoves()
+	if len(moves) != 20 {
+		t.Errorf("initial position has %d legal moves, want 20", len(moves))
+	}
+}
+
+func TestApplyAndTurnAlternates(t *testing.T) {
+	b := NewBoard()
+	if b.Turn() != White {
+		t.Fatal("white must start")
+	}
+	m, err := ParseMove("p/k2-k4", White)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Apply(m) {
+		t.Fatal("e2-e4 rejected")
+	}
+	if b.Turn() != Black {
+		t.Error("turn did not pass to black")
+	}
+	if b.MoveNumber() != 1 {
+		t.Errorf("move number %d, want 1 (black still to move)", b.MoveNumber())
+	}
+	bm, err := ParseMove("p/k2-k4", Black) // e7-e5 from black's perspective
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Apply(bm) {
+		t.Fatal("black e7-e5 rejected")
+	}
+	if b.MoveNumber() != 2 {
+		t.Errorf("move number %d, want 2", b.MoveNumber())
+	}
+}
+
+func TestIllegalMovesRejected(t *testing.T) {
+	b := NewBoard()
+	for _, text := range []string{
+		"p/k2-k5",   // pawn three forward
+		"n/qr1-qr3", // rook square with knight move? (rook can't jump)
+		"k/k1-k3",   // king two forward
+		"p/k7-k5",   // moving black's pawn as white (empty from white's e7? e7 holds black pawn — moving opponent's piece)
+	} {
+		m, err := ParseMove(text, White)
+		if err != nil {
+			continue // parse failure also counts as rejection
+		}
+		if b.Apply(m) {
+			t.Errorf("illegal move %q was accepted", text)
+		}
+	}
+}
+
+func TestDescriptivePerspective(t *testing.T) {
+	// "k2" is e2 for white but e7 for black.
+	w, err := ParseMove("p/k2-k3", White)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.From != sq(4, 1) || w.To != sq(4, 2) {
+		t.Errorf("white k2-k3 = %d->%d, want e2->e3", w.From, w.To)
+	}
+	b, err := ParseMove("p/k2-k3", Black)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.From != sq(4, 6) || b.To != sq(4, 5) {
+		t.Errorf("black k2-k3 = %d->%d, want e7->e6", b.From, b.To)
+	}
+}
+
+func TestNotationRoundTrip(t *testing.T) {
+	// Every legal move formats and re-parses to the same squares, for both
+	// perspectives, across a few random positions.
+	r := rand.New(rand.NewSource(7))
+	b := NewBoard()
+	for ply := 0; ply < 40; ply++ {
+		mover := b.Turn()
+		legal := b.LegalMoves()
+		if len(legal) == 0 {
+			break
+		}
+		for _, m := range legal {
+			text := FormatMove(b, m, mover)
+			back, err := ParseMove(text, mover)
+			if err != nil {
+				t.Fatalf("ply %d: ParseMove(%q): %v", ply, text, err)
+			}
+			if back.From != m.From || back.To != m.To {
+				t.Fatalf("ply %d: %q round-tripped to %d->%d, want %d->%d",
+					ply, text, back.From, back.To, m.From, m.To)
+			}
+		}
+		b.Apply(legal[r.Intn(len(legal))])
+	}
+}
+
+func TestChooseMovePrefersCapture(t *testing.T) {
+	b := NewBoard()
+	// 1. e4 d5: white can now capture exd5.
+	mustApply(t, b, "p/k2-k4", White)
+	mustApply(t, b, "p/q2-q4", Black) // d7-d5
+	r := rand.New(rand.NewSource(1))
+	m, ok := ChooseMove(b, r)
+	if !ok {
+		t.Fatal("no move chosen")
+	}
+	if p, _ := b.PieceAt(m.To); p == Empty {
+		t.Errorf("engine ignored the free pawn capture; chose %s", FormatMove(b, m, White))
+	}
+}
+
+func TestSelfPlayStaysLegal(t *testing.T) {
+	// Property: two engines choosing moves against one board never reach
+	// an inconsistent state; every chosen move is legal by construction
+	// and kings never disappear.
+	r := rand.New(rand.NewSource(42))
+	b := NewBoard()
+	for ply := 0; ply < 200; ply++ {
+		m, ok := ChooseMove(b, r)
+		if !ok {
+			return // mate or stalemate: fine
+		}
+		if !b.Apply(m) {
+			t.Fatalf("ply %d: engine chose illegal move", ply)
+		}
+		if b.kingSquare(White) < 0 || b.kingSquare(Black) < 0 {
+			t.Fatalf("ply %d: a king vanished", ply)
+		}
+	}
+}
+
+func TestAsciiBoard(t *testing.T) {
+	b := NewBoard()
+	art := b.Ascii()
+	if !strings.Contains(art, "R N B Q K B N R") {
+		t.Errorf("initial back rank missing:\n%s", art)
+	}
+	if !strings.Contains(art, "a b c d e f g h") {
+		t.Errorf("file legend missing:\n%s", art)
+	}
+}
+
+func mustApply(t *testing.T, b *Board, text string, c Color) {
+	t.Helper()
+	m, err := ParseMove(text, c)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	if !b.Apply(m) {
+		t.Fatalf("move %q rejected", text)
+	}
+}

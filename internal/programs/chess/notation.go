@@ -1,0 +1,98 @@
+package chess
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Descriptive notation, the chess(6) dialect of the paper's example move
+// "p/k2-k3": a piece letter, a slash, and from/to squares written as
+// <file-code><rank>, where the file codes are qr qn qb q k kb kn kr and
+// ranks count from the MOVER's side of the board. So "k2" is e2 for white
+// but e7 for black — the perspective flip that makes chess output and
+// input incompatible without a translating script.
+
+var fileCodes = [8]string{"qr", "qn", "qb", "q", "k", "kb", "kn", "kr"}
+
+var pieceLetters = map[Piece]string{
+	Pawn: "p", Knight: "n", Bishop: "b", Rook: "r", Queen: "q", King: "k",
+}
+
+// formatSquare renders an 0x88 square in mover-perspective descriptive.
+func formatSquare(s int, mover Color) string {
+	f, r := fileOf(s), rankOf(s)
+	if mover == Black {
+		r = 7 - r
+	}
+	return fmt.Sprintf("%s%d", fileCodes[f], r+1)
+}
+
+// FormatMove renders m as descriptive notation for the given mover.
+func FormatMove(b *Board, m Move, mover Color) string {
+	p, _ := b.PieceAt(m.From)
+	letter := pieceLetters[p]
+	if letter == "" {
+		letter = "p"
+	}
+	return fmt.Sprintf("%s/%s-%s", letter, formatSquare(m.From, mover), formatSquare(m.To, mover))
+}
+
+// parseSquare decodes a descriptive square for the given mover. The file
+// codes are matched longest-first so "kb3" is not read as "k" + junk.
+func parseSquare(s string, mover Color) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	file := -1
+	var rest string
+	// Longest codes first.
+	for _, cand := range []string{"qr", "qn", "qb", "kb", "kn", "kr", "q", "k"} {
+		if strings.HasPrefix(s, cand) {
+			for fi, code := range fileCodes {
+				if code == cand {
+					file = fi
+					break
+				}
+			}
+			rest = s[len(cand):]
+			break
+		}
+	}
+	if file < 0 {
+		// Accept plain algebraic files a-h as a convenience.
+		if len(s) >= 1 && s[0] >= 'a' && s[0] <= 'h' {
+			file = int(s[0] - 'a')
+			rest = s[1:]
+		} else {
+			return 0, fmt.Errorf("bad square %q", s)
+		}
+	}
+	if len(rest) != 1 || rest[0] < '1' || rest[0] > '8' {
+		return 0, fmt.Errorf("bad rank in square %q", s)
+	}
+	rank := int(rest[0] - '1')
+	if mover == Black {
+		rank = 7 - rank
+	}
+	return sq(file, rank), nil
+}
+
+// ParseMove decodes descriptive input such as "p/k2-k3" (the piece letter
+// is advisory; the squares decide) for the given mover.
+func ParseMove(input string, mover Color) (Move, error) {
+	text := strings.TrimSpace(strings.ToLower(input))
+	if idx := strings.IndexByte(text, '/'); idx >= 0 {
+		text = text[idx+1:]
+	}
+	parts := strings.SplitN(text, "-", 2)
+	if len(parts) != 2 {
+		return Move{}, fmt.Errorf("bad move %q: want piece/from-to", input)
+	}
+	from, err := parseSquare(parts[0], mover)
+	if err != nil {
+		return Move{}, err
+	}
+	to, err := parseSquare(parts[1], mover)
+	if err != nil {
+		return Move{}, err
+	}
+	return Move{From: from, To: to}, nil
+}

@@ -1,0 +1,156 @@
+package chess
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// Config controls the interactive chess program.
+type Config struct {
+	// EngineSide is the color the program plays. When White, it announces
+	// its first move immediately on startup; when Black (the chess(6)
+	// default), it waits for the opponent — which is why the paper's duel
+	// script must "force someone to go first" by hand.
+	EngineSide Color
+	// Seed makes move choice deterministic; 0 draws a fresh seed.
+	Seed int64
+	// MaxMoves caps the game length (engine resigns politely after); 0
+	// means no cap.
+	MaxMoves int
+}
+
+var chessSeedCounter int64
+
+var pieceValue = map[Piece]int{Pawn: 1, Knight: 3, Bishop: 3, Rook: 5, Queen: 9, King: 100}
+
+// ChooseMove picks the engine's move: mate if available, else the best
+// capture, else a seeded-random quiet move. Returns false when no legal
+// move exists.
+func ChooseMove(b *Board, r *rand.Rand) (Move, bool) {
+	legal := b.LegalMoves()
+	if len(legal) == 0 {
+		return Move{}, false
+	}
+	// A mating move wins outright.
+	for _, m := range legal {
+		mm := b.make(m)
+		mated := len(b.LegalMoves()) == 0 && b.InCheck()
+		b.unmake(mm)
+		if mated {
+			return m, true
+		}
+	}
+	best := -1
+	bestVal := 0
+	for i, m := range legal {
+		if p, _ := b.PieceAt(m.To); p != Empty {
+			if v := pieceValue[p]; v > bestVal {
+				// Skip captures that just hang the capturing piece to an
+				// immediate recapture of greater value.
+				bestVal, best = v, i
+			}
+		}
+	}
+	if best >= 0 {
+		return legal[best], true
+	}
+	return legal[r.Intn(len(legal))], true
+}
+
+// New returns the chess program for the virtual transport or cmd/chess.
+func New(cfg Config) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano() + atomic.AddInt64(&chessSeedCounter, 1)
+		}
+		r := rand.New(rand.NewSource(seed))
+		b := NewBoard()
+		engine := cfg.EngineSide
+
+		fmt.Fprintf(stdout, "Chess\n")
+		moves := 0
+
+		announce := func(m Move) {
+			// chess(6) style: "1. p/k2-k4" for white, "1. ... p/k7-k5" for
+			// black. This prefix is what makes the output unusable as
+			// input without a translating script.
+			text := FormatMove(b, m, engine)
+			if engine == White {
+				fmt.Fprintf(stdout, "%d. %s\n", b.MoveNumber(), text)
+			} else {
+				fmt.Fprintf(stdout, "%d. ... %s\n", b.MoveNumber(), text)
+			}
+			b.Apply(m)
+		}
+
+		gameOver := func() bool {
+			if len(b.LegalMoves()) > 0 {
+				return false
+			}
+			if b.InCheck() {
+				fmt.Fprintf(stdout, "Checkmate! %s wins.\n", b.Turn().Opp())
+			} else {
+				fmt.Fprintf(stdout, "Stalemate.\n")
+			}
+			return true
+		}
+
+		if engine == White {
+			m, ok := ChooseMove(b, r)
+			if !ok {
+				return nil
+			}
+			announce(m)
+		}
+
+		in := bufio.NewScanner(stdin)
+		for in.Scan() {
+			line := strings.TrimSpace(in.Text())
+			switch {
+			case line == "":
+				continue
+			case line == "quit" || line == "resign":
+				fmt.Fprintf(stdout, "Thanks for the game.\n")
+				return nil
+			case line == "show":
+				fmt.Fprint(stdout, b.Ascii())
+				continue
+			}
+			um, err := ParseMove(line, engine.Opp())
+			if err != nil {
+				fmt.Fprintf(stdout, "Illegal move: %v\n", err)
+				continue
+			}
+			if !b.Apply(um) {
+				fmt.Fprintf(stdout, "Illegal move.\n")
+				continue
+			}
+			if gameOver() {
+				return nil
+			}
+			m, ok := ChooseMove(b, r)
+			if !ok {
+				// Defensive: gameOver above should have caught this.
+				return nil
+			}
+			announce(m)
+			if gameOver() {
+				return nil
+			}
+			moves++
+			if cfg.MaxMoves > 0 && moves >= cfg.MaxMoves {
+				fmt.Fprintf(stdout, "Draw agreed (move limit).\n")
+				return nil
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,196 @@
+package chess
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func spawnChess(t *testing.T, cfg Config) *core.Session {
+	t.Helper()
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 14}, "chess", New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestProgramResponderFlow(t *testing.T) {
+	s := spawnChess(t, Config{EngineSide: Black, Seed: 5})
+	if _, err := s.ExpectTimeout(2*time.Second, core.Regexp("Chess\n")); err != nil {
+		t.Fatalf("banner: %v", err)
+	}
+	// The paper's kickoff.
+	s.Send("p/k2-k3\n")
+	r, err := s.ExpectTimeout(2*time.Second, core.Regexp(`1\. \.\.\. [pnbrqk]/[a-z0-9]+-[a-z0-9]+`))
+	if err != nil {
+		t.Fatalf("no black reply: %v", err)
+	}
+	if !strings.Contains(r.Text, "...") {
+		t.Errorf("reply lacks the '...' black marker: %q", r.Text)
+	}
+}
+
+func TestProgramWhiteOpensImmediately(t *testing.T) {
+	s := spawnChess(t, Config{EngineSide: White, Seed: 5})
+	if _, err := s.ExpectTimeout(2*time.Second,
+		core.Regexp(`1\. [pnbrqk]/[a-z0-9]+-[a-z0-9]+`)); err != nil {
+		t.Fatalf("white engine did not open: %v", err)
+	}
+}
+
+func TestProgramIllegalMoveRejected(t *testing.T) {
+	s := spawnChess(t, Config{EngineSide: Black, Seed: 5})
+	s.ExpectTimeout(2*time.Second, core.Regexp("Chess\n"))
+	s.Send("p/k2-k5\n") // three squares: illegal
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Illegal move*")); err != nil {
+		t.Fatalf("no rejection: %v", err)
+	}
+	// Garbage notation is rejected too, with the game still alive.
+	s.Send("xyzzy\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Illegal move*")); err != nil {
+		t.Fatalf("no rejection of garbage: %v", err)
+	}
+	s.Send("p/k2-k4\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*...*")); err != nil {
+		t.Fatalf("game dead after rejections: %v", err)
+	}
+}
+
+func TestProgramShowCommand(t *testing.T) {
+	s := spawnChess(t, Config{EngineSide: Black, Seed: 5})
+	s.ExpectTimeout(2*time.Second, core.Regexp("Chess\n"))
+	s.Send("show\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*a b c d e f g h*")); err != nil {
+		t.Fatalf("no board: %v", err)
+	}
+}
+
+func TestProgramResign(t *testing.T) {
+	s := spawnChess(t, Config{EngineSide: Black, Seed: 5})
+	s.ExpectTimeout(2*time.Second, core.Regexp("Chess\n"))
+	s.Send("resign\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Thanks for the game*")); err != nil {
+		t.Fatalf("no farewell: %v", err)
+	}
+	if code, _ := s.Wait(); code != 0 {
+		t.Errorf("exit %d", code)
+	}
+}
+
+// TestFullDuelToCompletion wires a white engine to a black engine through
+// the library and plays until a terminal message — the §2.2 scenario run
+// to its end. MaxMoves bounds white so the test always terminates.
+func TestFullDuelToCompletion(t *testing.T) {
+	white := spawnChess(t, Config{EngineSide: White, Seed: 11, MaxMoves: 30})
+	black := spawnChess(t, Config{EngineSide: Black, Seed: 22})
+	white.Expect(core.Regexp("Chess\n"))
+	black.Expect(core.Regexp("Chess\n"))
+
+	moveRe := core.Regexp(`\d+\. (\.\.\. )?[pnbrqk]/[a-z0-9]+-[a-z0-9]+`)
+	terminal := func(text string) bool {
+		return strings.Contains(text, "Checkmate") || strings.Contains(text, "Stalemate") ||
+			strings.Contains(text, "Draw")
+	}
+	read := func(s *core.Session) (string, bool) {
+		r, err := s.ExpectTimeout(5*time.Second, moveRe,
+			core.Glob("*Checkmate*"), core.Glob("*Stalemate*"), core.Glob("*Draw*"),
+			core.EOFCase())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if r.Index != 0 || terminal(r.Text) {
+			return r.Text, false
+		}
+		// Extract the bare move.
+		fields := strings.Fields(r.Text)
+		return fields[len(fields)-1], true
+	}
+	msg, ok := read(white)
+	plies := 0
+	for ok && plies < 200 {
+		target := black
+		if plies%2 == 1 {
+			target = white
+		}
+		target.Send(msg + "\n")
+		msg, ok = read(target)
+		plies++
+	}
+	if plies == 0 {
+		t.Fatal("no moves exchanged")
+	}
+	if ok {
+		t.Fatalf("game never terminated after %d plies", plies)
+	}
+}
+
+func TestParseMoveErrors(t *testing.T) {
+	for _, bad := range []string{"", "nodash", "p/z9-k2", "p/k2-z9", "p/k0-k1", "p/k9-k1", "k2k3"} {
+		if _, err := ParseMove(bad, White); err == nil {
+			t.Errorf("ParseMove(%q) accepted garbage", bad)
+		}
+	}
+	// Algebraic files are accepted as a convenience.
+	m, err := ParseMove("p/e2-e4", White)
+	if err != nil {
+		t.Fatalf("algebraic: %v", err)
+	}
+	if m.From != sq(4, 1) || m.To != sq(4, 3) {
+		t.Errorf("algebraic squares wrong: %d->%d", m.From, m.To)
+	}
+}
+
+func TestPromotionAutoQueens(t *testing.T) {
+	b := &Board{turn: White, moveNo: 1}
+	b.cells[sq(0, 6)] = square{Pawn, White} // a7
+	b.cells[sq(4, 0)] = square{King, White} // e1
+	b.cells[sq(4, 7)] = square{King, Black} // e8
+	if !b.Apply(Move{From: sq(0, 6), To: sq(0, 7)}) {
+		t.Fatal("promotion move rejected")
+	}
+	if p, c := b.PieceAt(sq(0, 7)); p != Queen || c != White {
+		t.Errorf("a8 = %v/%v, want white queen", p, c)
+	}
+}
+
+func TestCheckDetection(t *testing.T) {
+	b := &Board{turn: Black, moveNo: 1}
+	b.cells[sq(4, 0)] = square{King, White}
+	b.cells[sq(4, 7)] = square{King, Black}
+	b.cells[sq(4, 5)] = square{Rook, White} // e6: checks e8
+	if !b.InCheck() {
+		t.Error("black not reported in check from rook on the file")
+	}
+	// Every legal black move must leave the king safe.
+	for _, m := range b.LegalMoves() {
+		mm := b.make(m)
+		k := b.kingSquare(Black)
+		if b.attacked(k, White) {
+			t.Errorf("legal move %d->%d leaves king attacked", m.From, m.To)
+		}
+		b.unmake(mm)
+	}
+}
+
+func TestStalemateDetected(t *testing.T) {
+	// Classic stalemate: black king a8, white queen c7, white king c6 —
+	// wait, that's mate-adjacent; use the standard Kb6/Qc7 vs Ka8 pattern
+	// with black to move: king a8, white queen b6 guarded... Use the
+	// textbook: black Ka8; white Kb6, Qc8?? that's mate. Simplest known
+	// stalemate: black Ka8, white Qb6, white Kc7 — wait Qb6 attacks a7,b7,b8? b8 yes.
+	// Verified pattern: black Kh8, white Kf7, white Qg6: h8 attacked? g7,g8,h7 by Q/K: g8 (Q via g-file), h7 (Qg6), g7 (K+Q). Kh8 not in check, no moves.
+	b := &Board{turn: Black, moveNo: 1}
+	b.cells[sq(7, 7)] = square{King, Black}  // h8
+	b.cells[sq(5, 6)] = square{King, White}  // f7
+	b.cells[sq(6, 5)] = square{Queen, White} // g6
+	if b.InCheck() {
+		t.Fatal("position should not be check")
+	}
+	if got := len(b.LegalMoves()); got != 0 {
+		t.Errorf("stalemate position has %d legal moves", got)
+	}
+}

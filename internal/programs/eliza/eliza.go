@@ -1,0 +1,368 @@
+// Package eliza implements Weizenbaum's 1966 pattern-matching psychotherapist,
+// one of the paper's examples of "multiple programs never designed to work
+// together" (§5.8): expect can wire two Elizas to each other even though
+// each was written to talk only to a human. The implementation follows the
+// classic keyword / decomposition / reassembly design with pronoun
+// reflection and ranked keywords.
+package eliza
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// rule is one keyword with its decomposition/reassembly table.
+type rule struct {
+	keyword string
+	rank    int
+	decomps []decomp
+}
+
+type decomp struct {
+	pattern    []string // tokens; "*" matches any (possibly empty) run
+	reassembly []string // "$n" substitutes the n-th wildcard capture (1-based)
+}
+
+var reflections = map[string]string{
+	"am": "are", "was": "were", "i": "you", "i'd": "you would",
+	"i've": "you have", "i'll": "you will", "my": "your", "are": "am",
+	"you've": "I have", "you'll": "I will", "your": "my", "yours": "mine",
+	"you": "me", "me": "you", "myself": "yourself", "yourself": "myself",
+}
+
+var rules = []rule{
+	{"sorry", 0, []decomp{{pat("*"), []string{
+		"PLEASE DON'T APOLOGIZE.",
+		"APOLOGIES ARE NOT NECESSARY.",
+		"WHAT FEELINGS DO YOU HAVE WHEN YOU APOLOGIZE?",
+	}}}},
+	{"remember", 5, []decomp{
+		{pat("* i remember *"), []string{
+			"DO YOU OFTEN THINK OF $2?",
+			"DOES THINKING OF $2 BRING ANYTHING ELSE TO MIND?",
+			"WHY DO YOU REMEMBER $2 JUST NOW?",
+		}},
+		{pat("* do you remember *"), []string{
+			"DID YOU THINK I WOULD FORGET $2?",
+			"WHAT ABOUT $2?",
+		}},
+		{pat("*"), []string{"WHY DO YOU BRING UP MEMORIES NOW?"}},
+	}},
+	{"dream", 3, []decomp{{pat("*"), []string{
+		"WHAT DOES THAT DREAM SUGGEST TO YOU?",
+		"DO YOU DREAM OFTEN?",
+		"DON'T YOU BELIEVE THAT DREAM HAS SOMETHING TO DO WITH YOUR PROBLEM?",
+	}}}},
+	{"mother", 4, []decomp{{pat("*"), []string{
+		"TELL ME MORE ABOUT YOUR FAMILY.",
+		"WHO ELSE IN YOUR FAMILY COMES TO MIND?",
+	}}}},
+	{"father", 4, []decomp{{pat("*"), []string{
+		"TELL ME MORE ABOUT YOUR FAMILY.",
+		"HOW DO YOU FEEL ABOUT YOUR FATHER?",
+	}}}},
+	{"computer", 10, []decomp{{pat("*"), []string{
+		"DO COMPUTERS WORRY YOU?",
+		"WHY DO YOU MENTION COMPUTERS?",
+		"WHAT DO YOU THINK MACHINES HAVE TO DO WITH YOUR PROBLEM?",
+	}}}},
+	{"machine", 10, []decomp{{pat("*"), []string{
+		"DO COMPUTERS WORRY YOU?",
+		"WHY DO YOU MENTION COMPUTERS?",
+	}}}},
+	{"name", 15, []decomp{{pat("*"), []string{
+		"I AM NOT INTERESTED IN NAMES.",
+	}}}},
+	{"always", 1, []decomp{{pat("*"), []string{
+		"CAN YOU THINK OF A SPECIFIC EXAMPLE?",
+		"WHEN?",
+		"REALLY, ALWAYS?",
+	}}}},
+	{"because", 0, []decomp{{pat("*"), []string{
+		"IS THAT THE REAL REASON?",
+		"DON'T ANY OTHER REASONS COME TO MIND?",
+		"DOES THAT REASON SEEM TO EXPLAIN ANYTHING ELSE?",
+	}}}},
+	{"yes", 0, []decomp{{pat("*"), []string{
+		"YOU SEEM QUITE POSITIVE.",
+		"YOU ARE SURE.",
+		"I SEE.",
+		"I UNDERSTAND.",
+	}}}},
+	{"no", 0, []decomp{{pat("*"), []string{
+		"ARE YOU SAYING NO JUST TO BE NEGATIVE?",
+		"YOU ARE BEING A BIT NEGATIVE.",
+		"WHY NOT?",
+	}}}},
+	{"hello", 0, []decomp{{pat("*"), []string{
+		"HOW DO YOU DO. PLEASE STATE YOUR PROBLEM.",
+	}}}},
+	{"i am", 6, []decomp{
+		{pat("* i am *"), []string{
+			"IS IT BECAUSE YOU ARE $2 THAT YOU CAME TO ME?",
+			"HOW LONG HAVE YOU BEEN $2?",
+			"DO YOU BELIEVE IT IS NORMAL TO BE $2?",
+			"DO YOU ENJOY BEING $2?",
+		}},
+	}},
+	{"i want", 6, []decomp{
+		{pat("* i want *"), []string{
+			"WHAT WOULD IT MEAN TO YOU IF YOU GOT $2?",
+			"WHY DO YOU WANT $2?",
+			"SUPPOSE YOU GOT $2 SOON.",
+		}},
+	}},
+	{"i feel", 6, []decomp{
+		{pat("* i feel *"), []string{
+			"TELL ME MORE ABOUT SUCH FEELINGS.",
+			"DO YOU OFTEN FEEL $2?",
+			"DO YOU ENJOY FEELING $2?",
+		}},
+	}},
+	{"i think", 5, []decomp{
+		{pat("* i think *"), []string{
+			"DO YOU REALLY THINK SO?",
+			"BUT YOU ARE NOT SURE $2?",
+			"DO YOU DOUBT $2?",
+		}},
+	}},
+	{"you are", 7, []decomp{
+		{pat("* you are *"), []string{
+			"WHAT MAKES YOU THINK I AM $2?",
+			"DOES IT PLEASE YOU TO BELIEVE I AM $2?",
+			"PERHAPS YOU WOULD LIKE TO BE $2.",
+		}},
+	}},
+	{"you", 2, []decomp{
+		{pat("* you *"), []string{
+			"WE WERE DISCUSSING YOU - NOT ME.",
+			"OH, I $2?",
+			"YOU'RE NOT REALLY TALKING ABOUT ME, ARE YOU?",
+		}},
+	}},
+	{"why", 1, []decomp{
+		{pat("* why don't you *"), []string{
+			"DO YOU BELIEVE I DON'T $2?",
+			"PERHAPS I WILL $2 IN GOOD TIME.",
+			"SHOULD YOU $2 YOURSELF?",
+		}},
+		{pat("* why can't i *"), []string{
+			"DO YOU THINK YOU SHOULD BE ABLE TO $2?",
+			"DO YOU WANT TO BE ABLE TO $2?",
+		}},
+		{pat("*"), []string{"WHY DO YOU ASK?"}},
+	}},
+	{"my", 2, []decomp{
+		{pat("* my *"), []string{
+			"YOUR $2?",
+			"WHY DO YOU SAY YOUR $2?",
+			"DOES THAT SUGGEST ANYTHING ELSE WHICH BELONGS TO YOU?",
+			"IS IT IMPORTANT TO YOU THAT YOUR $2?",
+		}},
+	}},
+	{"can", 1, []decomp{
+		{pat("* can you *"), []string{
+			"YOU BELIEVE I CAN $2, DON'T YOU?",
+			"YOU WANT ME TO BE ABLE TO $2.",
+		}},
+		{pat("* can i *"), []string{
+			"WHETHER OR NOT YOU CAN $2 DEPENDS ON YOU MORE THAN ON ME.",
+			"DO YOU WANT TO BE ABLE TO $2?",
+		}},
+	}},
+	{"what", 0, []decomp{{pat("*"), []string{
+		"WHY DO YOU ASK?",
+		"DOES THAT QUESTION INTEREST YOU?",
+		"WHAT IS IT YOU REALLY WANT TO KNOW?",
+	}}}},
+	{"everybody", 2, []decomp{{pat("*"), []string{
+		"SURELY NOT EVERYBODY.",
+		"CAN YOU THINK OF ANYONE IN PARTICULAR?",
+		"WHO, FOR EXAMPLE?",
+	}}}},
+	{"nobody", 2, []decomp{{pat("*"), []string{
+		"SURELY NOT NOBODY.",
+		"WHO, FOR EXAMPLE?",
+	}}}},
+}
+
+var defaultResponses = []string{
+	"I AM NOT SURE I UNDERSTAND YOU FULLY.",
+	"PLEASE GO ON.",
+	"WHAT DOES THAT SUGGEST TO YOU?",
+	"DO YOU FEEL STRONGLY ABOUT DISCUSSING SUCH THINGS?",
+	"TELL ME MORE ABOUT THAT.",
+}
+
+// Greeting is the classic opening line.
+const Greeting = "HOW DO YOU DO. PLEASE TELL ME YOUR PROBLEM."
+
+func pat(s string) []string { return strings.Fields(s) }
+
+// Engine is a stateful Eliza conversation.
+type Engine struct {
+	r        *rand.Rand
+	useCount map[string]int
+}
+
+var elizaSeedCounter int64
+
+// NewEngine creates a conversation; seed 0 draws a fresh seed.
+func NewEngine(seed int64) *Engine {
+	if seed == 0 {
+		seed = time.Now().UnixNano() + atomic.AddInt64(&elizaSeedCounter, 1)
+	}
+	return &Engine{
+		r:        rand.New(rand.NewSource(seed)),
+		useCount: make(map[string]int),
+	}
+}
+
+// tokenize lowercases and strips punctuation into words.
+func tokenize(s string) []string {
+	s = strings.ToLower(s)
+	var sb strings.Builder
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '\'':
+			sb.WriteRune(c)
+		default:
+			sb.WriteByte(' ')
+		}
+	}
+	return strings.Fields(sb.String())
+}
+
+// reflect swaps first/second person in a captured phrase.
+func reflect(words []string) string {
+	out := make([]string, len(words))
+	for i, w := range words {
+		if r, ok := reflections[w]; ok {
+			out[i] = r
+		} else {
+			out[i] = w
+		}
+	}
+	return strings.Join(out, " ")
+}
+
+// matchDecomp matches tokens against a decomposition pattern, returning
+// the wildcard captures.
+func matchDecomp(pattern, tokens []string) ([][]string, bool) {
+	var captures [][]string
+	var walk func(pi, ti int) bool
+	walk = func(pi, ti int) bool {
+		if pi == len(pattern) {
+			return ti == len(tokens)
+		}
+		if pattern[pi] == "*" {
+			// Try all split points, shortest first.
+			for k := ti; k <= len(tokens); k++ {
+				captures = append(captures, tokens[ti:k])
+				if walk(pi+1, k) {
+					return true
+				}
+				captures = captures[:len(captures)-1]
+			}
+			return false
+		}
+		if ti < len(tokens) && tokens[ti] == pattern[pi] {
+			return walk(pi+1, ti+1)
+		}
+		return false
+	}
+	if walk(0, 0) {
+		return captures, true
+	}
+	return nil, false
+}
+
+// Respond produces Eliza's reply to one line of input.
+func (e *Engine) Respond(input string) string {
+	tokens := tokenize(input)
+	if len(tokens) == 0 {
+		return "I CAN'T HELP YOU IF YOU WILL NOT CHAT WITH ME."
+	}
+	joined := " " + strings.Join(tokens, " ") + " "
+
+	// Find the highest-ranked keyword present.
+	bestIdx := -1
+	bestRank := -1
+	for i, rl := range rules {
+		// A keyword matches as a whole word or its plain plural
+		// ("computer" also fires on "computers").
+		if (strings.Contains(joined, " "+rl.keyword+" ") ||
+			strings.Contains(joined, " "+rl.keyword+"s ")) && rl.rank > bestRank {
+			bestIdx, bestRank = i, rl.rank
+		}
+	}
+	if bestIdx >= 0 {
+		rl := rules[bestIdx]
+		for _, d := range rl.decomps {
+			caps, ok := matchDecomp(d.pattern, tokens)
+			if !ok {
+				continue
+			}
+			// Cycle through reassemblies so repetition varies.
+			e.useCount[rl.keyword]++
+			tpl := d.reassembly[(e.useCount[rl.keyword]-1)%len(d.reassembly)]
+			return expand(tpl, caps)
+		}
+	}
+	return defaultResponses[e.r.Intn(len(defaultResponses))]
+}
+
+// expand substitutes $n capture references in a reassembly template.
+func expand(tpl string, caps [][]string) string {
+	var sb strings.Builder
+	for i := 0; i < len(tpl); i++ {
+		if tpl[i] == '$' && i+1 < len(tpl) && tpl[i+1] >= '1' && tpl[i+1] <= '9' {
+			n := int(tpl[i+1] - '1')
+			if n < len(caps) {
+				sb.WriteString(strings.ToUpper(reflect(caps[n])))
+			}
+			i++
+			continue
+		}
+		sb.WriteByte(tpl[i])
+	}
+	return sb.String()
+}
+
+// Config controls the interactive program wrapper.
+type Config struct {
+	Seed int64
+	// Prompt, when true, prints "> " before each read (off for
+	// program-to-program wiring).
+	Prompt bool
+}
+
+// New returns Eliza as a spawnable program.
+func New(cfg Config) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		e := NewEngine(cfg.Seed)
+		fmt.Fprintln(stdout, Greeting)
+		sc := bufio.NewScanner(stdin)
+		for {
+			if cfg.Prompt {
+				fmt.Fprint(stdout, "> ")
+			}
+			if !sc.Scan() {
+				return nil
+			}
+			line := strings.TrimSpace(sc.Text())
+			if strings.EqualFold(line, "goodbye") || strings.EqualFold(line, "quit") {
+				fmt.Fprintln(stdout, "GOODBYE. IT WAS NICE TALKING TO YOU.")
+				return nil
+			}
+			fmt.Fprintln(stdout, e.Respond(line))
+		}
+	}
+}

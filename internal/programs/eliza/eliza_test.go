@@ -1,0 +1,136 @@
+package eliza
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestKeywordResponses(t *testing.T) {
+	e := NewEngine(1)
+	cases := []struct{ in, wantSub string }{
+		{"I am very unhappy", "YOU ARE VERY UNHAPPY"},
+		{"computers frighten me", "COMPUTER"},
+		{"well my mother hates me", "FAMILY"},
+		{"i remember the war", "THE WAR"},
+		{"because i said so", "REAL REASON"},
+	}
+	for _, tc := range cases {
+		got := e.Respond(tc.in)
+		if !strings.Contains(strings.ToUpper(got), tc.wantSub) {
+			t.Errorf("Respond(%q) = %q, want substring %q", tc.in, got, tc.wantSub)
+		}
+	}
+}
+
+func TestReflection(t *testing.T) {
+	e := NewEngine(1)
+	got := e.Respond("i am afraid of my boss")
+	// "i am X" reflects the capture: "my boss" → "your boss".
+	if !strings.Contains(strings.ToUpper(got), "AFRAID OF YOUR BOSS") {
+		t.Errorf("reflection failed: %q", got)
+	}
+}
+
+func TestRankedKeywordPreferred(t *testing.T) {
+	e := NewEngine(1)
+	// "computer" (rank 10) must beat "because" (rank 0).
+	got := e.Respond("because the computer said so")
+	if !strings.Contains(got, "COMPUTER") && !strings.Contains(got, "MACHINE") {
+		t.Errorf("high-rank keyword lost: %q", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e := NewEngine(1)
+	if got := e.Respond("   "); !strings.Contains(got, "CHAT") {
+		t.Errorf("empty input response: %q", got)
+	}
+}
+
+func TestResponsesCycle(t *testing.T) {
+	e := NewEngine(1)
+	a := e.Respond("i dream of electric sheep")
+	b := e.Respond("i dream of electric sheep")
+	if a == b {
+		t.Errorf("repeated input gave identical response %q — reassembly should cycle", a)
+	}
+}
+
+func TestMatchDecomp(t *testing.T) {
+	caps, ok := matchDecomp(pat("* i am *"), tokenize("well i am sad today"))
+	if !ok {
+		t.Fatal("decomposition failed")
+	}
+	if got := strings.Join(caps[1], " "); got != "sad today" {
+		t.Errorf("second capture = %q", got)
+	}
+	if _, ok := matchDecomp(pat("* i am *"), tokenize("you are sad")); ok {
+		t.Error("matched pattern that should not")
+	}
+}
+
+func TestProgramDialogue(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "eliza", New(Config{Seed: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*PLEASE TELL ME YOUR PROBLEM*")); err != nil {
+		t.Fatalf("no greeting: %v", err)
+	}
+	s.Send("i am lonely\n")
+	r, err := s.ExpectTimeout(2*time.Second, core.Glob("*LONELY*"))
+	if err != nil {
+		t.Fatalf("no response: %v", err)
+	}
+	_ = r
+	s.Send("goodbye\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*GOODBYE*")); err != nil {
+		t.Fatalf("no farewell: %v", err)
+	}
+}
+
+// TestElizaDuet wires two Elizas to each other through the engine — §5.8's
+// example of connecting programs never designed to talk to one another.
+func TestElizaDuet(t *testing.T) {
+	a, err := core.SpawnProgram(nil, "eliza-a", New(Config{Seed: 10}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := core.SpawnProgram(nil, "eliza-b", New(Config{Seed: 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	readLine := func(s *core.Session) string {
+		r, err := s.ExpectTimeout(2*time.Second, core.Regexp(`[^\n]+\n`))
+		if err != nil {
+			t.Fatalf("%s went quiet: %v", s.Name(), err)
+		}
+		lines := strings.Split(strings.TrimSpace(r.Text), "\n")
+		return strings.TrimSpace(lines[len(lines)-1])
+	}
+
+	// Swallow both greetings, then relay 6 turns.
+	first := readLine(a)
+	readLine(b)
+	msg := first
+	for turn := 0; turn < 6; turn++ {
+		target := b
+		if turn%2 == 1 {
+			target = a
+		}
+		if err := target.Send(msg + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		msg = readLine(target)
+		if msg == "" {
+			t.Fatalf("turn %d produced empty message", turn)
+		}
+	}
+}

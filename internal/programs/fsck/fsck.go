@@ -1,0 +1,275 @@
+// Package fsck simulates the filesystem checker the paper holds up as the
+// archetype of an "ostensibly non-interactive program" (§5.6): run
+// interactively it asks CLEAR? / ADJUST? / SALVAGE? questions, and its -y
+// and -n flags blanket-answer them — "a free license to continue, even
+// after severe problems are encountered", as the manual the paper quotes
+// puts it. expect can instead answer each question on its merits and hand
+// the questionable ones to a human.
+//
+// The simulator builds a synthetic filesystem image, injects classic
+// inconsistencies (duplicate blocks, unreferenced files, bad link counts,
+// a corrupt free list), and then runs the five familiar phases over it.
+package fsck
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/proc"
+)
+
+// Inode is one file slot in the synthetic image.
+type Inode struct {
+	Used       bool
+	Links      int   // link count recorded in the inode
+	RealLinks  int   // directory references actually found
+	Blocks     []int // block numbers claimed
+	Size       int
+	Referenced bool // reachable from the root directory
+}
+
+// FileSystem is the synthetic image fsck checks and repairs in place.
+type FileSystem struct {
+	Inodes      []Inode
+	TotalBlocks int
+	FreeList    []int
+	FreeListBad bool
+	// DupBlocks maps a block number to the inodes (indices) claiming it,
+	// when more than one does.
+	DupBlocks map[int][]int
+	Modified  bool
+}
+
+// Generate builds an image with nFiles consistent files over nBlocks
+// blocks, then injects errs inconsistencies drawn deterministically from
+// seed. The injected problems rotate through the four classes.
+func Generate(seed int64, nFiles, nBlocks, errs int) *FileSystem {
+	r := rand.New(rand.NewSource(seed))
+	fs := &FileSystem{
+		TotalBlocks: nBlocks,
+		DupBlocks:   make(map[int][]int),
+	}
+	next := 0
+	for i := 0; i < nFiles; i++ {
+		n := 1 + r.Intn(4)
+		if next+n > nBlocks {
+			break
+		}
+		ino := Inode{Used: true, Links: 1, RealLinks: 1, Size: n * 512, Referenced: true}
+		for k := 0; k < n; k++ {
+			ino.Blocks = append(ino.Blocks, next)
+			next++
+		}
+		fs.Inodes = append(fs.Inodes, ino)
+	}
+	for b := next; b < nBlocks; b++ {
+		fs.FreeList = append(fs.FreeList, b)
+	}
+	for e := 0; e < errs; e++ {
+		switch e % 4 {
+		case 0: // duplicate block claim
+			if len(fs.Inodes) >= 2 {
+				a := r.Intn(len(fs.Inodes))
+				b := r.Intn(len(fs.Inodes))
+				for b == a {
+					b = r.Intn(len(fs.Inodes))
+				}
+				blk := fs.Inodes[a].Blocks[0]
+				fs.Inodes[b].Blocks = append(fs.Inodes[b].Blocks, blk)
+				fs.DupBlocks[blk] = []int{a, b}
+			}
+		case 1: // unreferenced file
+			if len(fs.Inodes) > 0 {
+				i := r.Intn(len(fs.Inodes))
+				fs.Inodes[i].Referenced = false
+				fs.Inodes[i].RealLinks = 0
+			}
+		case 2: // wrong link count
+			if len(fs.Inodes) > 0 {
+				i := r.Intn(len(fs.Inodes))
+				if fs.Inodes[i].Referenced {
+					fs.Inodes[i].Links = fs.Inodes[i].RealLinks + 1 + r.Intn(2)
+				}
+			}
+		case 3: // corrupt free list
+			fs.FreeListBad = true
+		}
+	}
+	return fs
+}
+
+// Problems returns a description of every inconsistency still present —
+// the test oracle for "did fsck -y actually fix the image".
+func (fs *FileSystem) Problems() []string {
+	var out []string
+	for blk, owners := range fs.DupBlocks {
+		if len(owners) > 1 {
+			out = append(out, fmt.Sprintf("block %d multiply claimed", blk))
+		}
+	}
+	for i, ino := range fs.Inodes {
+		if !ino.Used {
+			continue
+		}
+		if !ino.Referenced {
+			out = append(out, fmt.Sprintf("inode %d unreferenced", i))
+		} else if ino.Links != ino.RealLinks {
+			out = append(out, fmt.Sprintf("inode %d link count %d should be %d", i, ino.Links, ino.RealLinks))
+		}
+	}
+	if fs.FreeListBad {
+		out = append(out, "free list bad")
+	}
+	return out
+}
+
+// Config controls a checker run.
+type Config struct {
+	// FS is the image to check; required.
+	FS *FileSystem
+	// AnswerYes / AnswerNo are the -y / -n flags. Both false means
+	// interactive questioning.
+	AnswerYes, AnswerNo bool
+}
+
+// answerer resolves each question: from flags or from the dialogue.
+type answerer struct {
+	cfg Config
+	in  *bufio.Reader
+	out io.Writer
+}
+
+func (a *answerer) ask(question string) bool {
+	fmt.Fprintf(a.out, "%s? ", question)
+	switch {
+	case a.cfg.AnswerYes:
+		fmt.Fprintln(a.out, "yes")
+		return true
+	case a.cfg.AnswerNo:
+		fmt.Fprintln(a.out, "no")
+		return false
+	}
+	for {
+		// Accept \r-terminated answers: a controller on the other side of
+		// a raw channel sends carriage returns, with no tty to translate.
+		line, err := readAnswerLine(a.in)
+		ans := strings.ToLower(strings.TrimSpace(line))
+		switch {
+		case strings.HasPrefix(ans, "y"):
+			return true
+		case strings.HasPrefix(ans, "n"):
+			return false
+		}
+		if err != nil {
+			return false // EOF: be conservative
+		}
+		fmt.Fprintf(a.out, "Please answer yes or no: ")
+	}
+}
+
+// readAnswerLine reads through the next \n or \r.
+func readAnswerLine(in *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		c, err := in.ReadByte()
+		if err != nil {
+			return sb.String(), err
+		}
+		if c == '\n' || c == '\r' {
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// New returns the checker as a spawnable program. It mutates cfg.FS.
+func New(cfg Config) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		fs := cfg.FS
+		if fs == nil {
+			fmt.Fprintln(stdout, "fsck: no filesystem")
+			return fmt.Errorf("fsck: no filesystem")
+		}
+		a := &answerer{cfg: cfg, in: bufio.NewReader(stdin), out: stdout}
+
+		fmt.Fprintln(stdout, "/dev/rxd0a")
+		fmt.Fprintln(stdout, "** Phase 1 - Check Blocks and Sizes")
+		for blk, owners := range fs.DupBlocks {
+			if len(owners) < 2 {
+				continue
+			}
+			// The second claimant loses its copy if the operator agrees.
+			loser := owners[1]
+			fmt.Fprintf(stdout, "%d DUP I=%d\n", blk, loser+1)
+			if a.ask("CLEAR") {
+				kept := fs.Inodes[loser].Blocks[:0]
+				for _, b := range fs.Inodes[loser].Blocks {
+					if b != blk {
+						kept = append(kept, b)
+					}
+				}
+				fs.Inodes[loser].Blocks = kept
+				fs.DupBlocks[blk] = owners[:1]
+				fs.Modified = true
+			}
+		}
+
+		fmt.Fprintln(stdout, "** Phase 2 - Check Pathnames")
+		fmt.Fprintln(stdout, "** Phase 3 - Check Connectivity")
+
+		fmt.Fprintln(stdout, "** Phase 4 - Check Reference Counts")
+		for i := range fs.Inodes {
+			ino := &fs.Inodes[i]
+			if !ino.Used {
+				continue
+			}
+			if !ino.Referenced {
+				fmt.Fprintf(stdout, "UNREF FILE I=%d  OWNER=root MODE=100644\nSIZE=%d MTIME=Jun  5 12:00 1990\n",
+					i+1, ino.Size)
+				if a.ask("RECONNECT") {
+					ino.Referenced = true
+					ino.RealLinks = 1
+					ino.Links = 1
+					fs.Modified = true
+				} else if a.ask("CLEAR") {
+					*ino = Inode{}
+					fs.Modified = true
+				}
+				continue
+			}
+			if ino.Links != ino.RealLinks {
+				fmt.Fprintf(stdout, "LINK COUNT FILE I=%d  COUNT %d SHOULD BE %d\n",
+					i+1, ino.Links, ino.RealLinks)
+				if a.ask("ADJUST") {
+					ino.Links = ino.RealLinks
+					fs.Modified = true
+				}
+			}
+		}
+
+		fmt.Fprintln(stdout, "** Phase 5 - Check Free List")
+		if fs.FreeListBad {
+			fmt.Fprintln(stdout, "BAD FREE LIST")
+			if a.ask("SALVAGE") {
+				fs.FreeListBad = false
+				fs.Modified = true
+			}
+		}
+
+		files, used := 0, 0
+		for _, ino := range fs.Inodes {
+			if ino.Used {
+				files++
+				used += len(ino.Blocks)
+			}
+		}
+		fmt.Fprintf(stdout, "%d files, %d used, %d free\n", files, used, fs.TotalBlocks-used)
+		if fs.Modified {
+			fmt.Fprintln(stdout, "***** FILE SYSTEM WAS MODIFIED *****")
+		}
+		return nil
+	}
+}

@@ -1,0 +1,162 @@
+package fsck
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestGenerateInjectsProblems(t *testing.T) {
+	fs := Generate(1, 20, 100, 4)
+	probs := fs.Problems()
+	if len(probs) == 0 {
+		t.Fatal("generator injected no problems")
+	}
+	clean := Generate(1, 20, 100, 0)
+	if got := clean.Problems(); len(got) != 0 {
+		t.Fatalf("error-free image reports problems: %v", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, 20, 100, 4).Problems()
+	b := Generate(7, 20, 100, 4).Problems()
+	if strings.Join(a, ";") != strings.Join(b, ";") {
+		t.Errorf("same seed, different problems: %v vs %v", a, b)
+	}
+}
+
+func runFsck(t *testing.T, cfg Config, drive func(s *core.Session)) string {
+	t.Helper()
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 16}, "fsck", New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if drive != nil {
+		drive(s)
+	}
+	var out strings.Builder
+	for {
+		r, err := s.ExpectTimeout(5*time.Second, core.Regexp(`(?s).+`), core.EOFCase())
+		if r != nil {
+			out.WriteString(r.Text)
+		}
+		if err != nil || r.Eof {
+			break
+		}
+	}
+	s.Wait()
+	return out.String()
+}
+
+func TestAnswerYesFixesEverything(t *testing.T) {
+	fs := Generate(3, 20, 100, 6)
+	if len(fs.Problems()) == 0 {
+		t.Fatal("no problems to fix")
+	}
+	out := runFsck(t, Config{FS: fs, AnswerYes: true}, nil)
+	if !strings.Contains(out, "** Phase 1") || !strings.Contains(out, "** Phase 5") {
+		t.Errorf("phases missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "FILE SYSTEM WAS MODIFIED") {
+		t.Errorf("no modification banner:\n%s", out)
+	}
+	if probs := fs.Problems(); len(probs) != 0 {
+		t.Errorf("fsck -y left problems: %v", probs)
+	}
+}
+
+func TestAnswerNoFixesNothing(t *testing.T) {
+	fs := Generate(3, 20, 100, 6)
+	before := len(fs.Problems())
+	out := runFsck(t, Config{FS: fs, AnswerNo: true}, nil)
+	// UNREF handling may CLEAR?-decline too; nothing should change.
+	if after := len(fs.Problems()); after != before {
+		t.Errorf("fsck -n changed the image: %d -> %d problems", before, after)
+	}
+	if strings.Contains(out, "FILE SYSTEM WAS MODIFIED") {
+		t.Errorf("-n run claims modification:\n%s", out)
+	}
+}
+
+// TestInteractiveSelectiveAnswers is the paper's §5.6 scenario: answer yes
+// to the routine questions and no to the scary one, which neither -y nor
+// -n can express.
+func TestInteractiveSelectiveAnswers(t *testing.T) {
+	fs := Generate(3, 20, 100, 6)
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 16}, "fsck", New(Config{FS: fs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sawClear := false
+	for {
+		r, err := s.ExpectTimeout(5*time.Second,
+			core.Exact("CLEAR? "),
+			core.Exact("RECONNECT? "),
+			core.Exact("ADJUST? "),
+			core.Exact("SALVAGE? "),
+			core.EOFCase(),
+		)
+		if err != nil {
+			t.Fatalf("dialogue broke: %v", err)
+		}
+		if r.Eof {
+			break
+		}
+		switch r.Index {
+		case 0: // CLEAR: the scary one — decline
+			sawClear = true
+			s.Send("no\n")
+		default:
+			s.Send("yes\n")
+		}
+	}
+	if !sawClear {
+		t.Skip("this seed produced no CLEAR question")
+	}
+	// The duplicate block must remain (we declined), everything else fixed.
+	remaining := fs.Problems()
+	for _, p := range remaining {
+		if !strings.Contains(p, "multiply claimed") {
+			t.Errorf("selective run left unexpected problem: %v", p)
+		}
+	}
+	if len(remaining) == 0 {
+		t.Error("declined CLEAR but duplicate block vanished")
+	}
+}
+
+func TestInteractiveBadAnswerReprompts(t *testing.T) {
+	fs := Generate(5, 10, 50, 1) // one dup-block problem
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 16}, "fsck", New(Config{FS: fs}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectTimeout(5*time.Second, core.Exact("CLEAR? ")); err != nil {
+		t.Skipf("no CLEAR question for this seed: %v", err)
+	}
+	s.Send("maybe\n")
+	if _, err := s.ExpectTimeout(5*time.Second, core.Glob("*yes or no*")); err != nil {
+		t.Fatalf("no reprompt after bad answer: %v", err)
+	}
+	s.Send("y\n")
+	if _, err := s.ExpectTimeout(5*time.Second, core.Glob("*files,*"), core.EOFCase()); err != nil {
+		t.Fatalf("run did not finish: %v", err)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	fs := Generate(2, 15, 80, 0)
+	out := runFsck(t, Config{FS: fs, AnswerYes: true}, nil)
+	if !strings.Contains(out, "files,") || !strings.Contains(out, "free") {
+		t.Errorf("summary line missing:\n%s", out)
+	}
+	if strings.Contains(out, "MODIFIED") {
+		t.Errorf("clean image claims modification:\n%s", out)
+	}
+}

@@ -1,0 +1,212 @@
+package ftpsim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func testFiles() []File {
+	return []File{
+		{Name: "expect.shar.Z", Size: 81920},
+		{Name: "README", Size: 1200},
+		{Name: "paper.ps", Size: 250000, Broken: true},
+	}
+}
+
+func spawnFtp(t *testing.T, cfg Config) (*core.Session, *retrieved) {
+	t.Helper()
+	got := &retrieved{}
+	cfg.OnRetrieve = got.add
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 14, Timeout: 5 * time.Second},
+		"ftp", New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, got
+}
+
+type retrieved struct {
+	mu    sync.Mutex
+	names []string
+}
+
+func (r *retrieved) add(n string) {
+	r.mu.Lock()
+	r.names = append(r.names, n)
+	r.mu.Unlock()
+}
+
+func (r *retrieved) list() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.names...)
+}
+
+func login(t *testing.T, s *core.Session) {
+	t.Helper()
+	// The client reads lines whenever they come; no need to pace on the
+	// prompt (and an earlier anchored match may already have eaten it).
+	s.Send("open ftp.cme.nist.gov\n")
+	if _, err := s.ExpectMatch("*Name: *"); err != nil {
+		t.Fatalf("name prompt: %v", err)
+	}
+	s.Send("anonymous\n")
+	if _, err := s.ExpectMatch("*Password: *"); err != nil {
+		t.Fatalf("password prompt: %v", err)
+	}
+	s.Send("libes@\n")
+	if _, err := s.ExpectMatch("*Guest login ok, access*"); err != nil {
+		t.Fatalf("login banner: %v", err)
+	}
+}
+
+func TestListAndGet(t *testing.T) {
+	s, got := spawnFtp(t, Config{Files: testFiles(), Interactive: true})
+	login(t, s)
+	s.Send("ls\n")
+	r, err := s.ExpectMatch("*Transfer complete*")
+	if err != nil {
+		t.Fatalf("ls: %v", err)
+	}
+	if !strings.Contains(r.Text, "expect.shar.Z") {
+		t.Errorf("listing missing file: %q", r.Text)
+	}
+	// The paper's own distribution instructions: ftp the shar.
+	s.Send("get expect.shar.Z\n")
+	if _, err := s.ExpectMatch("*226 Transfer complete*"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if names := got.list(); len(names) != 1 || names[0] != "expect.shar.Z" {
+		t.Errorf("retrieved = %v", names)
+	}
+}
+
+func TestGetMissingAndNotConnected(t *testing.T) {
+	s, _ := spawnFtp(t, Config{Files: testFiles()})
+	s.ExpectMatch("*ftp> *")
+	s.Send("ls\n")
+	if _, err := s.ExpectMatch("*Not connected*"); err != nil {
+		t.Fatalf("no connection guard: %v", err)
+	}
+	login(t, s)
+	s.Send("get nonesuch\n")
+	if _, err := s.ExpectMatch("*550*No such file*"); err != nil {
+		t.Fatalf("no 550: %v", err)
+	}
+}
+
+// TestBlindMgetScrollsPastErrors pins the §5.6 complaint: with prompting
+// disabled, a failed transfer scrolls past and the loop carries on — no
+// alternative action possible.
+func TestBlindMgetScrollsPastErrors(t *testing.T) {
+	s, got := spawnFtp(t, Config{Files: testFiles(), Interactive: false})
+	login(t, s)
+	s.Send("mget *\n")
+	r, err := s.ExpectTimeout(5*time.Second, core.Glob("*451*ftp> *"))
+	if err != nil {
+		t.Fatalf("mget run: %v", err)
+	}
+	if !strings.Contains(r.Text, "451") {
+		t.Errorf("no failure visible: %q", r.Text)
+	}
+	// The broken file is skipped, the others got through, the client
+	// never asked anything.
+	names := got.list()
+	if len(names) != 2 {
+		t.Errorf("retrieved %v, want the 2 intact files", names)
+	}
+	if strings.Contains(strings.Join(names, " "), "paper.ps") {
+		t.Error("broken file reported as retrieved")
+	}
+}
+
+// TestExpectDrivenMgetRecovers is the paper's fix: expect drives the
+// interactive flavor, answers the per-file questions, sees the 451, and
+// takes alternative action (retry via get after the sweep).
+func TestExpectDrivenMgetRecovers(t *testing.T) {
+	files := testFiles()
+	s, got := spawnFtp(t, Config{Files: files, Interactive: true})
+	login(t, s)
+	s.Send("mget *\n")
+	failed := []string{}
+	for {
+		r, err := s.ExpectTimeout(5*time.Second,
+			core.Regexp(`mget ([^?]+)\? `),
+			core.Regexp(`451 ([^:]+):`),
+			core.Exact("ftp> "),
+		)
+		if err != nil {
+			t.Fatalf("mget dialogue: %v", err)
+		}
+		if r.Index == 0 {
+			s.Send("y\n")
+			continue
+		}
+		if r.Index == 1 {
+			// Alternative action: remember the casualty.
+			f := strings.TrimSpace(r.Text[strings.LastIndex(r.Text, "451")+4:])
+			f = strings.TrimSuffix(strings.Fields(f)[0], ":")
+			failed = append(failed, f)
+			continue
+		}
+		break
+	}
+	if len(failed) != 1 || failed[0] != "paper.ps" {
+		t.Fatalf("failures observed = %v", failed)
+	}
+	// Retry the casualty individually (it stays broken here, but the
+	// point is that the script COULD act — count the attempt).
+	s.Send("get " + failed[0] + "\n")
+	if _, err := s.ExpectMatch("*451*"); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if names := got.list(); len(names) != 2 {
+		t.Errorf("intact files retrieved = %v", names)
+	}
+	s.Send("bye\n")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Goodbye*"), core.EOFCase()); err != nil {
+		t.Fatalf("bye: %v", err)
+	}
+}
+
+func TestPromptToggle(t *testing.T) {
+	s, got := spawnFtp(t, Config{Files: testFiles(), Interactive: true})
+	login(t, s)
+	s.Send("prompt\n")
+	if _, err := s.ExpectMatch("*Interactive mode off*"); err != nil {
+		t.Fatalf("toggle: %v", err)
+	}
+	s.Send("mget README\n")
+	if _, err := s.ExpectMatch("*226 Transfer complete*"); err != nil {
+		t.Fatalf("mget after toggle: %v", err)
+	}
+	if names := got.list(); len(names) != 1 || names[0] != "README" {
+		t.Errorf("retrieved = %v", names)
+	}
+}
+
+func TestGlobLite(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"*", "anything", true},
+		{"*.Z", "expect.shar.Z", true},
+		{"*.Z", "README", false},
+		{"README", "README", true},
+		{"READ*", "README", true},
+		{"*shar*", "expect.shar.Z", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "aXcYb", false},
+	}
+	for _, tc := range cases {
+		if got := globLite(tc.pat, tc.s); got != tc.want {
+			t.Errorf("globLite(%q, %q) = %v", tc.pat, tc.s, got)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+// Package modem simulates a Hayes-compatible modem and a minimal tip(1)
+// front end, the pair the paper's callback.exp script drives (§4):
+//
+//	spawn tip modem
+//	expect {*connected*} {}
+//	send ATZ\r
+//	expect {*OK*} {}
+//	send ATDT[index $argv 1]\r
+//	set timeout 60
+//	expect {*CONNECT*} {}
+//
+// The simulated modem answers the AT command set (ATZ, ATD/ATDT, ATH, AT)
+// and consults a phone directory to decide between CONNECT, BUSY, and NO
+// CARRIER, with configurable dial latency. A directory entry may carry a
+// remote program (for example a login greeter) that the modem bridges to
+// after CONNECT — which is how the mail-retrieval example of §5.8 runs.
+package modem
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// CallResult is what dialing a number yields.
+type CallResult int
+
+// Dial outcomes.
+const (
+	ResultConnect CallResult = iota
+	ResultBusy
+	ResultNoCarrier
+)
+
+// Entry is one phone-directory row.
+type Entry struct {
+	Result CallResult
+	// Delay before the result is reported ("modem takes a while to
+	// connect" — the script raises its timeout to 60 s for this).
+	Delay time.Duration
+	// Speed is reported in the CONNECT banner (default 1200).
+	Speed int
+	// Remote, when non-nil, answers the call: after CONNECT the modem
+	// bridges the caller to this program until it hangs up.
+	Remote proc.Program
+}
+
+// Config configures the simulated modem.
+type Config struct {
+	// Directory maps dialed numbers to outcomes.
+	Directory map[string]Entry
+	// Default is used for numbers not in the directory.
+	Default Entry
+	// Echo mirrors command characters back (ATE1 behaviour).
+	Echo bool
+}
+
+// New returns the modem as a spawnable program. A single goroutine owns
+// the caller's input stream and feeds a channel, so command mode and the
+// post-CONNECT bridge never compete for reads.
+func New(cfg Config) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		input := make(chan []byte, 8)
+		go func() {
+			defer close(input)
+			for {
+				buf := make([]byte, 512)
+				n, err := stdin.Read(buf)
+				if n > 0 {
+					input <- buf[:n]
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+
+		var pending []byte
+		// nextByte pulls one byte from the stream, blocking; ok=false on EOF.
+		nextByte := func() (byte, bool) {
+			for len(pending) == 0 {
+				chunk, ok := <-input
+				if !ok {
+					return 0, false
+				}
+				pending = chunk
+			}
+			b := pending[0]
+			pending = pending[1:]
+			return b, true
+		}
+
+		readCommand := func() (string, bool) {
+			var sb strings.Builder
+			for {
+				c, ok := nextByte()
+				if !ok {
+					return sb.String(), false
+				}
+				if cfg.Echo {
+					stdout.Write([]byte{c})
+				}
+				if c == '\r' || c == '\n' {
+					if sb.Len() == 0 {
+						continue
+					}
+					return sb.String(), true
+				}
+				sb.WriteByte(c)
+			}
+		}
+
+		for {
+			line, ok := readCommand()
+			if !ok {
+				return nil
+			}
+			cmd := strings.ToUpper(strings.TrimSpace(line))
+			switch {
+			case cmd == "":
+				continue
+			case cmd == "ATZ", cmd == "ATH", cmd == "AT", strings.HasPrefix(cmd, "ATE"):
+				fmt.Fprint(stdout, "OK\r\n")
+			case strings.HasPrefix(cmd, "ATD"):
+				number := strings.TrimSpace(strings.TrimLeft(cmd[3:], "TP"))
+				entry, found := cfg.Directory[number]
+				if !found {
+					entry = cfg.Default
+				}
+				if entry.Delay > 0 {
+					time.Sleep(entry.Delay)
+				}
+				switch entry.Result {
+				case ResultBusy:
+					fmt.Fprint(stdout, "BUSY\r\n")
+				case ResultNoCarrier:
+					fmt.Fprint(stdout, "NO CARRIER\r\n")
+				default:
+					speed := entry.Speed
+					if speed == 0 {
+						speed = 1200
+					}
+					fmt.Fprintf(stdout, "CONNECT %d\r\n", speed)
+					if entry.Remote != nil {
+						pending = bridge(input, pending, stdout, entry.Remote)
+						fmt.Fprint(stdout, "NO CARRIER\r\n")
+					}
+				}
+			default:
+				fmt.Fprint(stdout, "ERROR\r\n")
+			}
+		}
+	}
+}
+
+// bridge couples the caller (via the shared input channel) to the remote
+// program until the remote hangs up. It returns any caller bytes read but
+// not forwarded, so command mode resumes cleanly.
+func bridge(input chan []byte, pending []byte, callerOut io.Writer, remote proc.Program) []byte {
+	remoteEnd, modemEnd := proc.NewDuplexPair(64 * 1024)
+	remoteDone := make(chan struct{})
+	go func() {
+		remote(remoteEnd, remoteEnd)
+		remoteEnd.Close()
+		close(remoteDone)
+	}()
+	// Remote → caller.
+	outDone := make(chan struct{})
+	go func() {
+		io.Copy(callerOut, modemEnd)
+		close(outDone)
+	}()
+	// Caller → remote, until the remote hangs up.
+	if len(pending) > 0 {
+		modemEnd.Write(pending)
+		pending = nil
+	}
+	for {
+		select {
+		case chunk, ok := <-input:
+			if !ok {
+				// Caller hung up: drop carrier toward the remote and let
+				// it finish.
+				modemEnd.CloseWrite()
+				<-outDone
+				<-remoteDone
+				return nil
+			}
+			if _, err := modemEnd.Write(chunk); err != nil {
+				<-outDone
+				return nil
+			}
+		case <-remoteDone:
+			<-outDone
+			modemEnd.Close()
+			return nil
+		}
+	}
+}
+
+// TipConfig configures the tip(1) front end.
+type TipConfig struct {
+	// Modem is the modem the "line" is wired to.
+	Modem Config
+}
+
+// NewTip returns a minimal tip: it prints the "connected" banner the
+// paper's script expects, then couples its caller byte-for-byte to an
+// internal modem.
+func NewTip(cfg TipConfig) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, "connected\r\n")
+		userEnd, modemUserEnd := proc.NewDuplexPair(64 * 1024)
+		modemProg := New(cfg.Modem)
+		done := make(chan struct{})
+		go func() {
+			modemProg(modemUserEnd, modemUserEnd)
+			modemUserEnd.Close()
+			close(done)
+		}()
+		go func() {
+			io.Copy(userEnd, stdin)
+			userEnd.CloseWrite()
+		}()
+		io.Copy(stdout, userEnd)
+		<-done
+		userEnd.Close()
+		return nil
+	}
+}

@@ -1,0 +1,203 @@
+// Package rogue simulates the BSD game the paper's flagship script drives:
+// "rogue.exp - find a good game of rogue" spawns the game repeatedly until
+// a character with strength 18 appears, then hands control to the user
+// (§4). The real game is a curses program; what the script observes is the
+// status line, so the simulator reproduces exactly that byte stream — a
+// screenful of dungeon followed by
+//
+//	Level: 1  Gold: 0  Hp: 12(12)  Str: 16(16)  Arm: 4  Exp: 1/0
+//
+// — with a seedable roll distribution, plus enough command handling (move,
+// rest, quit) to be an honest interactive program rather than a one-shot
+// printer.
+package rogue
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// Config controls a simulated game.
+type Config struct {
+	// Seed makes the character roll deterministic; 0 draws a fresh seed.
+	Seed int64
+	// LuckNumerator / LuckDenominator give the probability of rolling the
+	// coveted Str 18. The default is 1/16, which keeps the paper's "about
+	// 10 games per second" loop busy for a realistic number of restarts.
+	LuckNumerator, LuckDenominator int
+	// Delay is an artificial pause before the first screen, modeling the
+	// real game's startup cost. Zero means no delay.
+	Delay time.Duration
+	// Curses makes the game paint with VT100 cursor addressing (clear
+	// screen, absolute positioning, status on row 24) the way the real
+	// curses-based game does, instead of plain teletype output. Drive it
+	// with a screen-tracking session (§8's terminal-emulator question) —
+	// the raw byte stream is escape-sequence soup.
+	Curses bool
+}
+
+var seedCounter int64
+
+func (c Config) luck() (int, int) {
+	if c.LuckNumerator <= 0 || c.LuckDenominator <= 0 {
+		return 1, 16
+	}
+	return c.LuckNumerator, c.LuckDenominator
+}
+
+// Stats is a rolled character.
+type Stats struct {
+	Level, Gold, Hp, MaxHp, Str, MaxStr, Arm, Exp int
+}
+
+// Roll creates a character from r using cfg's luck.
+func Roll(r *rand.Rand, cfg Config) Stats {
+	num, den := cfg.luck()
+	str := 5 + r.Intn(13) // 5..17
+	if r.Intn(den) < num {
+		str = 18
+	}
+	hp := 12
+	return Stats{Level: 1, Gold: 0, Hp: hp, MaxHp: hp, Str: str, MaxStr: str, Arm: 4, Exp: 1}
+}
+
+// StatusLine renders the rogue status bar the paper's pattern matches.
+func (s Stats) StatusLine() string {
+	return fmt.Sprintf("Level: %d  Gold: %d  Hp: %d(%d)  Str: %d(%d)  Arm: %d  Exp: %d/0",
+		s.Level, s.Gold, s.Hp, s.MaxHp, s.Str, s.MaxStr, s.Arm, s.Exp)
+}
+
+// cursesScreen paints the same room with VT100 addressing, status line
+// on row 24, map in the middle — curses-style damage repainting.
+func cursesScreen(s Stats, x, y int) string {
+	var sb strings.Builder
+	sb.WriteString("\x1b[2J\x1b[H")
+	const w, h = 20, 5
+	top := 8 // map starts at screen row 9 (1-based)
+	for row := 0; row < h; row++ {
+		fmt.Fprintf(&sb, "\x1b[%d;%dH", top+row+1, 5)
+		for col := 0; col < w; col++ {
+			switch {
+			case row == 0 || row == h-1:
+				sb.WriteByte('-')
+			case col == 0 || col == w-1:
+				sb.WriteByte('|')
+			case col == x && row == y:
+				sb.WriteByte('@')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "\x1b[24;1H%s", s.StatusLine())
+	// Park the cursor on the rogue, as curses does.
+	fmt.Fprintf(&sb, "\x1b[%d;%dH", top+y+1, 5+x)
+	return sb.String()
+}
+
+// screen draws a tiny dungeon room with the rogue at (x, y).
+func screen(s Stats, x, y int) string {
+	var sb strings.Builder
+	sb.WriteString("\n\n")
+	const w, h = 20, 5
+	for row := 0; row < h; row++ {
+		sb.WriteString("    ")
+		for col := 0; col < w; col++ {
+			switch {
+			case row == 0 || row == h-1:
+				sb.WriteByte('-')
+			case col == 0 || col == w-1:
+				sb.WriteByte('|')
+			case col == x && row == y:
+				sb.WriteByte('@')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(s.StatusLine())
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// New returns the simulated game as a spawnable program.
+func New(cfg Config) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano() + atomic.AddInt64(&seedCounter, 1)
+		}
+		r := rand.New(rand.NewSource(seed))
+		if cfg.Delay > 0 {
+			time.Sleep(cfg.Delay)
+		}
+		stats := Roll(r, cfg)
+		x, y := 10, 2
+		paint := screen
+		if cfg.Curses {
+			paint = cursesScreen
+		}
+		if _, err := io.WriteString(stdout, paint(stats, x, y)); err != nil {
+			return nil // controller hung up
+		}
+		in := bufio.NewReader(stdin)
+		for {
+			c, err := in.ReadByte()
+			if err != nil {
+				return nil // EOF: the close command killed us (§3.2)
+			}
+			switch c {
+			case 'h':
+				x--
+			case 'l':
+				x++
+			case 'k':
+				y--
+			case 'j':
+				y++
+			case 's': // search / rest: burn a turn
+			case 'Q':
+				io.WriteString(stdout, "really quit? ")
+				ans, err := in.ReadByte()
+				if err != nil || ans == 'y' || ans == 'Y' {
+					io.WriteString(stdout, "\nbye bye\n")
+					return nil
+				}
+				continue
+			case '\n', '\r':
+				continue
+			default:
+				io.WriteString(stdout, fmt.Sprintf("unknown command '%c'\n", c))
+				continue
+			}
+			if x < 1 {
+				x = 1
+			}
+			if x > 18 {
+				x = 18
+			}
+			if y < 1 {
+				y = 1
+			}
+			if y > 3 {
+				y = 3
+			}
+			if _, err := io.WriteString(stdout, paint(stats, x, y)); err != nil {
+				return nil
+			}
+		}
+	}
+}
+
+// Main runs the game over real stdio for the cmd/rogue binary.
+func Main(cfg Config, stdin io.Reader, stdout io.Writer) error {
+	return New(cfg)(stdin, stdout)
+}

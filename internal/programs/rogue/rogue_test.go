@@ -1,0 +1,194 @@
+package rogue
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestStatusLineFormat(t *testing.T) {
+	s := Stats{Level: 1, Gold: 0, Hp: 12, MaxHp: 12, Str: 18, MaxStr: 18, Arm: 4, Exp: 1}
+	line := s.StatusLine()
+	want := "Level: 1  Gold: 0  Hp: 12(12)  Str: 18(18)  Arm: 4  Exp: 1/0"
+	if line != want {
+		t.Errorf("StatusLine = %q, want %q", line, want)
+	}
+	// The paper's pattern must match a screen containing this line.
+	if !strings.Contains(line, "Str: 18") {
+		t.Error("pattern anchor missing")
+	}
+}
+
+func TestRollDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	cfg := Config{LuckNumerator: 1, LuckDenominator: 16}
+	n18 := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		s := Roll(r, cfg)
+		if s.Str < 5 || s.Str > 18 {
+			t.Fatalf("rolled Str %d out of range", s.Str)
+		}
+		if s.Str == 18 {
+			n18++
+		}
+	}
+	// Expected ≈ 1/16 + (1-1/16)/13·P(17→18)… conservatively between 4%
+	// and 15% (the luck path plus natural 18s from the uniform roll).
+	frac := float64(n18) / trials
+	if frac < 0.04 || frac > 0.25 {
+		t.Errorf("Str 18 fraction = %.3f, outside plausible band", frac)
+	}
+}
+
+func TestRollDeterministicWithSeed(t *testing.T) {
+	a := Roll(rand.New(rand.NewSource(5)), Config{})
+	b := Roll(rand.New(rand.NewSource(5)), Config{})
+	if a != b {
+		t.Errorf("same seed rolled %+v vs %+v", a, b)
+	}
+}
+
+func TestGameInteraction(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "rogue", New(Config{Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*"))
+	if err != nil {
+		t.Fatalf("no status line: %v", err)
+	}
+	if !strings.Contains(r.Text, "@") {
+		t.Error("no rogue on the map")
+	}
+	// Move and see a redraw.
+	s.Send("l")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*")); err != nil {
+		t.Fatalf("no redraw after move: %v", err)
+	}
+	// Quit politely.
+	s.Send("Q")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*really quit?*")); err != nil {
+		t.Fatalf("no quit prompt: %v", err)
+	}
+	s.Send("y")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*bye bye*")); err != nil {
+		t.Fatalf("no farewell: %v", err)
+	}
+	if code, _ := s.Wait(); code != 0 {
+		t.Errorf("exit code %d", code)
+	}
+}
+
+func TestCloseKillsGame(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "rogue", New(Config{Seed: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	done := make(chan struct{})
+	go func() { s.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("rogue survived close — EOF must kill it (§3.2)")
+	}
+}
+
+func TestLuckCertainProducesStr18(t *testing.T) {
+	cfg := Config{Seed: 11, LuckNumerator: 1, LuckDenominator: 1}
+	s, err := core.SpawnProgram(nil, "rogue", New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str: 18*")); err != nil {
+		t.Fatalf("guaranteed-luck game did not roll Str 18: %v", err)
+	}
+}
+
+func TestCursesModePaintsEscapes(t *testing.T) {
+	s, err := core.SpawnProgram(&core.Config{MatchMax: 1 << 14}, "rogue",
+		New(Config{Seed: 3, Curses: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := s.ExpectTimeout(2*time.Second, core.Regexp(`Str: \d+`))
+	if err != nil {
+		t.Fatalf("no status: %v", err)
+	}
+	if !strings.Contains(r.Text, "\x1b[2J") || !strings.Contains(r.Text, "\x1b[24;1H") {
+		t.Errorf("curses mode output lacks escapes: %q", r.Text[:40])
+	}
+}
+
+func TestUnknownCommandAndWalls(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "rogue", New(Config{Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectTimeout(2*time.Second, core.Glob("*Str:*"))
+	s.Send("z")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*unknown command*")); err != nil {
+		t.Fatalf("no complaint: %v", err)
+	}
+	// Walk hard into the left wall; the rogue must stay inside the room.
+	for i := 0; i < 15; i++ {
+		s.Send("h")
+		if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*")); err != nil {
+			t.Fatalf("redraw %d: %v", i, err)
+		}
+	}
+	last, _ := s.ExpectTimeout(100*time.Millisecond, core.TimeoutCase())
+	_ = last
+	s.Send("k") // also bump the top
+	r, err := s.ExpectTimeout(2*time.Second, core.Glob("*@*"))
+	if err != nil {
+		t.Fatalf("rogue left the dungeon: %v", err)
+	}
+	if !strings.Contains(r.Text, "|") {
+		t.Errorf("no walls drawn: %q", r.Text)
+	}
+}
+
+func TestQuitDeclined(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "rogue", New(Config{Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.ExpectTimeout(2*time.Second, core.Glob("*Str:*"))
+	s.Send("Q")
+	s.ExpectTimeout(2*time.Second, core.Glob("*really quit?*"))
+	s.Send("n")
+	// Game lives on.
+	s.Send("l")
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*")); err != nil {
+		t.Fatalf("game died after declined quit: %v", err)
+	}
+}
+
+func TestStartupDelay(t *testing.T) {
+	s, err := core.SpawnProgram(nil, "rogue",
+		New(Config{Seed: 3, Delay: 80 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	start := time.Now()
+	if _, err := s.ExpectTimeout(2*time.Second, core.Glob("*Str:*")); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 70*time.Millisecond {
+		t.Error("startup delay not honored")
+	}
+}

@@ -1,0 +1,141 @@
+package pty
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func openPair(t *testing.T) (*Pty, *os.File) {
+	t.Helper()
+	p, err := Open()
+	if err != nil {
+		t.Skipf("pty unavailable: %v", err)
+	}
+	slave, err := p.OpenSlave()
+	if err != nil {
+		p.Close()
+		t.Fatalf("open slave: %v", err)
+	}
+	t.Cleanup(func() { slave.Close(); p.Close() })
+	return p, slave
+}
+
+func TestOpenAllocatesSlavePath(t *testing.T) {
+	p, _ := openPair(t)
+	if !strings.HasPrefix(p.SlavePath, "/dev/pts/") {
+		t.Errorf("slave path %q", p.SlavePath)
+	}
+}
+
+func TestDataFlowsBothWays(t *testing.T) {
+	p, slave := openPair(t)
+	if err := DisableOutputProcessing(slave); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetEcho(slave, false); err != nil {
+		t.Fatal(err)
+	}
+	// Slave → master.
+	if _, err := slave.WriteString("from-slave\n"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := p.Master.Read(buf)
+	if err != nil || !strings.Contains(string(buf[:n]), "from-slave") {
+		t.Fatalf("master read %q, %v", buf[:n], err)
+	}
+	// Master → slave (needs newline: slave is canonical by default).
+	if _, err := p.Master.WriteString("to-slave\n"); err != nil {
+		t.Fatal(err)
+	}
+	n, err = slave.Read(buf)
+	if err != nil || !strings.Contains(string(buf[:n]), "to-slave") {
+		t.Fatalf("slave read %q, %v", buf[:n], err)
+	}
+}
+
+func TestWinsizeRoundTrip(t *testing.T) {
+	p, _ := openPair(t)
+	if err := SetWinsize(p.Master, 42, 132); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := GetWinsize(p.Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Rows != 42 || ws.Cols != 132 {
+		t.Errorf("winsize = %dx%d, want 42x132", ws.Rows, ws.Cols)
+	}
+}
+
+func TestEchoToggle(t *testing.T) {
+	_, slave := openPair(t)
+	if err := SetEcho(slave, false); err != nil {
+		t.Fatal(err)
+	}
+	attr, err := GetAttr(slave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Lflag&flagECHO != 0 {
+		t.Error("echo still on after SetEcho(false)")
+	}
+	if err := SetEcho(slave, true); err != nil {
+		t.Fatal(err)
+	}
+	attr, _ = GetAttr(slave)
+	if attr.Lflag&flagECHO == 0 {
+		t.Error("echo off after SetEcho(true)")
+	}
+}
+
+func TestMakeRawAndRestore(t *testing.T) {
+	_, slave := openPair(t)
+	before, err := GetAttr(slave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore, err := MakeRaw(slave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := GetAttr(slave)
+	if raw.Lflag&flagICANON != 0 || raw.Lflag&flagECHO != 0 {
+		t.Error("raw mode left canonical/echo bits set")
+	}
+	if err := restore(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := GetAttr(slave)
+	if after.Lflag != before.Lflag {
+		t.Errorf("restore mismatch: %x vs %x", after.Lflag, before.Lflag)
+	}
+}
+
+func TestIsTerminal(t *testing.T) {
+	p, slave := openPair(t)
+	if !IsTerminal(slave) || !IsTerminal(p.Master) {
+		t.Error("pty endpoints not recognized as terminals")
+	}
+	f, err := os.Open("/dev/null")
+	if err == nil {
+		defer f.Close()
+		if IsTerminal(f) {
+			t.Error("/dev/null claimed to be a terminal")
+		}
+	}
+}
+
+func TestEchoIsTheDefault(t *testing.T) {
+	// Fresh slaves echo — the behaviour expect scripts see: what you send
+	// comes back interleaved with the program's output.
+	_, slave := openPair(t)
+	attr, err := GetAttr(slave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr.Lflag&flagECHO == 0 {
+		t.Error("fresh pty slave does not echo")
+	}
+}

@@ -1,0 +1,24 @@
+package tcl
+
+// registerCompatCommands installs the 1990-era Tcl 2.x command names the
+// paper's scripts use. In that dialect several of today's l*-prefixed list
+// commands went by bare names, and `print` wrote to the terminal; expect's
+// published examples (`send ATDT[index $argv 1]`, `{print busy; continue}`)
+// depend on them.
+func registerCompatCommands(i *Interp) {
+	alias := func(oldName, newName string) {
+		target := i.commands[newName]
+		i.Register(oldName, func(in *Interp, args []string) Result {
+			// Re-dispatch under the canonical name so error messages and
+			// arity checks stay consistent.
+			rewritten := make([]string, len(args))
+			copy(rewritten, args)
+			rewritten[0] = newName
+			return target(in, rewritten)
+		})
+	}
+	alias("index", "lindex")
+	alias("length", "llength")
+	alias("range", "lrange")
+	alias("print", "puts")
+}

@@ -1,0 +1,77 @@
+package tcl_test
+
+import (
+	"fmt"
+
+	"repro/internal/tcl"
+)
+
+// Example evaluates the paper's recursive factorial procedure (§3).
+func Example() {
+	i := tcl.New()
+	out, err := i.Eval(`
+		proc fac x {
+			if {$x == 1} {return 1}
+			return [expr {$x * [fac [expr $x-1]]}]
+		}
+		fac 6
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(out)
+	// Output: 720
+}
+
+// ExampleInterp_Eval shows the swap fragment from §3: braces defer
+// substitution so expr sees the raw variable references.
+func ExampleInterp_Eval() {
+	i := tcl.New()
+	out, err := i.Eval(`
+		set a 1
+		set b 2
+		if {$a < $b} {
+			set tmp $a
+			set a $b
+			set b $tmp
+		}
+		list $a $b
+	`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(out)
+	// Output: 2 1
+}
+
+// ExampleInterp_Register adds an application command, the embedding story
+// that §7.1 says made Tcl the right base for expect.
+func ExampleInterp_Register() {
+	i := tcl.New()
+	i.Register("double", func(in *tcl.Interp, args []string) tcl.Result {
+		if len(args) != 2 {
+			return tcl.Errf("usage: double n")
+		}
+		n, res := in.ExprInt(args[1])
+		if res.Code != tcl.OK {
+			return res
+		}
+		return tcl.Ok(fmt.Sprint(2 * n))
+	})
+	out, _ := i.Eval(`double [expr 10+11]`)
+	fmt.Println(out)
+	// Output: 42
+}
+
+// ExampleParseList shows Tcl list quoting round-tripping.
+func ExampleParseList() {
+	list := tcl.FormList([]string{"plain", "two words", "{braced}"})
+	fmt.Println(list)
+	items, _ := tcl.ParseList(list)
+	fmt.Println(len(items), items[1])
+	// Output:
+	// plain {two words} {{braced}}
+	// 3 two words
+}

@@ -1,0 +1,252 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct{ expr, want string }{
+		{"1+2", "3"},
+		{"1 + 2 * 3", "7"},
+		{"(1+2)*3", "9"},
+		{"10/3", "3"},
+		{"10%3", "1"},
+		{"-7/2", "-4"}, // Tcl floors toward -inf
+		{"-7%2", "1"},  // remainder has divisor's sign
+		{"7/-2", "-4"},
+		{"2**0", ""}, // placeholder, removed below
+		{"1.5+2.5", "4.0"},
+		{"1.0/4", "0.25"},
+		{"3*1.5", "4.5"},
+		{"-5", "-5"},
+		{"--5", "5"},
+		{"+5", "5"},
+		{"!0", "1"},
+		{"!3", "0"},
+		{"~0", "-1"},
+		{"1<<4", "16"},
+		{"256>>4", "16"},
+		{"5&3", "1"},
+		{"5|3", "7"},
+		{"5^3", "6"},
+		{"0x10", "16"},
+		{"0x10+1", "17"},
+		{"1e3", "1000.0"},
+		{"2.5e-1", "0.25"},
+	}
+	for _, tc := range cases {
+		if tc.expr == "2**0" {
+			continue // exponent operator intentionally unsupported (not in 1990 Tcl)
+		}
+		i := New()
+		got, res := i.ExprString(tc.expr)
+		if res.Code != OK {
+			t.Errorf("expr %q failed: %s", tc.expr, res.Value)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("expr %q = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestExprComparisonAndLogic(t *testing.T) {
+	cases := []struct{ expr, want string }{
+		{"1 < 2", "1"},
+		{"2 < 1", "0"},
+		{"2 <= 2", "1"},
+		{"3 >= 4", "0"},
+		{"1 == 1.0", "1"},
+		{"1 != 2", "1"},
+		{"1 && 1", "1"},
+		{"1 && 0", "0"},
+		{"0 || 1", "1"},
+		{"0 || 0", "0"},
+		{"1 ? 10 : 20", "10"},
+		{"0 ? 10 : 20", "20"},
+		{"1 < 2 && 2 < 3", "1"},
+		{"1 < 2 ? 3+4 : 5+6", "7"},
+		{`"abc" == "abc"`, "1"},
+		{`"abc" == "abd"`, "0"},
+		{`"abc" < "abd"`, "1"},
+		{`"10" == 10`, "1"}, // numeric strings compare numerically
+		{`" 10" == 10`, "1"},
+		{"abs(-4)", "4"},
+		{"abs(4.5)", "4.5"},
+		{"int(3.9)", "3"},
+		{"round(3.5)", "4"},
+		{"double(2)", "2.0"},
+	}
+	for _, tc := range cases {
+		i := New()
+		got, res := i.ExprString(tc.expr)
+		if res.Code != OK {
+			t.Errorf("expr %q failed: %s", tc.expr, res.Value)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("expr %q = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestExprSubstitution(t *testing.T) {
+	i := New()
+	i.SetVar("a", "4")
+	i.SetVar("b", "10")
+	i.SetVar("s", "yes")
+	cases := []struct{ expr, want string }{
+		{"$a + $b", "14"},
+		{"$a < $b", "1"},
+		{"$a*$a", "16"},
+		{`$s == "yes"`, "1"},
+		{"[llength {a b c}] + 1", "4"},
+		{"${a} + 1", "5"},
+	}
+	for _, tc := range cases {
+		got, res := i.ExprString(tc.expr)
+		if res.Code != OK {
+			t.Errorf("expr %q failed: %s", tc.expr, res.Value)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("expr %q = %q, want %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestExprLaziness(t *testing.T) {
+	i := New()
+	evalOK(t, i, `set hits 0; proc bump {} {global hits; incr hits; return 1}`)
+	if got := evalOK(t, i, `expr {0 && [bump]}`); got != "0" {
+		t.Fatalf("short-circuit && = %q", got)
+	}
+	if got := evalOK(t, i, `set hits`); got != "0" {
+		t.Errorf("&& rhs evaluated %s times, want 0", got)
+	}
+	if got := evalOK(t, i, `expr {1 || [bump]}`); got != "1" {
+		t.Fatalf("short-circuit || = %q", got)
+	}
+	if got := evalOK(t, i, `set hits`); got != "0" {
+		t.Errorf("|| rhs evaluated %s times, want 0", got)
+	}
+	evalOK(t, i, `expr {1 ? 5 : [bump]}`)
+	if got := evalOK(t, i, `set hits`); got != "0" {
+		t.Errorf("untaken ternary branch evaluated %s times, want 0", got)
+	}
+	// Taken branches do evaluate.
+	evalOK(t, i, `expr {1 && [bump]}`)
+	if got := evalOK(t, i, `set hits`); got != "1" {
+		t.Errorf("taken && rhs evaluated %s times, want 1", got)
+	}
+	// Laziness must also skip unknown variables on the untaken side.
+	if got := evalOK(t, i, `expr {1 || $nosuchvar}`); got != "1" {
+		t.Errorf("|| with unread var = %q", got)
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	cases := []struct{ expr, wantSub string }{
+		{"1/0", "divide by zero"},
+		{"1%0", "divide by zero"},
+		{"", "premature end"},
+		{"1+", "premature end"},
+		{"(1+2", "close parenthesis"},
+		{`"abc" + 1`, "non-numeric"},
+		{"1 ? 2", `missing ":"`},
+		{"foo", "bare word"},
+		{"nosuchfunc(1)", "unknown math function"},
+		{"1.5 % 2", "floating-point"},
+		{"~1.5", "floating-point"},
+	}
+	for _, tc := range cases {
+		i := New()
+		_, res := i.ExprString(tc.expr)
+		if res.Code != Error {
+			t.Errorf("expr %q succeeded, want error %q", tc.expr, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(res.Value, tc.wantSub) {
+			t.Errorf("expr %q error = %q, want substring %q", tc.expr, res.Value, tc.wantSub)
+		}
+	}
+}
+
+func TestExprBool(t *testing.T) {
+	i := New()
+	for _, s := range []string{"1", "3", "-1", "0.5", "true", "yes", "on"} {
+		b, res := i.ExprBool(s)
+		if res.Code != OK || !b {
+			t.Errorf("ExprBool(%q) = %v, %v; want true", s, b, res)
+		}
+	}
+	for _, s := range []string{"0", "0.0", "false", "no", "off"} {
+		b, res := i.ExprBool(s)
+		if res.Code != OK || b {
+			t.Errorf("ExprBool(%q) = %v, %v; want false", s, b, res)
+		}
+	}
+}
+
+// Property: integer arithmetic in expr agrees with Go for +, -, *.
+func TestExprIntArithmeticQuick(t *testing.T) {
+	i := New()
+	f := func(a, b int16) bool {
+		for _, op := range []struct {
+			sym  string
+			gold func(x, y int64) int64
+		}{
+			{"+", func(x, y int64) int64 { return x + y }},
+			{"-", func(x, y int64) int64 { return x - y }},
+			{"*", func(x, y int64) int64 { return x * y }},
+		} {
+			got, res := i.ExprInt(
+				"(" + itoa(int64(a)) + ")" + op.sym + "(" + itoa(int64(b)) + ")")
+			if res.Code != OK || got != op.gold(int64(a), int64(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}
+
+// Property: floored division/modulo satisfy a = (a/b)*b + a%b with
+// 0 <= a%b < |b| sign-matched to b.
+func TestExprDivModInvariantQuick(t *testing.T) {
+	i := New()
+	f := func(a int16, b int16) bool {
+		if b == 0 {
+			return true
+		}
+		q, res1 := i.ExprInt(itoa(int64(a)) + "/" + "(" + itoa(int64(b)) + ")")
+		r, res2 := i.ExprInt(itoa(int64(a)) + "%" + "(" + itoa(int64(b)) + ")")
+		if res1.Code != OK || res2.Code != OK {
+			return false
+		}
+		if q*int64(b)+r != int64(a) {
+			return false
+		}
+		if int64(b) > 0 {
+			return r >= 0 && r < int64(b)
+		}
+		return r <= 0 && r > int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,269 @@
+package tcl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExecCommand(t *testing.T) {
+	i := New()
+	if got := evalOK(t, i, `exec echo hello world`); got != "hello world" {
+		t.Errorf("exec echo = %q", got)
+	}
+	// Command substitution around exec, as in callback.exp's `exec sleep`.
+	if got := evalOK(t, i, `set out [exec echo nested]; set out`); got != "nested" {
+		t.Errorf("exec in brackets = %q", got)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	i := New()
+	_, err := i.Eval(`exec /no/such/binary`)
+	if err == nil || !strings.Contains(err.Error(), "couldn't execute") {
+		t.Errorf("exec missing binary: %v", err)
+	}
+	_, err = i.Eval(`exec sh -c "echo oops >&2; exit 3"`)
+	if err == nil || !strings.Contains(err.Error(), "oops") {
+		t.Errorf("exec nonzero: %v", err)
+	}
+}
+
+func TestSourceFile(t *testing.T) {
+	i := New()
+	path := filepath.Join(t.TempDir(), "lib.tcl")
+	if err := os.WriteFile(path, []byte("proc fromfile {} {return sourced}\nset loaded 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evalOK(t, i, "source "+path)
+	if got := evalOK(t, i, `fromfile`); got != "sourced" {
+		t.Errorf("sourced proc = %q", got)
+	}
+	if got := evalOK(t, i, `set loaded`); got != "1" {
+		t.Errorf("loaded = %q", got)
+	}
+	_, err := i.Eval(`source /no/such/file.tcl`)
+	if err == nil || !strings.Contains(err.Error(), "couldn't read file") {
+		t.Errorf("source missing: %v", err)
+	}
+}
+
+func TestSourceReturnStopsFile(t *testing.T) {
+	i := New()
+	path := filepath.Join(t.TempDir(), "early.tcl")
+	os.WriteFile(path, []byte("set a 1\nreturn done\nset a 2\n"), 0o644)
+	got := evalOK(t, i, "source "+path)
+	if got != "done" {
+		t.Errorf("source result = %q", got)
+	}
+	if v := evalOK(t, i, "set a"); v != "1" {
+		t.Errorf("a = %q, return did not stop the file", v)
+	}
+}
+
+func TestPwdAndCd(t *testing.T) {
+	i := New()
+	orig, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(orig)
+	dir := t.TempDir()
+	evalOK(t, i, "cd "+dir)
+	got := evalOK(t, i, "pwd")
+	// TempDir may be a symlink (e.g. /tmp on some hosts); compare resolved.
+	want, _ := filepath.EvalSymlinks(dir)
+	gotR, _ := filepath.EvalSymlinks(got)
+	if gotR != want {
+		t.Errorf("pwd = %q, want %q", gotR, want)
+	}
+	_, err = i.Eval(`cd /no/such/dir`)
+	if err == nil {
+		t.Error("cd to missing dir succeeded")
+	}
+}
+
+func TestTimeCommand(t *testing.T) {
+	i := New()
+	got := evalOK(t, i, `time {set x 1} 10`)
+	if !strings.Contains(got, "microseconds per iteration") {
+		t.Errorf("time = %q", got)
+	}
+	if _, err := i.Eval(`time {nosuchcmd} 2`); err == nil {
+		t.Error("time swallowed an error")
+	}
+	if _, err := i.Eval(`time {set x 1} zero`); err == nil {
+		t.Error("time accepted a bad count")
+	}
+}
+
+func TestPidCommand(t *testing.T) {
+	i := New()
+	got := evalOK(t, i, `pid`)
+	if got == "" || got == "0" {
+		t.Errorf("pid = %q", got)
+	}
+}
+
+func TestGlobalSetGet(t *testing.T) {
+	i := New()
+	i.GlobalSet("g", "top")
+	if v, ok := i.GlobalGet("g"); !ok || v != "top" {
+		t.Errorf("GlobalGet = %q, %v", v, ok)
+	}
+	// Visible from inside a proc via global.
+	if got := evalOK(t, i, `proc f {} {global g; set g}; f`); got != "top" {
+		t.Errorf("global from proc = %q", got)
+	}
+	// GlobalSet from a nested frame writes frame 0.
+	evalOK(t, i, `proc g2 {} {set g local-shadow}; g2`)
+	if v, _ := i.GlobalGet("g"); v != "top" {
+		t.Errorf("global clobbered by proc local: %q", v)
+	}
+	if _, ok := i.GlobalGet("missing-var"); ok {
+		t.Error("GlobalGet found a missing variable")
+	}
+}
+
+func TestUnregisterAndLookup(t *testing.T) {
+	i := New()
+	i.Register("gadget", func(in *Interp, args []string) Result { return Ok("gadget!") })
+	if got := evalOK(t, i, `gadget`); got != "gadget!" {
+		t.Errorf("custom command = %q", got)
+	}
+	if !i.Unregister("gadget") {
+		t.Error("Unregister said command missing")
+	}
+	if i.Unregister("gadget") {
+		t.Error("double Unregister succeeded")
+	}
+	if _, err := i.Eval(`gadget`); err == nil {
+		t.Error("command usable after Unregister")
+	}
+	evalOK(t, i, `proc known {} {}`)
+	if _, ok := i.LookupProc("known"); !ok {
+		t.Error("LookupProc missed a defined proc")
+	}
+	if _, ok := i.LookupProc("unknown"); ok {
+		t.Error("LookupProc found a ghost")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	for code, want := range map[Code]string{
+		OK: "ok", Error: "error", Return: "return",
+		Break: "break", Continue: "continue", Code(99): "code-99",
+	} {
+		if got := code.String(); got != want {
+			t.Errorf("Code(%d).String() = %q, want %q", int(code), got, want)
+		}
+	}
+}
+
+func TestRenameBuiltinAndDelete(t *testing.T) {
+	i := New()
+	evalOK(t, i, `rename puts old_puts`)
+	if _, err := i.Eval(`puts hi`); err == nil {
+		t.Error("puts usable after rename")
+	}
+	var buf strings.Builder
+	i.Stdout = &buf
+	evalOK(t, i, `old_puts hi`)
+	if buf.String() != "hi\n" {
+		t.Errorf("renamed builtin output %q", buf.String())
+	}
+	// Rename to "" deletes.
+	evalOK(t, i, `rename old_puts ""`)
+	if _, err := i.Eval(`old_puts hi`); err == nil {
+		t.Error("deleted command still runs")
+	}
+	if _, err := i.Eval(`rename never-existed x`); err == nil {
+		t.Error("rename of missing command succeeded")
+	}
+}
+
+func TestUplevelAbsoluteLevels(t *testing.T) {
+	i := New()
+	got := evalOK(t, i, `
+		proc outer {} { inner }
+		proc inner {} { uplevel #0 {set topvar 42}; return ok }
+		outer
+		set topvar
+	`)
+	if got != "42" {
+		t.Errorf("uplevel #0 = %q", got)
+	}
+	// uplevel 2 from depth 2 reaches the top.
+	got = evalOK(t, i, `
+		proc a {} { b }
+		proc b {} { uplevel 2 {set deepvar 7} }
+		a
+		set deepvar
+	`)
+	if got != "7" {
+		t.Errorf("uplevel 2 = %q", got)
+	}
+}
+
+func TestInfoMoreOptions(t *testing.T) {
+	i := New()
+	evalOK(t, i, `set v1 x; set v2 y`)
+	vars := evalOK(t, i, `info globals v*`)
+	if !strings.Contains(vars, "v1") || !strings.Contains(vars, "v2") {
+		t.Errorf("info globals = %q", vars)
+	}
+	locals := evalOK(t, i, `proc f {a} {set b 2; info locals}; f 1`)
+	if !strings.Contains(locals, "a") || !strings.Contains(locals, "b") {
+		t.Errorf("info locals = %q", locals)
+	}
+	if got := evalOK(t, i, `info tclversion`); got == "" {
+		t.Error("no tclversion")
+	}
+	if _, err := i.Eval(`info nonsense`); err == nil {
+		t.Error("info accepted a bad option")
+	}
+	if _, err := i.Eval(`info body nosuchproc`); err == nil {
+		t.Error("info body of missing proc succeeded")
+	}
+	// info exists on an array name without parens.
+	evalOK(t, i, `set arr(k) v`)
+	if got := evalOK(t, i, `info exists arr`); got != "1" {
+		t.Errorf("info exists arr = %q", got)
+	}
+}
+
+func TestArrayGetAndErrors(t *testing.T) {
+	i := New()
+	evalOK(t, i, `array set a {x 1 y 2}`)
+	if got := evalOK(t, i, `array get a`); got != "x 1 y 2" {
+		t.Errorf("array get = %q", got)
+	}
+	if got := evalOK(t, i, `array names a x*`); got != "x" {
+		t.Errorf("array names filter = %q", got)
+	}
+	if got := evalOK(t, i, `array size nothere`); got != "0" {
+		t.Errorf("array size missing = %q", got)
+	}
+	if _, err := i.Eval(`array set a {odd}`); err == nil {
+		t.Error("array set with odd list succeeded")
+	}
+	if _, err := i.Eval(`array frobnicate a`); err == nil {
+		t.Error("array accepted a bad option")
+	}
+}
+
+func TestErrorInfoVariable(t *testing.T) {
+	i := New()
+	if _, err := i.Eval(`proc f {} {error boom}; f`); err == nil {
+		t.Fatal("no error")
+	}
+	info, ok := i.GlobalGet("errorInfo")
+	if !ok || !strings.Contains(info, "boom") {
+		t.Errorf("errorInfo = %q", info)
+	}
+	// catch-ed errors can read it too via the message argument instead.
+	if got := evalOK(t, i, `catch {error whoops} m; set m`); got != "whoops" {
+		t.Errorf("catch message = %q", got)
+	}
+}

@@ -1,0 +1,197 @@
+package tcl
+
+import (
+	"strings"
+)
+
+// Tcl lists are strings with shell-like element quoting: elements are
+// separated by whitespace, braces group (and nest), double quotes group,
+// and backslashes escape. ParseList and FormList are the round-trip pair
+// (Tcl_SplitList / Tcl_Merge in the C implementation).
+
+// ParseList splits a Tcl list string into its elements.
+func ParseList(s string) ([]string, error) {
+	var elems []string
+	i := 0
+	n := len(s)
+	for {
+		for i < n && isListSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			return elems, nil
+		}
+		switch s[i] {
+		case '{':
+			depth := 1
+			j := i + 1
+			var sb strings.Builder
+			for j < n && depth > 0 {
+				switch s[j] {
+				case '\\':
+					if j+1 < n {
+						sb.WriteByte(s[j])
+						sb.WriteByte(s[j+1])
+						j += 2
+						continue
+					}
+					depth = -1
+				case '{':
+					depth++
+					if depth > 1 {
+						sb.WriteByte('{')
+					}
+					j++
+					continue
+				case '}':
+					depth--
+					if depth > 0 {
+						sb.WriteByte('}')
+					}
+					j++
+					continue
+				}
+				if depth > 0 {
+					sb.WriteByte(s[j])
+					j++
+				}
+			}
+			if depth != 0 {
+				return nil, &TclError{Message: "unmatched open brace in list"}
+			}
+			if j < n && !isListSpace(s[j]) {
+				return nil, &TclError{Message: "list element in braces followed by extra characters"}
+			}
+			elems = append(elems, sb.String())
+			i = j
+		case '"':
+			j := i + 1
+			var sb strings.Builder
+			closed := false
+			for j < n {
+				switch s[j] {
+				case '\\':
+					if j+1 < n {
+						rep, k := backslashSubst(s[j:])
+						sb.WriteString(rep)
+						j += k
+						continue
+					}
+					sb.WriteByte('\\')
+					j++
+				case '"':
+					closed = true
+					j++
+				default:
+					sb.WriteByte(s[j])
+					j++
+				}
+				if closed {
+					break
+				}
+			}
+			if !closed {
+				return nil, &TclError{Message: "unmatched open quote in list"}
+			}
+			if j < n && !isListSpace(s[j]) {
+				return nil, &TclError{Message: "list element in quotes followed by extra characters"}
+			}
+			elems = append(elems, sb.String())
+			i = j
+		default:
+			j := i
+			var sb strings.Builder
+			for j < n && !isListSpace(s[j]) {
+				if s[j] == '\\' && j+1 < n {
+					rep, k := backslashSubst(s[j:])
+					sb.WriteString(rep)
+					j += k
+					continue
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			elems = append(elems, sb.String())
+			i = j
+		}
+	}
+}
+
+func isListSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// FormList joins elements into a canonical Tcl list string, quoting each
+// element as needed so ParseList recovers the originals exactly.
+func FormList(elems []string) string {
+	var sb strings.Builder
+	for i, e := range elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(QuoteElement(e))
+	}
+	return sb.String()
+}
+
+// QuoteElement renders one string as a single Tcl list element.
+func QuoteElement(e string) string {
+	if e == "" {
+		return "{}"
+	}
+	if !needsQuoting(e) {
+		return e
+	}
+	if bracesBalanced(e) && !strings.HasSuffix(e, "\\") {
+		return "{" + e + "}"
+	}
+	// Fall back to backslash quoting.
+	var sb strings.Builder
+	for i := 0; i < len(e); i++ {
+		c := e[i]
+		switch c {
+		case ' ', '\t', '"', '\\', '{', '}', '[', ']', '$', ';':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\f':
+			sb.WriteString(`\f`)
+		case '\v':
+			sb.WriteString(`\v`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return sb.String()
+}
+
+func needsQuoting(e string) bool {
+	for i := 0; i < len(e); i++ {
+		switch e[i] {
+		case ' ', '\t', '\n', '\r', '\v', '\f', '"', '\\', '{', '}', '[', ']', '$', ';':
+			return true
+		}
+	}
+	return false
+}
+
+func bracesBalanced(e string) bool {
+	depth := 0
+	for i := 0; i < len(e); i++ {
+		switch e[i] {
+		case '\\':
+			i++
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}

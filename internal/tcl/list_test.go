@@ -1,0 +1,211 @@
+package tcl
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"   ", nil},
+		{"a", []string{"a"}},
+		{"a b c", []string{"a", "b", "c"}},
+		{"  a   b  ", []string{"a", "b"}},
+		{"{a b} c", []string{"a b", "c"}},
+		{"{a {b c}} d", []string{"a {b c}", "d"}},
+		{`"a b" c`, []string{"a b", "c"}},
+		{`a\ b c`, []string{"a b", "c"}},
+		{"{}", []string{""}},
+		{`""`, []string{""}},
+		{"a\nb\tc", []string{"a", "b", "c"}},
+		{`\{ \}`, []string{"{", "}"}},
+		{`"x\ty"`, []string{"x\ty"}},
+	}
+	for _, tc := range cases {
+		got, err := ParseList(tc.in)
+		if err != nil {
+			t.Errorf("ParseList(%q) error: %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseList(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseListErrors(t *testing.T) {
+	for _, in := range []string{"{a", `"a`, "{a} b {"} {
+		if _, err := ParseList(in); err == nil {
+			t.Errorf("ParseList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestFormListRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"a", "b"},
+		{"a b", "c"},
+		{""},
+		{"", "", ""},
+		{"{", "}"},
+		{"a{b", "c}d"},
+		{`back\slash`},
+		{"new\nline"},
+		{"tab\there"},
+		{"$dollar", "[bracket]", ";semi"},
+		{"plain", "with space", "{braced}", `"quoted"`},
+	}
+	for _, elems := range cases {
+		s := FormList(elems)
+		got, err := ParseList(s)
+		if err != nil {
+			t.Errorf("round trip of %#v: ParseList(%q) error %v", elems, s, err)
+			continue
+		}
+		if len(got) == 0 && len(elems) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, elems) {
+			t.Errorf("round trip of %#v via %q = %#v", elems, s, got)
+		}
+	}
+}
+
+// Property: FormList/ParseList round-trips arbitrary strings.
+func TestListRoundTripQuick(t *testing.T) {
+	f := func(elems []string) bool {
+		if len(elems) == 0 {
+			return true
+		}
+		s := FormList(elems)
+		got, err := ParseList(s)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, elems)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	cases := []struct{ script, want string }{
+		{`list a b c`, "a b c"},
+		{`list "a b" c`, "{a b} c"},
+		{`list`, ""},
+		{`lindex {a b c} 0`, "a"},
+		{`lindex {a b c} 2`, "c"},
+		{`lindex {a b c} end`, "c"},
+		{`lindex {a b c} end-1`, "b"},
+		{`lindex {a b c} 5`, ""},
+		{`lindex {a {b c} d} 1`, "b c"},
+		{`llength {}`, "0"},
+		{`llength {a b c}`, "3"},
+		{`llength {a {b c}}`, "2"},
+		{`set l {a}; lappend l b c; set l`, "a b c"},
+		{`set l {}; lappend l "x y"; set l`, "{x y}"},
+		{`lappend newvar a; set newvar`, "a"},
+		{`linsert {a c} 1 b`, "a b c"},
+		{`linsert {a b} 0 z`, "z a b"},
+		{`linsert {a b} end x`, "a x b"},
+		{`lrange {a b c d} 1 2`, "b c"},
+		{`lrange {a b c d} 0 end`, "a b c d"},
+		{`lrange {a b c d} 2 0`, ""},
+		{`lreplace {a b c d} 1 2 X Y Z`, "a X Y Z d"},
+		{`lreplace {a b c} 0 0`, "b c"},
+		{`lsearch {a b c} b`, "1"},
+		{`lsearch {a b c} z`, "-1"},
+		{`lsearch -exact {a* b} a*`, "0"},
+		{`lsearch -glob {foo bar} b*`, "1"},
+		{`lsearch -regexp {foo bar} ^b`, "1"},
+		{`lsort {c a b}`, "a b c"},
+		{`lsort -decreasing {c a b}`, "c b a"},
+		{`lsort -integer {10 9 2}`, "2 9 10"},
+		{`lsort -real {1.5 0.2 10.0}`, "0.2 1.5 10.0"},
+		{`concat a {b c} d`, "a b c d"},
+		{`concat {a b} {}`, "a b"},
+		{`join {a b c} -`, "a-b-c"},
+		{`join {a b c}`, "a b c"},
+		{`split a:b:c :`, "a b c"},
+		{`split "a,b;c" ",;"`, "a b c"},
+		{`split abc {}`, "a b c"},
+		{`split {a b} { }`, "a b"},
+		{`llength [split "x  y" { }]`, "3"}, // empty element between doubles
+	}
+	for _, tc := range cases {
+		i := New()
+		got := evalOK(t, i, tc.script)
+		if got != tc.want {
+			t.Errorf("Eval(%q) = %q, want %q", tc.script, got, tc.want)
+		}
+	}
+}
+
+func TestStringCommands(t *testing.T) {
+	cases := []struct{ script, want string }{
+		{`string length hello`, "5"},
+		{`string length {}`, "0"},
+		{`string index hello 1`, "e"},
+		{`string index hello 99`, ""},
+		{`string range hello 1 3`, "ell"},
+		{`string range hello 1 end`, "ello"},
+		{`string compare a b`, "-1"},
+		{`string compare b a`, "1"},
+		{`string compare a a`, "0"},
+		{`string equal a a`, "1"},
+		{`string match *ell* hello`, "1"},
+		{`string match *xyz* hello`, "0"},
+		{`string match {h[aeiou]llo} hello`, "1"},
+		{`string first ll hello`, "2"},
+		{`string first zz hello`, "-1"},
+		{`string last l hello`, "3"},
+		{`string tolower HeLLo`, "hello"},
+		{`string toupper HeLLo`, "HELLO"},
+		{`string trim "  hi  "`, "hi"},
+		{`string trimleft "  hi  "`, "hi  "},
+		{`string trimright xxhixx x`, "xxhi"},
+		{`string repeat ab 3`, "ababab"},
+		{`string reverse abc`, "cba"},
+		{`format %d 42`, "42"},
+		{`format %5d 42`, "   42"},
+		{`format %-5d| 42`, "42   |"},
+		{`format %05d 42`, "00042"},
+		{`format %x 255`, "ff"},
+		{`format %X 255`, "FF"},
+		{`format %o 8`, "10"},
+		{`format %c 65`, "A"},
+		{`format %s-%s a b`, "a-b"},
+		{`format %.2f 3.14159`, "3.14"},
+		{`format %e 12345.678`, "1.234568e+04"},
+		{`format %% `, "%"},
+		{`format %ld 9`, "9"},
+		{`scan "42 hello" "%d %s" n s; list $n $s`, "42 hello"},
+		{`scan abc %c c; set c`, "97"},
+		{`scan " 3.5x" %f f; set f`, "3.5"},
+		{`scan ff %x h; set h`, "255"},
+		{`scan "a=5" "a=%d" v; set v`, "5"},
+		{`scan "1 2 3" "%d %d" a b`, "2"},
+		{`regexp {h.llo} hello`, "1"},
+		{`regexp {^x} hello`, "0"},
+		{`regexp {l(l.)} hello whole sub; list $whole $sub`, "llo lo"},
+		{`regexp -nocase HELLO hello`, "1"},
+		{`regsub l hello L out; set out`, "heLlo"},
+		{`regsub -all l hello L out; set out`, "heLLo"},
+		{`regsub {(e)(l)} hello {\2\1} out; set out`, "hlelo"},
+		{`regsub -all l hello & out; set out`, "hello"},
+		{`regsub x hello y out`, "0"},
+	}
+	for _, tc := range cases {
+		i := New()
+		got := evalOK(t, i, tc.script)
+		if got != tc.want {
+			t.Errorf("Eval(%q) = %q, want %q", tc.script, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,470 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The parser implements classic Tcl evaluation: a script is a sequence of
+// commands separated by newlines or semicolons; each command is a sequence
+// of words; words are produced by brace quoting (no substitution), double
+// quoting (substitution, grouping), or bare text (substitution, no
+// grouping). Substitution is dollar (variables), bracket (nested command
+// evaluation), and backslash. Scripts are parsed as they are evaluated,
+// exactly as in Tcl 2.x/6.x.
+
+type parser struct {
+	interp *Interp
+	src    string
+	pos    int
+}
+
+// substitution selection for substInto.
+type substMode int
+
+const (
+	substBackslash substMode = 1 << iota
+	substDollar
+	substBracket
+	substAll = substBackslash | substDollar | substBracket
+)
+
+// scriptOutcome couples a completion Result with how far the parser got, so
+// bracket substitution can resume after the matching ']'.
+type scriptOutcome struct {
+	Result
+	end int // index just past the last consumed byte of src
+}
+
+// evalScript evaluates src (the whole parser buffer) starting at pos 0.
+// When bracketed is true, evaluation stops at an unquoted ']' (the script is
+// the inside of a command substitution) and the ']' is not consumed.
+func (i *Interp) evalScript(script string, bracketed bool) scriptOutcome {
+	p := &parser{interp: i, src: script}
+	return p.run(bracketed)
+}
+
+func (p *parser) run(bracketed bool) scriptOutcome {
+	last := Ok("")
+	for {
+		p.skipCommandSeparators()
+		if p.done() {
+			return scriptOutcome{last, p.pos}
+		}
+		if bracketed && p.src[p.pos] == ']' {
+			return scriptOutcome{last, p.pos}
+		}
+		if p.src[p.pos] == '#' {
+			p.skipComment()
+			continue
+		}
+		words, out, terminated := p.parseCommand(bracketed)
+		if out.Code != OK {
+			out.end = p.pos
+			return out
+		}
+		if len(words) > 0 {
+			res := p.interp.EvalWords(words)
+			if res.Code != OK {
+				if res.Code == Error {
+					p.interp.noteErrorLine(words)
+				}
+				return scriptOutcome{res, p.pos}
+			}
+			last = res
+		}
+		if terminated {
+			return scriptOutcome{last, p.pos}
+		}
+	}
+}
+
+// noteErrorLine appends a while-executing trace line to ErrorInfo.
+func (i *Interp) noteErrorLine(words []string) {
+	cmd := strings.Join(words, " ")
+	if len(cmd) > 60 {
+		cmd = cmd[:57] + "..."
+	}
+	i.ErrorInfo += fmt.Sprintf("\n    while executing\n%q", cmd)
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.src) }
+
+// skipCommandSeparators consumes whitespace, newlines, and semicolons
+// between commands, plus backslash-newline continuations.
+func (p *parser) skipCommandSeparators() {
+	for !p.done() {
+		switch c := p.src[p.pos]; c {
+		case ' ', '\t', '\r', '\n', ';':
+			p.pos++
+		case '\\':
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				p.pos += 2
+			} else {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// skipInterWordSpace consumes spaces/tabs (and backslash-newline) between
+// words of a single command. It reports whether the command continues.
+func (p *parser) skipInterWordSpace() bool {
+	for !p.done() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\r':
+			p.pos++
+		case '\\':
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				p.pos += 2
+				continue
+			}
+			return true
+		case '\n', ';':
+			return false
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// skipComment consumes a comment through its terminating newline. A
+// backslash-newline inside a comment continues the comment, per Tcl.
+func (p *parser) skipComment() {
+	for !p.done() {
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			p.pos += 2
+			continue
+		}
+		p.pos++
+		if c == '\n' {
+			return
+		}
+	}
+}
+
+// parseCommand gathers the fully substituted words of one command. It stops
+// at a newline or semicolon (consumed) or, in bracketed mode, before ']'.
+// terminated reports that a bracket terminator was reached.
+func (p *parser) parseCommand(bracketed bool) (words []string, out scriptOutcome, terminated bool) {
+	for {
+		if p.done() {
+			return words, scriptOutcome{Ok(""), p.pos}, false
+		}
+		switch c := p.src[p.pos]; {
+		case c == '\n' || c == ';':
+			p.pos++
+			return words, scriptOutcome{Ok(""), p.pos}, false
+		case bracketed && c == ']':
+			return words, scriptOutcome{Ok(""), p.pos}, true
+		}
+		word, res := p.parseWord(bracketed)
+		if res.Code != OK {
+			return nil, scriptOutcome{res, p.pos}, false
+		}
+		words = append(words, word)
+		if !p.skipInterWordSpace() {
+			// Hit newline/; or end: let the loop consume it.
+			if p.done() {
+				return words, scriptOutcome{Ok(""), p.pos}, false
+			}
+			continue
+		}
+	}
+}
+
+// parseWord parses a single word starting at p.pos.
+func (p *parser) parseWord(bracketed bool) (string, Result) {
+	switch p.src[p.pos] {
+	case '{':
+		return p.parseBracedWord()
+	case '"':
+		return p.parseQuotedWord(bracketed)
+	default:
+		return p.parseBareWord(bracketed)
+	}
+}
+
+// parseBracedWord handles {...}: no substitution except backslash-newline,
+// with nested braces tracked; a backslash quotes the following character for
+// the purposes of brace counting.
+func (p *parser) parseBracedWord() (string, Result) {
+	start := p.pos + 1
+	depth := 1
+	i := start
+	var sb strings.Builder
+	flushFrom := start
+	for i < len(p.src) {
+		switch p.src[i] {
+		case '\\':
+			if i+1 < len(p.src) {
+				if p.src[i+1] == '\n' {
+					// Backslash-newline inside braces becomes a space.
+					sb.WriteString(p.src[flushFrom:i])
+					sb.WriteByte(' ')
+					i += 2
+					for i < len(p.src) && (p.src[i] == ' ' || p.src[i] == '\t') {
+						i++
+					}
+					flushFrom = i
+					continue
+				}
+				i += 2
+				continue
+			}
+			i++
+		case '{':
+			depth++
+			i++
+		case '}':
+			depth--
+			if depth == 0 {
+				sb.WriteString(p.src[flushFrom:i])
+				p.pos = i + 1
+				if !p.atWordEnd() {
+					return "", Errf("extra characters after close-brace")
+				}
+				return sb.String(), Ok("")
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	return "", Errf("missing close-brace")
+}
+
+// parseQuotedWord handles "...": full substitution, grouping.
+func (p *parser) parseQuotedWord(bracketed bool) (string, Result) {
+	p.pos++ // consume opening quote
+	var sb strings.Builder
+	for !p.done() {
+		c := p.src[p.pos]
+		if c == '"' {
+			p.pos++
+			if !p.atWordEnd() && !(bracketed && !p.done() && p.src[p.pos] == ']') {
+				return "", Errf("extra characters after close-quote")
+			}
+			return sb.String(), Ok("")
+		}
+		if res := p.substOne(&sb, substAll); res.Code != OK {
+			return "", res
+		}
+	}
+	return "", Errf("missing close-quote")
+}
+
+// parseBareWord handles an unquoted word with substitution. It ends at
+// whitespace, newline, semicolon, or (bracketed) ']'.
+func (p *parser) parseBareWord(bracketed bool) (string, Result) {
+	var sb strings.Builder
+	for !p.done() {
+		c := p.src[p.pos]
+		switch c {
+		case ' ', '\t', '\r', '\n', ';':
+			return sb.String(), Ok("")
+		case ']':
+			if bracketed {
+				return sb.String(), Ok("")
+			}
+		case '\\':
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n' {
+				return sb.String(), Ok("")
+			}
+		}
+		if res := p.substOne(&sb, substAll); res.Code != OK {
+			return "", res
+		}
+	}
+	return sb.String(), Ok("")
+}
+
+// atWordEnd reports whether the parser sits at a valid word boundary.
+func (p *parser) atWordEnd() bool {
+	if p.done() {
+		return true
+	}
+	switch p.src[p.pos] {
+	case ' ', '\t', '\r', '\n', ';', ']':
+		return true
+	case '\\':
+		return p.pos+1 < len(p.src) && p.src[p.pos+1] == '\n'
+	}
+	return false
+}
+
+// substInto performs substitution over src[p.pos:limit] into sb.
+func (p *parser) substInto(sb *strings.Builder, limit int, mode substMode) Result {
+	for p.pos < limit {
+		if res := p.substOne(sb, mode); res.Code != OK {
+			return res
+		}
+	}
+	return Ok("")
+}
+
+// substOne consumes one substitution unit (a literal byte, a backslash
+// escape, a $variable, or a [command]) and appends its expansion.
+func (p *parser) substOne(sb *strings.Builder, mode substMode) Result {
+	c := p.src[p.pos]
+	switch {
+	case c == '\\' && mode&substBackslash != 0:
+		rep, n := backslashSubst(p.src[p.pos:])
+		sb.WriteString(rep)
+		p.pos += n
+	case c == '$' && mode&substDollar != 0:
+		val, n, res := p.varSubst()
+		if res.Code != OK {
+			return res
+		}
+		sb.WriteString(val)
+		p.pos += n
+	case c == '[' && mode&substBracket != 0:
+		p.pos++
+		out := p.interp.evalScript(p.src[p.pos:], true)
+		if out.Code != OK && out.Code != Return {
+			return out.Result
+		}
+		p.pos += out.end
+		if p.done() || p.src[p.pos] != ']' {
+			return Errf("missing close-bracket")
+		}
+		p.pos++
+		sb.WriteString(out.Value)
+	default:
+		sb.WriteByte(c)
+		p.pos++
+	}
+	return Ok("")
+}
+
+// varSubst parses a $-substitution beginning at p.pos (which holds '$').
+// It returns the value and the number of source bytes consumed, leaving
+// p.pos untouched.
+func (p *parser) varSubst() (string, int, Result) {
+	src := p.src[p.pos:]
+	if len(src) < 2 {
+		return "$", 1, Ok("")
+	}
+	if src[1] == '{' {
+		end := strings.IndexByte(src[2:], '}')
+		if end < 0 {
+			return "", 0, Errf(`missing close-brace for variable name`)
+		}
+		name := src[2 : 2+end]
+		val, ok := p.interp.GetVar(name)
+		if !ok {
+			return "", 0, Errf("can't read %q: no such variable", name)
+		}
+		return val, 2 + end + 1, Ok("")
+	}
+	j := 1
+	for j < len(src) && isVarNameChar(src[j]) {
+		j++
+	}
+	if j == 1 {
+		// Bare dollar sign.
+		return "$", 1, Ok("")
+	}
+	name := src[1:j]
+	if j < len(src) && src[j] == '(' {
+		// Array element: the index itself undergoes substitution.
+		sub := &parser{interp: p.interp, src: p.src, pos: p.pos + j + 1}
+		var idx strings.Builder
+		for !sub.done() && sub.src[sub.pos] != ')' {
+			if res := sub.substOne(&idx, substAll); res.Code != OK {
+				return "", 0, res
+			}
+		}
+		if sub.done() {
+			return "", 0, Errf(`missing ")" in array reference`)
+		}
+		sub.pos++ // consume ')'
+		full := name + "(" + idx.String() + ")"
+		val, ok := p.interp.GetVar(full)
+		if !ok {
+			return "", 0, Errf("can't read %q: no such element in array", full)
+		}
+		return val, sub.pos - p.pos, Ok("")
+	}
+	val, ok := p.interp.GetVar(name)
+	if !ok {
+		return "", 0, Errf("can't read %q: no such variable", name)
+	}
+	return val, j, Ok("")
+}
+
+func isVarNameChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// backslashSubst decodes one backslash escape at the start of s, returning
+// the replacement text and the number of bytes consumed. s[0] must be '\\'.
+func backslashSubst(s string) (string, int) {
+	if len(s) < 2 {
+		return "\\", 1
+	}
+	switch s[1] {
+	case 'a':
+		return "\a", 2
+	case 'b':
+		return "\b", 2
+	case 'f':
+		return "\f", 2
+	case 'n':
+		return "\n", 2
+	case 'r':
+		return "\r", 2
+	case 't':
+		return "\t", 2
+	case 'v':
+		return "\v", 2
+	case 'e':
+		return "\x1b", 2
+	case '\n':
+		// Backslash-newline plus following whitespace collapses to a space.
+		n := 2
+		for n < len(s) && (s[n] == ' ' || s[n] == '\t') {
+			n++
+		}
+		return " ", n
+	case 'x':
+		val, digits := 0, 0
+		for digits < 2 && 2+digits < len(s) && isHexDigit(s[2+digits]) {
+			val = val*16 + hexVal(s[2+digits])
+			digits++
+		}
+		if digits == 0 {
+			return "x", 2
+		}
+		return string(rune(val)), 2 + digits
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		val, digits := 0, 0
+		for digits < 3 && 1+digits < len(s) && s[1+digits] >= '0' && s[1+digits] <= '7' {
+			val = val*8 + int(s[1+digits]-'0')
+			digits++
+		}
+		return string(rune(val)), 1 + digits
+	default:
+		return s[1:2], 2
+	}
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}

@@ -1,0 +1,433 @@
+// Package tcl implements an interpreter for the Tool Command Language in the
+// dialect the 1990 expect paper embeds: the classic string-based Tcl core
+// (Ousterhout, USENIX Winter 1990) with control flow, procedures, expression
+// evaluation, string and list manipulation, and execution of external
+// programs. Everything is a string; commands are the unit of execution.
+//
+// The interpreter is deliberately close in spirit to Tcl 2.x/6.x: scripts are
+// parsed as they are evaluated, substitution follows the classic brace /
+// quote / bracket / dollar rules, and non-local control flow (return, break,
+// continue, error) propagates as completion codes. The 1990-era command
+// aliases used by the paper's scripts (index, length, range, print, case) are
+// registered alongside the canonical modern names.
+package tcl
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Code is a Tcl completion code. Every command evaluation completes with one
+// of these; they are what make constructs such as the paper's
+//
+//	expect {*welcome*} break {*failed*} abort
+//
+// able to terminate an enclosing loop from inside an action argument.
+type Code int
+
+// Completion codes, numerically identical to real Tcl's TCL_OK..TCL_CONTINUE.
+const (
+	OK Code = iota
+	Error
+	Return
+	Break
+	Continue
+)
+
+func (c Code) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case Error:
+		return "error"
+	case Return:
+		return "return"
+	case Break:
+		return "break"
+	case Continue:
+		return "continue"
+	default:
+		return fmt.Sprintf("code-%d", int(c))
+	}
+}
+
+// Result is the outcome of evaluating a script or command: a completion code
+// plus the result string (the value on OK/Return, the message on Error).
+type Result struct {
+	Code  Code
+	Value string
+}
+
+// Ok returns a successful Result carrying value.
+func Ok(value string) Result { return Result{OK, value} }
+
+// Errf formats an error Result.
+func Errf(format string, args ...any) Result {
+	return Result{Error, fmt.Sprintf(format, args...)}
+}
+
+// Command is the implementation of a Tcl command. args[0] is the command
+// name as invoked (so aliases can tailor messages); the remaining elements
+// are the fully substituted words.
+type Command func(i *Interp, args []string) Result
+
+// variable is a scalar or array variable slot. A slot holds either a scalar
+// value, an array, or a link to a variable in another frame (upvar/global).
+type variable struct {
+	value string
+	arr   map[string]string
+	isArr bool
+	link  *variable // non-nil for upvar/global aliases
+}
+
+func (v *variable) target() *variable {
+	for v.link != nil {
+		v = v.link
+	}
+	return v
+}
+
+// frame is one level of the procedure call stack. Frame 0 holds globals.
+type frame struct {
+	vars     map[string]*variable
+	procName string
+}
+
+// Proc is a user-defined procedure.
+type Proc struct {
+	Args []ProcArg
+	Body string
+}
+
+// ProcArg is one formal parameter, optionally carrying a default.
+type ProcArg struct {
+	Name       string
+	Default    string
+	HasDefault bool
+}
+
+// Interp is a Tcl interpreter: a command table, a variable frame stack, and
+// the evaluation machinery. It is not safe for concurrent use; expect drives
+// a single interpreter from a single goroutine, exactly as the original did.
+type Interp struct {
+	commands map[string]Command
+	procs    map[string]*Proc
+	frames   []*frame
+
+	// Stdout and Stderr receive the output of puts/print and error traces.
+	// They default to the process's own streams but are swappable so tests
+	// and the expect engine's logging layer can capture them.
+	Stdout io.Writer
+	Stderr io.Writer
+
+	// ErrorInfo accumulates a human-readable evaluation trace after an
+	// error, in the manner of Tcl's errorInfo.
+	ErrorInfo string
+
+	// Trace, when non-nil, is called with every command about to be
+	// executed (after substitution). It implements the paper's §3.3
+	// "tracing - Programs may be traced to assist debugging".
+	Trace func(depth int, words []string)
+
+	// MaxDepth bounds recursion to turn runaway scripts into errors
+	// instead of stack exhaustion.
+	MaxDepth int
+
+	depth       int
+	exitHandler func(code int)
+}
+
+// New creates an interpreter with the full built-in command set registered.
+func New() *Interp {
+	i := &Interp{
+		commands: make(map[string]Command),
+		procs:    make(map[string]*Proc),
+		frames:   []*frame{{vars: make(map[string]*variable)}},
+		Stdout:   os.Stdout,
+		Stderr:   os.Stderr,
+		MaxDepth: 1000,
+	}
+	registerCoreCommands(i)
+	registerStringCommands(i)
+	registerListCommands(i)
+	registerIOCommands(i)
+	registerCompatCommands(i)
+	return i
+}
+
+// Register installs (or replaces) a command implementation.
+func (i *Interp) Register(name string, cmd Command) {
+	i.commands[name] = cmd
+}
+
+// Unregister removes a command; it reports whether the command existed.
+func (i *Interp) Unregister(name string) bool {
+	_, ok := i.commands[name]
+	delete(i.commands, name)
+	return ok
+}
+
+// CommandNames returns the sorted names of all registered commands,
+// including procedures.
+func (i *Interp) CommandNames() []string {
+	names := make([]string, 0, len(i.commands)+len(i.procs))
+	for n := range i.commands {
+		names = append(names, n)
+	}
+	for n := range i.procs {
+		if _, dup := i.commands[n]; !dup {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProcNames returns the sorted names of defined procedures.
+func (i *Interp) ProcNames() []string {
+	names := make([]string, 0, len(i.procs))
+	for n := range i.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupProc returns the definition of a procedure, if any.
+func (i *Interp) LookupProc(name string) (*Proc, bool) {
+	p, ok := i.procs[name]
+	return p, ok
+}
+
+// OnExit installs the handler invoked by the exit command. The expect CLI
+// uses this to tear down spawned processes before the process exits; when no
+// handler is set, exit calls os.Exit directly.
+func (i *Interp) OnExit(fn func(code int)) { i.exitHandler = fn }
+
+// current returns the active (innermost) frame.
+func (i *Interp) current() *frame { return i.frames[len(i.frames)-1] }
+
+// Level returns the current procedure call depth (0 = global).
+func (i *Interp) Level() int { return len(i.frames) - 1 }
+
+// lookupVar finds name's slot in the current frame, resolving links.
+func (i *Interp) lookupVar(name string) (*variable, bool) {
+	v, ok := i.current().vars[name]
+	if !ok {
+		return nil, false
+	}
+	return v.target(), true
+}
+
+// SetVar sets scalar variable name in the current frame and returns value.
+func (i *Interp) SetVar(name, value string) string {
+	base, elem, isElem := splitArrayRef(name)
+	f := i.current()
+	v, ok := f.vars[base]
+	if !ok {
+		v = &variable{}
+		f.vars[base] = v
+	}
+	v = v.target()
+	if isElem {
+		if !v.isArr {
+			v.isArr = true
+			v.arr = make(map[string]string)
+		}
+		v.arr[elem] = value
+		return value
+	}
+	v.isArr = false
+	v.value = value
+	return value
+}
+
+// GetVar fetches scalar (or array element) name from the current frame.
+func (i *Interp) GetVar(name string) (string, bool) {
+	base, elem, isElem := splitArrayRef(name)
+	v, ok := i.lookupVar(base)
+	if !ok {
+		return "", false
+	}
+	if isElem {
+		if !v.isArr {
+			return "", false
+		}
+		val, ok := v.arr[elem]
+		return val, ok
+	}
+	if v.isArr {
+		return "", false
+	}
+	return v.value, true
+}
+
+// UnsetVar removes a variable (or array element) from the current frame.
+func (i *Interp) UnsetVar(name string) bool {
+	base, elem, isElem := splitArrayRef(name)
+	f := i.current()
+	v, ok := f.vars[base]
+	if !ok {
+		return false
+	}
+	if isElem {
+		t := v.target()
+		if !t.isArr {
+			return false
+		}
+		_, ok := t.arr[elem]
+		delete(t.arr, elem)
+		return ok
+	}
+	delete(f.vars, base)
+	return true
+}
+
+// GlobalSet sets a variable in the global frame regardless of current level.
+func (i *Interp) GlobalSet(name, value string) {
+	saved := i.frames
+	i.frames = i.frames[:1]
+	i.SetVar(name, value)
+	i.frames = saved
+}
+
+// GlobalGet reads a variable from the global frame.
+func (i *Interp) GlobalGet(name string) (string, bool) {
+	saved := i.frames
+	i.frames = i.frames[:1]
+	v, ok := i.GetVar(name)
+	i.frames = saved
+	return v, ok
+}
+
+// linkVar makes local name in the current frame an alias for target's slot.
+func (i *Interp) linkVar(name string, target *variable) {
+	i.current().vars[name] = &variable{link: target}
+}
+
+// splitArrayRef splits "a(b)" into ("a","b",true); plain names pass through.
+func splitArrayRef(name string) (base, elem string, isElem bool) {
+	if n := len(name); n > 2 && name[n-1] == ')' {
+		if open := strings.IndexByte(name, '('); open > 0 {
+			return name[:open], name[open+1 : n-1], true
+		}
+	}
+	return name, "", false
+}
+
+// TclError is the Go error surfaced by Eval when a script fails.
+type TclError struct {
+	Message   string
+	ErrorInfo string
+}
+
+func (e *TclError) Error() string { return e.Message }
+
+// Eval evaluates a complete script and returns its final result string. A
+// script-level error (code Error) becomes a *TclError; break/continue/return
+// escaping the script are reported as errors, matching Tcl's top level.
+func (i *Interp) Eval(script string) (string, error) {
+	res := i.EvalScript(script)
+	switch res.Code {
+	case OK, Return:
+		return res.Value, nil
+	case Error:
+		// Scripts can inspect the trace through the classic variable.
+		i.GlobalSet("errorInfo", res.Value+i.ErrorInfo)
+		return "", &TclError{Message: res.Value, ErrorInfo: i.ErrorInfo}
+	case Break:
+		return "", &TclError{Message: `invoked "break" outside of a loop`}
+	case Continue:
+		return "", &TclError{Message: `invoked "continue" outside of a loop`}
+	default:
+		return "", &TclError{Message: fmt.Sprintf("command returned bad code: %d", res.Code)}
+	}
+}
+
+// EvalScript evaluates a script and returns the raw completion Result,
+// allowing callers (loops, the expect command's actions) to observe
+// break/continue/return codes.
+func (i *Interp) EvalScript(script string) Result {
+	if i.depth >= i.MaxDepth {
+		return Errf("too many nested evaluations (infinite loop?)")
+	}
+	i.depth++
+	defer func() { i.depth-- }()
+	return i.evalScript(script, false).Result
+}
+
+// EvalWords dispatches an already-substituted command.
+func (i *Interp) EvalWords(words []string) Result {
+	if len(words) == 0 {
+		return Ok("")
+	}
+	if i.Trace != nil {
+		i.Trace(i.Level(), words)
+	}
+	name := words[0]
+	if cmd, ok := i.commands[name]; ok {
+		return cmd(i, words)
+	}
+	if p, ok := i.procs[name]; ok {
+		return i.callProc(name, p, words[1:])
+	}
+	return Errf("invalid command name %q", name)
+}
+
+// callProc pushes a frame, binds formals, and runs the body.
+func (i *Interp) callProc(name string, p *Proc, args []string) Result {
+	f := &frame{vars: make(map[string]*variable), procName: name}
+	nf := len(p.Args)
+	for ai, formal := range p.Args {
+		if formal.Name == "args" && ai == nf-1 {
+			f.vars["args"] = &variable{value: FormList(args[ai:])}
+			args = args[:ai] // consumed
+			break
+		}
+		var val string
+		switch {
+		case ai < len(args):
+			val = args[ai]
+		case formal.HasDefault:
+			val = formal.Default
+		default:
+			return Errf("no value given for parameter %q to %q", formal.Name, name)
+		}
+		f.vars[formal.Name] = &variable{value: val}
+	}
+	if nf == 0 && len(args) > 0 {
+		return Errf("called %q with too many arguments", name)
+	}
+	if nf > 0 && p.Args[nf-1].Name != "args" && len(args) > nf {
+		return Errf("called %q with too many arguments", name)
+	}
+	i.frames = append(i.frames, f)
+	defer func() { i.frames = i.frames[:len(i.frames)-1] }()
+
+	res := i.EvalScript(p.Body)
+	switch res.Code {
+	case Return, OK:
+		return Ok(res.Value)
+	case Break:
+		return Errf(`invoked "break" outside of a loop`)
+	case Continue:
+		return Errf(`invoked "continue" outside of a loop`)
+	default:
+		i.ErrorInfo += fmt.Sprintf("\n    (procedure %q line 1)", name)
+		return res
+	}
+}
+
+// Subst performs $, [], and backslash substitution on text, as if it were
+// the body of a double-quoted word.
+func (i *Interp) Subst(text string) (string, error) {
+	var sb strings.Builder
+	p := &parser{interp: i, src: text}
+	if res := p.substInto(&sb, len(text), substAll); res.Code != OK {
+		return "", &TclError{Message: res.Value}
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,386 @@
+package tcl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// evalOK evaluates script and fails the test on error.
+func evalOK(t *testing.T, i *Interp, script string) string {
+	t.Helper()
+	out, err := i.Eval(script)
+	if err != nil {
+		t.Fatalf("Eval(%q) failed: %v", script, err)
+	}
+	return out
+}
+
+func TestEvalBasics(t *testing.T) {
+	cases := []struct {
+		name, script, want string
+	}{
+		{"set returns value", `set a 5`, "5"},
+		{"set then read", `set a 5; set a`, "5"},
+		{"dollar substitution", `set a 5; set b $a`, "5"},
+		{"braced no substitution", `set a 5; set b {$a}`, "$a"},
+		{"quoted substitution", `set a 5; set b "$a!"`, "5!"},
+		{"command substitution", `set a [set b 7]`, "7"},
+		{"nested brackets", `set a [set b [set c 9]]`, "9"},
+		{"semicolon separates", `set a 1; set b 2; set b`, "2"},
+		{"newline separates", "set a 1\nset b 2\nset a", "1"},
+		{"empty script", ``, ""},
+		{"comment ignored", "# hello\nset a 3", "3"},
+		{"comment with continuation", "# line one \\\nline two\nset a 4", "4"},
+		{"backslash newline joins words", "set a \\\n5", "5"},
+		{"escape tab", `set a a\tb`, "a\tb"},
+		{"escape newline char", `set a a\nb`, "a\nb"},
+		{"escape return", `set a hello\r`, "hello\r"},
+		{"escape dollar", `set a \$x`, "$x"},
+		{"escape hex", `set a \x41`, "A"},
+		{"escape octal", `set a \101`, "A"},
+		{"braces nest", `set a {x {y z} w}`, "x {y z} w"},
+		{"brace var name", `set abc 10; set d ${abc}`, "10"},
+		{"dollar no name is literal", `set a $`, "$"},
+		{"append command", `set a foo; append a bar baz`, "foobarbaz"},
+		{"incr", `set a 5; incr a`, "6"},
+		{"incr by", `set a 5; incr a -2`, "3"},
+		{"unset then exists", `set a 5; unset a; info exists a`, "0"},
+		{"two words to one command", `concat a  b     c`, "a b c"},
+		{"trailing semicolon", `set a 1;`, "1"},
+		{"multiple blank lines", "\n\n\nset a ok\n\n", "ok"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := New()
+			if got := evalOK(t, i, tc.script); got != tc.want {
+				t.Errorf("Eval(%q) = %q, want %q", tc.script, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantSub string
+	}{
+		{"unknown command", `nosuchcmd`, "invalid command name"},
+		{"unknown variable", `set b $nope`, "no such variable"},
+		{"missing close brace", `set a {foo`, "missing close-brace"},
+		{"missing close quote", `set a "foo`, "missing close-quote"},
+		{"missing close bracket", `set a [set b 1`, "missing close-bracket"},
+		{"extra after brace", `set a {x}y`, "extra characters after close-brace"},
+		{"extra after quote", `set a "x"y`, "extra characters after close-quote"},
+		{"wrong arity set", `set`, "wrong # args"},
+		{"wrong arity incr", `incr`, "wrong # args"},
+		{"incr non-integer", `set a foo; incr a`, "expected integer"},
+		{"unset missing", `unset nope`, "can't unset"},
+		{"break at top level", `break`, "outside of a loop"},
+		{"continue at top level", `continue`, "outside of a loop"},
+		{"array ref missing paren", `set x $a(`, `missing ")"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := New()
+			_, err := i.Eval(tc.script)
+			if err == nil {
+				t.Fatalf("Eval(%q) succeeded, want error containing %q", tc.script, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Eval(%q) error = %q, want substring %q", tc.script, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	cases := []struct {
+		name, script, want string
+	}{
+		{"if true", `if {1} {set a yes}`, "yes"},
+		{"if false no else", `if {0} {set a yes}`, ""},
+		{"if else", `if {0} {set a yes} else {set a no}`, "no"},
+		{"if then else keywords", `if {0} then {set a yes} else {set a no}`, "no"},
+		{"if elseif", `if {0} {set a 1} elseif {1} {set a 2} else {set a 3}`, "2"},
+		{"if bare else old style", `if 0 {set a 1} {set a 2}`, "2"},
+		{"paper swap fragment", `set a 1; set b 2
+			if {$a < $b} {
+				set tmp $a
+				set a $b
+				set b $tmp
+			}
+			set a`, "2"},
+		{"while countdown", `set n 5; set s 0; while {$n > 0} {set s [expr $s+$n]; incr n -1}; set s`, "15"},
+		{"while break", `set n 0; while {1} {incr n; if {$n == 3} break}; set n`, "3"},
+		{"while continue", `set n 0; set hits 0
+			while {$n < 10} {incr n; if {$n % 2} continue; incr hits}
+			set hits`, "5"},
+		{"for classic", `set s 0; for {set i 0} {$i < 10} {incr i} {incr s $i}; set s`, "45"},
+		{"for paper empty clauses", `set n 0; for {} 1 {} {incr n; if {$n == 4} break}; set n`, "4"},
+		{"foreach", `set s {}; foreach x {a b c} {append s $x}; set s`, "abc"},
+		{"foreach break", `set s {}; foreach x {a b c d} {if {$x == "c"} break; append s $x}; set s`, "ab"},
+		{"switch exact", `switch b a {set r 1} b {set r 2} default {set r 3}`, "2"},
+		{"switch default", `switch z a {set r 1} default {set r 3}`, "3"},
+		{"switch glob", `switch -glob hello *ell* {set r glob} default {set r no}`, "glob"},
+		{"switch fallthrough dash", `switch b a - b {set r ab} default {set r d}`, "ab"},
+		{"switch single list form", `switch b {a {set r 1} b {set r 2}}`, "2"},
+		{"case command", `case hello in {*ell*} {set r 1} default {set r 2}`, "1"},
+		{"case default", `case zzz in {*ell*} {set r 1} default {set r 2}`, "2"},
+		{"nested loops break inner", `set s {}
+			foreach x {a b} {foreach y {1 2 3} {if {$y == 2} break; append s $x$y}}
+			set s`, "a1b1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := New()
+			if got := evalOK(t, i, tc.script); got != tc.want {
+				t.Errorf("Eval(%q) = %q, want %q", tc.script, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProcedures(t *testing.T) {
+	cases := []struct {
+		name, script, want string
+	}{
+		{"simple proc", `proc add {a b} {expr $a+$b}; add 2 3`, "5"},
+		{"return value", `proc f {} {return hi; set x never}; f`, "hi"},
+		{"implicit return last", `proc f {} {set x 42}; f`, "42"},
+		{"paper factorial", `
+			proc fac x {
+				if {$x == 1} {return 1}
+				return [expr {$x * [fac [expr $x-1]]}]
+			}
+			fac 5`, "120"},
+		{"default argument", `proc greet {{who world}} {return hello-$who}; greet`, "hello-world"},
+		{"default overridden", `proc greet {{who world}} {return hello-$who}; greet go`, "hello-go"},
+		{"args collects rest", `proc f {a args} {return $a:[llength $args]}; f x 1 2 3`, "x:3"},
+		{"args empty", `proc f {args} {llength $args}; f`, "0"},
+		{"locals are local", `set x global; proc f {} {set x local}; f; set x`, "global"},
+		{"global command", `set g 1; proc f {} {global g; incr g}; f; set g`, "2"},
+		{"upvar", `proc bump v {upvar $v x; incr x}; set n 7; bump n; set n`, "8"},
+		{"recursion depth ok", `proc down x {if {$x == 0} {return done}; down [expr $x-1]}; down 50`, "done"},
+		{"uplevel", `proc setcaller {} {uplevel {set z 99}}; proc f {} {setcaller; set z}; f`, "99"},
+		{"rename proc", `proc f {} {return old}; rename f g; g`, "old"},
+		{"proc redefined", `proc f {} {return 1}; proc f {} {return 2}; f`, "2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := New()
+			if got := evalOK(t, i, tc.script); got != tc.want {
+				t.Errorf("Eval(%q) = %q, want %q", tc.script, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestProcErrors(t *testing.T) {
+	cases := []struct {
+		name, script, wantSub string
+	}{
+		{"missing arg", `proc f {a} {}; f`, "no value given"},
+		{"too many args", `proc f {a} {}; f 1 2`, "too many arguments"},
+		{"infinite recursion trapped", `proc f {} {f}; f`, "too many nested"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := New()
+			_, err := i.Eval(tc.script)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Eval(%q) error = %v, want substring %q", tc.script, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCatchAndError(t *testing.T) {
+	i := New()
+	if got := evalOK(t, i, `catch {nosuchcmd}`); got != "1" {
+		t.Errorf("catch of error = %q, want 1", got)
+	}
+	if got := evalOK(t, i, `catch {set a 5}`); got != "0" {
+		t.Errorf("catch of ok = %q, want 0", got)
+	}
+	if got := evalOK(t, i, `catch {nosuchcmd} msg; set msg`); !strings.Contains(got, "invalid command name") {
+		t.Errorf("catch message = %q", got)
+	}
+	if got := evalOK(t, i, `catch {break}`); got != "3" {
+		t.Errorf("catch of break = %q, want 3", got)
+	}
+	if got := evalOK(t, i, `catch {error boom} m; set m`); got != "boom" {
+		t.Errorf("catch of error cmd = %q, want boom", got)
+	}
+	_, err := i.Eval(`error "custom failure"`)
+	if err == nil || err.Error() != "custom failure" {
+		t.Errorf("error command: got %v", err)
+	}
+}
+
+func TestArrays(t *testing.T) {
+	i := New()
+	evalOK(t, i, `set a(x) 1; set a(y) 2`)
+	if got := evalOK(t, i, `set a(x)`); got != "1" {
+		t.Errorf("array read = %q", got)
+	}
+	if got := evalOK(t, i, `array size a`); got != "2" {
+		t.Errorf("array size = %q", got)
+	}
+	if got := evalOK(t, i, `array names a`); got != "x y" {
+		t.Errorf("array names = %q", got)
+	}
+	if got := evalOK(t, i, `set k y; set a($k)`); got != "2" {
+		t.Errorf("computed index = %q", got)
+	}
+	evalOK(t, i, `array set b {one 1 two 2}`)
+	if got := evalOK(t, i, `set b(two)`); got != "2" {
+		t.Errorf("array set = %q", got)
+	}
+	if got := evalOK(t, i, `array exists a`); got != "1" {
+		t.Errorf("array exists = %q", got)
+	}
+	if got := evalOK(t, i, `array exists nope`); got != "0" {
+		t.Errorf("array exists missing = %q", got)
+	}
+	evalOK(t, i, `unset a(x)`)
+	if got := evalOK(t, i, `array size a`); got != "1" {
+		t.Errorf("after unset element, size = %q", got)
+	}
+}
+
+func TestPutsAndChannels(t *testing.T) {
+	i := New()
+	var out, errOut bytes.Buffer
+	i.Stdout = &out
+	i.Stderr = &errOut
+	evalOK(t, i, `puts hello`)
+	evalOK(t, i, `puts -nonewline world`)
+	evalOK(t, i, `puts stderr oops`)
+	if got := out.String(); got != "hello\nworld" {
+		t.Errorf("stdout = %q", got)
+	}
+	if got := errOut.String(); got != "oops\n" {
+		t.Errorf("stderr = %q", got)
+	}
+	// print is the 1990 alias.
+	out.Reset()
+	evalOK(t, i, `print busy`)
+	if got := out.String(); got != "busy\n" {
+		t.Errorf("print = %q", got)
+	}
+}
+
+func TestCompatAliases(t *testing.T) {
+	i := New()
+	if got := evalOK(t, i, `index {a b c} 1`); got != "b" {
+		t.Errorf("index = %q", got)
+	}
+	if got := evalOK(t, i, `length {a b c}`); got != "3" {
+		t.Errorf("length = %q", got)
+	}
+	if got := evalOK(t, i, `range {a b c d} 1 2`); got != "b c" {
+		t.Errorf("range = %q", got)
+	}
+	// The paper's argv access idiom.
+	i.SetVar("argv", FormList([]string{"callback.exp", "12016442332"}))
+	if got := evalOK(t, i, `index $argv 1`); got != "12016442332" {
+		t.Errorf("index $argv 1 = %q", got)
+	}
+}
+
+func TestEvalUplevelEval(t *testing.T) {
+	i := New()
+	if got := evalOK(t, i, `eval set a 5`); got != "5" {
+		t.Errorf("eval = %q", got)
+	}
+	if got := evalOK(t, i, `eval {set b 6}`); got != "6" {
+		t.Errorf("eval braced = %q", got)
+	}
+	if got := evalOK(t, i, `set cmd {set c 7}; eval $cmd`); got != "7" {
+		t.Errorf("eval var = %q", got)
+	}
+}
+
+func TestSubstCommand(t *testing.T) {
+	i := New()
+	evalOK(t, i, `set name world`)
+	if got := evalOK(t, i, `subst {hello $name}`); got != "hello world" {
+		t.Errorf("subst = %q", got)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	i := New()
+	evalOK(t, i, `proc myproc {a b} {return x}`)
+	if got := evalOK(t, i, `info procs my*`); got != "myproc" {
+		t.Errorf("info procs = %q", got)
+	}
+	if got := evalOK(t, i, `info args myproc`); got != "a b" {
+		t.Errorf("info args = %q", got)
+	}
+	if got := evalOK(t, i, `info body myproc`); got != "return x" {
+		t.Errorf("info body = %q", got)
+	}
+	if got := evalOK(t, i, `info level`); got != "0" {
+		t.Errorf("info level = %q", got)
+	}
+	if got := evalOK(t, i, `proc lvl {} {info level}; lvl`); got != "1" {
+		t.Errorf("info level in proc = %q", got)
+	}
+	cmds := evalOK(t, i, `info commands`)
+	for _, must := range []string{"set", "expr", "proc", "while"} {
+		if !strings.Contains(" "+cmds+" ", " "+must+" ") {
+			t.Errorf("info commands missing %q", must)
+		}
+	}
+}
+
+func TestExitHandler(t *testing.T) {
+	i := New()
+	gotCode := -1
+	i.OnExit(func(code int) { gotCode = code })
+	_, err := i.Eval(`exit 3`)
+	if err == nil {
+		t.Fatal("exit should surface as error when handler returns")
+	}
+	if gotCode != 3 {
+		t.Errorf("exit handler code = %d, want 3", gotCode)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	i := New()
+	var traced []string
+	i.Trace = func(depth int, words []string) {
+		traced = append(traced, words[0])
+	}
+	evalOK(t, i, `set a 1; set b 2`)
+	if len(traced) != 2 || traced[0] != "set" {
+		t.Errorf("trace = %v", traced)
+	}
+}
+
+func TestDeepNestingSubstitution(t *testing.T) {
+	i := New()
+	// Build [set x [set x [set x ... 1]]] nested 30 deep.
+	script := "1"
+	for k := 0; k < 30; k++ {
+		script = "[set x " + script + "]"
+	}
+	if got := evalOK(t, i, "set y "+script); got != "1" {
+		t.Errorf("deep nesting = %q", got)
+	}
+}
+
+func TestQuotedWordsWithSpecials(t *testing.T) {
+	i := New()
+	if got := evalOK(t, i, `set a "semi;colon"`); got != "semi;colon" {
+		t.Errorf("quoted semicolon = %q", got)
+	}
+	if got := evalOK(t, i, "set a \"line1\nline2\""); got != "line1\nline2" {
+		t.Errorf("quoted newline = %q", got)
+	}
+	if got := evalOK(t, i, `set a {bra[cket]}`); got != "bra[cket]" {
+		t.Errorf("braced bracket = %q", got)
+	}
+}

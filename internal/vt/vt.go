@@ -1,0 +1,354 @@
+// Package vt is a small terminal emulator: a rows×columns character
+// screen maintained from a byte stream containing VT100/ANSI control
+// sequences. It answers the paper's §8 open question — "If expect had a
+// built-in terminal emulator, could one look for 'regions' of character
+// graphics?" — affirmatively: a Session with screen tracking enabled can
+// match glob patterns against rows and rectangular regions of the screen
+// a curses program paints, instead of against the raw escape-sequence
+// soup.
+//
+// The emulator implements the sequences curses-era programs emit: cursor
+// addressing (CUP), relative motion (CUU/CUD/CUF/CUB), erase in display
+// and line (ED, EL), carriage control (\r \n \b \t), scrolling at the
+// bottom margin, and ignores rendition (SGR) and the other sequences it
+// does not render.
+package vt
+
+import (
+	"strings"
+	"sync"
+)
+
+// Screen is a terminal display. All methods are safe for concurrent use;
+// the expect engine writes from its pump goroutine while the dialogue
+// thread inspects regions.
+type Screen struct {
+	mu      sync.Mutex
+	rows    int
+	cols    int
+	cells   [][]byte
+	curR    int
+	curC    int
+	savedR  int
+	savedC  int
+	parser  escState
+	param   []byte
+	written int64
+}
+
+type escState int
+
+const (
+	stGround escState = iota
+	stEsc             // saw ESC
+	stCSI             // saw ESC [
+)
+
+// NewScreen creates a rows×cols screen of spaces, cursor at home.
+func NewScreen(rows, cols int) *Screen {
+	if rows <= 0 {
+		rows = 24
+	}
+	if cols <= 0 {
+		cols = 80
+	}
+	s := &Screen{rows: rows, cols: cols}
+	s.cells = make([][]byte, rows)
+	for r := range s.cells {
+		s.cells[r] = blankRow(cols)
+	}
+	return s
+}
+
+func blankRow(cols int) []byte {
+	row := make([]byte, cols)
+	for i := range row {
+		row[i] = ' '
+	}
+	return row
+}
+
+// Size returns the screen dimensions.
+func (s *Screen) Size() (rows, cols int) { return s.rows, s.cols }
+
+// Written returns the total bytes consumed.
+func (s *Screen) Written() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.written
+}
+
+// Write feeds terminal output into the screen. It never fails.
+func (s *Screen) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.written += int64(len(p))
+	for _, c := range p {
+		s.consume(c)
+	}
+	return len(p), nil
+}
+
+func (s *Screen) consume(c byte) {
+	switch s.parser {
+	case stEsc:
+		switch c {
+		case '[':
+			s.parser = stCSI
+			s.param = s.param[:0]
+		case 'c': // RIS: full reset
+			s.clearAll()
+			s.curR, s.curC = 0, 0
+			s.savedR, s.savedC = 0, 0
+			s.parser = stGround
+		case '7': // DECSC: save cursor
+			s.savedR, s.savedC = s.curR, s.curC
+			s.parser = stGround
+		case '8': // DECRC: restore cursor
+			s.curR, s.curC = s.savedR, s.savedC
+			s.parser = stGround
+		case 'D': // IND: index (down, scrolling)
+			s.lineFeed()
+			s.parser = stGround
+		case 'M': // RI: reverse index (up, scrolling at top)
+			if s.curR == 0 {
+				s.scrollDown(0)
+			} else {
+				s.curR--
+			}
+			s.parser = stGround
+		case '(', ')': // charset selection: swallow one byte
+			s.parser = stGround // next byte is the charset; drop it crudely
+		default:
+			s.parser = stGround
+		}
+		return
+	case stCSI:
+		if c >= '0' && c <= '9' || c == ';' || c == '?' {
+			s.param = append(s.param, c)
+			return
+		}
+		s.csi(c)
+		s.parser = stGround
+		return
+	}
+	// Ground state.
+	switch c {
+	case 0x1b:
+		s.parser = stEsc
+	case '\n':
+		s.lineFeed()
+	case '\r':
+		s.curC = 0
+	case '\b':
+		if s.curC > 0 {
+			s.curC--
+		}
+	case '\t':
+		s.curC = (s.curC/8 + 1) * 8
+		if s.curC >= s.cols {
+			s.curC = s.cols - 1
+		}
+	case 0x07: // BEL
+	default:
+		if c < 0x20 {
+			return
+		}
+		if s.curC >= s.cols {
+			// Wrap.
+			s.curC = 0
+			s.lineFeed()
+		}
+		s.cells[s.curR][s.curC] = c
+		s.curC++
+	}
+}
+
+func (s *Screen) lineFeed() {
+	s.curR++
+	if s.curR >= s.rows {
+		// Scroll up one line.
+		copy(s.cells, s.cells[1:])
+		s.cells[s.rows-1] = blankRow(s.cols)
+		s.curR = s.rows - 1
+	}
+}
+
+// csi executes one CSI sequence with final byte c.
+func (s *Screen) csi(final byte) {
+	args := s.csiArgs()
+	arg := func(i, def int) int {
+		if i < len(args) && args[i] > 0 {
+			return args[i]
+		}
+		return def
+	}
+	switch final {
+	case 'H', 'f': // CUP: cursor position (1-based)
+		s.curR = clamp(arg(0, 1)-1, 0, s.rows-1)
+		s.curC = clamp(arg(1, 1)-1, 0, s.cols-1)
+	case 'A':
+		s.curR = clamp(s.curR-arg(0, 1), 0, s.rows-1)
+	case 'B':
+		s.curR = clamp(s.curR+arg(0, 1), 0, s.rows-1)
+	case 'C':
+		s.curC = clamp(s.curC+arg(0, 1), 0, s.cols-1)
+	case 'D':
+		s.curC = clamp(s.curC-arg(0, 1), 0, s.cols-1)
+	case 'J': // ED: erase display
+		switch arg(0, 0) {
+		case 0: // cursor to end
+			s.clearRange(s.curR, s.curC, s.rows-1, s.cols-1)
+		case 1: // start to cursor
+			s.clearRange(0, 0, s.curR, s.curC)
+		case 2:
+			s.clearAll()
+		}
+	case 'K': // EL: erase line
+		switch arg(0, 0) {
+		case 0:
+			for c := s.curC; c < s.cols; c++ {
+				s.cells[s.curR][c] = ' '
+			}
+		case 1:
+			for c := 0; c <= s.curC && c < s.cols; c++ {
+				s.cells[s.curR][c] = ' '
+			}
+		case 2:
+			s.cells[s.curR] = blankRow(s.cols)
+		}
+	case 'L': // IL: insert blank lines at the cursor row
+		for k := 0; k < arg(0, 1); k++ {
+			s.scrollDown(s.curR)
+		}
+	case 'M': // DL: delete lines at the cursor row
+		for k := 0; k < arg(0, 1); k++ {
+			s.deleteLine(s.curR)
+		}
+	case 's': // ANSI save cursor
+		s.savedR, s.savedC = s.curR, s.curC
+	case 'u': // ANSI restore cursor
+		s.curR, s.curC = s.savedR, s.savedC
+	case 'G': // CHA: cursor to absolute column
+		s.curC = clamp(arg(0, 1)-1, 0, s.cols-1)
+	case 'm': // SGR: rendition — ignored (we track characters, not attrs)
+	case 'h', 'l': // modes — ignored
+	default: // anything else: ignore
+	}
+}
+
+func (s *Screen) csiArgs() []int {
+	raw := string(s.param)
+	raw = strings.TrimPrefix(raw, "?")
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, ";")
+	args := make([]int, len(parts))
+	for i, p := range parts {
+		n := 0
+		for _, d := range p {
+			if d >= '0' && d <= '9' {
+				n = n*10 + int(d-'0')
+			}
+		}
+		args[i] = n
+	}
+	return args
+}
+
+// scrollDown shifts rows at and below `from` down one, blanking `from`.
+func (s *Screen) scrollDown(from int) {
+	for r := s.rows - 1; r > from; r-- {
+		s.cells[r] = s.cells[r-1]
+	}
+	s.cells[from] = blankRow(s.cols)
+}
+
+// deleteLine removes row r, shifting everything below it up.
+func (s *Screen) deleteLine(r int) {
+	copy(s.cells[r:], s.cells[r+1:])
+	s.cells[s.rows-1] = blankRow(s.cols)
+}
+
+func (s *Screen) clearAll() {
+	for r := range s.cells {
+		s.cells[r] = blankRow(s.cols)
+	}
+}
+
+// clearRange blanks from (r0,c0) to (r1,c1) inclusive in reading order.
+func (s *Screen) clearRange(r0, c0, r1, c1 int) {
+	for r := r0; r <= r1 && r < s.rows; r++ {
+		cs, ce := 0, s.cols-1
+		if r == r0 {
+			cs = c0
+		}
+		if r == r1 {
+			ce = c1
+		}
+		for c := cs; c <= ce && c < s.cols; c++ {
+			s.cells[r][c] = ' '
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Cursor returns the cursor position (0-based row, column).
+func (s *Screen) Cursor() (row, col int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curR, s.curC
+}
+
+// Row returns one screen row as text (trailing blanks trimmed).
+func (s *Screen) Row(r int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r < 0 || r >= s.rows {
+		return ""
+	}
+	return strings.TrimRight(string(s.cells[r]), " ")
+}
+
+// Text renders the whole screen, rows joined by newlines, trailing
+// blanks trimmed.
+func (s *Screen) Text() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sb strings.Builder
+	for r := 0; r < s.rows; r++ {
+		sb.WriteString(strings.TrimRight(string(s.cells[r]), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Region extracts the rectangle (r0,c0)–(r1,c1) inclusive, one line per
+// row, trailing blanks trimmed — the §8 "regions of character graphics".
+func (s *Screen) Region(r0, c0, r1, c1 int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r0 = clamp(r0, 0, s.rows-1)
+	r1 = clamp(r1, 0, s.rows-1)
+	c0 = clamp(c0, 0, s.cols-1)
+	c1 = clamp(c1, 0, s.cols-1)
+	var sb strings.Builder
+	for r := r0; r <= r1; r++ {
+		line := s.cells[r][c0 : c1+1]
+		sb.WriteString(strings.TrimRight(string(line), " "))
+		if r < r1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,250 @@
+package vt
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func write(t *testing.T, s *Screen, data string) {
+	t.Helper()
+	if _, err := s.Write([]byte(data)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlainText(t *testing.T) {
+	s := NewScreen(5, 20)
+	write(t, s, "hello")
+	if got := s.Row(0); got != "hello" {
+		t.Errorf("Row(0) = %q", got)
+	}
+	if r, c := s.Cursor(); r != 0 || c != 5 {
+		t.Errorf("cursor = %d,%d", r, c)
+	}
+}
+
+func TestNewlineAndCarriageReturn(t *testing.T) {
+	s := NewScreen(5, 20)
+	write(t, s, "one\r\ntwo\r\nthree")
+	if s.Row(0) != "one" || s.Row(1) != "two" || s.Row(2) != "three" {
+		t.Errorf("rows = %q %q %q", s.Row(0), s.Row(1), s.Row(2))
+	}
+	// Bare \r overwrites.
+	write(t, s, "\rTHREE")
+	if s.Row(2) != "THREE" {
+		t.Errorf("after CR overwrite: %q", s.Row(2))
+	}
+}
+
+func TestBackspaceAndTab(t *testing.T) {
+	s := NewScreen(2, 20)
+	write(t, s, "ab\bC")
+	if s.Row(0) != "aC" {
+		t.Errorf("backspace: %q", s.Row(0))
+	}
+	s2 := NewScreen(2, 20)
+	write(t, s2, "x\ty")
+	if got := s2.Row(0); got != "x       y" {
+		t.Errorf("tab: %q", got)
+	}
+}
+
+func TestWrapAndScroll(t *testing.T) {
+	s := NewScreen(3, 4)
+	write(t, s, "abcdefgh") // wraps at 4
+	if s.Row(0) != "abcd" || s.Row(1) != "efgh" {
+		t.Errorf("wrap: %q / %q", s.Row(0), s.Row(1))
+	}
+	write(t, s, "ijkl") // third row
+	write(t, s, "mnop") // forces scroll
+	if s.Row(0) != "efgh" {
+		t.Errorf("scroll lost: top = %q", s.Row(0))
+	}
+	if s.Row(2) != "mnop" {
+		t.Errorf("bottom = %q", s.Row(2))
+	}
+}
+
+func TestCursorAddressing(t *testing.T) {
+	s := NewScreen(10, 40)
+	write(t, s, "\x1b[3;5Hmark")
+	if got := s.Row(2); got != "    mark" {
+		t.Errorf("CUP: %q", got)
+	}
+	// Relative moves.
+	write(t, s, "\x1b[2A\x1b[4DX") // up 2, left 4
+	if r, _ := s.Cursor(); r != 0 {
+		t.Errorf("cursor row after CUU = %d", r)
+	}
+	if !strings.Contains(s.Row(0), "X") {
+		t.Errorf("row0 = %q", s.Row(0))
+	}
+}
+
+func TestClearScreen(t *testing.T) {
+	s := NewScreen(5, 20)
+	write(t, s, "garbage everywhere")
+	write(t, s, "\x1b[2J\x1b[H")
+	if s.Text() != strings.Repeat("\n", 5) {
+		t.Errorf("screen not cleared: %q", s.Text())
+	}
+	if r, c := s.Cursor(); r != 0 || c != 0 {
+		t.Errorf("cursor = %d,%d", r, c)
+	}
+}
+
+func TestEraseLine(t *testing.T) {
+	s := NewScreen(3, 20)
+	write(t, s, "keep-this-tail")
+	write(t, s, "\x1b[5G") // CHA to column 5
+	write(t, s, "\r12345\x1b[K")
+	if got := s.Row(0); got != "12345" {
+		t.Errorf("EL0: %q", got)
+	}
+}
+
+func TestSGRIgnored(t *testing.T) {
+	s := NewScreen(2, 30)
+	write(t, s, "\x1b[1;33mbold yellow\x1b[0m plain")
+	if got := s.Row(0); got != "bold yellow plain" {
+		t.Errorf("SGR residue: %q", got)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	s := NewScreen(6, 30)
+	write(t, s, "\x1b[2;3Habc\x1b[3;3Hdef\x1b[4;3Hghi")
+	got := s.Region(1, 2, 3, 4)
+	want := "abc\ndef\nghi"
+	if got != want {
+		t.Errorf("Region = %q, want %q", got, want)
+	}
+}
+
+// TestRogueStatusRegion is the §8 scenario: a curses program paints a
+// screen with cursor addressing; the status line is readable as a region
+// even though it was drawn piecemeal and out of order.
+func TestRogueStatusRegion(t *testing.T) {
+	s := NewScreen(24, 80)
+	// Draw the status line first (bottom), then the map above it, the way
+	// curses repaints damage.
+	write(t, s, "\x1b[24;1HLevel: 1  Gold: 0  Hp: 12(12)  Str: 18(18)  Arm: 4  Exp: 1/0")
+	write(t, s, "\x1b[10;20H@")
+	write(t, s, "\x1b[9;19H---")
+	status := s.Row(23)
+	if !strings.Contains(status, "Str: 18") {
+		t.Errorf("status region: %q", status)
+	}
+	if !strings.Contains(s.Region(9, 18, 9, 22), "@") {
+		t.Errorf("map region: %q", s.Region(9, 18, 9, 22))
+	}
+}
+
+func TestResetSequence(t *testing.T) {
+	s := NewScreen(3, 10)
+	write(t, s, "junk")
+	write(t, s, "\x1bc")
+	if s.Row(0) != "" {
+		t.Errorf("RIS did not clear: %q", s.Row(0))
+	}
+}
+
+func TestControlCharsIgnored(t *testing.T) {
+	s := NewScreen(2, 20)
+	write(t, s, "a\x07b\x00c\x0fd")
+	if got := s.Row(0); got != "abcd" {
+		t.Errorf("control chars leaked: %q", got)
+	}
+}
+
+func TestWrittenCounts(t *testing.T) {
+	s := NewScreen(2, 10)
+	write(t, s, "12345")
+	if s.Written() != 5 {
+		t.Errorf("Written = %d", s.Written())
+	}
+}
+
+// Property: writing arbitrary bytes never panics and never grows the
+// screen beyond its dimensions.
+func TestArbitraryBytesQuick(t *testing.T) {
+	f := func(data []byte) bool {
+		s := NewScreen(8, 20)
+		s.Write(data)
+		rows, cols := s.Size()
+		if rows != 8 || cols != 20 {
+			return false
+		}
+		text := s.Text()
+		return strings.Count(text, "\n") == 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cursor stays in bounds under arbitrary CSI motion sequences.
+func TestCursorBoundsQuick(t *testing.T) {
+	f := func(moves []uint8) bool {
+		s := NewScreen(10, 10)
+		for _, mv := range moves {
+			dir := "ABCD"[mv%4]
+			fmt.Fprintf(s, "\x1b[%d%c", int(mv/4), dir)
+		}
+		r, c := s.Cursor()
+		return r >= 0 && r < 10 && c >= 0 && c < 10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSaveRestoreCursor(t *testing.T) {
+	s := NewScreen(10, 40)
+	write(t, s, "\x1b[5;7H")  // position
+	write(t, s, "\x1b7")      // DECSC
+	write(t, s, "\x1b[1;1HX") // wander off
+	write(t, s, "\x1b8Y")     // DECRC then draw
+	if got := s.Region(4, 6, 4, 6); got != "Y" {
+		t.Errorf("restored draw = %q, screen:\n%s", got, s.Text())
+	}
+	// ANSI variants s/u.
+	write(t, s, "\x1b[8;3H\x1b[s\x1b[1;1H\x1b[uZ")
+	if got := s.Region(7, 2, 7, 2); got != "Z" {
+		t.Errorf("CSI s/u draw = %q", got)
+	}
+}
+
+func TestInsertDeleteLines(t *testing.T) {
+	s := NewScreen(5, 10)
+	write(t, s, "aaa\r\nbbb\r\nccc")
+	// Insert one line at row 1 (where bbb is).
+	write(t, s, "\x1b[2;1H\x1b[L")
+	if s.Row(1) != "" || s.Row(2) != "bbb" || s.Row(3) != "ccc" {
+		t.Errorf("after IL: %q %q %q", s.Row(1), s.Row(2), s.Row(3))
+	}
+	// Delete that blank line again.
+	write(t, s, "\x1b[2;1H\x1b[M")
+	if s.Row(1) != "bbb" || s.Row(2) != "ccc" {
+		t.Errorf("after DL: %q %q", s.Row(1), s.Row(2))
+	}
+}
+
+func TestReverseIndexScrolls(t *testing.T) {
+	s := NewScreen(3, 10)
+	write(t, s, "top\r\nmid\r\nbot")
+	write(t, s, "\x1b[1;1H\x1bM") // RI at top row scrolls content down
+	if s.Row(0) != "" || s.Row(1) != "top" || s.Row(2) != "mid" {
+		t.Errorf("after RI: %q %q %q", s.Row(0), s.Row(1), s.Row(2))
+	}
+}
+
+func TestCursorColumnAbsolute(t *testing.T) {
+	s := NewScreen(3, 20)
+	write(t, s, "abcdef\x1b[3GX")
+	if s.Row(0) != "abXdef" {
+		t.Errorf("CHA: %q", s.Row(0))
+	}
+}
