@@ -587,3 +587,155 @@ func BenchmarkExpectAnyFanIn(b *testing.B) {
 		}
 	}
 }
+
+// --- E15: hot-path compilation caches (parse-once Tcl, compiled globs,
+// gap-buffer match_max) ---------------------------------------------------
+
+// hotScript is a loop-and-branch script shaped like real expect dialogue
+// glue: every iteration re-evaluates the same body text.
+const hotScript = `set total 0
+foreach n {1 2 3 4 5 6 7 8} {
+	if {$n % 2 == 0} {
+		set total [expr {$total + $n * 3}]
+	} else {
+		set log "skip $n"
+	}
+}
+set total`
+
+func BenchmarkEvalCacheHit(b *testing.B) {
+	i := tcl.New()
+	if _, err := i.Eval(hotScript); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if _, err := i.Eval(hotScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCacheMiss(b *testing.B) {
+	// Caching disabled: every evaluation re-parses the script text, the
+	// seed implementation's behaviour.
+	i := tcl.New()
+	i.SetEvalCacheSize(0)
+	if _, err := i.Eval(hotScript); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if _, err := i.Eval(hotScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const hotExpr = `($x * 2 + 100 / $y) > 50 && $x % 7 <= 3 || !($y == 3)`
+
+func BenchmarkExprASTCached(b *testing.B) {
+	i := tcl.New()
+	i.SetVar("x", "21")
+	i.SetVar("y", "3")
+	if _, res := i.ExprString(hotExpr); res.Code != tcl.OK {
+		b.Fatal(res.Value)
+	}
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if _, res := i.ExprString(hotExpr); res.Code != tcl.OK {
+			b.Fatal(res.Value)
+		}
+	}
+}
+
+func BenchmarkExprASTReparse(b *testing.B) {
+	i := tcl.New()
+	i.SetEvalCacheSize(0)
+	i.SetVar("x", "21")
+	i.SetVar("y", "3")
+	if _, res := i.ExprString(hotExpr); res.Code != tcl.OK {
+		b.Fatal(res.Value)
+	}
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if _, res := i.ExprString(hotExpr); res.Code != tcl.OK {
+			b.Fatal(res.Value)
+		}
+	}
+}
+
+// globBenchText matches only at the tail, so the leading star sweeps the
+// whole buffer. The star is followed immediately by a character class: the
+// naive matcher re-parses the class text at every position it tries, while
+// the compiled program tests one bitset per position.
+var globBenchText = strings.Repeat("all quiet on the eastern interface, nothing to report\n", 38) +
+	"error 407: tail marker\n"
+
+const globBenchPat = `*[0-9][0-9][0-9]: tail marker*`
+
+func BenchmarkCompiledGlob(b *testing.B) {
+	c := pattern.CompileGlob(globBenchPat)
+	buf := []byte(globBenchText)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if !c.Match(buf) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkCompiledGlobNaive(b *testing.B) {
+	// The seed matcher: re-lexes the pattern (character classes included)
+	// at every position it tries.
+	b.SetBytes(int64(len(globBenchText)))
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		if !pattern.MatchNaive(globBenchPat, globBenchText) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkRingBufferExpectTorrent(b *testing.B) {
+	// End-to-end: a 256 KiB torrent squeezed through the default 2000-byte
+	// match buffer, matched at the tail. The gap buffer forgets overflow in
+	// O(1); the seed copied the whole buffer down on every overflowing read.
+	const streamLen = 256 * 1024
+	payload := strings.Repeat("x", streamLen)
+	b.SetBytes(streamLen)
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		s, err := core.SpawnProgram(nil, "torrent", func(stdin io.Reader, stdout io.Writer) error {
+			io.WriteString(stdout, payload)
+			io.WriteString(stdout, " TAIL-MARKER")
+			io.Copy(io.Discard, stdin)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.ExpectTimeout(10*time.Second, core.Glob("*TAIL-MARKER*")); err != nil {
+			s.Close()
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkRingBufferCopyShiftReference(b *testing.B) {
+	// The seed's match_max enforcement, preserved here as the baseline the
+	// gap buffer replaces (see internal/core BenchmarkRingBufferGapAppend
+	// for the direct micro comparison).
+	const max = core.DefaultMatchMax
+	chunk := []byte(strings.Repeat("x", 64))
+	var buf []byte
+	b.SetBytes(int64(len(chunk)))
+	for k := 0; k < b.N; k++ {
+		buf = append(buf, chunk...)
+		if over := len(buf) - max; over > 0 {
+			buf = append(buf[:0:0], buf[over:]...)
+		}
+	}
+}

@@ -5,7 +5,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
-	"regexp"
+	"repro/internal/pattern"
 	"strconv"
 	"strings"
 	"time"
@@ -154,7 +154,7 @@ func buildExpectCases(args []string) (cases []Case, caseArm []int, arms []expect
 			arms = append(arms, expectArm{action: action})
 			switch kind {
 			case CaseRegexp:
-				re, cerr := regexp.Compile(patlist)
+				re, cerr := pattern.CompileRegexp(patlist)
 				if cerr != nil {
 					return nil, nil, nil, fmt.Errorf("expect -re: %v", cerr)
 				}

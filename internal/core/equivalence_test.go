@@ -113,3 +113,127 @@ func TestMatcherModesEquivalentQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCompiledGlobEngineEquivalentQuick cross-checks the compiled-pattern
+// fast path against the naive reference matcher through the full engine:
+// for random dialogue text delivered in random chunkings, whatever case
+// Expect declares the winner must be exactly the case the naive matcher
+// picks for the matched text — same result, same case index.
+func TestCompiledGlobEngineEquivalentQuick(t *testing.T) {
+	words := []string{"login:", "Password:", "busy", "welcome", "noise", "[ok] ", "q?x ", "-- "}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for k := 0; k < 3+r.Intn(10); k++ {
+			sb.WriteString(words[r.Intn(len(words))])
+		}
+		text := sb.String()
+		chunks := make([]int, 1+r.Intn(4))
+		for i := range chunks {
+			chunks[i] = 1 + r.Intn(5)
+		}
+		cases := []Case{
+			Glob("*welcome*"),
+			Glob("*bus[xyz]*"),
+			Glob("*Password:*"),
+			Glob("*q?x*"),
+		}
+		s, err := SpawnProgram(nil, "emitter", chunkedEmitter(text, chunks))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		defer s.Close()
+		res, err := s.ExpectTimeout(time.Second, cases...)
+		if err != nil {
+			// No pattern in the stream: the naive matcher must agree that
+			// nothing matches the full text.
+			for _, c := range cases {
+				if pattern.MatchNaive(c.Pattern, text) {
+					t.Logf("text=%q: engine timed out but naive matches %q", text, c.Pattern)
+					return false
+				}
+			}
+			return true
+		}
+		// The winner must hold under the naive matcher...
+		if !pattern.MatchNaive(cases[res.Index].Pattern, res.Text) {
+			t.Logf("text=%q: case %d matched %q but naive disagrees", text, res.Index, res.Text)
+			return false
+		}
+		// ...and every higher-priority case must fail on the same text,
+		// otherwise the compiled scan picked a different index than a naive
+		// scan of the same wakeup would have.
+		for j := 0; j < res.Index; j++ {
+			if pattern.MatchNaive(cases[j].Pattern, res.Text) {
+				t.Logf("text=%q: case %d won but naive prefers case %d on %q",
+					text, res.Index, j, res.Text)
+				return false
+			}
+		}
+		return strings.HasPrefix(text, res.Text)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineCachedUncachedEquivalentQuick runs one randomly assembled
+// expect script through two engines — eval cache on (default) and off (the
+// seed's parse-as-you-go path) — against the same virtual program, and
+// requires identical results and identical state.
+func TestEngineCachedUncachedEquivalentQuick(t *testing.T) {
+	pieces := []string{
+		`set a [expr {$a * 2 + 1}]`,
+		`for {set i 0} {$i < 4} {incr i} { set a [expr {$a + $i}] }`,
+		`proc twice x {expr {$x + $x}}; set a [twice $a]`,
+		`if {$a % 2 == 0} { set b even } else { set b odd }`,
+		`foreach w {alpha beta gamma} { set b "$b-$w" }`,
+		`set msg "a=$a b=$b"`,
+		`send probe\n`,
+		`expect {*echo:*} {set b "saw-echo"}`,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		sb.WriteString("set timeout 5\nset a 3\nset b start\nspawn echoer\nexpect {*ready*} {}\n")
+		for k := 0; k < 3+r.Intn(6); k++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+			sb.WriteByte('\n')
+		}
+		sb.WriteString(`set out "$a|$b"`)
+		script := sb.String()
+
+		run := func(cached bool) (string, string) {
+			var userOut lockedBuffer
+			off := false
+			e := NewEngine(EngineOptions{UserOut: &userOut, LogUser: &off})
+			defer e.Shutdown()
+			if !cached {
+				e.Interp.SetEvalCacheSize(0)
+			}
+			e.RegisterVirtual("echoer", lineServer("ready\n", func(line string) (string, bool) {
+				return "echo: " + line + "\n", true
+			}))
+			out, err := e.Run(script)
+			if err != nil {
+				return out, err.Error()
+			}
+			return out, ""
+		}
+		co, ce := run(true)
+		uo, ue := run(false)
+		if co != uo || ce != ue {
+			t.Logf("script:\n%s\ncached   = (%q, %q)\nuncached = (%q, %q)", script, co, ce, uo, ue)
+			return false
+		}
+		return true
+	}
+	n := 8
+	if testing.Short() {
+		n = 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Error(err)
+	}
+}

@@ -30,6 +30,10 @@ type Case struct {
 	Pattern string
 	re      *regexp.Regexp
 	inc     *pattern.Incremental
+	// glob and lit are the compiled forms, filled in by prepareCases once
+	// per Expect call so the per-wakeup scan is allocation-free.
+	glob *pattern.Compiled
+	lit  []byte
 }
 
 // Glob builds a glob case. Per the paper, the pattern must match the
@@ -41,9 +45,30 @@ func Glob(pat string) Case { return Case{Kind: CaseGlob, Pattern: pat} }
 func Exact(s string) Case { return Case{Kind: CaseExact, Pattern: s} }
 
 // Regexp builds a regular-expression case; it panics on a bad pattern
-// (compile with regexp.Compile first to handle errors).
+// (compile with pattern.CompileRegexp first to handle errors).
 func Regexp(pat string) Case {
-	return Case{Kind: CaseRegexp, Pattern: pat, re: regexp.MustCompile(pat)}
+	re, err := pattern.CompileRegexp(pat)
+	if err != nil {
+		panic(err)
+	}
+	return Case{Kind: CaseRegexp, Pattern: pat, re: re}
+}
+
+// prepareCases fills in the compiled form of each case: globs come from
+// the shared compile cache, exact patterns become byte slices. Done once
+// per Expect call; every subsequent wakeup matches compiled programs
+// directly over the buffer bytes without allocating.
+func prepareCases(cases []Case, prof *metrics.Profiler) {
+	stop := prof.Start(metrics.PhaseCompile)
+	for i := range cases {
+		switch cases[i].Kind {
+		case CaseGlob:
+			cases[i].glob = pattern.CompileGlob(cases[i].Pattern)
+		case CaseExact:
+			cases[i].lit = []byte(cases[i].Pattern)
+		}
+	}
+	stop()
 }
 
 // EOFCase fires when the process closes its output.
@@ -93,6 +118,10 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 	if d >= 0 {
 		deadline = time.Now().Add(d)
 	}
+	// Compile the case patterns once; the per-wakeup loop below only runs
+	// compiled programs over buffer bytes.
+	prepareCases(cases, s.prof)
+
 	// Compile incremental matchers when enabled: one per glob case,
 	// carrying NFA state across wakeups so nothing is rescanned.
 	incremental := s.matcher == MatcherIncremental
@@ -107,20 +136,21 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 				cases[i].inc = pattern.NewIncremental(cases[i].Pattern)
 			}
 		}
-		fed = s.totalSeen - int64(len(s.buf))
+		fed = s.totalSeen - int64(s.mb.length())
 	}
 
 	for {
+		buf := s.mb.bytes()
 		if incremental {
 			// Feed only bytes not yet seen by the matchers. If match_max
 			// trimming outran the feed (a torrent arrived in one read),
 			// the skipped bytes are exactly the ones the engine forgot.
 			delta := s.totalSeen - fed
-			if delta > int64(len(s.buf)) {
-				delta = int64(len(s.buf))
+			if delta > int64(len(buf)) {
+				delta = int64(len(buf))
 			}
 			if delta > 0 {
-				fresh := s.buf[int64(len(s.buf))-delta:]
+				fresh := buf[int64(len(buf))-delta:]
 				stop := s.prof.Start(metrics.PhaseMatch)
 				for i := range cases {
 					if cases[i].inc != nil {
@@ -134,22 +164,19 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 
 		// Scan cases in order against the buffered output.
 		stop := s.prof.Start(metrics.PhaseMatch)
-		idx, consumed := s.scanLocked(cases, incremental)
+		idx, consumed := scanCases(buf, cases, incremental)
 		stop()
 		if idx >= 0 {
-			text := string(s.buf[:consumed])
-			s.buf = s.buf[consumed:]
-			if len(s.buf) == 0 {
-				s.buf = nil
-			}
+			text := string(buf[:consumed])
+			s.mb.consume(consumed)
 			return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
 		}
 
 		if s.eof {
-			text := string(s.buf)
+			text := string(buf)
 			for i, c := range cases {
 				if c.Kind == CaseEOF {
-					s.buf = nil
+					s.mb.reset()
 					return &MatchResult{Index: i, Case: c, Text: text, Eof: true}, nil
 				}
 			}
@@ -165,7 +192,7 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 		if !deadline.IsZero() {
 			remaining = time.Until(deadline)
 			if remaining <= 0 {
-				text := string(s.buf)
+				text := string(s.mb.bytes())
 				for i, c := range cases {
 					if c.Kind == CaseTimeout {
 						return &MatchResult{Index: i, Case: c, Text: text, TimedOut: true}, nil
@@ -178,28 +205,31 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 	}
 }
 
-// scanLocked checks cases in order; it returns the winning index and how
-// many buffer bytes the match consumes, or (-1, 0).
-func (s *Session) scanLocked(cases []Case, incremental bool) (int, int) {
-	for i, c := range cases {
+// scanCases checks prepared cases in order against buf; it returns the
+// winning index and how many buffer bytes the match consumes, or (-1, 0).
+// Everything it runs is precompiled, so a wakeup that finds no match
+// performs no allocation no matter how large the buffer is.
+func scanCases(buf []byte, cases []Case, incremental bool) (int, int) {
+	for i := range cases {
+		c := &cases[i]
 		switch c.Kind {
 		case CaseGlob:
 			if incremental && c.inc != nil {
 				if c.inc.Matched() {
-					return i, len(s.buf)
+					return i, len(buf)
 				}
 				continue
 			}
-			if pattern.Match(c.Pattern, string(s.buf)) {
+			if c.glob.Match(buf) {
 				// Anchored semantics: the whole buffer is the match.
-				return i, len(s.buf)
+				return i, len(buf)
 			}
 		case CaseExact:
-			if idx := bytes.Index(s.buf, []byte(c.Pattern)); idx >= 0 {
-				return i, idx + len(c.Pattern)
+			if idx := bytes.Index(buf, c.lit); idx >= 0 {
+				return i, idx + len(c.lit)
 			}
 		case CaseRegexp:
-			if loc := c.re.FindIndex(s.buf); loc != nil {
+			if loc := c.re.FindIndex(buf); loc != nil {
 				return i, loc[1]
 			}
 		}

@@ -75,15 +75,16 @@ func (s *Session) Interact(opt InteractOptions) (*InteractOutcome, error) {
 		defer close(drainDone)
 		for {
 			s.mu.Lock()
-			for len(s.buf) == 0 && !s.eof && !drainStop {
+			for s.mb.length() == 0 && !s.eof && !drainStop {
 				s.cond.Wait()
 			}
 			if drainStop {
 				s.mu.Unlock()
 				return
 			}
-			chunk := s.buf
-			s.buf = nil
+			// take copies: the write below happens after unlock, while the
+			// pump may append into the same backing array.
+			chunk := s.mb.take()
 			eof := s.eof
 			s.mu.Unlock()
 			if len(chunk) > 0 {

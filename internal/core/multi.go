@@ -1,11 +1,9 @@
 package core
 
 import (
-	"bytes"
 	"time"
 
 	"repro/internal/metrics"
-	"repro/internal/pattern"
 )
 
 // ExpectAny is the combined expect/select the paper's §8 wonders about
@@ -22,6 +20,11 @@ func ExpectAny(d time.Duration, sessions []*Session, cases ...Case) (*Session, *
 	if d >= 0 {
 		deadline = time.Now().Add(d)
 	}
+	var prof *metrics.Profiler
+	if len(sessions) > 0 {
+		prof = sessions[0].prof
+	}
+	prepareCases(cases, prof)
 	wake := make(chan struct{}, 1)
 	for _, s := range sessions {
 		s.addWatcher(wake)
@@ -31,15 +34,13 @@ func ExpectAny(d time.Duration, sessions []*Session, cases ...Case) (*Session, *
 		allEOF := len(sessions) > 0
 		for _, s := range sessions {
 			s.mu.Lock()
+			buf := s.mb.bytes()
 			stop := s.prof.Start(metrics.PhaseMatch)
-			idx, consumed := scanBuffer(s.buf, cases)
+			idx, consumed := scanBuffer(buf, cases)
 			stop()
 			if idx >= 0 {
-				text := string(s.buf[:consumed])
-				s.buf = s.buf[consumed:]
-				if len(s.buf) == 0 {
-					s.buf = nil
-				}
+				text := string(buf[:consumed])
+				s.mb.consume(consumed)
 				s.mu.Unlock()
 				return s, &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
 			}
@@ -79,24 +80,9 @@ func ExpectAny(d time.Duration, sessions []*Session, cases ...Case) (*Session, *
 	}
 }
 
-// scanBuffer checks cases against a raw buffer (rescan strategy); it
-// mirrors Session.scanLocked for the multi-session path.
+// scanBuffer checks prepared cases against a raw buffer (rescan strategy);
+// it is scanCases without incremental state, kept as the multi-session
+// entry point.
 func scanBuffer(buf []byte, cases []Case) (int, int) {
-	for i, c := range cases {
-		switch c.Kind {
-		case CaseGlob:
-			if pattern.Match(c.Pattern, string(buf)) {
-				return i, len(buf)
-			}
-		case CaseExact:
-			if idx := bytes.Index(buf, []byte(c.Pattern)); idx >= 0 {
-				return i, idx + len(c.Pattern)
-			}
-		case CaseRegexp:
-			if loc := c.re.FindIndex(buf); loc != nil {
-				return i, loc[1]
-			}
-		}
-	}
-	return -1, 0
+	return scanCases(buf, cases, false)
 }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The direct gap-buffer vs copy-shift comparison: identical append streams
+// through the real matchBuffer and through the seed's enforcement loop.
+
+func BenchmarkRingBufferGapAppend(b *testing.B) {
+	mb := matchBuffer{max: DefaultMatchMax}
+	chunk := bytes.Repeat([]byte("x"), 64)
+	// Warm until the backing array reaches steady state.
+	for i := 0; i < 100; i++ {
+		mb.appendData(chunk)
+	}
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		mb.appendData(chunk)
+	}
+}
+
+func BenchmarkRingBufferCopyShiftAppend(b *testing.B) {
+	chunk := bytes.Repeat([]byte("x"), 64)
+	var buf []byte
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	for k := 0; k < b.N; k++ {
+		buf = append(buf, chunk...)
+		if over := len(buf) - DefaultMatchMax; over > 0 {
+			buf = append(buf[:0:0], buf[over:]...)
+		}
+	}
+}
+
+// TestExpectWakeupAllocationFree pins the satellite claim: once cases are
+// prepared, a wakeup that scans the buffer and finds nothing allocates
+// nothing, and appending a chunk to a warm buffer allocates nothing.
+func TestExpectWakeupAllocationFree(t *testing.T) {
+	cases := []Case{Glob("*NEEDLE[0-9]*"), Exact("also absent")}
+	prepareCases(cases, nil)
+	buf := bytes.Repeat([]byte("abcdefgh"), 8*1024) // 64 KiB, no match
+	if allocs := testing.AllocsPerRun(100, func() {
+		if idx, _ := scanCases(buf, cases, false); idx >= 0 {
+			t.Fatal("unexpected match")
+		}
+	}); allocs > 0 {
+		t.Errorf("scanCases allocates %.1f objects per wakeup, want 0", allocs)
+	}
+
+	mb := matchBuffer{max: DefaultMatchMax}
+	chunk := bytes.Repeat([]byte("y"), 64)
+	for i := 0; i < 100; i++ {
+		mb.appendData(chunk)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		mb.appendData(chunk)
+	}); allocs > 0 {
+		t.Errorf("warm appendData allocates %.1f objects per chunk, want 0", allocs)
+	}
+}

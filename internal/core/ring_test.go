@@ -1,0 +1,243 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingBufferAppendAndForget(t *testing.T) {
+	b := matchBuffer{max: 10}
+	if f := b.appendData([]byte("hello")); f != 0 {
+		t.Errorf("forgot %d on first append", f)
+	}
+	if got := string(b.bytes()); got != "hello" {
+		t.Errorf("bytes = %q", got)
+	}
+	if f := b.appendData([]byte("world")); f != 0 {
+		t.Errorf("forgot %d while under bound", f)
+	}
+	// 10 live + 3 new: the 3 oldest must go.
+	if f := b.appendData([]byte("abc")); f != 3 {
+		t.Errorf("forgot %d, want 3", f)
+	}
+	if got := string(b.bytes()); got != "loworldabc" {
+		t.Errorf("bytes = %q, want %q", got, "loworldabc")
+	}
+	if b.length() != 10 {
+		t.Errorf("length = %d", b.length())
+	}
+}
+
+func TestRingBufferOversizedChunk(t *testing.T) {
+	b := matchBuffer{max: 8}
+	b.appendData([]byte("abcd"))
+	// A chunk bigger than max forgets everything live plus its own front.
+	if f := b.appendData([]byte("0123456789")); f != 4+2 {
+		t.Errorf("forgot %d, want 6", f)
+	}
+	if got := string(b.bytes()); got != "23456789" {
+		t.Errorf("bytes = %q", got)
+	}
+	// Exactly max-sized chunk forgets only what was live.
+	b2 := matchBuffer{max: 4}
+	b2.appendData([]byte("xy"))
+	if f := b2.appendData([]byte("abcd")); f != 2 {
+		t.Errorf("forgot %d, want 2", f)
+	}
+	if got := string(b2.bytes()); got != "abcd" {
+		t.Errorf("bytes = %q", got)
+	}
+}
+
+func TestRingBufferConsumeAndTake(t *testing.T) {
+	b := matchBuffer{max: 20}
+	b.appendData([]byte("one two three"))
+	b.consume(4)
+	if got := string(b.bytes()); got != "two three" {
+		t.Errorf("after consume: %q", got)
+	}
+	got := b.take()
+	if string(got) != "two three" || b.length() != 0 {
+		t.Errorf("take = %q, length = %d", got, b.length())
+	}
+	// take copies: appending afterwards must not change the taken bytes.
+	b.appendData([]byte("XXXXXXXXX"))
+	if string(got) != "two three" {
+		t.Errorf("taken bytes mutated by later append: %q", got)
+	}
+	b.reset()
+	if b.take() != nil {
+		t.Error("take on empty buffer should return nil")
+	}
+	// Consuming everything rewinds the backing array.
+	b.appendData([]byte("ab"))
+	b.consume(b.length())
+	if b.off != 0 || len(b.data) != 0 {
+		t.Errorf("consume-all did not reset: off=%d len=%d", b.off, len(b.data))
+	}
+}
+
+func TestRingBufferBackingBounded(t *testing.T) {
+	const max = 100
+	b := matchBuffer{max: max}
+	var last []byte
+	for i := 0; i < 5000; i++ {
+		c := byte('a' + i%26)
+		b.appendData([]byte{c})
+		last = append(last, c)
+	}
+	if cap(b.data) > 2*max {
+		t.Errorf("backing array cap %d exceeds 2*max = %d", cap(b.data), 2*max)
+	}
+	want := last[len(last)-max:]
+	if !bytes.Equal(b.bytes(), want) {
+		t.Errorf("content diverged from last %d bytes of stream", max)
+	}
+}
+
+func TestRingBufferSetMax(t *testing.T) {
+	b := matchBuffer{max: 100}
+	b.appendData([]byte(strings.Repeat("x", 60) + strings.Repeat("y", 40)))
+	if f := b.setMax(40); f != 60 {
+		t.Errorf("shrink forgot %d, want 60", f)
+	}
+	if got := string(b.bytes()); got != strings.Repeat("y", 40) {
+		t.Errorf("after shrink: %q", got)
+	}
+	// Growing the bound forgets nothing and keeps content.
+	if f := b.setMax(200); f != 0 {
+		t.Errorf("grow forgot %d", f)
+	}
+	if b.length() != 40 {
+		t.Errorf("length after grow = %d", b.length())
+	}
+	// A large backing array is released on a deep shrink.
+	big := matchBuffer{max: 100000}
+	big.appendData(bytes.Repeat([]byte("z"), 100000))
+	big.setMax(10)
+	if cap(big.data) > 4096 {
+		t.Errorf("backing cap %d not released after deep shrink", cap(big.data))
+	}
+	if got := string(big.bytes()); got != strings.Repeat("z", 10) {
+		t.Errorf("content after deep shrink: %q", got)
+	}
+}
+
+// TestRingBufferMatchesReferenceModel drives the gap buffer and a naive
+// slice model with the same random operation stream and checks they agree
+// on content and forgotten-byte accounting at every step.
+func TestRingBufferMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	b := matchBuffer{max: 50}
+	var ref []byte
+	refMax := 50
+	var forgotB, forgotRef int
+
+	for step := 0; step < 20000; step++ {
+		switch rng.Intn(10) {
+		case 0: // consume a prefix, as a match would
+			if b.length() > 0 {
+				n := 1 + rng.Intn(b.length())
+				b.consume(n)
+				ref = ref[n:]
+			}
+		case 1: // change the bound
+			refMax = 1 + rng.Intn(80)
+			forgotB += b.setMax(refMax)
+			if over := len(ref) - refMax; over > 0 {
+				ref = ref[over:]
+				forgotRef += over
+			}
+		default: // append a chunk, occasionally oversized
+			n := 1 + rng.Intn(12)
+			if rng.Intn(50) == 0 {
+				n = refMax + rng.Intn(40)
+			}
+			chunk := make([]byte, n)
+			for i := range chunk {
+				chunk[i] = byte('a' + rng.Intn(26))
+			}
+			forgotB += b.appendData(chunk)
+			ref = append(ref, chunk...)
+			if over := len(ref) - refMax; over > 0 {
+				ref = ref[over:]
+				forgotRef += over
+			}
+		}
+		if !bytes.Equal(b.bytes(), ref) {
+			t.Fatalf("step %d: content diverged:\n  ring %q\n  ref  %q", step, b.bytes(), ref)
+		}
+		if forgotB != forgotRef {
+			t.Fatalf("step %d: forgotten diverged: ring %d, ref %d", step, forgotB, forgotRef)
+		}
+		if cap(b.data) > 2*80 && cap(b.data) > 4096 {
+			t.Fatalf("step %d: backing cap %d unbounded", step, cap(b.data))
+		}
+	}
+}
+
+// Regression: shrinking match_max mid-Expect must keep Forgotten() in
+// lockstep with the buffer, so the incremental matcher's fed-bytes
+// reconciliation (which trusts totalSeen - len(buf)) never double-feeds or
+// skips live bytes.
+func TestSetMatchMaxShrinkAgreesWithForgotten(t *testing.T) {
+	cfg := &Config{Matcher: MatcherIncremental, MatchMax: 1000}
+	s, err := SpawnProgram(cfg, "shrink", func(stdin io.Reader, stdout io.Writer) error {
+		fmt.Fprint(stdout, strings.Repeat("x", 500))
+		one := make([]byte, 1)
+		stdin.Read(one)
+		fmt.Fprint(stdout, "MAGIC")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type outcome struct {
+		r   *MatchResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := s.ExpectTimeout(5*time.Second, Glob("*MAGIC*"))
+		done <- outcome{r, err}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for s.TotalSeen() < 500 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.TotalSeen() < 500 {
+		t.Fatal("burst never arrived")
+	}
+
+	s.SetMatchMax(50)
+	if got := len(s.Buffer()); got > 50 {
+		t.Errorf("buffer after shrink = %d bytes, want <= 50", got)
+	}
+	if got, want := s.Forgotten()+int64(len(s.Buffer())), s.TotalSeen(); got != want {
+		t.Errorf("forgotten+buffered = %d, want totalSeen = %d", got, want)
+	}
+
+	if err := s.Send("g"); err != nil {
+		t.Fatal(err)
+	}
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("expect after shrink: %v", o.err)
+	}
+	if !strings.Contains(o.r.Text, "MAGIC") {
+		t.Errorf("match text %q lacks MAGIC", o.r.Text)
+	}
+	consumed := int64(len(o.r.Text))
+	if got, want := s.Forgotten()+consumed+int64(len(s.Buffer())), s.TotalSeen(); got != want {
+		t.Errorf("forgotten+consumed+buffered = %d, want totalSeen = %d", got, want)
+	}
+}

@@ -91,13 +91,12 @@ type Session struct {
 
 	mu        sync.Mutex
 	cond      *sync.Cond
-	buf       []byte
+	mb        matchBuffer
 	totalSeen int64
 	forgotten int64
 	eof       bool
 	readErr   error
 	closed    bool
-	matchMax  int
 	matcher   MatcherMode
 	timeout   time.Duration
 	logger    func([]byte)
@@ -175,7 +174,7 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 		name:     name,
 		p:        p,
 		rw:       rw,
-		matchMax: cfg.matchMax(),
+		mb:       matchBuffer{max: cfg.matchMax()},
 		timeout:  cfg.timeout(),
 		watchers: make(map[chan struct{}]struct{}),
 		pumpDone: make(chan struct{}),
@@ -212,13 +211,9 @@ func (s *Session) pump() {
 				s.screen.Write(chunk[:n])
 			}
 			s.mu.Lock()
-			s.buf = append(s.buf, chunk[:n]...)
 			s.totalSeen += int64(n)
-			if over := len(s.buf) - s.matchMax; over > 0 {
-				// Forget the earliest bytes, per §3.1.
-				s.buf = append(s.buf[:0:0], s.buf[over:]...)
-				s.forgotten += int64(over)
-			}
+			// Forgetting per §3.1 happens inside appendData in O(1).
+			s.forgotten += int64(s.mb.appendData(chunk[:n]))
 			s.notifyLocked()
 			s.mu.Unlock()
 		}
@@ -278,17 +273,16 @@ func (s *Session) Kind() string {
 }
 
 // SetMatchMax adjusts the buffer bound ("this may be changed by setting
-// the variable match_max", §3.1).
+// the variable match_max", §3.1). Shrinking below the current buffer
+// length forgets the earliest bytes, exactly as if they had been pushed
+// out by arriving output: Forgotten() advances by the same amount, so
+// incremental matchers reconciling against it stay consistent.
 func (s *Session) SetMatchMax(n int) {
 	if n <= 0 {
 		n = DefaultMatchMax
 	}
 	s.mu.Lock()
-	s.matchMax = n
-	if over := len(s.buf) - s.matchMax; over > 0 {
-		s.buf = append(s.buf[:0:0], s.buf[over:]...)
-		s.forgotten += int64(over)
-	}
+	s.forgotten += int64(s.mb.setMax(n))
 	s.mu.Unlock()
 }
 
@@ -296,7 +290,7 @@ func (s *Session) SetMatchMax(n int) {
 func (s *Session) MatchMax() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.matchMax
+	return s.mb.max
 }
 
 // SetTimeout changes the session's default Expect timeout; d < 0 waits
@@ -340,15 +334,15 @@ func (s *Session) SendBytes(b []byte) error {
 func (s *Session) Buffer() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return string(s.buf)
+	return string(s.mb.bytes())
 }
 
 // ClearBuffer empties the match buffer and returns what was discarded.
 func (s *Session) ClearBuffer() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := string(s.buf)
-	s.buf = nil
+	out := string(s.mb.bytes())
+	s.mb.reset()
 	return out
 }
 
@@ -378,7 +372,7 @@ func (s *Session) Eof() bool {
 func (s *Session) HasData() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.buf) > 0 || s.eof
+	return s.mb.length() > 0 || s.eof
 }
 
 // CloseWrite half-closes the channel toward the process, delivering EOF on

@@ -24,6 +24,7 @@ func All(repoRoot string) []Spec {
 		{"E9", "pipe interposition penalty", PipePenalty},
 		{"E12", "capability matrix", CapabilityMatrix},
 		{"E13", "timeout semantics", TimeoutSemantics},
+		{"E15", "hot-path compilation caches", HotPathCaches},
 	}
 }
 

@@ -1,0 +1,136 @@
+// Package lru provides the small bounded compile caches behind the
+// engine's hot paths: parse-once Tcl scripts, expr ASTs, and compiled
+// glob/regexp patterns. The cache is a plain LRU — a map plus an
+// intrusive doubly-linked recency list — protected by a mutex so the
+// pattern caches can be shared across sessions running in separate
+// goroutines. Hit/miss counters feed the E15 experiment report.
+package lru
+
+import "sync"
+
+// entry is one cached key/value pair threaded on the recency list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// Cache is a bounded LRU cache. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	items   map[K]*entry[K, V]
+	head    *entry[K, V] // most recently used
+	tail    *entry[K, V] // least recently used
+	cap     int
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// New returns a cache bounded to capacity entries. A capacity <= 0 yields
+// a cache that stores nothing (every Get misses), which callers use as the
+// "caching disabled" mode.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		items: make(map[K]*entry[K, V]),
+		cap:   capacity,
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores key→val, evicting the least recently used entry on overflow.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.evicted++
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap returns the configured bound.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Purge drops every entry (counters are kept).
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[K]*entry[K, V])
+	c.head, c.tail = nil, nil
+}
+
+// Stats reports cumulative hit/miss/eviction counts.
+func (c *Cache[K, V]) Stats() (hits, misses, evicted uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evicted
+}
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

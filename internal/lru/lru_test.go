@@ -1,0 +1,114 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutEvictionOrder(t *testing.T) {
+	c := New[string, int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	if _, ok := c.Get("a"); !ok { // a becomes MRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b (LRU)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing after eviction", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("a = %d, want 9", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestZeroCapacityStoresNothing(t *testing.T) {
+	c := New[string, int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored a value")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestStatsAndPurge(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Put(2, 2)
+	c.Put(3, 3) // evicts 1
+	hits, misses, evicted := c.Stats()
+	if hits != 1 || misses != 1 || evicted != 1 {
+		t.Errorf("stats = %d/%d/%d, want 1/1/1", hits, misses, evicted)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get(2); ok {
+		t.Error("entry survived Purge")
+	}
+}
+
+func TestSingleEntryCache(t *testing.T) {
+	c := New[int, string](1)
+	c.Put(1, "one")
+	c.Put(2, "two")
+	if _, ok := c.Get(1); ok {
+		t.Error("1 should have been evicted")
+	}
+	if v, ok := c.Get(2); !ok || v != "two" {
+		t.Errorf("2 = %q, %v", v, ok)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int, int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 500; k++ {
+				c.Put(k%100, g*1000+k)
+				c.Get((k + g) % 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds cap 64", c.Len())
+	}
+}
+
+func TestEvictionKeepsListConsistent(t *testing.T) {
+	c := New[string, int](4)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i%7), i)
+		c.Get(fmt.Sprintf("k%d", (i+3)%7))
+		if c.Len() > 4 {
+			t.Fatalf("Len = %d exceeds cap at step %d", c.Len(), i)
+		}
+	}
+}

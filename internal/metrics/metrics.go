@@ -20,6 +20,9 @@ type Phase int
 const (
 	// PhaseMatch is time spent pattern matching to guide the script.
 	PhaseMatch Phase = iota
+	// PhaseCompile is time spent compiling patterns (amortised by the
+	// shared compile cache; one lookup per Expect call, not per wakeup).
+	PhaseCompile
 	// PhaseIO is time spent reading from and writing to processes.
 	PhaseIO
 	// PhasePty is time spent locating and initializing ptys ("open,
@@ -37,6 +40,7 @@ const (
 
 var phaseNames = [numPhases]string{
 	"pattern matching",
+	"pattern compile",
 	"I/O",
 	"open/close/ioctl (pty)",
 	"fork",

@@ -45,9 +45,11 @@ type classSet struct {
 func (c *classSet) add(b byte)           { c.bits[b>>6] |= 1 << (b & 63) }
 func (c *classSet) contains(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
 
-// NewIncremental compiles pat into an incremental matcher.
+// NewIncremental compiles pat into an incremental matcher. The op program
+// comes from the shared compile cache and is never mutated, so concurrent
+// matchers for the same pattern share one compiled form.
 func NewIncremental(pat string) *Incremental {
-	m := &Incremental{pat: pat, ops: compileGlob(pat)}
+	m := &Incremental{pat: pat, ops: CompileGlob(pat).ops}
 	m.live = make([]bool, len(m.ops)+1)
 	m.scratch = make([]bool, len(m.ops)+1)
 	m.Reset()

@@ -15,7 +15,17 @@ package pattern
 //     \x       literal x
 //
 // A malformed class (unterminated '[') matches a literal '['.
+//
+// Match compiles pat through the shared compile cache, so repeated calls
+// with the same pattern — the expect hot loop — pay compilation once.
 func Match(pat, s string) bool {
+	return CompileGlob(pat).MatchString(s)
+}
+
+// MatchNaive is the original single-pass interpreter that re-lexes the
+// pattern as it matches. It is retained as the reference implementation for
+// equivalence tests and benchmarks against the compiled matcher.
+func MatchNaive(pat, s string) bool {
 	return matchHere(pat, s)
 }
 

@@ -2,7 +2,6 @@ package tcl
 
 import (
 	"fmt"
-	"regexp"
 	"strconv"
 	"strings"
 
@@ -15,7 +14,7 @@ import (
 func GlobMatch(pat, s string) bool { return pattern.Match(pat, s) }
 
 func regexpMatch(pat, s string) (bool, error) {
-	re, err := regexp.Compile(pat)
+	re, err := pattern.CompileRegexp(pat)
 	if err != nil {
 		return false, err
 	}
@@ -419,7 +418,7 @@ parsed:
 	if nocase {
 		pat = "(?i)" + pat
 	}
-	re, err := regexp.Compile(pat)
+	re, err := pattern.CompileRegexp(pat)
 	if err != nil {
 		return Errf("couldn't compile regular expression pattern: %v", err)
 	}
@@ -469,7 +468,7 @@ parsed:
 	if nocase {
 		pat = "(?i)" + pat
 	}
-	re, err := regexp.Compile(pat)
+	re, err := pattern.CompileRegexp(pat)
 	if err != nil {
 		return Errf("couldn't compile regular expression pattern: %v", err)
 	}

@@ -145,6 +145,21 @@ func (i *Interp) ExprInt(text string) (int64, Result) {
 }
 
 func (i *Interp) exprValue(text string) (exprValue, Result) {
+	if i.exprCache == nil {
+		return i.exprValueUncached(text)
+	}
+	ast, ok := i.exprCache.Get(text)
+	if !ok {
+		ast = compileExpr(text)
+		i.exprCache.Put(text, ast)
+	}
+	return ast.run(i)
+}
+
+// exprValueUncached is the classic re-parsing evaluator, kept as the
+// baseline when caching is disabled (SetEvalCacheSize(0)) and for
+// cached-vs-uncached equivalence tests.
+func (i *Interp) exprValueUncached(text string) (exprValue, Result) {
 	ep := &exprParser{interp: i, src: text}
 	v, res := ep.ternary(true)
 	if res.Code != OK {
@@ -177,20 +192,26 @@ func (e *exprParser) skipSpace() {
 // peekOp matches one of ops (longest first) at the cursor.
 func (e *exprParser) peekOp(ops ...string) string {
 	e.skipSpace()
+	return matchExprOp(e.src[e.pos:], ops...)
+}
+
+// matchExprOp matches one of ops at the start of rest, shared by the
+// re-parsing evaluator and the AST compiler so both tokenize identically.
+func matchExprOp(rest string, ops ...string) string {
 	for _, op := range ops {
-		if strings.HasPrefix(e.src[e.pos:], op) {
+		if strings.HasPrefix(rest, op) {
 			// Guard: "<" must not match "<<" or "<=".
-			rest := e.src[e.pos+len(op):]
-			if (op == "<" || op == ">") && len(rest) > 0 && (rest[0] == '=' || rest[0] == op[0]) {
+			tail := rest[len(op):]
+			if (op == "<" || op == ">") && len(tail) > 0 && (tail[0] == '=' || tail[0] == op[0]) {
 				continue
 			}
-			if (op == "&" || op == "|") && len(rest) > 0 && rest[0] == op[0] {
+			if (op == "&" || op == "|") && len(tail) > 0 && tail[0] == op[0] {
 				continue
 			}
 			if op == "=" { // never a valid operator alone
 				continue
 			}
-			if op == "!" && len(rest) > 0 && rest[0] == '=' {
+			if op == "!" && len(tail) > 0 && tail[0] == '=' {
 				continue
 			}
 			return op
@@ -669,30 +690,37 @@ func (e *exprParser) skipBracket() (int, Result) {
 }
 
 func (e *exprParser) number() (exprValue, Result) {
-	start := e.pos
-	j := e.pos
+	v, n, res := scanExprNumber(e.src, e.pos)
+	e.pos = n
+	return v, res
+}
+
+// scanExprNumber lexes a numeric literal at src[start:], returning the
+// value and the index past it. Shared by the re-parsing evaluator and the
+// AST compiler.
+func scanExprNumber(src string, start int) (exprValue, int, Result) {
+	j := start
 	seenDot, seenExp := false, false
-	if strings.HasPrefix(e.src[j:], "0x") || strings.HasPrefix(e.src[j:], "0X") {
+	if strings.HasPrefix(src[j:], "0x") || strings.HasPrefix(src[j:], "0X") {
 		j += 2
-		for j < len(e.src) && isHexDigit(e.src[j]) {
+		for j < len(src) && isHexDigit(src[j]) {
 			j++
 		}
-		e.pos = j
-		i, err := strconv.ParseInt(e.src[start:j], 0, 64)
+		i, err := strconv.ParseInt(src[start:j], 0, 64)
 		if err != nil {
-			return exprValue{}, Errf("malformed number %q", e.src[start:j])
+			return exprValue{}, j, Errf("malformed number %q", src[start:j])
 		}
-		return intVal(i), Ok("")
+		return intVal(i), j, Ok("")
 	}
-	for j < len(e.src) {
-		c := e.src[j]
+	for j < len(src) {
+		c := src[j]
 		switch {
 		case c >= '0' && c <= '9':
 		case c == '.' && !seenDot && !seenExp:
 			seenDot = true
 		case (c == 'e' || c == 'E') && !seenExp && j > start:
 			seenExp = true
-			if j+1 < len(e.src) && (e.src[j+1] == '+' || e.src[j+1] == '-') {
+			if j+1 < len(src) && (src[j+1] == '+' || src[j+1] == '-') {
 				j++
 			}
 		default:
@@ -701,20 +729,19 @@ func (e *exprParser) number() (exprValue, Result) {
 		j++
 	}
 done:
-	text := e.src[start:j]
-	e.pos = j
+	text := src[start:j]
 	if seenDot || seenExp {
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return exprValue{}, Errf("malformed number %q", text)
+			return exprValue{}, j, Errf("malformed number %q", text)
 		}
-		return floatVal(f), Ok("")
+		return floatVal(f), j, Ok("")
 	}
 	i, err := strconv.ParseInt(text, 0, 64)
 	if err != nil {
-		return exprValue{}, Errf("malformed number %q", text)
+		return exprValue{}, j, Errf("malformed number %q", text)
 	}
-	return intVal(i), Ok("")
+	return intVal(i), j, Ok("")
 }
 
 // funcCall parses name(arg[,arg]) math functions: abs, int, round, double.
@@ -746,6 +773,14 @@ func (e *exprParser) funcCall(eval bool) (exprValue, Result) {
 	if !eval {
 		return intVal(0), Ok("")
 	}
+	return applyMathFunc(name, arg)
+}
+
+// applyMathFunc evaluates a math function call, shared by the re-parsing
+// evaluator and the AST's funcNode. Argument checks and the unknown-name
+// error happen here — at evaluation, never at parse — so untaken calls are
+// free to name unknown functions.
+func applyMathFunc(name string, arg exprValue) (exprValue, Result) {
 	n, ok := arg.numeric()
 	if !ok {
 		return exprValue{}, Errf("argument to %s() is not numeric: %q", name, arg.String())

@@ -18,6 +18,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/lru"
 )
 
 // Code is a Tcl completion code. Every command evaluation completes with one
@@ -138,7 +140,23 @@ type Interp struct {
 
 	depth       int
 	exitHandler func(code int)
+
+	// evalCache memoizes compiled script skeletons keyed by script text, so
+	// proc bodies, loop bodies, and if arms parse once instead of per
+	// evaluation. exprCache does the same for expr ASTs. Keying by source
+	// text makes invalidation automatic: redefining a proc or renaming a
+	// command changes which body text is evaluated (dispatch stays by-name
+	// at eval time), never which compilation a text maps to. A nil cache
+	// selects the classic parse-as-you-evaluate path.
+	evalCache *lru.Cache[string, *compiledScript]
+	exprCache *lru.Cache[string, *exprAST]
 }
+
+// DefaultEvalCacheSize bounds the script and expr compile caches. A few
+// hundred entries covers every distinct proc body, loop body, and expression
+// in scripts far larger than the paper's examples while keeping worst-case
+// retained memory small.
+const DefaultEvalCacheSize = 512
 
 // New creates an interpreter with the full built-in command set registered.
 func New() *Interp {
@@ -150,6 +168,7 @@ func New() *Interp {
 		Stderr:   os.Stderr,
 		MaxDepth: 1000,
 	}
+	i.SetEvalCacheSize(DefaultEvalCacheSize)
 	registerCoreCommands(i)
 	registerStringCommands(i)
 	registerListCommands(i)
@@ -347,6 +366,29 @@ func (i *Interp) Eval(script string) (string, error) {
 	}
 }
 
+// SetEvalCacheSize rebounds the script and expr compile caches to n entries,
+// dropping any cached compilations. n <= 0 disables caching entirely,
+// restoring the classic parse-as-you-evaluate path (useful as an
+// equivalence/benchmark baseline).
+func (i *Interp) SetEvalCacheSize(n int) {
+	if n <= 0 {
+		i.evalCache = nil
+		i.exprCache = nil
+		return
+	}
+	i.evalCache = lru.New[string, *compiledScript](n)
+	i.exprCache = lru.New[string, *exprAST](n)
+}
+
+// EvalCacheStats reports cumulative hit/miss/eviction counts for the script
+// compile cache (zeros when caching is disabled).
+func (i *Interp) EvalCacheStats() (hits, misses, evicted uint64) {
+	if i.evalCache == nil {
+		return 0, 0, 0
+	}
+	return i.evalCache.Stats()
+}
+
 // EvalScript evaluates a script and returns the raw completion Result,
 // allowing callers (loops, the expect command's actions) to observe
 // break/continue/return codes.
@@ -356,7 +398,16 @@ func (i *Interp) EvalScript(script string) Result {
 	}
 	i.depth++
 	defer func() { i.depth-- }()
-	return i.evalScript(script, false).Result
+	if i.evalCache == nil {
+		return i.evalScript(script, false).Result
+	}
+	cs, ok := i.evalCache.Get(script)
+	if !ok {
+		cs = compileScript(script, false)
+		i.evalCache.Put(script, cs)
+	}
+	res, _ := i.runCompiled(cs)
+	return res
 }
 
 // EvalWords dispatches an already-substituted command.

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo health gate: formatting, vet, and the full test suite under the race
+# detector. CI and pre-commit both run exactly this.
+set -e
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go test -race ./...
