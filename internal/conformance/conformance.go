@@ -1,0 +1,365 @@
+// Package conformance is the differential harness: it replays the shipped
+// scripts/*.exp and a table of engine scenarios through every engine
+// variant (rescan vs incremental matching × cached vs classic Tcl
+// evaluation) and through clean vs deterministically-faultified
+// transports (internal/faultify), then asserts that the observable
+// outcomes are identical.
+//
+// What counts as observable is chosen to be chunking-invariant, because
+// §3.1's anchored glob semantics make some surfaces legitimately depend
+// on read segmentation (an early `*foo*` match consumes whatever partial
+// buffer happens to hold "foo"). The invariant surfaces compared here:
+//
+//   - the user-facing transcript produced by the script itself
+//     (send_user/print output, with log_user off so racy pump chunks
+//     never interleave),
+//   - each child's complete raw output stream, captured per spawn
+//     ordinal by the engine's ChildTap hook and drained to process exit
+//     before comparison,
+//   - the script's exit code and error disposition.
+//
+// A divergence is reported with the variant, the fault schedule (whose
+// Seed fully determines the perturbation), and a greedily minimized
+// schedule that still reproduces it — a self-contained repro recipe.
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultify"
+	"repro/internal/metrics"
+	"repro/internal/programs/authsim"
+	"repro/internal/programs/eliza"
+	"repro/internal/programs/fsck"
+	"repro/internal/programs/modem"
+	"repro/internal/programs/rogue"
+	"repro/internal/tcl"
+)
+
+// Variant names one engine configuration under test.
+type Variant struct {
+	Name string
+	// Matcher selects the glob scan strategy (rescan is the seed
+	// baseline; incremental is the NFA-feeding optimisation).
+	Matcher core.MatcherMode
+	// EvalCacheSize is passed to Interp.SetEvalCacheSize; 0 restores the
+	// classic parse-as-you-evaluate path.
+	EvalCacheSize int
+}
+
+// Variants is the full matrix: both matchers × both evaluation paths.
+// Variants[0] is the seed-faithful baseline every other cell is compared
+// against.
+var Variants = []Variant{
+	{"rescan-cached", core.MatcherRescan, tcl.DefaultEvalCacheSize},
+	{"incremental-cached", core.MatcherIncremental, tcl.DefaultEvalCacheSize},
+	{"rescan-classic", core.MatcherRescan, 0},
+	{"incremental-classic", core.MatcherIncremental, 0},
+}
+
+// Condition names one transport treatment. A Clean schedule means the
+// transport is not wrapped at all.
+type Condition struct {
+	Name  string
+	Sched faultify.Schedule
+}
+
+// Conditions are the semantics-preserving perturbations: they reorder
+// nothing and lose nothing, so every outcome must match the clean
+// baseline bit for bit. (Semantics-altering faults — CutAfterBytes —
+// are reserved for the mutation test, which proves the harness detects
+// what it is supposed to detect.)
+var Conditions = []Condition{
+	{"clean", faultify.Schedule{Seed: 1}},
+	{"reseg1", faultify.Schedule{Seed: 11, MaxReadChunk: 1}},
+	{"mixed", faultify.Schedule{
+		Seed:                 12,
+		MaxReadChunk:         3,
+		MaxWriteChunk:        2,
+		TransientEveryN:      5,
+		WriteTransientEveryN: 7,
+		DelayEveryN:          9,
+		ReadDelay:            time.Millisecond,
+	}},
+}
+
+// Child is one spawned process's complete output stream, in spawn order.
+type Child struct {
+	Seq        int
+	Name       string
+	Transcript string
+}
+
+// Outcome is everything the harness compares for one run.
+type Outcome struct {
+	// User is what the script printed to the user (send_user, print);
+	// log_user is off so no raw pump chunks interleave here.
+	User string
+	// Children holds each spawned process's drained output stream.
+	Children []Child
+	// ExitCode/ExitCalled mirror Engine.ExitCode.
+	ExitCode   int
+	ExitCalled bool
+	// Err is the script-level error ("" on success).
+	Err string
+	// Faults snapshots the injected-fault counters (report-only; never
+	// compared — two runs legitimately differ in how many reads the
+	// schedule happened to split).
+	Faults map[string]int64
+}
+
+// ScriptCase is one shipped script with its run parameters.
+type ScriptCase struct {
+	// File is the name under scripts/.
+	File string
+	Args []string
+	// CompareUser: rogue.exp ends in `interact`, whose pass-through drain
+	// races the user's EOF, so its user transcript is legitimately
+	// nondeterministic and excluded from comparison. Child transcripts
+	// and exit codes are still compared for every script.
+	CompareUser bool
+}
+
+// Scripts lists every shipped script. callback.exp runs its busy branch
+// in integration tests; here the connect branch exercises the modem
+// dialogue (the 4-second courtesy sleep is the script's own behaviour).
+var Scripts = []ScriptCase{
+	{File: "callback.exp", Args: []string{"12016442332"}, CompareUser: true},
+	{File: "elizaduet.exp", CompareUser: true},
+	{File: "fsck.exp", CompareUser: true},
+	{File: "login.exp", CompareUser: true},
+	{File: "passwd.exp", CompareUser: true},
+	{File: "rogue.exp", CompareUser: false},
+}
+
+// registerDeterministicSims installs the simulated programs with pinned
+// seeds and no environment dependence, unlike the CLI's registration
+// (time-based seeds, $USER): differential comparison needs every run of
+// a sim to emit byte-identical output for identical input.
+func registerDeterministicSims(eng *core.Engine) {
+	eng.RegisterVirtual("rogue-sim", rogue.New(rogue.Config{
+		Seed: 7, LuckNumerator: 1, LuckDenominator: 1,
+	}))
+	eng.RegisterVirtual("eliza-sim", eliza.New(eliza.Config{Seed: 42}))
+	eng.RegisterVirtual("fsck-sim", fsck.New(fsck.Config{
+		FS: fsck.Generate(7, 20, 100, 6),
+	}))
+	eng.RegisterVirtual("passwd-sim", authsim.NewPasswd(authsim.PasswdConfig{
+		User:       "don",
+		Dictionary: []string{"password", "dragon", "letmein", "qwerty"},
+	}))
+	eng.RegisterVirtual("login-sim", authsim.NewLogin(authsim.LoginConfig{
+		Accounts: map[string]string{"guest": "guest", "don": "secret"},
+	}))
+	eng.RegisterVirtual("tip-sim", modem.NewTip(modem.TipConfig{Modem: modem.Config{
+		Directory: map[string]modem.Entry{
+			"12016442332": {Result: modem.ResultConnect, Delay: 50 * time.Millisecond},
+			"5550000":     {Result: modem.ResultBusy},
+		},
+		Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: 100 * time.Millisecond},
+	}}))
+}
+
+// lockedBuf is a pump-goroutine-safe byte sink.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// tapSet collects per-spawn child transcripts keyed by spawn ordinal.
+type tapSet struct {
+	mu   sync.Mutex
+	taps []*childTap
+}
+
+type childTap struct {
+	seq  int
+	name string
+	buf  lockedBuf
+}
+
+func (ts *tapSet) hook(seq int, name string) io.Writer {
+	ct := &childTap{seq: seq, name: name}
+	ts.mu.Lock()
+	ts.taps = append(ts.taps, ct)
+	ts.mu.Unlock()
+	return &ct.buf
+}
+
+func (ts *tapSet) children() []Child {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]Child, 0, len(ts.taps))
+	for _, ct := range ts.taps {
+		out = append(out, Child{Seq: ct.seq, Name: ct.name, Transcript: ct.buf.String()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// drainDeadline bounds how long RunScript waits for a child to exit after
+// its stdin is half-closed during the drain protocol.
+const drainDeadline = 10 * time.Second
+
+// RunScript replays scriptsDir/sc.File through one engine variant with
+// one fault schedule and returns the invariant outcome.
+//
+// The drain protocol matters: a script often ends with bytes still in
+// flight (a logout banner, a farewell line). Comparing transcripts
+// truncated at whatever instant the script happened to finish would be
+// pure noise, so before shutdown every surviving session's write side is
+// closed (the child sees EOF and exits) and the pump is allowed to drain
+// the stream to EOF. Only then are transcripts collected.
+func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Schedule) (*Outcome, error) {
+	taps := &tapSet{}
+	var user lockedBuf
+	counters := metrics.NewCounters()
+	logUser := false
+	opts := core.EngineOptions{
+		UserIn:   strings.NewReader(""),
+		UserOut:  &user,
+		Matcher:  v.Matcher,
+		LogUser:  &logUser,
+		ChildTap: taps.hook,
+	}
+	if !sched.Clean() {
+		opts.SpawnWrap = faultify.Wrapper(sched, counters)
+	}
+	eng := core.NewEngine(opts)
+	eng.Interp.SetEvalCacheSize(v.EvalCacheSize)
+	registerDeterministicSims(eng)
+	eng.Interp.GlobalSet("argv", tcl.FormList(append([]string{sc.File}, sc.Args...)))
+
+	_, runErr := eng.RunFile(scriptsDir + "/" + sc.File)
+
+	// Drain: half-close each surviving session and wait for its stream to
+	// reach EOF so transcripts are complete, not cut at script end.
+	for _, id := range eng.SessionIDs() {
+		s, ok := eng.SessionByID(id)
+		if !ok {
+			continue
+		}
+		s.CloseWrite()
+		done := make(chan struct{})
+		go func() { s.WaitPumpDrained(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(drainDeadline):
+			// A child that ignores EOF would hang the harness; kill it.
+			s.Kill()
+		}
+	}
+	eng.Shutdown()
+
+	out := &Outcome{
+		User:     user.String(),
+		Children: taps.children(),
+		Faults:   counters.Snapshot(),
+	}
+	out.ExitCode, out.ExitCalled = eng.ExitCode()
+	if runErr != nil {
+		out.Err = runErr.Error()
+	}
+	return out, nil
+}
+
+// Diff explains the first difference between two outcomes, or returns ""
+// when they agree on every compared surface.
+func Diff(base, got *Outcome, compareUser bool) string {
+	if base.Err != got.Err {
+		return fmt.Sprintf("script error: baseline %q vs %q", base.Err, got.Err)
+	}
+	if base.ExitCalled != got.ExitCalled || base.ExitCode != got.ExitCode {
+		return fmt.Sprintf("exit status: baseline (%d, called=%v) vs (%d, called=%v)",
+			base.ExitCode, base.ExitCalled, got.ExitCode, got.ExitCalled)
+	}
+	if compareUser && base.User != got.User {
+		return fmt.Sprintf("user transcript: baseline %q vs %q", base.User, got.User)
+	}
+	if len(base.Children) != len(got.Children) {
+		return fmt.Sprintf("spawn count: baseline %d vs %d", len(base.Children), len(got.Children))
+	}
+	for i := range base.Children {
+		b, g := base.Children[i], got.Children[i]
+		if b.Name != g.Name {
+			return fmt.Sprintf("spawn #%d: baseline %q vs %q", i, b.Name, g.Name)
+		}
+		if b.Transcript != g.Transcript {
+			return fmt.Sprintf("child %q (#%d) transcript: baseline %d bytes vs %d bytes; first divergence at offset %d",
+				b.Name, i, len(b.Transcript), len(g.Transcript), firstDiff(b.Transcript, g.Transcript))
+		}
+	}
+	return ""
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Divergence is a failed comparison packaged as a repro recipe.
+type Divergence struct {
+	Subject  string // script file or scenario name
+	Variant  Variant
+	Schedule faultify.Schedule // schedule that produced the divergence
+	Minimal  faultify.Schedule // smallest schedule still reproducing it
+	Detail   string            // Diff output
+}
+
+func (d *Divergence) String() string {
+	return fmt.Sprintf(
+		"conformance divergence in %s [variant %s]\n  %s\n  repro: schedule %s\n  minimized: schedule %s",
+		d.Subject, d.Variant.Name, d.Detail, d.Schedule.String(), d.Minimal.String())
+}
+
+// Minimize greedily strips fault classes from sched while diverges keeps
+// reporting the divergence, returning the smallest schedule found. The
+// result is what a human debugs: rather than "the mixed schedule breaks
+// passwd.exp", it answers "a forced EOF after 5 bytes breaks passwd.exp".
+func Minimize(sched faultify.Schedule, diverges func(faultify.Schedule) bool) faultify.Schedule {
+	drop := []func(*faultify.Schedule){
+		func(s *faultify.Schedule) { s.TransientEveryN = 0 },
+		func(s *faultify.Schedule) { s.WriteTransientEveryN = 0 },
+		func(s *faultify.Schedule) { s.DelayEveryN, s.ReadDelay = 0, 0 },
+		func(s *faultify.Schedule) { s.MaxWriteChunk = 0 },
+		func(s *faultify.Schedule) { s.MaxReadChunk = 0 },
+		func(s *faultify.Schedule) { s.CutAfterBytes = 0 },
+	}
+	for _, mod := range drop {
+		candidate := sched
+		mod(&candidate)
+		if candidate == sched {
+			continue // class not present
+		}
+		if diverges(candidate) {
+			sched = candidate
+		}
+	}
+	return sched
+}

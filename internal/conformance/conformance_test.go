@@ -1,0 +1,151 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultify"
+)
+
+const scriptsDir = "../../scripts"
+
+// TestConformanceScripts replays every shipped script through the full
+// variant × condition matrix and requires each cell's outcome to be
+// identical to the seed-faithful baseline (rescan matcher, cached eval,
+// clean transport).
+func TestConformanceScripts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("script matrix is wall-clock heavy (callback.exp sleeps 4s per cell)")
+	}
+	for _, sc := range Scripts {
+		sc := sc
+		t.Run(sc.File, func(t *testing.T) {
+			t.Parallel()
+			base, err := RunScript(scriptsDir, sc, Variants[0], Conditions[0].Sched)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if base.Err != "" {
+				t.Fatalf("baseline script error: %s", base.Err)
+			}
+			for _, v := range Variants {
+				for _, cond := range Conditions {
+					if v.Name == Variants[0].Name && cond.Name == Conditions[0].Name {
+						continue // the baseline itself
+					}
+					v, cond := v, cond
+					t.Run(v.Name+"/"+cond.Name, func(t *testing.T) {
+						t.Parallel()
+						got, err := RunScript(scriptsDir, sc, v, cond.Sched)
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						if d := Diff(base, got, sc.CompareUser); d != "" {
+							div := &Divergence{
+								Subject: sc.File, Variant: v,
+								Schedule: cond.Sched, Minimal: cond.Sched, Detail: d,
+							}
+							t.Error(div.String())
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceScenarios runs the engine-scenario table across both
+// matchers and every condition; all summaries must equal the baseline's.
+func TestConformanceScenarios(t *testing.T) {
+	matchers := []struct {
+		name string
+		mode core.MatcherMode
+	}{{"rescan", core.MatcherRescan}, {"incremental", core.MatcherIncremental}}
+	for _, sc := range AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			base, err := RunScenario(sc, core.MatcherRescan, Conditions[0].Sched)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if base == "" {
+				t.Fatal("baseline produced an empty summary")
+			}
+			for _, m := range matchers {
+				for _, cond := range Conditions {
+					m, cond := m, cond
+					t.Run(m.name+"/"+cond.Name, func(t *testing.T) {
+						t.Parallel()
+						got, err := RunScenario(sc, m.mode, cond.Sched)
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						if got != base {
+							t.Errorf("summary diverged under schedule %s:\nbaseline: %s\n     got: %s",
+								cond.Sched.String(), base, got)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceMutationCaught is the harness's own proof of life: a
+// deliberately semantics-altering schedule (forced EOF 5 bytes into the
+// passwd dialogue) must be detected as a divergence and reported with
+// the seed and a minimized fault schedule — the repro recipe a real
+// divergence would ship with. (passwd.exp is straight-line: the early
+// EOF implicitly closes the session, §3.2, and the next send fails —
+// a deterministic, promptly-detected divergence. login.exp's retry loop
+// would instead respawn forever.)
+func TestConformanceMutationCaught(t *testing.T) {
+	sc := ScriptCase{File: "passwd.exp", CompareUser: true}
+	base, err := RunScript(scriptsDir, sc, Variants[0], Conditions[0].Sched)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	mutated := faultify.Schedule{
+		Seed:            5,
+		MaxReadChunk:    2,
+		TransientEveryN: 3,
+		CutAfterBytes:   5,
+	}
+	diverges := func(s faultify.Schedule) bool {
+		got, err := RunScript(scriptsDir, sc, Variants[0], s)
+		if err != nil {
+			return true
+		}
+		return Diff(base, got, sc.CompareUser) != ""
+	}
+	got, err := RunScript(scriptsDir, sc, Variants[0], mutated)
+	if err != nil {
+		t.Fatalf("mutated run: %v", err)
+	}
+	detail := Diff(base, got, sc.CompareUser)
+	if detail == "" {
+		t.Fatal("mutation not caught: forced mid-dialogue EOF produced an identical outcome")
+	}
+	div := &Divergence{
+		Subject: sc.File, Variant: Variants[0],
+		Schedule: mutated,
+		Minimal:  Minimize(mutated, diverges),
+		Detail:   detail,
+	}
+	report := div.String()
+	t.Logf("mutation report (expected):\n%s", report)
+	for _, want := range []string{"seed=5", "cutafter=5B", "passwd.exp", "minimized"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Minimization must keep the fault that matters and shed the noise.
+	if div.Minimal.CutAfterBytes != 5 {
+		t.Errorf("minimized schedule lost the essential fault: %s", div.Minimal.String())
+	}
+	if div.Minimal.MaxReadChunk != 0 || div.Minimal.TransientEveryN != 0 {
+		t.Errorf("minimized schedule kept irrelevant faults: %s", div.Minimal.String())
+	}
+}

@@ -39,6 +39,11 @@ type Engine struct {
 	virtuals map[string]proc.Program
 	// transport selects how spawn starts real programs.
 	transport string
+	// childTap/spawnWrap are the observability and fault-injection hooks;
+	// see EngineOptions.
+	childTap  func(seq int, name string) io.Writer
+	spawnWrap func(io.ReadWriteCloser) io.ReadWriteCloser
+	spawnSeq  int
 
 	exitCode   int
 	exitCalled bool
@@ -58,6 +63,17 @@ type EngineOptions struct {
 	// LogUser sets the initial log_user state (default true: the user sees
 	// the dialogue as it happens).
 	LogUser *bool
+	// ChildTap, when non-nil, is called once per spawn with the session's
+	// spawn ordinal (0, 1, …) and program name; the returned writer (if
+	// non-nil) receives that session's raw output stream, independent of
+	// log_user. The conformance harness uses per-session taps to compare
+	// child transcripts across engine variants; writers must be safe for
+	// use from the session's pump goroutine.
+	ChildTap func(seq int, name string) io.Writer
+	// SpawnWrap, when non-nil, wraps every spawned transport
+	// (proc.Options.WrapTransport) — the engine-level entry point for
+	// fault injection (internal/faultify).
+	SpawnWrap func(rw io.ReadWriteCloser) io.ReadWriteCloser
 }
 
 // NewEngine builds an engine with a fresh interpreter and the expect
@@ -73,6 +89,8 @@ func NewEngine(opt EngineOptions) *Engine {
 		matcher:   opt.Matcher,
 		virtuals:  make(map[string]proc.Program),
 		transport: opt.Transport,
+		childTap:  opt.ChildTap,
+		spawnWrap: opt.SpawnWrap,
 	}
 	if e.userIn == nil {
 		e.userIn = os.Stdin
@@ -107,22 +125,35 @@ func (e *Engine) RegisterVirtual(name string, program proc.Program) {
 // Profiler returns the engine's profiler (may be nil).
 func (e *Engine) Profiler() *metrics.Profiler { return e.prof }
 
-// sessionConfig builds the per-session config from engine state.
-func (e *Engine) sessionConfig() *Config {
+// sessionConfig builds the per-session config for a spawn of name.
+func (e *Engine) sessionConfig(name string) *Config {
+	var tap io.Writer
+	if e.childTap != nil {
+		e.mu.Lock()
+		seq := e.spawnSeq
+		e.spawnSeq++
+		e.mu.Unlock()
+		tap = e.childTap(seq, name)
+	}
 	return &Config{
-		MatchMax: e.varInt("match_max", DefaultMatchMax),
-		Matcher:  e.matcher,
-		Prof:     e.prof,
-		Logger:   e.logSink(),
+		MatchMax:     e.varInt("match_max", DefaultMatchMax),
+		Matcher:      e.matcher,
+		Prof:         e.prof,
+		Logger:       e.logSink(tap),
+		SpawnOptions: proc.Options{WrapTransport: e.spawnWrap},
 	}
 }
 
-// logSink returns the child-output tap implementing log_user/log_file.
-func (e *Engine) logSink() func([]byte) {
+// logSink returns the child-output sink implementing log_user/log_file
+// plus the per-session observer tap.
+func (e *Engine) logSink(tap io.Writer) func([]byte) {
 	return func(b []byte) {
 		e.logMu.Lock()
 		lu, lf := e.logUser, e.logFile
 		e.logMu.Unlock()
+		if tap != nil {
+			tap.Write(b)
+		}
 		if lu {
 			e.userOut.Write(b)
 		}
@@ -238,7 +269,7 @@ func (u userRW) Close() error                { return nil }
 // Spawn starts program args under the engine's transport (or as a
 // registered virtual program) and makes it the current process.
 func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
-	cfg := e.sessionConfig()
+	cfg := e.sessionConfig(name)
 	var (
 		s   *Session
 		err error

@@ -1,0 +1,437 @@
+package core
+
+// Correctness under adversity: these tests drive Expect, ExpectAny, and
+// Interact through faultified transports (internal/faultify) and pin the
+// paper's §3.1 semantics at the awkward boundaries — a timeout firing
+// while a partial match sits in the gap buffer, EOF arriving mid-pattern,
+// match_max overflowing under a torrent — for both matcher modes.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultify"
+	"repro/internal/proc"
+)
+
+// faultCondition names a transport perturbation applied to a scenario.
+type faultCondition struct {
+	name  string
+	sched *faultify.Schedule // nil = clean transport
+}
+
+var faultConditions = []faultCondition{
+	{"clean", nil},
+	{"reseg1", &faultify.Schedule{Seed: 101, MaxReadChunk: 1}},
+	{"reseg+transient", &faultify.Schedule{Seed: 102, MaxReadChunk: 2, TransientEveryN: 3, MaxWriteChunk: 1, WriteTransientEveryN: 4}},
+	{"reseg+delay", &faultify.Schedule{Seed: 103, MaxReadChunk: 1, DelayEveryN: 5, ReadDelay: 2 * time.Millisecond}},
+}
+
+// faultConfig builds a session config for a matcher mode and condition.
+func faultConfig(m MatcherMode, fc faultCondition) *Config {
+	cfg := &Config{Matcher: m, Timeout: 5 * time.Second}
+	if fc.sched != nil {
+		cfg.SpawnOptions.WrapTransport = faultify.Wrapper(*fc.sched, nil)
+	}
+	return cfg
+}
+
+// forEachMode runs fn across matcher modes × fault conditions.
+func forEachMode(t *testing.T, fn func(t *testing.T, m MatcherMode, fc faultCondition)) {
+	t.Helper()
+	for _, m := range []struct {
+		name string
+		mode MatcherMode
+	}{{"rescan", MatcherRescan}, {"incremental", MatcherIncremental}} {
+		for _, fc := range faultConditions {
+			m, fc := m, fc
+			t.Run(m.name+"/"+fc.name, func(t *testing.T) {
+				t.Parallel()
+				fn(t, m.mode, fc)
+			})
+		}
+	}
+}
+
+// gatedWriter writes "par", waits for a go-byte on stdin, then completes
+// the phrase — so a timeout reliably fires with a partial match buffered.
+func gatedWriter(stdin io.Reader, stdout io.Writer) error {
+	if _, err := io.WriteString(stdout, "par"); err != nil {
+		return nil
+	}
+	one := make([]byte, 1)
+	if _, err := stdin.Read(one); err != nil {
+		return nil
+	}
+	io.WriteString(stdout, "tial complete")
+	stdin.Read(one) // hold the stream open until the engine hangs up
+	return nil
+}
+
+func TestTimeoutWithPartialMatchInGapBuffer(t *testing.T) {
+	forEachMode(t, func(t *testing.T, m MatcherMode, fc faultCondition) {
+		s, err := SpawnProgram(faultConfig(m, fc), "gated", gatedWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		// Phase 1: the pattern cannot complete; the timeout case must
+		// fire with the partial text reported and retained.
+		r, err := s.ExpectTimeout(300*time.Millisecond, Glob("*complete*"), TimeoutCase())
+		if err != nil {
+			t.Fatalf("expect: %v", err)
+		}
+		if !r.TimedOut || r.Index != 1 {
+			t.Fatalf("want timeout case, got %+v", r)
+		}
+		if r.Text != "par" {
+			t.Errorf("timeout text = %q, want the partial %q", r.Text, "par")
+		}
+		if got := s.Buffer(); got != "par" {
+			t.Errorf("buffer after timeout = %q, want %q (partial must survive)", got, "par")
+		}
+
+		// Phase 2: release the writer; the completed phrase must match
+		// across the timeout boundary, including the pre-timeout bytes.
+		if err := s.Send("g"); err != nil {
+			t.Fatal(err)
+		}
+		r, err = s.ExpectTimeout(5*time.Second, Exact("complete"))
+		if err != nil {
+			t.Fatalf("expect after release: %v", err)
+		}
+		if r.Text != "partial complete" {
+			t.Errorf("text = %q, want %q", r.Text, "partial complete")
+		}
+	})
+}
+
+func TestEOFMidPattern(t *testing.T) {
+	halfPrompt := func(stdin io.Reader, stdout io.Writer) error {
+		io.WriteString(stdout, "user na") // hangs up mid-"username:"
+		return nil
+	}
+	forEachMode(t, func(t *testing.T, m MatcherMode, fc faultCondition) {
+		// With an eof case: completes normally, partial text reported.
+		s, err := SpawnProgram(faultConfig(m, fc), "half", halfPrompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		r, err := s.ExpectTimeout(5*time.Second, Glob("*username:*"), EOFCase())
+		if err != nil {
+			t.Fatalf("expect: %v", err)
+		}
+		if !r.Eof || r.Index != 1 {
+			t.Fatalf("want eof case, got %+v", r)
+		}
+		if r.Text != "user na" {
+			t.Errorf("eof text = %q, want %q", r.Text, "user na")
+		}
+
+		// Without an eof case: ErrEOF, partial text still reported.
+		s2, err := SpawnProgram(faultConfig(m, fc), "half", halfPrompt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s2.Close()
+		r, err = s2.ExpectTimeout(5*time.Second, Glob("*username:*"))
+		if err == nil || !errors.Is(err, ErrEOF) {
+			t.Fatalf("want ErrEOF, got %v (r=%+v)", err, r)
+		}
+		if r == nil || r.Text != "user na" {
+			t.Errorf("ErrEOF text = %+v, want partial %q", r, "user na")
+		}
+	})
+}
+
+// TestEOFCutMidPattern uses the fault schedule itself to drop the line
+// partway through a pattern the program did write in full.
+func TestEOFCutMidPattern(t *testing.T) {
+	full := func(stdin io.Reader, stdout io.Writer) error {
+		io.WriteString(stdout, "username: ")
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+	for _, m := range []MatcherMode{MatcherRescan, MatcherIncremental} {
+		cfg := &Config{Matcher: m}
+		cfg.SpawnOptions.WrapTransport = faultify.Wrapper(
+			faultify.Schedule{Seed: 9, MaxReadChunk: 1, CutAfterBytes: 7}, nil)
+		s, err := SpawnProgram(cfg, "cut", full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.ExpectTimeout(5*time.Second, Glob("*username:*"), EOFCase())
+		if err != nil {
+			t.Fatalf("expect: %v", err)
+		}
+		if !r.Eof {
+			t.Fatalf("want eof after cut, got %+v", r)
+		}
+		if r.Text != "usernam" {
+			t.Errorf("cut text = %q, want first 7 bytes %q", r.Text, "usernam")
+		}
+		s.Close()
+	}
+}
+
+func TestExpectAnyTimeoutWithPartialInFanIn(t *testing.T) {
+	forEachMode(t, func(t *testing.T, m MatcherMode, fc faultCondition) {
+		partial, err := SpawnProgram(faultConfig(m, fc), "partial", gatedWriter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer partial.Close()
+		silent, err := SpawnProgram(faultConfig(m, fc), "silent",
+			func(stdin io.Reader, stdout io.Writer) error {
+				io.Copy(io.Discard, stdin)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer silent.Close()
+
+		// Wait for the partial bytes so the timeout really does fire with
+		// data in a fan-in buffer, not on two empty sessions.
+		if _, err := partial.ExpectTimeout(5*time.Second, Exact("par")); err != nil {
+			t.Fatalf("waiting for partial: %v", err)
+		}
+		partial.Send("g") // release: "tial complete" arrives
+		winner, r, err := ExpectAny(5*time.Second,
+			[]*Session{silent, partial}, Glob("*complete*"), TimeoutCase())
+		if err != nil {
+			t.Fatalf("expect_any: %v", err)
+		}
+		if r.TimedOut || winner != partial || r.Index != 0 {
+			t.Fatalf("want partial session to win case 0, got winner=%v r=%+v", name(winner), r)
+		}
+
+		// Now nothing more will arrive: the shared deadline must fire
+		// while the silent session still has an un-matchable buffer state.
+		winner, r, err = ExpectAny(200*time.Millisecond,
+			[]*Session{silent, partial}, Glob("*never-appears*"), TimeoutCase())
+		if err != nil || !r.TimedOut || winner != nil {
+			t.Fatalf("want fan-in timeout, got winner=%v r=%+v err=%v", name(winner), r, err)
+		}
+	})
+}
+
+func TestExpectAnyEOFMidPatternFanIn(t *testing.T) {
+	half := func(text string) proc.Program {
+		return func(stdin io.Reader, stdout io.Writer) error {
+			io.WriteString(stdout, text)
+			return nil
+		}
+	}
+	forEachMode(t, func(t *testing.T, m MatcherMode, fc faultCondition) {
+		a, err := SpawnProgram(faultConfig(m, fc), "a", half("log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := SpawnProgram(faultConfig(m, fc), "b", half("pass"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		// EOFCase fires only once every session is at EOF.
+		_, r, err := ExpectAny(5*time.Second, []*Session{a, b},
+			Glob("*login:*"), Glob("*password:*"), EOFCase())
+		if err != nil {
+			t.Fatalf("expect_any: %v", err)
+		}
+		if !r.Eof || r.Index != 2 {
+			t.Fatalf("want all-eof case 2, got %+v", r)
+		}
+		// The partial bytes are still in the buffers, un-consumed.
+		if a.Buffer() != "log" || b.Buffer() != "pass" {
+			t.Errorf("buffers = %q / %q, want log / pass", a.Buffer(), b.Buffer())
+		}
+	})
+}
+
+func TestInteractUnderFaults(t *testing.T) {
+	echo := func(stdin io.Reader, stdout io.Writer) error {
+		io.WriteString(stdout, "ready\n")
+		sc := newLineScanner(stdin)
+		for {
+			line, err := sc()
+			if err != nil {
+				return nil
+			}
+			if line == "quit" {
+				io.WriteString(stdout, "bye\n")
+				return nil
+			}
+			io.WriteString(stdout, "echo: "+line+"\n")
+		}
+	}
+	forEachMode(t, func(t *testing.T, m MatcherMode, fc faultCondition) {
+		var tap lockedBuffer
+		cfg := faultConfig(m, fc)
+		cfg.Logger = loggerOf(&tap)
+		s, err := SpawnProgram(cfg, "echo", echo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		var userOut lockedBuffer
+		// The user "types" the dialogue and then sits idle: a reader that
+		// returns EOF would end the interaction with user-eof before the
+		// child's exit can be observed, so block after the content instead.
+		outcome, err := s.Interact(InteractOptions{
+			UserIn:  &thenBlocks{r: strings.NewReader("hello\nquit\n")},
+			UserOut: &userOut,
+		})
+		if err != nil {
+			t.Fatalf("interact: %v", err)
+		}
+		// The program exits after "quit", so interact ends on process EOF
+		// (the §3.2 implicit close), having flushed everything it saw.
+		if outcome.Reason != InteractEOF {
+			t.Fatalf("reason = %v, want process-eof", outcome.Reason)
+		}
+		want := "ready\necho: hello\nbye\n"
+		if got := tap.String(); got != want {
+			t.Errorf("child stream = %q, want %q", got, want)
+		}
+		if got := userOut.String(); got != want {
+			t.Errorf("user saw %q, want %q", got, want)
+		}
+	})
+}
+
+func TestMatchMaxOverflowUnderFaults(t *testing.T) {
+	const torrent = 8000
+	writer := func(stdin io.Reader, stdout io.Writer) error {
+		stdout.Write(bytes.Repeat([]byte{'a'}, torrent))
+		io.WriteString(stdout, "END")
+		io.Copy(io.Discard, stdin)
+		return nil
+	}
+	// The harshest faultified condition would take torrent 1-byte wakeups;
+	// bound the chunking a little higher to keep the test quick.
+	conds := []faultCondition{
+		{"clean", nil},
+		{"reseg", &faultify.Schedule{Seed: 77, MaxReadChunk: 100, TransientEveryN: 5}},
+	}
+	for _, m := range []MatcherMode{MatcherRescan, MatcherIncremental} {
+		for _, fc := range conds {
+			cfg := faultConfig(m, fc)
+			cfg.MatchMax = 1000
+			s, err := SpawnProgram(cfg, "torrent", writer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.ExpectTimeout(10*time.Second, Exact("END"))
+			if err != nil {
+				t.Fatalf("%s: expect: %v", fc.name, err)
+			}
+			if !strings.HasSuffix(r.Text, "END") {
+				t.Errorf("%s: text %q does not end in END", fc.name, r.Text)
+			}
+			if len(r.Text) > 1000 {
+				t.Errorf("%s: text length %d exceeds match_max", fc.name, len(r.Text))
+			}
+			s.Close()
+			s.WaitPumpDrained()
+			if got := s.TotalSeen(); got > torrent+3 {
+				t.Errorf("%s: totalSeen = %d, want <= %d", fc.name, got, torrent+3)
+			}
+			if forgot := s.Forgotten(); forgot < torrent+3-2*1000 {
+				t.Errorf("%s: forgotten = %d, want >= %d", fc.name, forgot, torrent+3-2*1000)
+			}
+		}
+	}
+}
+
+// TestTransientWriteRetriedBySend: SendBytes must deliver the full byte
+// sequence through a transport that keeps failing transiently.
+func TestTransientWriteRetriedBySend(t *testing.T) {
+	received := make(chan string, 1)
+	cfg := &Config{}
+	cfg.SpawnOptions.WrapTransport = faultify.Wrapper(
+		faultify.Schedule{Seed: 21, MaxWriteChunk: 1, WriteTransientEveryN: 2}, nil)
+	s, err := SpawnProgram(cfg, "sink", func(stdin io.Reader, stdout io.Writer) error {
+		all, _ := io.ReadAll(stdin)
+		received <- string(all)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const msg = "the quick brown fox"
+	if err := s.Send(msg); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := s.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-received:
+		if got != msg {
+			t.Fatalf("child received %q, want %q", got, msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("child never saw EOF")
+	}
+}
+
+// --- small helpers ---
+
+func name(s *Session) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return s.Name()
+}
+
+// thenBlocks yields its reader's content, then blocks forever instead of
+// returning EOF — an idle user at a live terminal.
+type thenBlocks struct {
+	r io.Reader
+}
+
+func (t *thenBlocks) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n == 0 && err == io.EOF {
+		select {} // idle: interact must end for another reason
+	}
+	return n, nil
+}
+
+// loggerOf adapts a lockedBuffer (session_test.go) to Config.Logger.
+func loggerOf(l *lockedBuffer) func([]byte) {
+	return func(p []byte) { l.Write(p) }
+}
+
+// newLineScanner returns a closure reading newline-terminated lines a byte
+// at a time (virtual programs must not over-read past what they consume).
+func newLineScanner(r io.Reader) func() (string, error) {
+	buf := make([]byte, 1)
+	return func() (string, error) {
+		var sb strings.Builder
+		for {
+			n, err := r.Read(buf)
+			if n > 0 {
+				if buf[0] == '\n' {
+					return sb.String(), nil
+				}
+				sb.WriteByte(buf[0])
+			}
+			if err != nil {
+				if sb.Len() > 0 {
+					return sb.String(), nil
+				}
+				return "", err
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -192,6 +193,20 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 	return s
 }
 
+// isTransient reports whether a read/write error is a retryable transient
+// condition rather than a dead stream: anything advertising Temporary()
+// (net-style errors, injected faults), or the raw EAGAIN/EINTR a
+// non-blocking or signal-interrupted pty read surfaces. The original
+// expect's select loop simply went around again on these; treating them as
+// EOF would tear down a perfectly live dialogue.
+func isTransient(err error) bool {
+	var temp interface{ Temporary() bool }
+	if errors.As(err, &temp) && temp.Temporary() {
+		return true
+	}
+	return errors.Is(err, syscall.EAGAIN) || errors.Is(err, syscall.EINTR)
+}
+
 // pump moves child output into the match buffer, enforcing match_max and
 // waking waiters. One pump goroutine per session is the whole of the
 // engine's concurrency — the dialogue logic itself stays single-threaded,
@@ -218,6 +233,10 @@ func (s *Session) pump() {
 			s.mu.Unlock()
 		}
 		if err != nil {
+			if isTransient(err) {
+				// A transient fault, not a hangup: retry the read.
+				continue
+			}
 			s.mu.Lock()
 			s.eof = true
 			if err != io.EOF {
@@ -322,10 +341,15 @@ func (s *Session) SendBytes(b []byte) error {
 		return ErrClosed
 	}
 	stop := s.prof.Start(metrics.PhaseIO)
-	_, err := s.rw.Write(b)
-	stop()
-	if err != nil {
-		return fmt.Errorf("expect: send to %s: %w", s.name, err)
+	defer stop()
+	// Retry short writes and transient failures: the child must see the
+	// full byte sequence even when the transport delivers it in pieces.
+	for len(b) > 0 {
+		n, err := s.rw.Write(b)
+		b = b[n:]
+		if err != nil && !isTransient(err) {
+			return fmt.Errorf("expect: send to %s: %w", s.name, err)
+		}
 	}
 	return nil
 }

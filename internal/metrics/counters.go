@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a named event-counter set, the integer sibling of Profiler:
+// where the profiler answers "where did the time go", counters answer "how
+// often did this happen". The fault-injection transport reports its
+// perturbations here (chunks split, delays injected, transient errors,
+// forced EOFs) so a test that saw a divergence can also see exactly which
+// adversities the run was subjected to. A nil *Counters is a valid no-op
+// sink, mirroring the Profiler convention.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments counter name by n. Safe on a nil receiver.
+func (c *Counters) Add(name string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += n
+	c.mu.Unlock()
+}
+
+// Get returns the current value of counter name (0 if never incremented).
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m = make(map[string]int64)
+	c.mu.Unlock()
+}
+
+// Report renders the counters one per line, sorted by name, for inclusion
+// in divergence reports and experiment logs.
+func (c *Counters) Report() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&sb, "%-32s %d\n", k, snap[k])
+	}
+	return sb.String()
+}

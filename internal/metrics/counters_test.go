@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Add("reads", 2)
+	c.Add("reads", 3)
+	c.Add("faults", 1)
+	if got := c.Get("reads"); got != 5 {
+		t.Errorf("reads = %d, want 5", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing = %d, want 0", got)
+	}
+	snap := c.Snapshot()
+	if snap["faults"] != 1 || len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	rep := c.Report()
+	if !strings.Contains(rep, "faults") || !strings.Contains(rep, "reads") {
+		t.Errorf("report missing counters:\n%s", rep)
+	}
+	// Report order is sorted by name.
+	if strings.Index(rep, "faults") > strings.Index(rep, "reads") {
+		t.Errorf("report not sorted:\n%s", rep)
+	}
+	c.Reset()
+	if got := c.Get("reads"); got != 0 {
+		t.Errorf("after reset reads = %d", got)
+	}
+}
+
+func TestCountersNilReceiver(t *testing.T) {
+	var c *Counters
+	c.Add("x", 1) // must not panic
+	if c.Get("x") != 0 || c.Snapshot() != nil || c.Report() != "" {
+		t.Error("nil Counters should be a no-op sink")
+	}
+	c.Reset()
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Get("n"); got != 8000 {
+		t.Errorf("n = %d, want 8000", got)
+	}
+}
+
+// The zero value (not just NewCounters) must be usable: faultify embeds
+// counters in options structs.
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	c.Add("a", 1)
+	if c.Get("a") != 1 {
+		t.Error("zero-value Counters unusable")
+	}
+}

@@ -1,0 +1,76 @@
+package pattern
+
+import (
+	"testing"
+)
+
+// FuzzGlobEquivalence cross-checks the three glob implementations — the
+// recursive reference matcher, the compiled-op matcher, and the streaming
+// NFA — on the same (pattern, input) pair. The incremental matcher is
+// additionally fed the input under a seed-derived chunking: its live set
+// is a function of the total byte sequence, so the final Matched() must
+// not depend on where the chunk boundaries fell.
+func FuzzGlobEquivalence(f *testing.F) {
+	seeds := []struct {
+		pat, in string
+		seed    uint64
+	}{
+		{"*a*", "banana", 7},
+		{"[a-c]?*", "abz", 1},
+		{"*Str:\\ 18*", "Jun  5 Str: 18 free", 3},
+		{"**x**", "prefix x suffix", 9},
+		{"[!0-9]*", "q123", 11},
+		{"[^abc]", "d", 13},
+		{"\\*literal\\?", "*literal?", 17},
+		{"[z-a]", "b", 19},   // inverted range
+		{"[abc", "[abc", 23}, // malformed class: treated as literal '['
+		{"", "", 29},
+		{"*", "", 31},
+		{"?", "", 37},
+		{"a\\", "a", 41}, // trailing backslash
+		{"*ab*ab*", "abababab", 43},
+	}
+	for _, s := range seeds {
+		f.Add(s.pat, s.in, s.seed)
+	}
+	f.Fuzz(func(t *testing.T, pat, in string, seed uint64) {
+		if len(pat) > 256 || len(in) > 4096 {
+			t.Skip("bounded to keep the naive matcher's backtracking tame")
+		}
+		want := MatchNaive(pat, in)
+		if got := CompileGlob(pat).MatchString(in); got != want {
+			t.Fatalf("compiled mismatch: pat=%q in=%q naive=%v compiled=%v",
+				pat, in, want, got)
+		}
+		inc := NewIncremental(pat)
+		if got := inc.Feed([]byte(in)); got != want {
+			t.Fatalf("incremental (one chunk) mismatch: pat=%q in=%q naive=%v inc=%v",
+				pat, in, want, got)
+		}
+		// Re-feed under a seeded chunking; the final verdict must agree.
+		inc.Reset()
+		rest := []byte(in)
+		x := seed | 1
+		for len(rest) > 0 {
+			// splitmix64 step drives the chunk size.
+			x += 0x9e3779b97f4a7c15
+			z := x
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			n := int(z%7) + 1
+			if n > len(rest) {
+				n = len(rest)
+			}
+			inc.Feed(rest[:n])
+			rest = rest[n:]
+		}
+		if got := inc.Matched(); got != want {
+			t.Fatalf("incremental (seed=%d chunking) mismatch: pat=%q in=%q naive=%v inc=%v",
+				seed, pat, in, want, got)
+		}
+		if inc.Dead() && want {
+			t.Fatalf("incremental reports dead but naive matches: pat=%q in=%q", pat, in)
+		}
+	})
+}

@@ -24,6 +24,12 @@ type memPipe struct {
 var errPipeClosed = errors.New("proc: write to closed pipe")
 
 func newMemPipe(max int) *memPipe {
+	// A degenerate bound would make every Write park forever on spaceReady
+	// (len(buf) >= 0 is always true); clamp so NewDuplexPair(0) behaves as
+	// the smallest real pipe instead of deadlocking.
+	if max < 1 {
+		max = 1
+	}
 	p := &memPipe{max: max}
 	p.dataReady = sync.NewCond(&p.mu)
 	p.spaceReady = sync.NewCond(&p.mu)

@@ -58,9 +58,26 @@ type Options struct {
 	// BufferCap bounds each direction of a virtual transport (bytes).
 	// Zero means a generous default.
 	BufferCap int
+	// WrapTransport, when non-nil, wraps the raw byte channel to the child
+	// before the engine sees it. This is the injection point for
+	// fault-injection transports (internal/faultify) and any other
+	// stream-level instrumentation: the wrapper observes exactly the bytes
+	// the kernel (or virtual duplex) would have delivered. If the wrapper
+	// supports CloseWrite it should forward it to the wrapped stream, or
+	// half-close stops working on pipe/virtual transports.
+	WrapTransport func(io.ReadWriteCloser) io.ReadWriteCloser
 }
 
 const defaultBufferCap = 1 << 20
+
+// wrap applies the WrapTransport hook, if any, to a freshly created
+// transport stream.
+func (o Options) wrap(rw io.ReadWriteCloser) io.ReadWriteCloser {
+	if o.WrapTransport != nil {
+		return o.WrapTransport(rw)
+	}
+	return rw
+}
 
 // Program is an in-process interactive program: it reads its "terminal"
 // from stdin and writes to stdout, returning when the conversation ends.
@@ -151,7 +168,7 @@ func SpawnPty(name string, args []string, opt Options) (*Process, error) {
 	return &Process{
 		name: name,
 		kind: KindPty,
-		rw:   pt.Master,
+		rw:   opt.wrap(pt.Master),
 		pid:  cmd.Process.Pid,
 		cmd:  cmd,
 		pt:   pt,
@@ -201,7 +218,7 @@ func SpawnPipe(name string, args []string, opt Options) (*Process, error) {
 	return &Process{
 		name: name,
 		kind: KindPipe,
-		rw:   &pipeRW{Reader: stdout, w: stdin, r: stdout},
+		rw:   opt.wrap(&pipeRW{Reader: stdout, w: stdin, r: stdout}),
 		pid:  cmd.Process.Pid,
 		cmd:  cmd,
 	}, nil
@@ -219,7 +236,7 @@ func SpawnVirtual(name string, program Program, opt Options) (*Process, error) {
 	p := &Process{
 		name:     name,
 		kind:     KindVirtual,
-		rw:       engineSide,
+		rw:       opt.wrap(engineSide),
 		pid:      int(atomic.AddInt64(&virtualPidCounter, 1)),
 		virtDone: make(chan struct{}),
 	}

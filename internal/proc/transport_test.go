@@ -1,0 +1,201 @@
+package proc
+
+import (
+	"bytes"
+	"io"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestVirtualWriteSplitsAtBufferCap pins the delivery contract the
+// fault-injection transport depends on: a virtual program's write larger
+// than BufferCap must not be delivered atomically — it is split at the cap,
+// so a 1-byte cap yields strictly 1-byte arrivals and multi-byte patterns
+// get torn across engine wakeups.
+func TestVirtualWriteSplitsAtBufferCap(t *testing.T) {
+	const payload = "login: password: welcome"
+	for _, capacity := range []int{1, 3} {
+		p, err := SpawnVirtual("w", func(stdin io.Reader, stdout io.Writer) error {
+			_, err := stdout.Write([]byte(payload))
+			return err
+		}, Options{BufferCap: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		buf := make([]byte, len(payload)+16)
+		for {
+			n, err := p.Read(buf)
+			if n > 0 {
+				if n > capacity {
+					t.Errorf("cap %d: read delivered %d bytes", capacity, n)
+				}
+				got.Write(buf[:n])
+			}
+			if err != nil {
+				break
+			}
+		}
+		if got.String() != payload {
+			t.Errorf("cap %d: got %q, want %q", capacity, got.String(), payload)
+		}
+		p.Close()
+	}
+}
+
+// TestVirtualOneByteCapPreservesWriteBlocking: with cap 1 the writer must
+// still observe backpressure (each byte waits for the reader) rather than
+// erroring or dropping data.
+func TestVirtualOneByteCapPreservesWriteBlocking(t *testing.T) {
+	wrote := make(chan error, 1)
+	p, err := SpawnVirtual("w", func(stdin io.Reader, stdout io.Writer) error {
+		_, werr := stdout.Write([]byte("abc"))
+		wrote <- werr
+		return werr
+	}, Options{BufferCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Before any read at most 1 byte fits, so the write cannot finish.
+	select {
+	case err := <-wrote:
+		t.Fatalf("3-byte write completed against a 1-byte cap before any read (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	buf := make([]byte, 8)
+	var got []byte
+	for len(got) < 3 {
+		n, rerr := p.Read(buf)
+		got = append(got, buf[:n]...)
+		if rerr != nil {
+			t.Fatalf("read error %v after %q", rerr, got)
+		}
+	}
+	if string(got) != "abc" {
+		t.Fatalf("got %q", got)
+	}
+	if err := <-wrote; err != nil {
+		t.Fatalf("write error: %v", err)
+	}
+}
+
+// TestDuplexPairDegenerateCapacity: NewDuplexPair(0) historically armed a
+// pipe whose writers waited forever for space that could never exist; the
+// cap is clamped to the smallest real pipe instead.
+func TestDuplexPairDegenerateCapacity(t *testing.T) {
+	a, b := NewDuplexPair(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := a.Write([]byte("hi")); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	buf := make([]byte, 4)
+	var got []byte
+	for len(got) < 2 {
+		n, err := b.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("write deadlocked on zero-capacity duplex")
+	}
+	if string(got) != "hi" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// countingWrap wraps a transport and counts operations, standing in for a
+// fault-injection wrapper.
+type countingWrap struct {
+	rw           io.ReadWriteCloser
+	reads        atomic.Int64
+	writes       atomic.Int64
+	closeWrites  atomic.Int64
+	sawEngineEOF atomic.Bool
+}
+
+func (c *countingWrap) Read(b []byte) (int, error) {
+	c.reads.Add(1)
+	n, err := c.rw.Read(b)
+	if err == io.EOF {
+		c.sawEngineEOF.Store(true)
+	}
+	return n, err
+}
+
+func (c *countingWrap) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	return c.rw.Write(b)
+}
+
+func (c *countingWrap) Close() error { return c.rw.Close() }
+
+func (c *countingWrap) CloseWrite() error {
+	c.closeWrites.Add(1)
+	if cw, ok := c.rw.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// TestWrapTransportVirtual: the WrapTransport hook must see every engine
+// read and write, and Process.CloseWrite must route through the wrapper to
+// the wrapped stream so the child still observes EOF.
+func TestWrapTransportVirtual(t *testing.T) {
+	var wrap *countingWrap
+	echoed := make(chan string, 1)
+	p, err := SpawnVirtual("echo", func(stdin io.Reader, stdout io.Writer) error {
+		all, _ := io.ReadAll(stdin) // returns only on EOF
+		echoed <- string(all)
+		stdout.Write([]byte("done"))
+		return nil
+	}, Options{WrapTransport: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+		wrap = &countingWrap{rw: rw}
+		return wrap
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if wrap == nil {
+		t.Fatal("WrapTransport was not invoked")
+	}
+	if _, err := p.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-echoed:
+		if got != "hello" {
+			t.Errorf("child read %q, want %q", got, "hello")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("child never saw EOF: CloseWrite not forwarded through wrapper")
+	}
+	buf := make([]byte, 16)
+	var got []byte
+	for {
+		n, rerr := p.Read(buf)
+		got = append(got, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if string(got) != "done" {
+		t.Errorf("engine read %q", got)
+	}
+	if wrap.reads.Load() == 0 || wrap.writes.Load() == 0 || wrap.closeWrites.Load() == 0 {
+		t.Errorf("wrapper not on the path: reads=%d writes=%d closeWrites=%d",
+			wrap.reads.Load(), wrap.writes.Load(), wrap.closeWrites.Load())
+	}
+}

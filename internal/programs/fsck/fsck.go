@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/proc"
@@ -101,12 +102,25 @@ func Generate(seed int64, nFiles, nBlocks, errs int) *FileSystem {
 	return fs
 }
 
+// dupBlockOrder returns the multiply-claimed block numbers in ascending
+// order. Go randomizes map iteration per run, which made the question
+// order — and therefore the checker's transcript — nondeterministic even
+// for a seeded image; a real fsck walks blocks in block order.
+func (fs *FileSystem) dupBlockOrder() []int {
+	blocks := make([]int, 0, len(fs.DupBlocks))
+	for blk := range fs.DupBlocks {
+		blocks = append(blocks, blk)
+	}
+	sort.Ints(blocks)
+	return blocks
+}
+
 // Problems returns a description of every inconsistency still present —
 // the test oracle for "did fsck -y actually fix the image".
 func (fs *FileSystem) Problems() []string {
 	var out []string
-	for blk, owners := range fs.DupBlocks {
-		if len(owners) > 1 {
+	for _, blk := range fs.dupBlockOrder() {
+		if owners := fs.DupBlocks[blk]; len(owners) > 1 {
 			out = append(out, fmt.Sprintf("block %d multiply claimed", blk))
 		}
 	}
@@ -197,7 +211,8 @@ func New(cfg Config) proc.Program {
 
 		fmt.Fprintln(stdout, "/dev/rxd0a")
 		fmt.Fprintln(stdout, "** Phase 1 - Check Blocks and Sizes")
-		for blk, owners := range fs.DupBlocks {
+		for _, blk := range fs.dupBlockOrder() {
+			owners := fs.DupBlocks[blk]
 			if len(owners) < 2 {
 				continue
 			}

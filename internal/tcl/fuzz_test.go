@@ -1,0 +1,94 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzInterp builds an interpreter hardened for differential fuzzing:
+// output captured, step-bounded, and with every command that touches the
+// process or filesystem (or reports wall-clock time, which would differ
+// between the two runs by construction) removed.
+func fuzzInterp(cacheSize int, out *strings.Builder) *Interp {
+	i := New()
+	i.SetEvalCacheSize(cacheSize)
+	i.Stdout = out
+	i.Stderr = out
+	i.StepLimit = 4000
+	for _, name := range []string{"exec", "source", "cd", "gets", "exit", "pwd", "time"} {
+		i.Unregister(name)
+	}
+	return i
+}
+
+// FuzzEvalCacheEquivalence feeds the same script to a cache-enabled and a
+// cache-disabled interpreter and requires identical results: same value,
+// same error text, same output, same step count. The compiled fast path
+// (compile.go) and the classic parser (parse.go) are independent
+// implementations of the same language, so any divergence is a bug in one
+// of them — this is the differential driver behind the conformance
+// harness's eval-cache axis.
+func FuzzEvalCacheEquivalence(f *testing.F) {
+	for _, s := range []string{
+		`set a 5; while {$a > 0} {incr a -1}; set a`,
+		`proc fib {n} { if {$n < 2} { return $n }; expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]} }; fib 9`,
+		`foreach x {1 2 3} { puts "item $x" }`,
+		`catch {error boom} msg; set msg`,
+		`set l [list a b c]; lappend l "d e"; llength $l`,
+		`switch -glob ab* {a* {format star} default {format none}}`,
+		`expr {3.5 * 2 + (7 % 3)}`,
+		`string match {[a-c]?} bz`,
+		`subst {nested [expr {1+1}] $tcl_version}`,
+		`while 1 {}`,
+		`unknown_command_xyz 1 2`,
+		"set x {unbalanced",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		if len(script) > 1024 {
+			t.Skip("bounded script size")
+		}
+		// Long digit runs turn into huge format widths / loop counts that
+		// can exhaust memory before the step limit can bite.
+		if hasLongDigitRun(script, 8) {
+			t.Skip("pathological numeric literal")
+		}
+		var outA, outB strings.Builder
+		cached := fuzzInterp(DefaultEvalCacheSize, &outA)
+		classic := fuzzInterp(0, &outB)
+
+		valA, errA := cached.Eval(script)
+		valB, errB := classic.Eval(script)
+
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("error presence diverged: cached=%v classic=%v script=%q", errA, errB, script)
+		}
+		if errA != nil && errA.Error() != errB.Error() {
+			t.Fatalf("error text diverged:\ncached:  %s\nclassic: %s\nscript=%q", errA, errB, script)
+		}
+		if valA != valB {
+			t.Fatalf("result diverged: cached=%q classic=%q script=%q", valA, valB, script)
+		}
+		if outA.String() != outB.String() {
+			t.Fatalf("output diverged:\ncached:  %q\nclassic: %q\nscript=%q", outA.String(), outB.String(), script)
+		}
+		if sa, sb := cached.Steps(), classic.Steps(); sa != sb {
+			t.Fatalf("step count diverged: cached=%d classic=%d script=%q", sa, sb, script)
+		}
+	})
+}
+
+func hasLongDigitRun(s string, n int) bool {
+	run := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] >= '0' && s[i] <= '9' {
+			if run++; run >= n {
+				return true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return false
+}

@@ -138,7 +138,19 @@ type Interp struct {
 	// instead of stack exhaustion.
 	MaxDepth int
 
+	// StepLimit, when > 0, bounds the total number of evaluation steps
+	// (command dispatches plus script evaluations) before Eval gives up
+	// with an error. MaxDepth only catches runaway *recursion*; StepLimit
+	// also catches flat infinite loops (`while 1 {}`), which makes it the
+	// safety net for fuzzing and other adversarial-input drivers. Steps
+	// are counted in EvalWords and EvalScript only — both the cached and
+	// the classic parse paths dispatch exclusively through those two
+	// entry points, so a given script costs the same number of steps
+	// regardless of SetEvalCacheSize. Zero means no limit.
+	StepLimit int64
+
 	depth       int
+	steps       int64
 	exitHandler func(code int)
 
 	// evalCache memoizes compiled script skeletons keyed by script text, so
@@ -396,6 +408,9 @@ func (i *Interp) EvalScript(script string) Result {
 	if i.depth >= i.MaxDepth {
 		return Errf("too many nested evaluations (infinite loop?)")
 	}
+	if res, ok := i.spendStep(); !ok {
+		return res
+	}
 	i.depth++
 	defer func() { i.depth-- }()
 	if i.evalCache == nil {
@@ -410,10 +425,32 @@ func (i *Interp) EvalScript(script string) Result {
 	return res
 }
 
+// spendStep charges one evaluation step against StepLimit. It returns
+// ok=false with the error Result once the budget is exhausted; because the
+// charge happens at the dispatch point, not inside command bodies, an
+// exhausted interpreter refuses even `catch` — scripts cannot swallow the
+// limit and keep running.
+func (i *Interp) spendStep() (Result, bool) {
+	i.steps++
+	if i.StepLimit > 0 && i.steps > i.StepLimit {
+		return Errf("evaluation step limit exceeded (%d steps)", i.StepLimit), false
+	}
+	return Result{}, true
+}
+
+// Steps reports how many evaluation steps have been charged so far.
+func (i *Interp) Steps() int64 { return i.steps }
+
+// ResetSteps zeroes the step counter, restarting the StepLimit budget.
+func (i *Interp) ResetSteps() { i.steps = 0 }
+
 // EvalWords dispatches an already-substituted command.
 func (i *Interp) EvalWords(words []string) Result {
 	if len(words) == 0 {
 		return Ok("")
+	}
+	if res, ok := i.spendStep(); !ok {
+		return res
 	}
 	if i.Trace != nil {
 		i.Trace(i.Level(), words)

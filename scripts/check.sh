@@ -12,4 +12,19 @@ if [ -n "$fmt" ]; then
 fi
 
 go vet ./...
-go test -race ./...
+
+# Unit tier: everything except the wall-clock-heavy conformance script
+# matrix (which gates itself on -short and runs in full below).
+go test -race -short ./...
+
+# Differential conformance: replay every shipped script and engine
+# scenario through the matcher × eval-cache × fault-schedule matrix and
+# require identical outcomes. Divergences print a seed + minimized fault
+# schedule as the repro recipe.
+go test -race -count=1 ./internal/conformance
+
+# Fuzz smoke: a short budget per differential target. The real corpora
+# live in testdata/fuzz/ and always run as plain tests above; this adds a
+# few CPU-minutes of fresh exploration to every gate.
+go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
+go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
