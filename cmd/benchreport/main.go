@@ -3,12 +3,17 @@
 // counts) plus the measurable claims of §3.1, §5.4 and §5.9, printed as
 // the tables EXPERIMENTS.md records.
 //
-//	benchreport            run everything
-//	benchreport -exp e5    run one experiment
-//	benchreport -root DIR  repository root for the code-size experiment
+//	benchreport                 run everything
+//	benchreport -exp e5         run one experiment
+//	benchreport -exp e15,e16    run a comma-separated subset
+//	benchreport -root DIR       repository root for the code-size experiment
+//	benchreport -json FILE      also write the results as JSON
+//	benchreport -guard PCT      fail if E16's disabled-recorder overhead
+//	                            exceeds PCT percent (the check.sh gate)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,31 +24,77 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "run only this experiment id (e.g. e5)")
-		root = flag.String("root", ".", "repository root (for the code-size experiment)")
+		exp      = flag.String("exp", "", "run only these experiment ids (comma-separated, e.g. e5 or e15,e16)")
+		root     = flag.String("root", ".", "repository root (for the code-size experiment)")
+		jsonPath = flag.String("json", "", "write the results to this file as JSON")
+		guard    = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
 	)
 	flag.Parse()
 
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			wanted[strings.ToLower(id)] = true
+		}
+	}
+
 	specs := experiments.All(*root)
-	ran := 0
+	var results []experiments.Result
 	for _, spec := range specs {
-		if *exp != "" && !strings.EqualFold(*exp, spec.ID) {
+		if len(wanted) > 0 && !wanted[strings.ToLower(spec.ID)] {
 			continue
 		}
-		ran++
 		r, err := spec.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %s: %v\n", spec.ID, err)
 			os.Exit(1)
 		}
+		results = append(results, r)
 		fmt.Println(r.Format())
 	}
-	if ran == 0 {
+	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "benchreport: no experiment %q; available:", *exp)
 		for _, spec := range specs {
 			fmt.Fprintf(os.Stderr, " %s", spec.ID)
 		}
 		fmt.Fprintln(os.Stderr)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d experiments)\n", *jsonPath, len(results))
+	}
+
+	if *guard > 0 {
+		guarded := false
+		for _, r := range results {
+			overhead, ok := r.Metrics["trace_overhead_disabled_pct"]
+			if !ok {
+				continue
+			}
+			guarded = true
+			if overhead > *guard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: trace-overhead guard FAILED: disabled recorder costs %.1f%% per wakeup (budget %.1f%%)\n",
+					overhead, *guard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: trace-overhead guard ok: disabled recorder %.1f%% per wakeup (budget %.1f%%)\n",
+				overhead, *guard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -guard set but E16 did not run; add e16 to -exp")
+			os.Exit(2)
+		}
 	}
 }

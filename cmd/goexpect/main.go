@@ -11,6 +11,11 @@
 //	                                   (rogue-sim, chess-sim, eliza-sim,
 //	                                   fsck-sim, tip-sim, passwd-sim,
 //	                                   login-sim) spawnable by name
+//	goexpect -diag script              narrate the dialogue on stderr
+//	                                   (exp_internal 1: received bytes,
+//	                                   pattern attempts and verdicts);
+//	                                   -diag -diag (or exp_internal 2
+//	                                   in-script) adds engine internals
 //
 // Scripts see their arguments in the argv variable, paper-style
 // ([index $argv 1] is the first argument). Scripts may also start with
@@ -40,6 +45,34 @@ func main() {
 	os.Exit(run())
 }
 
+// diagLevel is a counting boolean flag: -diag arms level 1 (the paper's
+// §3.3 dialogue narration), -diag -diag level 2 (adds sends, evals,
+// timers, match_max forgetting, injected faults). An explicit value
+// (-diag=2) also works.
+type diagLevel int
+
+func (d *diagLevel) String() string { return strconv.Itoa(int(*d)) }
+
+func (d *diagLevel) IsBoolFlag() bool { return true }
+
+func (d *diagLevel) Set(v string) error {
+	if v == "true" || v == "" {
+		if *d < 2 {
+			*d++
+		}
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("diag level must be 0, 1, or 2, got %q", v)
+	}
+	if n < 0 || n > 2 {
+		return fmt.Errorf("diag level must be 0, 1, or 2, got %d", n)
+	}
+	*d = diagLevel(n)
+	return nil
+}
+
 func run() int {
 	var (
 		commands  = flag.String("c", "", "commands to execute before (or instead of) the script")
@@ -48,6 +81,8 @@ func run() int {
 		quiet     = flag.Bool("q", false, "start with log_user 0 (script output only)")
 		timeout   = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
 	)
+	var diag diagLevel
+	flag.Var(&diag, "diag", "render exp_internal-style diagnostics on stderr (repeat for engine internals)")
 	flag.Parse()
 
 	logUser := !*quiet
@@ -56,6 +91,11 @@ func run() int {
 		LogUser:   &logUser,
 	})
 	defer eng.Shutdown()
+	if diag > 0 {
+		// Same switch the script-level exp_internal command flips; the
+		// flag just turns it on before the first spawn.
+		eng.Recorder().SetDiag(int(diag), os.Stderr)
+	}
 	if *sims {
 		registerSims(eng)
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/programs/modem"
 	"repro/internal/programs/rogue"
 	"repro/internal/tcl"
+	"repro/internal/trace"
 )
 
 // Variant names one engine configuration under test.
@@ -112,7 +113,17 @@ type Outcome struct {
 	// compared — two runs legitimately differ in how many reads the
 	// schedule happened to split).
 	Faults map[string]int64
+	// Dump is the run's bounded flight recording (JSONL, last
+	// dumpTailEvents events): reads, pattern attempts, injected faults,
+	// timer activity. Report-only, never compared — timings and chunk
+	// boundaries legitimately differ between runs. When a cell diverges,
+	// this is the black box that says what the engine actually saw.
+	Dump []byte
 }
+
+// dumpTailEvents bounds the flight-recording tail attached to each
+// outcome; it matches the engine's own incident-dump depth.
+const dumpTailEvents = 128
 
 // ScriptCase is one shipped script with its run parameters.
 type ScriptCase struct {
@@ -233,15 +244,21 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	var user lockedBuf
 	counters := metrics.NewCounters()
 	logUser := false
+	// One armed recorder shared by the engine and the fault injector, so a
+	// divergence report interleaves what the adversary did with what the
+	// engine saw, in one sequence-ordered recording.
+	rec := trace.New(0)
+	rec.SetRecording(true)
 	opts := core.EngineOptions{
 		UserIn:   strings.NewReader(""),
 		UserOut:  &user,
 		Matcher:  v.Matcher,
 		LogUser:  &logUser,
 		ChildTap: taps.hook,
+		Rec:      rec,
 	}
 	if !sched.Clean() {
-		opts.SpawnWrap = faultify.Wrapper(sched, counters)
+		opts.SpawnWrap = faultify.TracedWrapper(sched, counters, rec)
 	}
 	eng := core.NewEngine(opts)
 	eng.Interp.SetEvalCacheSize(v.EvalCacheSize)
@@ -273,6 +290,7 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 		User:     user.String(),
 		Children: taps.children(),
 		Faults:   counters.Snapshot(),
+		Dump:     rec.Dump(dumpTailEvents),
 	}
 	out.ExitCode, out.ExitCalled = eng.ExitCode()
 	if runErr != nil {
@@ -330,12 +348,27 @@ type Divergence struct {
 	Schedule faultify.Schedule // schedule that produced the divergence
 	Minimal  faultify.Schedule // smallest schedule still reproducing it
 	Detail   string            // Diff output
+	// Dump is the diverging run's flight recording (Outcome.Dump): the
+	// JSONL black box embedded in the report so the reader sees the reads,
+	// attempts, and injected faults leading up to the divergence without
+	// re-running anything.
+	Dump []byte
 }
 
 func (d *Divergence) String() string {
-	return fmt.Sprintf(
+	var sb strings.Builder
+	fmt.Fprintf(&sb,
 		"conformance divergence in %s [variant %s]\n  %s\n  repro: schedule %s\n  minimized: schedule %s",
 		d.Subject, d.Variant.Name, d.Detail, d.Schedule.String(), d.Minimal.String())
+	if len(d.Dump) > 0 {
+		sb.WriteString("\n  flight recording (JSONL, last ")
+		fmt.Fprintf(&sb, "%d events max):", dumpTailEvents)
+		for _, line := range strings.Split(strings.TrimRight(string(d.Dump), "\n"), "\n") {
+			sb.WriteString("\n    ")
+			sb.WriteString(line)
+		}
+	}
+	return sb.String()
 }
 
 // Minimize greedily strips fault classes from sched while diverges keeps

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultify"
+	"repro/internal/trace"
 )
 
 const scriptsDir = "../../scripts"
@@ -45,6 +46,7 @@ func TestConformanceScripts(t *testing.T) {
 							div := &Divergence{
 								Subject: sc.File, Variant: v,
 								Schedule: cond.Sched, Minimal: cond.Sched, Detail: d,
+								Dump: got.Dump,
 							}
 							t.Error(div.String())
 						}
@@ -133,13 +135,35 @@ func TestConformanceMutationCaught(t *testing.T) {
 		Schedule: mutated,
 		Minimal:  Minimize(mutated, diverges),
 		Detail:   detail,
+		Dump:     got.Dump,
 	}
 	report := div.String()
 	t.Logf("mutation report (expected):\n%s", report)
-	for _, want := range []string{"seed=5", "cutafter=5B", "passwd.exp", "minimized"} {
+	for _, want := range []string{"seed=5", "cutafter=5B", "passwd.exp", "minimized",
+		"flight recording"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
+	}
+	// The embedded black box must be machine-readable and must show both
+	// sides of the incident: the adversary's forced cut and the EOF the
+	// engine saw because of it.
+	events, err := trace.ParseJSONL(div.Dump)
+	if err != nil {
+		t.Fatalf("embedded dump is not parseable JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("embedded dump is empty")
+	}
+	kinds := map[string]bool{}
+	for _, e := range events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["fault"] {
+		t.Errorf("dump missing the injected-fault event; kinds seen: %v", kinds)
+	}
+	if !kinds["eof"] {
+		t.Errorf("dump missing the engine-side eof event; kinds seen: %v", kinds)
 	}
 	// Minimization must keep the fault that matters and shed the noise.
 	if div.Minimal.CutAfterBytes != 5 {

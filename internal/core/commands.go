@@ -1,15 +1,16 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
-	"repro/internal/pattern"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/pattern"
 	"repro/internal/tcl"
 )
 
@@ -33,6 +34,24 @@ func registerExpectCommands(e *Engine) {
 	i.Register("trace", e.cmdTrace)
 	i.Register("match_max", e.cmdMatchMax)
 	i.Register("expect_any", e.cmdExpectAny)
+	i.Register("exp_internal", e.cmdExpInternal)
+}
+
+// cmdExpInternal: exp_internal 0|1|2 — controls the engine's diagnostic
+// output, the paper-era debugging aid that narrates the dialogue: every
+// chunk received and every pattern attempt with its verdict. 0 silences
+// the narration (the flight recorder keeps running), 1 shows the dialogue
+// view, 2 additionally shows sends, eval dispatches, timers, and faults.
+func (e *Engine) cmdExpInternal(i *tcl.Interp, args []string) tcl.Result {
+	if len(args) != 2 {
+		return tcl.Errf(`wrong # args: should be "exp_internal 0|1|2"`)
+	}
+	n, err := strconv.Atoi(args[1])
+	if err != nil || n < 0 || n > 2 {
+		return tcl.Errf("exp_internal: expected 0, 1, or 2, got %q", args[1])
+	}
+	e.rec.SetDiag(n, i.Stderr)
+	return tcl.Ok("")
 }
 
 // cmdExpectAny: expect_any {spawn_id ...} patlist action … — the combined
@@ -70,7 +89,7 @@ func (e *Engine) cmdExpectAny(i *tcl.Interp, args []string) tcl.Result {
 		e.Interp.GlobalSet("expect_match", r.Text)
 	}
 	if eerr != nil {
-		if eerr == ErrTimeout || eerr == ErrEOF {
+		if errors.Is(eerr, ErrTimeout) || errors.Is(eerr, ErrEOF) {
 			return tcl.Ok("")
 		}
 		return tcl.Errf("expect_any: %v", eerr)
@@ -211,11 +230,11 @@ func (e *Engine) runExpect(s *Session, sid int, implicitClose bool, args []strin
 		e.Interp.GlobalSet("expect_match", r.Text)
 	}
 	if eerr != nil {
-		switch eerr {
-		case ErrTimeout:
+		switch {
+		case errors.Is(eerr, ErrTimeout):
 			// No timeout arm: expect simply completes.
 			return tcl.Ok("")
-		case ErrEOF:
+		case errors.Is(eerr, ErrEOF):
 			// "Both expect and interact will detect when the current
 			// process exits and implicitly do a close" (§3.2).
 			if implicitClose {

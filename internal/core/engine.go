@@ -12,6 +12,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/proc"
 	"repro/internal/tcl"
+	"repro/internal/trace"
 )
 
 // Engine is the script-level expect: a Tcl interpreter extended with the
@@ -35,6 +36,7 @@ type Engine struct {
 	logFile  io.WriteCloser
 	logMu    sync.Mutex
 	prof     *metrics.Profiler
+	rec      *trace.Recorder
 	matcher  MatcherMode
 	virtuals map[string]proc.Program
 	// transport selects how spawn starts real programs.
@@ -56,6 +58,12 @@ type EngineOptions struct {
 	UserOut io.Writer
 	// Prof receives phase timings.
 	Prof *metrics.Profiler
+	// Rec overrides the engine's flight recorder. By default every engine
+	// arms a fresh ring-recording trace.Recorder so incident reports
+	// (timeouts, EOF surprises, conformance divergences) always have a
+	// flight recording to attach; pass an explicitly disabled recorder to
+	// opt out (trace.New(n) without arming).
+	Rec *trace.Recorder
 	// Matcher selects the glob scan strategy for all sessions.
 	Matcher MatcherMode
 	// Transport is "pty" (default) or "pipe" for real program spawns.
@@ -86,6 +94,7 @@ func NewEngine(opt EngineOptions) *Engine {
 		userOut:   opt.UserOut,
 		logUser:   true,
 		prof:      opt.Prof,
+		rec:       opt.Rec,
 		matcher:   opt.Matcher,
 		virtuals:  make(map[string]proc.Program),
 		transport: opt.Transport,
@@ -104,7 +113,22 @@ func NewEngine(opt EngineOptions) *Engine {
 	if e.transport == "" {
 		e.transport = "pty"
 	}
+	if e.rec == nil {
+		// Always-on flight recording: the ring is cheap (fixed memory, no
+		// allocation per event) and is the difference between a timeout
+		// report that says "timed out" and one that shows the dialogue.
+		e.rec = trace.New(0)
+		e.rec.SetRecording(true)
+	}
 	e.Interp.Stdout = e.userOut
+	// Every Tcl command dispatch feeds the eval latency histogram and, when
+	// armed, the flight recorder (§3.3's trace, structurally).
+	e.Interp.DispatchHook = func(name string, depth int, d time.Duration) {
+		e.prof.Observe(metrics.HistEvalDispatch, d)
+		if e.rec.On() {
+			e.rec.Record(trace.KindEval, -1, int64(d), int64(depth), false, name, "")
+		}
+	}
 	// Script-visible defaults (§3.1).
 	e.Interp.GlobalSet("timeout", "10")
 	e.Interp.GlobalSet("match_max", strconv.Itoa(DefaultMatchMax))
@@ -125,8 +149,14 @@ func (e *Engine) RegisterVirtual(name string, program proc.Program) {
 // Profiler returns the engine's profiler (may be nil).
 func (e *Engine) Profiler() *metrics.Profiler { return e.prof }
 
-// sessionConfig builds the per-session config for a spawn of name.
-func (e *Engine) sessionConfig(name string) *Config {
+// Recorder returns the engine's flight recorder (never nil). Callers can
+// arm live diagnostics with Recorder().SetDiag — the exp_internal command
+// and goexpect -diag do exactly that — or pull a JSONL dump after a run.
+func (e *Engine) Recorder() *trace.Recorder { return e.rec }
+
+// sessionConfig builds the per-session config for a spawn of name with the
+// reserved spawn id (which doubles as the flight-recorder SID).
+func (e *Engine) sessionConfig(name string, id int) *Config {
 	var tap io.Writer
 	if e.childTap != nil {
 		e.mu.Lock()
@@ -136,11 +166,17 @@ func (e *Engine) sessionConfig(name string) *Config {
 		tap = e.childTap(seq, name)
 	}
 	return &Config{
-		MatchMax:     e.varInt("match_max", DefaultMatchMax),
-		Matcher:      e.matcher,
-		Prof:         e.prof,
-		Logger:       e.logSink(tap),
-		SpawnOptions: proc.Options{WrapTransport: e.spawnWrap},
+		MatchMax: e.varInt("match_max", DefaultMatchMax),
+		Matcher:  e.matcher,
+		Prof:     e.prof,
+		Logger:   e.logSink(tap),
+		Rec:      e.rec,
+		SID:      int32(id),
+		SpawnOptions: proc.Options{
+			WrapTransport: e.spawnWrap,
+			Rec:           e.rec,
+			TraceSID:      int32(id),
+		},
 	}
 }
 
@@ -186,15 +222,23 @@ func (e *Engine) scriptTimeout() time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// addSession registers s, makes it current, and returns its spawn id.
-func (e *Engine) addSession(s *Session) int {
+// reserveID allocates the next spawn id. Reserving before the spawn (not
+// after, as addSession used to) lets the session and its transport carry
+// the final spawn id in every flight-recorder event from the first byte.
+func (e *Engine) reserveID() int {
 	e.mu.Lock()
 	id := e.nextID
 	e.nextID++
+	e.mu.Unlock()
+	return id
+}
+
+// installSession registers s under its reserved id and makes it current.
+func (e *Engine) installSession(id int, s *Session) {
+	e.mu.Lock()
 	e.sessions[id] = s
 	e.mu.Unlock()
 	e.Interp.GlobalSet("spawn_id", strconv.Itoa(id))
-	return id
 }
 
 // Current returns the session selected by the spawn_id variable — "the
@@ -240,8 +284,12 @@ func (e *Engine) SessionIDs() []int {
 // removeSession drops id from the table (after close).
 func (e *Engine) removeSession(id int) {
 	e.mu.Lock()
+	s := e.sessions[id]
 	delete(e.sessions, id)
 	e.mu.Unlock()
+	if s != nil && e.rec.On() {
+		e.rec.Record(trace.KindExit, int32(id), 0, 0, false, s.name, "")
+	}
 }
 
 // UserSession lazily wraps the user terminal as a session so scripts can
@@ -251,7 +299,7 @@ func (e *Engine) UserSession() *Session {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.userSes == nil {
-		e.userSes = NewSession(&Config{Prof: e.prof, Matcher: e.matcher},
+		e.userSes = NewSession(&Config{Prof: e.prof, Matcher: e.matcher, Rec: e.rec, SID: -1},
 			"user", userRW{e.userIn, e.userOut})
 	}
 	return e.userSes
@@ -269,7 +317,8 @@ func (u userRW) Close() error                { return nil }
 // Spawn starts program args under the engine's transport (or as a
 // registered virtual program) and makes it the current process.
 func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
-	cfg := e.sessionConfig(name)
+	id := e.reserveID()
+	cfg := e.sessionConfig(name, id)
 	var (
 		s   *Session
 		err error
@@ -284,7 +333,7 @@ func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	id := e.addSession(s)
+	e.installSession(id, s)
 	return s, id, nil
 }
 

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// tailBytes bounds the buffer tail included in expect error messages: big
+// enough to show the prompt the pattern missed, small enough that error
+// strings stay one readable line.
+const tailBytes = 120
+
+// dumpEvents bounds the flight-recorder dump attached to an ExpectError.
+const dumpEvents = 128
+
+// ExpectError is the rich failure report for expect timeouts and EOF
+// surprises. It wraps the ErrTimeout/ErrEOF sentinel (errors.Is keeps
+// working) and carries the evidence that used to be discarded: how long
+// the call waited, what unmatched output was sitting in the buffer, and —
+// when the session has a flight recorder — the JSONL dump of the last
+// events (reads, pattern attempts, timers) leading up to the failure.
+type ExpectError struct {
+	// Err is the sentinel: ErrTimeout or ErrEOF.
+	Err error
+	// Name is the session's program name; SID its flight-recorder spawn id.
+	Name string
+	SID  int32
+	// Elapsed is how long the Expect call ran before giving up.
+	Elapsed time.Duration
+	// BufferLen and BufferTail describe the unmatched output: total length
+	// and a bounded tail (the end of the buffer is where the expected
+	// prompt would have appeared).
+	BufferLen  int
+	BufferTail string
+	// ReadErr is the underlying read error when EOF was not a clean close.
+	ReadErr error
+	// Dump is the bounded JSONL flight recording (nil when no recorder was
+	// armed). Parse with trace.ParseJSONL.
+	Dump []byte
+}
+
+func (e *ExpectError) Error() string {
+	var sb strings.Builder
+	sb.WriteString(e.Err.Error())
+	fmt.Fprintf(&sb, " (spawn_id %d, %s) after %s", e.SID, e.Name,
+		e.Elapsed.Round(time.Millisecond))
+	if e.ReadErr != nil {
+		fmt.Fprintf(&sb, "; read error: %v", e.ReadErr)
+	}
+	fmt.Fprintf(&sb, "; unmatched buffer (%d bytes) ends %q", e.BufferLen, e.BufferTail)
+	return sb.String()
+}
+
+// Unwrap lets errors.Is(err, ErrTimeout) / errors.Is(err, ErrEOF) see
+// through the wrapper.
+func (e *ExpectError) Unwrap() error { return e.Err }
+
+// tailString returns the last n bytes of b as a string (the whole thing
+// when shorter). Cold-path only: it allocates.
+func tailString(b []byte, n int) string {
+	if len(b) > n {
+		b = b[len(b)-n:]
+	}
+	return string(b)
+}

@@ -2,12 +2,12 @@ package core
 
 import (
 	"bytes"
-	"fmt"
 	"regexp"
 	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 )
 
 // CaseKind classifies an expect case.
@@ -114,13 +114,22 @@ func (s *Session) ExpectMatch(glob string) (*MatchResult, error) {
 // includes TimeoutCase or EOFCase, in which case they complete normally
 // with the corresponding case index.
 func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, error) {
+	start := time.Now()
 	var deadline time.Time
 	if d >= 0 {
-		deadline = time.Now().Add(d)
+		deadline = start.Add(d)
 	}
 	// Compile the case patterns once; the per-wakeup loop below only runs
 	// compiled programs over buffer bytes.
 	prepareCases(cases, s.prof)
+
+	if s.rec.On() {
+		t := int64(-1)
+		if d >= 0 {
+			t = int64(d)
+		}
+		s.rec.Record(trace.KindExpect, s.sid, int64(len(cases)), t, false, "", "")
+	}
 
 	// Compile incremental matchers when enabled: one per glob case,
 	// carrying NFA state across wakeups so nothing is rescanned.
@@ -139,7 +148,20 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 		fed = s.totalSeen - int64(s.mb.length())
 	}
 
+	// seenMark tracks how much output this call has already reacted to, for
+	// the read-to-wakeup latency histogram.
+	seenMark := s.totalSeen
+
 	for {
+		var wake time.Time
+		if s.prof != nil {
+			wake = time.Now()
+			if s.totalSeen > seenMark && !s.lastRead.IsZero() {
+				s.prof.Observe(metrics.HistReadToWakeup, wake.Sub(s.lastRead))
+			}
+			seenMark = s.totalSeen
+		}
+
 		buf := s.mb.bytes()
 		if incremental {
 			// Feed only bytes not yet seen by the matchers. If match_max
@@ -162,13 +184,26 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 			}
 		}
 
-		// Scan cases in order against the buffered output.
+		// Scan cases in order against the buffered output. The traced
+		// variant records one attempt event per case; the untraced one is
+		// the allocation-free fast path.
 		stop := s.prof.Start(metrics.PhaseMatch)
-		idx, consumed := scanCases(buf, cases, incremental)
+		var idx, consumed int
+		if s.rec.On() {
+			idx, consumed = s.scanCasesTraced(buf, cases, incremental)
+		} else {
+			idx, consumed = scanCases(buf, cases, incremental)
+		}
 		stop()
+		if s.prof != nil {
+			s.prof.Observe(metrics.HistWakeupToMatch, time.Since(wake))
+		}
 		if idx >= 0 {
 			text := string(buf[:consumed])
 			s.mb.consume(consumed)
+			if s.rec.On() {
+				s.rec.RecordBytes(trace.KindMatch, s.sid, int64(idx), int64(consumed), true, buf[:consumed], nil)
+			}
 			return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
 		}
 
@@ -177,14 +212,30 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 			for i, c := range cases {
 				if c.Kind == CaseEOF {
 					s.mb.reset()
+					if s.rec.On() {
+						s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, true, tailString(buf, trace.TextCap), "")
+					}
 					return &MatchResult{Index: i, Case: c, Text: text, Eof: true}, nil
 				}
 			}
-			if s.readErr != nil {
-				return &MatchResult{Index: -1, Text: text, Eof: true},
-					fmt.Errorf("%w (read error: %v)", ErrEOF, s.readErr)
+			readErr := s.readErr
+			if s.rec.On() {
+				aux := ""
+				if readErr != nil {
+					aux = readErr.Error()
+				}
+				s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, false, tailString(buf, trace.TextCap), aux)
 			}
-			return &MatchResult{Index: -1, Text: text, Eof: true}, ErrEOF
+			return &MatchResult{Index: -1, Text: text, Eof: true}, &ExpectError{
+				Err:        ErrEOF,
+				Name:       s.name,
+				SID:        s.sid,
+				Elapsed:    time.Since(start),
+				BufferLen:  len(buf),
+				BufferTail: tailString(buf, tailBytes),
+				ReadErr:    readErr,
+				Dump:       s.rec.Dump(dumpEvents),
+			}
 		}
 
 		// Nothing matched and the stream is live: wait for more output.
@@ -192,13 +243,29 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 		if !deadline.IsZero() {
 			remaining = time.Until(deadline)
 			if remaining <= 0 {
-				text := string(s.mb.bytes())
+				buf := s.mb.bytes()
+				text := string(buf)
+				elapsed := time.Since(start)
 				for i, c := range cases {
 					if c.Kind == CaseTimeout {
+						if s.rec.On() {
+							s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), true, tailString(buf, trace.TextCap), "")
+						}
 						return &MatchResult{Index: i, Case: c, Text: text, TimedOut: true}, nil
 					}
 				}
-				return &MatchResult{Index: -1, Text: text, TimedOut: true}, ErrTimeout
+				if s.rec.On() {
+					s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), false, tailString(buf, trace.TextCap), "")
+				}
+				return &MatchResult{Index: -1, Text: text, TimedOut: true}, &ExpectError{
+					Err:        ErrTimeout,
+					Name:       s.name,
+					SID:        s.sid,
+					Elapsed:    elapsed,
+					BufferLen:  len(buf),
+					BufferTail: tailString(buf, tailBytes),
+					Dump:       s.rec.Dump(dumpEvents),
+				}
 			}
 		}
 		s.waitLocked(remaining)
@@ -211,27 +278,56 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 // performs no allocation no matter how large the buffer is.
 func scanCases(buf []byte, cases []Case, incremental bool) (int, int) {
 	for i := range cases {
+		if ok, n := scanOneCase(buf, &cases[i], incremental); ok {
+			return i, n
+		}
+	}
+	return -1, 0
+}
+
+// scanOneCase runs a single prepared case against buf, reporting whether
+// it matched and how many bytes the match consumes. EOF/timeout cases
+// never match here (they are resolved by the expect loop's state, not the
+// buffer contents).
+func scanOneCase(buf []byte, c *Case, incremental bool) (bool, int) {
+	switch c.Kind {
+	case CaseGlob:
+		if incremental && c.inc != nil {
+			if c.inc.Matched() {
+				return true, len(buf)
+			}
+			return false, 0
+		}
+		if c.glob.Match(buf) {
+			// Anchored semantics: the whole buffer is the match.
+			return true, len(buf)
+		}
+	case CaseExact:
+		if idx := bytes.Index(buf, c.lit); idx >= 0 {
+			return true, idx + len(c.lit)
+		}
+	case CaseRegexp:
+		if loc := c.re.FindIndex(buf); loc != nil {
+			return true, loc[1]
+		}
+	}
+	return false, 0
+}
+
+// scanCasesTraced is scanCases with the flight recorder watching: every
+// pattern case tried on this wakeup leaves an attempt event carrying its
+// verdict — the per-wakeup record behind the exp_internal "does X match
+// pattern Y? yes/no" lines. Semantics are identical to scanCases.
+func (s *Session) scanCasesTraced(buf []byte, cases []Case, incremental bool) (int, int) {
+	for i := range cases {
 		c := &cases[i]
-		switch c.Kind {
-		case CaseGlob:
-			if incremental && c.inc != nil {
-				if c.inc.Matched() {
-					return i, len(buf)
-				}
-				continue
-			}
-			if c.glob.Match(buf) {
-				// Anchored semantics: the whole buffer is the match.
-				return i, len(buf)
-			}
-		case CaseExact:
-			if idx := bytes.Index(buf, c.lit); idx >= 0 {
-				return i, idx + len(c.lit)
-			}
-		case CaseRegexp:
-			if loc := c.re.FindIndex(buf); loc != nil {
-				return i, loc[1]
-			}
+		if c.Kind == CaseEOF || c.Kind == CaseTimeout {
+			continue
+		}
+		ok, n := scanOneCase(buf, c, incremental)
+		s.rec.RecordAttempt(s.sid, i, len(buf), ok, c.Pattern, buf)
+		if ok {
+			return i, n
 		}
 	}
 	return -1, 0
@@ -246,7 +342,13 @@ func (s *Session) waitLocked(remaining time.Duration) {
 		return
 	}
 	stop := s.prof.Start(metrics.PhaseTimer)
+	if s.rec.On() {
+		s.rec.Record(trace.KindTimerArm, s.sid, int64(remaining), 0, false, "", "")
+	}
 	t := time.AfterFunc(remaining, func() {
+		if s.rec.On() {
+			s.rec.Record(trace.KindTimerFire, s.sid, 0, 0, false, "", "")
+		}
 		s.mu.Lock()
 		// Locking before broadcasting guarantees the waiter is parked in
 		// cond.Wait and cannot miss the wakeup.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -82,7 +83,7 @@ func TestExpectAnyTimeout(t *testing.T) {
 	quiet := spawnSpeaker(t, "quiet", "", 10*time.Second)
 	start := time.Now()
 	_, _, err := ExpectAny(80*time.Millisecond, []*Session{quiet}, Glob("*x*"))
-	if err != ErrTimeout {
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v", err)
 	}
 	if time.Since(start) < 70*time.Millisecond {
@@ -103,7 +104,7 @@ func TestExpectAnyAllEOF(t *testing.T) {
 	a.WaitPumpDrained()
 	b.WaitPumpDrained()
 	_, _, err := ExpectAny(time.Second, []*Session{a, b}, Glob("*x*"))
-	if err != ErrEOF {
+	if !errors.Is(err, ErrEOF) {
 		t.Fatalf("err = %v, want ErrEOF", err)
 	}
 	_, r, err := ExpectAny(time.Second, []*Session{a, b}, Glob("*x*"), EOFCase())

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -60,7 +61,7 @@ func TestExpectScreenRegion(t *testing.T) {
 		t.Fatalf("region match: %v", err)
 	}
 	// A region elsewhere must time out.
-	if err := s.ExpectScreenRegion(100*time.Millisecond, 0, 0, 0, 5, "XYZ*"); err != ErrTimeout {
+	if err := s.ExpectScreenRegion(100*time.Millisecond, 0, 0, 0, 5, "XYZ*"); !errors.Is(err, ErrTimeout) {
 		t.Errorf("wrong-region err = %v, want timeout", err)
 	}
 }
@@ -79,7 +80,7 @@ func TestExpectScreenTimeoutAndEOF(t *testing.T) {
 		t.Fatalf("glob: %v", err)
 	}
 	// Program exited; a never-true predicate must see EOF.
-	if err := s.ExpectScreenGlob(2*time.Second, "*never*"); err != ErrEOF {
+	if err := s.ExpectScreenGlob(2*time.Second, "*never*"); !errors.Is(err, ErrEOF) {
 		t.Errorf("err = %v, want ErrEOF", err)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/proc"
+	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
@@ -64,6 +65,13 @@ type Config struct {
 	// output stream, queryable with Screen/ExpectScreen (the paper's §8
 	// "regions of character graphics" question).
 	ScreenRows, ScreenCols int
+	// Rec, when non-nil, is the flight recorder the session reports to:
+	// reads, writes, pattern attempts, timers, forgetting. A nil recorder
+	// (or a disabled one) costs one check per site and nothing else.
+	Rec *trace.Recorder
+	// SID tags the session's flight-recorder events; the engine sets it to
+	// the spawn id so recordings read in script terms (-1 = no id).
+	SID int32
 	// Spawn options passed through to the transport layer.
 	SpawnOptions proc.Options
 }
@@ -89,6 +97,8 @@ type Session struct {
 	p    *proc.Process // nil for raw-stream sessions (e.g. the user)
 	rw   io.ReadWriteCloser
 	prof *metrics.Profiler
+	rec  *trace.Recorder
+	sid  int32
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -103,6 +113,9 @@ type Session struct {
 	logger    func([]byte)
 	watchers  map[chan struct{}]struct{}
 	screen    *vt.Screen
+	// lastRead timestamps the most recent chunk arrival (guarded by mu);
+	// the expect loop uses it for the read-to-wakeup latency histogram.
+	lastRead time.Time
 
 	pumpDone chan struct{}
 }
@@ -167,6 +180,12 @@ func spawnOptions(cfg *Config) proc.Options {
 	if opt.Prof == nil {
 		opt.Prof = cfg.Prof
 	}
+	// A config-level recorder also covers the spawn itself, so direct
+	// Spawn* callers get the spawn event without wiring proc.Options.
+	if opt.Rec == nil {
+		opt.Rec = cfg.Rec
+		opt.TraceSID = cfg.SID
+	}
 	return opt
 }
 
@@ -184,6 +203,8 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 		s.prof = cfg.Prof
 		s.logger = cfg.Logger
 		s.matcher = cfg.Matcher
+		s.rec = cfg.Rec
+		s.sid = cfg.SID
 		if cfg.ScreenRows > 0 && cfg.ScreenCols > 0 {
 			s.screen = vt.NewScreen(cfg.ScreenRows, cfg.ScreenCols)
 		}
@@ -228,7 +249,17 @@ func (s *Session) pump() {
 			s.mu.Lock()
 			s.totalSeen += int64(n)
 			// Forgetting per §3.1 happens inside appendData in O(1).
-			s.forgotten += int64(s.mb.appendData(chunk[:n]))
+			forgot := int64(s.mb.appendData(chunk[:n]))
+			s.forgotten += forgot
+			if s.prof != nil || s.rec.On() {
+				s.lastRead = time.Now()
+			}
+			if s.rec.On() {
+				s.rec.RecordBytes(trace.KindRead, s.sid, int64(n), s.totalSeen, false, chunk[:n], nil)
+				if forgot > 0 {
+					s.rec.Record(trace.KindForget, s.sid, forgot, s.forgotten, false, "", "")
+				}
+			}
 			s.notifyLocked()
 			s.mu.Unlock()
 		}
@@ -301,7 +332,11 @@ func (s *Session) SetMatchMax(n int) {
 		n = DefaultMatchMax
 	}
 	s.mu.Lock()
-	s.forgotten += int64(s.mb.setMax(n))
+	forgot := int64(s.mb.setMax(n))
+	s.forgotten += forgot
+	if forgot > 0 && s.rec.On() {
+		s.rec.Record(trace.KindForget, s.sid, forgot, s.forgotten, false, "", "")
+	}
 	s.mu.Unlock()
 }
 
@@ -339,6 +374,9 @@ func (s *Session) SendBytes(b []byte) error {
 	s.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	if s.rec.On() {
+		s.rec.RecordBytes(trace.KindWrite, s.sid, int64(len(b)), 0, false, b, nil)
 	}
 	stop := s.prof.Start(metrics.PhaseIO)
 	defer stop()

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -118,7 +119,7 @@ func TestExpectTimeoutError(t *testing.T) {
 	s.ExpectMatch("*ready*")
 	start := time.Now()
 	_, err := s.ExpectTimeout(50*time.Millisecond, Glob("*never-appears*"))
-	if err != ErrTimeout {
+	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	if e := time.Since(start); e < 40*time.Millisecond || e > 2*time.Second {
@@ -155,7 +156,7 @@ func TestExpectEOF(t *testing.T) {
 	_ = r
 	// Program has exited; next expect must see EOF.
 	_, err = s.ExpectTimeout(time.Second, Glob("*more*"))
-	if err != ErrEOF {
+	if !errors.Is(err, ErrEOF) {
 		t.Fatalf("err = %v, want ErrEOF", err)
 	}
 	// With an explicit eof case it completes normally.

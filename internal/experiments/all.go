@@ -25,6 +25,7 @@ func All(repoRoot string) []Spec {
 		{"E12", "capability matrix", CapabilityMatrix},
 		{"E13", "timeout semantics", TimeoutSemantics},
 		{"E15", "hot-path compilation caches", HotPathCaches},
+		{"E16", "flight-recorder overhead", TraceOverhead},
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -44,7 +45,7 @@ func TimeoutSemantics() (Result, error) {
 		_, eerr := s.ExpectTimeout(d, core.Glob("*never*"))
 		observed := time.Since(start)
 		s.Close()
-		if eerr != core.ErrTimeout {
+		if !errors.Is(eerr, core.ErrTimeout) {
 			return Result{}, fmt.Errorf("timeout %v: err = %v", d, eerr)
 		}
 		relErr := math.Abs(observed.Seconds()-d.Seconds()) / d.Seconds()

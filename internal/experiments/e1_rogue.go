@@ -146,6 +146,21 @@ func PhaseBreakdown(games int) (Result, error) {
 	}
 	m["replay_match_share_c1"] = matchShare1
 
+	// Tail percentiles for the same loop: the share table says where the
+	// time went in aggregate, the histograms say how it was distributed —
+	// a p99 wakeup-to-match far above the mean is the §7.4 rescan story
+	// (occasional full-buffer scans) that averages hide.
+	histTable := prof.HistReport()
+	for _, k := range metrics.HistKinds() {
+		h := prof.Hist(k)
+		if h.Count() == 0 {
+			continue
+		}
+		s := h.Summary(k.String())
+		m["p50_ns_"+k.String()] = float64(s.P50NS)
+		m["p99_ns_"+k.String()] = float64(s.P99NS)
+	}
+
 	setup := m["share_fork"] + m["share_open/close/ioctl (pty)"]
 	verdict := fmt.Sprintf(
 		"measured: setup-bound (fork+pty %.0f%%); replayed 1990 regime (rescan, dribbled input): match share %.0f%% ≥ the paper's 40%%",
@@ -159,10 +174,19 @@ func PhaseBreakdown(games int) (Result, error) {
 		PaperClaim: `"about 40% is spent pattern matching ..., 26% in I/O, 16% in open, close, ` +
 			`and ioctl, 8% in fork, and 5% in timer calls" (§7.4)`,
 		Table: t.String() + "\nreplay of the 1990 matcher regime (whole-buffer rescan per read):\n" +
-			t2.String(),
+			t2.String() + histSection(histTable),
 		Metrics: m,
 		Verdict: verdict,
 	}, nil
+}
+
+// histSection wraps a Profiler.HistReport for embedding in a result table
+// ("" stays "").
+func histSection(hr string) string {
+	if hr == "" {
+		return ""
+	}
+	return "\nper-wakeup latency distribution (log-bucketed):\n" + hr
 }
 
 // rogueScreenBytes is one game's worth of output as the 1990 pattern scan

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -47,7 +48,7 @@ func MatchMaxSweep() (Result, error) {
 			return Result{}, err
 		}
 		_, eerr := s2.ExpectTimeout(300*time.Millisecond, core.Glob("*EARLY-MARKER*"+marker+"*"))
-		earlyFails := eerr == core.ErrTimeout || eerr == core.ErrEOF
+		earlyFails := errors.Is(eerr, core.ErrTimeout) || errors.Is(eerr, core.ErrEOF)
 		t.add(fmt.Sprint(mm), fmt.Sprint(streamLen+len(marker)+14),
 			fmt.Sprintf("<=%d", mm), fmt.Sprint(s.Forgotten()),
 			boolCell(!earlyFails, "matched (BAD)", "forgotten (ok)"),

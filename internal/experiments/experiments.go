@@ -15,20 +15,21 @@ import (
 	"strings"
 )
 
-// Result is the outcome of one experiment.
+// Result is the outcome of one experiment. The JSON shape is what
+// cmd/benchreport -json writes (BENCH_*.json artifacts).
 type Result struct {
 	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
-	ID string
+	ID string `json:"id"`
 	// Title names the experiment.
-	Title string
+	Title string `json:"title"`
 	// PaperClaim quotes what the paper reports.
-	PaperClaim string
+	PaperClaim string `json:"paper_claim"`
 	// Table is the regenerated table/series, formatted for a terminal.
-	Table string
+	Table string `json:"table"`
 	// Metrics holds the headline numbers keyed by name.
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics"`
 	// Verdict is a one-line comparison of shape vs the paper.
-	Verdict string
+	Verdict string `json:"verdict"`
 }
 
 // Format renders a result as a report section.

@@ -111,6 +111,32 @@ func TestE12MatrixShape(t *testing.T) {
 	}
 }
 
+func TestE16TraceOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("interleaved overhead passes take seconds of wall clock")
+	}
+	r := checkShape(t, "E16", TraceOverhead)
+	// No assertion on the overhead percentages: they are what check.sh's
+	// guard enforces, and a loaded CI worker must not fail the unit tier
+	// over scheduler noise. The shape obligations are that every
+	// configuration produced a rate and the histograms actually sampled.
+	for _, key := range []string{"ns_per_expect_absent", "ns_per_expect_disabled",
+		"ns_per_expect_ring", "ns_per_expect_diag"} {
+		if r.Metrics[key] <= 0 {
+			t.Errorf("%s = %v, want > 0", key, r.Metrics[key])
+		}
+	}
+	for _, key := range []string{"p99_ns_wakeup-to-match", "p99_ns_read-to-wakeup",
+		"p99_ns_eval-dispatch"} {
+		if r.Metrics[key] <= 0 {
+			t.Errorf("%s = %v, want > 0 (histogram did not sample)", key, r.Metrics[key])
+		}
+	}
+	if r.Metrics["ns_per_expect_diag"] <= r.Metrics["ns_per_expect_absent"] {
+		t.Error("full diag rendering measured cheaper than no recorder at all — instrumentation inverted")
+	}
+}
+
 func TestCountGoLines(t *testing.T) {
 	files, lines, err := CountGoLines(".")
 	if err != nil {

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Counter names reported to the metrics sink.
@@ -181,6 +182,9 @@ type Transport struct {
 	writeRng rng
 
 	stats metrics.Counters // always-on internal accounting
+
+	rec *trace.Recorder // optional flight recorder; nil records nothing
+	sid int32           // spawn id tag on fault events (-1 when unknown)
 }
 
 // Wrap builds a Transport perturbing rw according to sched, reporting
@@ -206,6 +210,23 @@ func Wrapper(sched Schedule, sink *metrics.Counters) func(io.ReadWriteCloser) io
 	}
 }
 
+// TracedWrapper is Wrapper plus flight recording: every injected fault
+// (transient error, delay, stream cut) lands in rec as a KindFault event,
+// so a post-mortem dump shows not only what the engine saw but what the
+// adversary did to cause it. Resegmentation and write splitting are
+// deliberately NOT recorded — with MaxReadChunk == 1 they fire on every
+// read and would evict the events the dump exists to preserve. The wrapper
+// is built before the engine assigns a spawn id, so fault events carry
+// spawn_id -1; dump readers correlate them by sequence order instead.
+func TracedWrapper(sched Schedule, sink *metrics.Counters, rec *trace.Recorder) func(io.ReadWriteCloser) io.ReadWriteCloser {
+	return func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+		t := Wrap(rw, sched, sink)
+		t.rec = rec
+		t.sid = -1
+		return t
+	}
+}
+
 // Schedule returns the transport's schedule (for divergence reports).
 func (t *Transport) Schedule() Schedule { return t.sched }
 
@@ -215,6 +236,15 @@ func (t *Transport) Stats() map[string]int64 { return t.stats.Snapshot() }
 func (t *Transport) count(name string, n int64) {
 	t.stats.Add(name, n)
 	t.sink.Add(name, n)
+}
+
+// recordFault logs an injected fault in the flight recorder, if armed.
+// The fault path is already cold (a sleep, an error return, or EOF), so
+// the extra event write costs nothing measurable.
+func (t *Transport) recordFault(label string, n int64) {
+	if t.rec.On() {
+		t.rec.Record(trace.KindFault, t.sid, n, 0, false, label, "")
+	}
 }
 
 // Read delivers child output, resegmented, delayed, cut, or transiently
@@ -229,6 +259,7 @@ func (t *Transport) Read(b []byte) (int, error) {
 	}
 	if t.sched.TransientEveryN > 0 && t.readRng.intn(t.sched.TransientEveryN) == 0 {
 		t.count(CounterReadTransients, 1)
+		t.recordFault("read transient (injected EAGAIN)", t.delivered)
 		return 0, ErrTransient
 	}
 	if t.sched.ReadDelay > 0 && t.sched.DelayEveryN > 0 &&
@@ -237,6 +268,7 @@ func (t *Transport) Read(b []byte) (int, error) {
 		// Uniform in (0, ReadDelay]; the duration is drawn from the PRNG
 		// so the delay pattern is part of the reproducible schedule.
 		d := time.Duration(1 + t.readRng.intn(int(t.sched.ReadDelay)))
+		t.recordFault("read delay "+d.String(), t.delivered)
 		t.readMu.Unlock()
 		time.Sleep(d)
 		t.readMu.Lock()
@@ -280,6 +312,7 @@ func (t *Transport) Read(b []byte) (int, error) {
 		if remain <= 0 {
 			t.cut = true
 			t.count(CounterEOFCuts, 1)
+			t.recordFault("stream cut (forced EOF)", t.delivered)
 			return 0, io.EOF
 		}
 		if int64(n) > remain {
@@ -292,6 +325,7 @@ func (t *Transport) Read(b []byte) (int, error) {
 	if t.sched.CutAfterBytes > 0 && t.delivered >= t.sched.CutAfterBytes {
 		t.cut = true
 		t.count(CounterEOFCuts, 1)
+		t.recordFault("stream cut (forced EOF)", t.delivered)
 	}
 	return n, nil
 }
@@ -308,6 +342,7 @@ func (t *Transport) Write(p []byte) (int, error) {
 	for written < len(p) {
 		if t.sched.WriteTransientEveryN > 0 && t.writeRng.intn(t.sched.WriteTransientEveryN) == 0 {
 			t.count(CounterWriteTransient, 1)
+			t.recordFault("write transient (injected EAGAIN)", int64(written))
 			return written, ErrTransient
 		}
 		chunk := p[written:]

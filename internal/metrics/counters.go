@@ -1,9 +1,8 @@
 package metrics
 
 import (
-	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 )
 
@@ -70,17 +69,20 @@ func (c *Counters) Reset() {
 }
 
 // Report renders the counters one per line, sorted by name, for inclusion
-// in divergence reports and experiment logs.
+// in divergence reports and experiment logs (shared aligned format).
 func (c *Counters) Report() string {
 	snap := c.Snapshot()
+	if len(snap) == 0 {
+		return ""
+	}
 	names := make([]string, 0, len(snap))
 	for k := range snap {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	var sb strings.Builder
+	var t alignedTable
 	for _, k := range names {
-		fmt.Fprintf(&sb, "%-32s %d\n", k, snap[k])
+		t.row(k, strconv.FormatInt(snap[k], 10))
 	}
-	return sb.String()
+	return t.String()
 }

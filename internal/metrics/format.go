@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// alignedTable is the one table formatter behind every metrics report —
+// Profiler phase shares, Counters, and the latency histograms all render
+// through it, so their output shares a single convention: the first column
+// is left-aligned, every other column is right-aligned, and widths are
+// computed from the data so columns line up no matter what the values are.
+// Row order is the caller's contract (each report documents its own
+// deterministic ordering); the formatter never reorders.
+type alignedTable struct {
+	rows [][]string
+}
+
+func (t *alignedTable) row(cols ...string) {
+	t.rows = append(t.rows, cols)
+}
+
+func (t *alignedTable) String() string {
+	var widths []int
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	for _, r := range t.rows {
+		var line strings.Builder
+		for i, c := range r {
+			if i == 0 {
+				fmt.Fprintf(&line, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&line, "  %*s", widths[i], c)
+			}
+		}
+		sb.WriteString(strings.TrimRight(line.String(), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,185 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0)
+	h.Observe(1)         // bucket 1: [1,2)
+	h.Observe(3)         // bucket 2: [2,4)
+	h.Observe(1000)      // [512,1024)
+	h.Observe(time.Hour) // clamps into the last bucket
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	snap := h.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot rows = %d, want 5: %+v", len(snap), snap)
+	}
+	// Ascending order, zero bucket first.
+	if snap[0].Low != 0 || snap[0].High != 1 || snap[0].Count != 1 {
+		t.Errorf("zero bucket: %+v", snap[0])
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Low < snap[i-1].High {
+			t.Errorf("snapshot not ascending at %d: %+v", i, snap)
+		}
+	}
+	if got := h.Max(); got != time.Hour {
+		t.Errorf("Max = %v, want 1h (exact, not bucketed)", got)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket [64,128)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000) // bucket [65536,131072)
+	}
+	if p := h.Percentile(0.50); p != 128 {
+		t.Errorf("p50 = %v, want 128ns (upper edge of the [64,128) bucket)", p)
+	}
+	if p := h.Percentile(0.90); p != 128 {
+		t.Errorf("p90 = %v, want 128ns", p)
+	}
+	if p := h.Percentile(0.99); p != 131072 {
+		t.Errorf("p99 = %v, want 131072ns", p)
+	}
+	if p := h.Percentile(1.0); p != 131072 {
+		t.Errorf("p100 = %v, want 131072ns", p)
+	}
+	if m := h.Mean(); m < 10*time.Nanosecond || m > 100*time.Microsecond {
+		t.Errorf("mean = %v looks wrong", m)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Error("nil histogram should be a zero no-op sink")
+	}
+	if h.Snapshot() != nil || h.Report() != "" {
+		t.Error("nil histogram should render nothing")
+	}
+	h.Reset()
+
+	h2 := NewHistogram()
+	if h2.Percentile(0.99) != 0 || h2.Report() != "" {
+		t.Error("empty histogram should render nothing")
+	}
+}
+
+func TestHistogramObserveAllocationFree(t *testing.T) {
+	h := NewHistogram()
+	if allocs := testing.AllocsPerRun(200, func() {
+		h.Observe(1234 * time.Nanosecond)
+	}); allocs > 0 {
+		t.Errorf("Observe allocates %.1f objects, want 0", allocs)
+	}
+	var p *Profiler
+	if allocs := testing.AllocsPerRun(200, func() {
+		p.Observe(HistWakeupToMatch, time.Microsecond)
+	}); allocs > 0 {
+		t.Errorf("nil-profiler Observe allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(i*1000 + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Errorf("Count = %d, want 8000", got)
+	}
+	var sum int64
+	for _, b := range h.Snapshot() {
+		sum += b.Count
+	}
+	if sum != 8000 {
+		t.Errorf("bucket sum = %d, want 8000", sum)
+	}
+}
+
+func TestProfilerHistograms(t *testing.T) {
+	p := NewProfiler()
+	p.Observe(HistWakeupToMatch, 5*time.Microsecond)
+	p.Observe(HistWakeupToMatch, 7*time.Microsecond)
+	p.Observe(HistEvalDispatch, time.Microsecond)
+	if got := p.Hist(HistWakeupToMatch).Count(); got != 2 {
+		t.Errorf("wakeup-to-match count = %d, want 2", got)
+	}
+	rep := p.HistReport()
+	if !strings.Contains(rep, "wakeup-to-match") || !strings.Contains(rep, "eval-dispatch") {
+		t.Errorf("HistReport missing kinds:\n%s", rep)
+	}
+	if strings.Contains(rep, "read-to-wakeup") {
+		t.Errorf("HistReport rendered an empty histogram:\n%s", rep)
+	}
+	// Deterministic kind ordering: wakeup-to-match before eval-dispatch.
+	if strings.Index(rep, "wakeup-to-match") > strings.Index(rep, "eval-dispatch") {
+		t.Errorf("HistReport not in HistKind order:\n%s", rep)
+	}
+	p.Reset()
+	if p.HistReport() != "" || p.Hist(HistWakeupToMatch).Count() != 0 {
+		t.Error("Reset should clear histograms")
+	}
+
+	var nilP *Profiler
+	nilP.Observe(HistReadToWakeup, time.Second)
+	if nilP.Hist(HistReadToWakeup) != nil || nilP.HistReport() != "" {
+		t.Error("nil profiler histogram access should be a no-op")
+	}
+	sum := p.Hist(HistEvalDispatch).Summary(HistEvalDispatch.String())
+	if sum.Name != "eval-dispatch" || sum.Count != 0 {
+		t.Errorf("summary after reset: %+v", sum)
+	}
+}
+
+func TestHistKindNames(t *testing.T) {
+	for _, k := range HistKinds() {
+		if k.String() == "" || strings.HasPrefix(k.String(), "hist-") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if HistKind(99).String() != "hist-99" {
+		t.Errorf("out-of-range kind name: %q", HistKind(99).String())
+	}
+}
+
+// The shared formatter keeps columns aligned across rows: every line of a
+// report has the same rune width up to trailing-number alignment.
+func TestAlignedTable(t *testing.T) {
+	var tab alignedTable
+	tab.row("name", "count")
+	tab.row("a-very-long-name", "7")
+	tab.row("x", "123456")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Numeric column is right-aligned: all lines end at the same width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("right alignment broken:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[2], "123456") || !strings.HasSuffix(lines[1], " 7") {
+		t.Errorf("numeric column misaligned:\n%s", out)
+	}
+}

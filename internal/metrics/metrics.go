@@ -9,7 +9,7 @@ package metrics
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -71,6 +71,10 @@ type Profiler struct {
 	mu    sync.Mutex
 	total [numPhases]time.Duration
 	count [numPhases]int64
+
+	// hists complements the share table with latency distributions;
+	// Observe is lock-free and does not touch mu.
+	hists [numHists]Histogram
 }
 
 // NewProfiler returns an empty profiler.
@@ -107,7 +111,24 @@ func (pr *Profiler) Start(p Phase) (stop func()) {
 	return func() { pr.Add(p, time.Since(start)) }
 }
 
-// Reset clears all accumulated samples.
+// Observe records one latency sample in histogram k. Safe on a nil
+// receiver; lock-free and allocation-free (hot-path contract).
+func (pr *Profiler) Observe(k HistKind, d time.Duration) {
+	if pr == nil || k < 0 || k >= numHists {
+		return
+	}
+	pr.hists[k].Observe(d)
+}
+
+// Hist returns histogram k (nil on a nil profiler — still a valid sink).
+func (pr *Profiler) Hist(k HistKind) *Histogram {
+	if pr == nil || k < 0 || k >= numHists {
+		return nil
+	}
+	return &pr.hists[k]
+}
+
+// Reset clears all accumulated samples and histograms.
 func (pr *Profiler) Reset() {
 	if pr == nil {
 		return
@@ -116,6 +137,9 @@ func (pr *Profiler) Reset() {
 	pr.total = [numPhases]time.Duration{}
 	pr.count = [numPhases]int64{}
 	pr.mu.Unlock()
+	for i := range pr.hists {
+		pr.hists[i].Reset()
+	}
 }
 
 // Sample is one row of a phase report.
@@ -152,13 +176,45 @@ func (pr *Profiler) Snapshot() []Sample {
 	return out
 }
 
-// Report renders the share table in the paper's style.
+// Report renders the share table in the paper's style (rows sorted by
+// total descending, ties kept in phase order by the stable sort).
 func (pr *Profiler) Report() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-26s %8s %10s %8s\n", "phase", "share", "total", "samples")
+	var t alignedTable
+	t.row("phase", "share", "total", "samples")
 	for _, s := range pr.Snapshot() {
-		fmt.Fprintf(&sb, "%-26s %7.1f%% %10s %8d\n",
-			s.Phase, s.Share*100, s.Total.Round(time.Microsecond), s.Count)
+		t.row(s.Phase.String(),
+			fmt.Sprintf("%.1f%%", s.Share*100),
+			s.Total.Round(time.Microsecond).String(),
+			strconv.FormatInt(s.Count, 10))
 	}
-	return sb.String()
+	return t.String()
+}
+
+// HistReport renders the percentile summary of every non-empty histogram,
+// in HistKind order.
+func (pr *Profiler) HistReport() string {
+	if pr == nil {
+		return ""
+	}
+	var t alignedTable
+	t.row("latency", "samples", "mean", "p50", "p90", "p99", "max")
+	rows := 0
+	for _, k := range HistKinds() {
+		h := pr.Hist(k)
+		if h.Count() == 0 {
+			continue
+		}
+		rows++
+		t.row(k.String(),
+			strconv.FormatInt(h.Count(), 10),
+			h.Mean().String(),
+			"<"+h.Percentile(0.50).String(),
+			"<"+h.Percentile(0.90).String(),
+			"<"+h.Percentile(0.99).String(),
+			h.Max().String())
+	}
+	if rows == 0 {
+		return ""
+	}
+	return t.String()
 }

@@ -120,6 +120,21 @@ func (m *Incremental) Feed(chunk []byte) bool {
 // Matched reports whether the input consumed so far matches.
 func (m *Incremental) Matched() bool { return m.live[len(m.ops)] }
 
+// LiveStates returns how many NFA states are currently live, including the
+// accept state. It is matcher-health introspection for the observability
+// layer: a count collapsing toward zero as bytes arrive means the stream is
+// diverging from the pattern, while a stable plateau usually marks a star
+// absorbing input. Zero is exactly Dead().
+func (m *Incremental) LiveStates() int {
+	n := 0
+	for _, l := range m.live {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
 // Dead reports that no future input can produce a match (the live set is
 // empty), letting callers fail fast on streams that have diverged.
 func (m *Incremental) Dead() bool {

@@ -158,6 +158,39 @@ func TestIncrementalDead(t *testing.T) {
 	}
 }
 
+func TestIncrementalLiveStates(t *testing.T) {
+	m := NewIncremental("abc")
+	if got := m.LiveStates(); got != 1 {
+		t.Errorf("fresh literal matcher LiveStates = %d, want 1", got)
+	}
+	m.Feed([]byte("ab"))
+	if got := m.LiveStates(); got != 1 {
+		t.Errorf("mid-literal LiveStates = %d, want 1", got)
+	}
+	m.Feed([]byte("x"))
+	if got := m.LiveStates(); got != 0 {
+		t.Errorf("diverged matcher LiveStates = %d, want 0", got)
+	}
+	if !m.Dead() {
+		t.Error("LiveStates 0 must agree with Dead")
+	}
+
+	// A leading star keeps its own state live forever; the closure also
+	// lights the state after it, so the plateau is visible in the count.
+	s := NewIncremental("*abc")
+	base := s.LiveStates()
+	if base < 2 {
+		t.Errorf("star matcher LiveStates = %d, want >= 2", base)
+	}
+	s.Feed([]byte("zzzz"))
+	if got := s.LiveStates(); got < 2 {
+		t.Errorf("star matcher after junk LiveStates = %d, want >= 2", got)
+	}
+	if s.Dead() {
+		t.Error("star matcher must never be dead")
+	}
+}
+
 func TestIncrementalEmptyPattern(t *testing.T) {
 	m := NewIncremental("")
 	if !m.Matched() {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/pty"
+	"repro/internal/trace"
 )
 
 // Kind names a transport flavor.
@@ -66,6 +67,11 @@ type Options struct {
 	// supports CloseWrite it should forward it to the wrapped stream, or
 	// half-close stops working on pipe/virtual transports.
 	WrapTransport func(io.ReadWriteCloser) io.ReadWriteCloser
+	// Rec, when armed, receives a spawn event per successful spawn (pid,
+	// program, transport kind), tagged with TraceSID — the engine passes
+	// the reserved spawn id so the recording reads in script terms.
+	Rec      *trace.Recorder
+	TraceSID int32
 }
 
 const defaultBufferCap = 1 << 20
@@ -77,6 +83,13 @@ func (o Options) wrap(rw io.ReadWriteCloser) io.ReadWriteCloser {
 		return o.WrapTransport(rw)
 	}
 	return rw
+}
+
+// recordSpawn logs a successful spawn in the flight recorder, if armed.
+func (o Options) recordSpawn(name string, kind Kind, pid int) {
+	if o.Rec.On() {
+		o.Rec.Record(trace.KindSpawn, o.TraceSID, int64(pid), 0, false, name, string(kind))
+	}
 }
 
 // Program is an in-process interactive program: it reads its "terminal"
@@ -165,6 +178,7 @@ func SpawnPty(name string, args []string, opt Options) (*Process, error) {
 		pt.Close()
 		return nil, fmt.Errorf("proc: spawn %s: %w", name, err)
 	}
+	opt.recordSpawn(name, KindPty, cmd.Process.Pid)
 	return &Process{
 		name: name,
 		kind: KindPty,
@@ -215,6 +229,7 @@ func SpawnPipe(name string, args []string, opt Options) (*Process, error) {
 	if err != nil {
 		return nil, fmt.Errorf("proc: spawn %s: %w", name, err)
 	}
+	opt.recordSpawn(name, KindPipe, cmd.Process.Pid)
 	return &Process{
 		name: name,
 		kind: KindPipe,
@@ -247,6 +262,7 @@ func SpawnVirtual(name string, program Program, opt Options) (*Process, error) {
 		close(p.virtDone)
 	}()
 	stopFork()
+	opt.recordSpawn(name, KindVirtual, p.pid)
 	return p, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lru"
 )
@@ -133,6 +134,15 @@ type Interp struct {
 	// executed (after substitution). It implements the paper's §3.3
 	// "tracing - Programs may be traced to assist debugging".
 	Trace func(depth int, words []string)
+
+	// DispatchHook, when non-nil, observes every completed command
+	// dispatch: name, call depth, and wall time spent (command body or
+	// procedure call, including everything beneath it). Where Trace shows
+	// what is about to run, DispatchHook reports what it cost — the
+	// expect engine feeds its eval-dispatch latency histogram and flight
+	// recorder through it. Setting it adds two clock reads per dispatch;
+	// leave nil for the zero-overhead path.
+	DispatchHook func(name string, depth int, d time.Duration)
 
 	// MaxDepth bounds recursion to turn runaway scripts into errors
 	// instead of stack exhaustion.
@@ -456,6 +466,17 @@ func (i *Interp) EvalWords(words []string) Result {
 		i.Trace(i.Level(), words)
 	}
 	name := words[0]
+	if i.DispatchHook != nil {
+		start := time.Now()
+		res := i.dispatch(name, words)
+		i.DispatchHook(name, i.Level(), time.Since(start))
+		return res
+	}
+	return i.dispatch(name, words)
+}
+
+// dispatch resolves name against commands then procs and runs it.
+func (i *Interp) dispatch(name string, words []string) Result {
 	if cmd, ok := i.commands[name]; ok {
 		return cmd(i, words)
 	}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// kindVisible says which events each diagnostics level renders. Level 1 is
+// the paper's §3.3 view of the dialogue itself — what arrived, what was
+// tried, how each expect resolved. Level 2 adds the engine's own moving
+// parts (sends, eval dispatches, timers, forgetting, injected faults).
+func kindVisible(k Kind, level int) bool {
+	if level <= 0 {
+		return false
+	}
+	if level >= 2 {
+		return true
+	}
+	switch k {
+	case KindSpawn, KindExit, KindRead, KindAttempt, KindMatch,
+		KindTimeout, KindEOF, KindExpect:
+		return true
+	}
+	return false
+}
+
+// renderEvent writes the one-line human rendering of e — the exp_internal
+// surface. The "expect: does ... match glob pattern ...? yes/no" shape
+// follows the diagnostics real expect prints under exp_internal, which is
+// itself the paper's §3.3 promise: watch every byte the child produces and
+// every pattern attempt against it.
+func renderEvent(w io.Writer, e *Event) {
+	switch e.Kind {
+	case KindSpawn:
+		fmt.Fprintf(w, "spawn: %s (spawn_id %d, pid %d, %s)\n", e.Text(), e.SID, e.A, e.Aux())
+	case KindExit:
+		fmt.Fprintf(w, "close: %s (spawn_id %d)\n", e.Text(), e.SID)
+	case KindRead:
+		fmt.Fprintf(w, "expect: received (spawn_id %d, %d bytes): %q\n", e.SID, e.A, e.Text())
+	case KindWrite:
+		fmt.Fprintf(w, "send: sent (spawn_id %d, %d bytes): %q\n", e.SID, e.A, e.Text())
+	case KindExpect:
+		if e.B < 0 {
+			fmt.Fprintf(w, "expect: waiting (spawn_id %d, %d cases, no timeout)\n", e.SID, e.A)
+		} else {
+			fmt.Fprintf(w, "expect: waiting (spawn_id %d, %d cases, timeout %s)\n",
+				e.SID, e.A, time.Duration(e.B))
+		}
+	case KindAttempt:
+		verdict := "no"
+		if e.Flag {
+			verdict = "yes"
+		}
+		fmt.Fprintf(w, "expect: does %q (spawn_id %d, %d bytes) match pattern %q? %s\n",
+			e.Aux(), e.SID, e.B, e.Text(), verdict)
+	case KindMatch:
+		fmt.Fprintf(w, "expect: case %d matched (spawn_id %d), consuming %d bytes: %q\n",
+			e.A, e.SID, e.B, e.Text())
+	case KindTimeout:
+		fmt.Fprintf(w, "expect: timeout (spawn_id %d) after %s; unmatched buffer (%d bytes) ends %q\n",
+			e.SID, time.Duration(e.B).Round(time.Millisecond), e.A, e.Text())
+	case KindEOF:
+		if e.Aux() != "" {
+			fmt.Fprintf(w, "expect: eof (spawn_id %d, read error %q); unmatched buffer (%d bytes) ends %q\n",
+				e.SID, e.Aux(), e.A, e.Text())
+		} else {
+			fmt.Fprintf(w, "expect: eof (spawn_id %d); unmatched buffer (%d bytes) ends %q\n",
+				e.SID, e.A, e.Text())
+		}
+	case KindEval:
+		fmt.Fprintf(w, "tcl: dispatch %s (depth %d, %s)\n", e.Text(), e.B, time.Duration(e.A))
+	case KindTimerArm:
+		fmt.Fprintf(w, "timer: armed (spawn_id %d, %s)\n", e.SID, time.Duration(e.A))
+	case KindTimerFire:
+		fmt.Fprintf(w, "timer: fired (spawn_id %d)\n", e.SID)
+	case KindForget:
+		fmt.Fprintf(w, "match_max: forgot %d bytes (spawn_id %d, %d total)\n", e.A, e.SID, e.B)
+	case KindFault:
+		fmt.Fprintf(w, "faultify: %s (spawn_id %d)\n", e.Text(), e.SID)
+	default:
+		fmt.Fprintf(w, "trace: %s (spawn_id %d) a=%d b=%d %q %q\n",
+			e.Kind, e.SID, e.A, e.B, e.Text(), e.Aux())
+	}
+}
+
+// Render writes the human rendering of every buffered event — the whole
+// flight recording as exp_internal would have narrated it live.
+func (r *Recorder) Render(w io.Writer) {
+	for _, e := range r.Events() {
+		e := e
+		renderEvent(w, &e)
+	}
+}

@@ -28,3 +28,9 @@ go test -race -count=1 ./internal/conformance
 # few CPU-minutes of fresh exploration to every gate.
 go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
 go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
+
+# Perf snapshot + trace-overhead guard: regenerate the hot-path benchmarks
+# (E15: eval/glob/gap-buffer) and the flight-recorder overhead + latency
+# histograms (E16) into BENCH_3.json, and fail if a present-but-disabled
+# recorder costs the expect hot loop more than 2% per wakeup.
+go run ./cmd/benchreport -exp e15,e16 -json BENCH_3.json -guard 2
