@@ -10,6 +10,10 @@
 //	benchreport -json FILE      also write the results as JSON
 //	benchreport -guard PCT      fail if E16's disabled-recorder overhead
 //	                            exceeds PCT percent (the check.sh gate)
+//	benchreport -baseline FILE  compare against a committed results JSON
+//	benchreport -p99guard PCT   with -baseline: fail if E17's 1k-session
+//	                            sharded p99 wakeup-to-match regressed by
+//	                            more than PCT percent vs the baseline
 package main
 
 import (
@@ -28,6 +32,8 @@ func main() {
 		root     = flag.String("root", ".", "repository root (for the code-size experiment)")
 		jsonPath = flag.String("json", "", "write the results to this file as JSON")
 		guard    = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
+		baseline = flag.String("baseline", "", "committed results JSON to regression-check against")
+		p99guard = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
 	)
 	flag.Parse()
 
@@ -97,4 +103,63 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	if *p99guard > 0 {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchreport: -p99guard needs -baseline FILE")
+			os.Exit(2)
+		}
+		checkP99Guard(*baseline, results, *p99guard)
+	}
+}
+
+// checkP99Guard compares E17's 1k-session sharded tail latency against
+// the committed baseline. A missing baseline file or a baseline without
+// the metric is the bootstrap case: warn and pass, so the first run
+// that commits BENCH_4.json doesn't have to guard against itself.
+func checkP99Guard(path string, results []experiments.Result, pct float64) {
+	const metric = "p99_wakeup_ns_1000_sharded"
+	var cur float64
+	found := false
+	for _, r := range results {
+		if v, ok := r.Metrics[metric]; ok {
+			cur, found = v, true
+		}
+	}
+	if !found {
+		fmt.Fprintln(os.Stderr, "benchreport: -p99guard set but E17 did not run; add e17 to -exp")
+		os.Exit(2)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: no baseline at %s (%v) — bootstrap pass\n", path, err)
+		return
+	}
+	var base []experiments.Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: unreadable baseline %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var ref float64
+	refFound := false
+	for _, r := range base {
+		if v, ok := r.Metrics[metric]; ok {
+			ref, refFound = v, true
+		}
+	}
+	if !refFound || ref <= 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: baseline %s lacks %s — bootstrap pass\n", path, metric)
+		return
+	}
+	regress := (cur/ref - 1) * 100
+	if regress > pct {
+		fmt.Fprintf(os.Stderr,
+			"benchreport: p99 guard FAILED: 1k-session sharded p99 wakeup %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
+			cur, ref, regress, pct)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchreport: p99 guard ok: 1k-session sharded p99 wakeup %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
+		cur, ref, regress, pct)
 }

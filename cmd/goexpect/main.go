@@ -7,6 +7,9 @@
 //	goexpect script.exp [args...]      run a script file
 //	goexpect -c "commands" [script]    run commands before the script
 //	goexpect -transport pipe script    spawn over pipes instead of ptys
+//	goexpect -shards N script          own sessions with N sharded event
+//	                                   loops instead of one pump
+//	                                   goroutine per session
 //	goexpect -sims script              make the simulated programs
 //	                                   (rogue-sim, chess-sim, eliza-sim,
 //	                                   fsck-sim, tip-sim, passwd-sim,
@@ -80,6 +83,7 @@ func run() int {
 		sims      = flag.Bool("sims", false, "register the simulated interactive programs as spawnable names")
 		quiet     = flag.Bool("q", false, "start with log_user 0 (script output only)")
 		timeout   = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
+		shards    = flag.Int("shards", 0, "run sessions under a sharded scheduler with this many event loops (0 = one pump goroutine per session)")
 	)
 	var diag diagLevel
 	flag.Var(&diag, "diag", "render exp_internal-style diagnostics on stderr (repeat for engine internals)")
@@ -89,6 +93,7 @@ func run() int {
 	eng := core.NewEngine(core.EngineOptions{
 		Transport: *transport,
 		LogUser:   &logUser,
+		Shards:    *shards,
 	})
 	defer eng.Shutdown()
 	if diag > 0 {

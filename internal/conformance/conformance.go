@@ -52,16 +52,23 @@ type Variant struct {
 	// EvalCacheSize is passed to Interp.SetEvalCacheSize; 0 restores the
 	// classic parse-as-you-evaluate path.
 	EvalCacheSize int
+	// Shards > 0 runs the engine's sessions under a sharded scheduler
+	// with that many event loops instead of per-session pump goroutines.
+	Shards int
 }
 
-// Variants is the full matrix: both matchers × both evaluation paths.
-// Variants[0] is the seed-faithful baseline every other cell is compared
-// against.
+// Variants is the full matrix: both matchers × both evaluation paths,
+// plus the sharded-scheduler cells (shard counts pinned explicitly —
+// the default would collapse to GOMAXPROCS). Variants[0] is the
+// seed-faithful baseline every other cell is compared against.
 var Variants = []Variant{
-	{"rescan-cached", core.MatcherRescan, tcl.DefaultEvalCacheSize},
-	{"incremental-cached", core.MatcherIncremental, tcl.DefaultEvalCacheSize},
-	{"rescan-classic", core.MatcherRescan, 0},
-	{"incremental-classic", core.MatcherIncremental, 0},
+	{Name: "rescan-cached", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize},
+	{Name: "incremental-cached", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize},
+	{Name: "rescan-classic", Matcher: core.MatcherRescan},
+	{Name: "incremental-classic", Matcher: core.MatcherIncremental},
+	{Name: "rescan-cached-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 1},
+	{Name: "rescan-cached-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
+	{Name: "incremental-cached-shard8", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
 }
 
 // Condition names one transport treatment. A Clean schedule means the
@@ -256,6 +263,7 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 		LogUser:  &logUser,
 		ChildTap: taps.hook,
 		Rec:      rec,
+		Shards:   v.Shards,
 	}
 	if !sched.Clean() {
 		opts.SpawnWrap = faultify.TracedWrapper(sched, counters, rec)

@@ -58,12 +58,20 @@ func TestConformanceScripts(t *testing.T) {
 }
 
 // TestConformanceScenarios runs the engine-scenario table across both
-// matchers and every condition; all summaries must equal the baseline's.
+// matchers, every condition, and both schedulers (per-session pumps and
+// sharded event loops); all summaries must equal the baseline's.
 func TestConformanceScenarios(t *testing.T) {
-	matchers := []struct {
-		name string
-		mode core.MatcherMode
-	}{{"rescan", core.MatcherRescan}, {"incremental", core.MatcherIncremental}}
+	configs := []struct {
+		name   string
+		mode   core.MatcherMode
+		shards int
+	}{
+		{"rescan", core.MatcherRescan, 0},
+		{"incremental", core.MatcherIncremental, 0},
+		{"rescan-shard1", core.MatcherRescan, 1},
+		{"rescan-shard8", core.MatcherRescan, 8},
+		{"incremental-shard8", core.MatcherIncremental, 8},
+	}
 	for _, sc := range AllScenarios() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
@@ -75,12 +83,12 @@ func TestConformanceScenarios(t *testing.T) {
 			if base == "" {
 				t.Fatal("baseline produced an empty summary")
 			}
-			for _, m := range matchers {
+			for _, m := range configs {
 				for _, cond := range Conditions {
 					m, cond := m, cond
 					t.Run(m.name+"/"+cond.Name, func(t *testing.T) {
 						t.Parallel()
-						got, err := RunScenario(sc, m.mode, cond.Sched)
+						got, err := RunScenarioSharded(sc, m.mode, cond.Sched, m.shards)
 						if err != nil {
 							t.Fatalf("run: %v", err)
 						}

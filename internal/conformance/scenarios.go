@@ -146,8 +146,9 @@ var Scenarios = []Scenario{
 
 // FanInScenario needs two sessions, so it lives outside the table shape:
 // a talker that must win the ExpectAny race and a silent bystander.
-func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool) (string, error) {
+func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler *core.Scheduler) (string, error) {
 	cfg := scenarioConfig(m, sched, clean)
+	cfg.Sched = scheduler
 	talker, err := core.SpawnProgram(cfg, "talker",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "ok ready\n")
@@ -184,8 +185,9 @@ func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool) (string, 
 
 // runInteract checks the pass-through loop: scripted keystrokes flow to
 // an echo child, its replies flow back, and its exit ends the session.
-func runInteract(m core.MatcherMode, sched faultify.Schedule, clean bool) (string, error) {
+func runInteract(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler *core.Scheduler) (string, error) {
 	cfg := scenarioConfig(m, sched, clean)
+	cfg.Sched = scheduler
 	s, err := core.SpawnProgram(cfg, "echo",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "shell> ")
@@ -229,15 +231,29 @@ func scenarioConfig(m core.MatcherMode, sched faultify.Schedule, clean bool) *co
 	return cfg
 }
 
-// RunScenario executes one table scenario for a matcher/schedule cell.
+// RunScenario executes one table scenario for a matcher/schedule cell
+// with the per-session pump baseline.
 func RunScenario(sc Scenario, m core.MatcherMode, sched faultify.Schedule) (string, error) {
+	return RunScenarioSharded(sc, m, sched, 0)
+}
+
+// RunScenarioSharded is RunScenario with the session(s) owned by a
+// sharded scheduler of the given size (0 = pump baseline). The summary
+// must be identical either way — scheduling is not an observable.
+func RunScenarioSharded(sc Scenario, m core.MatcherMode, sched faultify.Schedule, shards int) (string, error) {
+	var scheduler *core.Scheduler
+	if shards > 0 {
+		scheduler = core.NewScheduler(core.SchedulerOptions{Shards: shards})
+		defer scheduler.Stop()
+	}
 	switch sc.Name {
 	case "fan-in":
-		return runFanIn(m, sched, sched.Clean())
+		return runFanIn(m, sched, sched.Clean(), scheduler)
 	case "interact-passthrough":
-		return runInteract(m, sched, sched.Clean())
+		return runInteract(m, sched, sched.Clean(), scheduler)
 	}
 	cfg := scenarioConfig(m, sched, sched.Clean())
+	cfg.Sched = scheduler
 	s, err := core.SpawnProgram(cfg, sc.Name, sc.Program)
 	if err != nil {
 		return "", err

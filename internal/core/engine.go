@@ -46,6 +46,8 @@ type Engine struct {
 	childTap  func(seq int, name string) io.Writer
 	spawnWrap func(io.ReadWriteCloser) io.ReadWriteCloser
 	spawnSeq  int
+	// sched owns spawned sessions when EngineOptions.Shards > 0.
+	sched *Scheduler
 
 	exitCode   int
 	exitCalled bool
@@ -82,6 +84,11 @@ type EngineOptions struct {
 	// (proc.Options.WrapTransport) — the engine-level entry point for
 	// fault injection (internal/faultify).
 	SpawnWrap func(rw io.ReadWriteCloser) io.ReadWriteCloser
+	// Shards, when > 0, runs spawned sessions on a sharded scheduler with
+	// that many event loops instead of one pump goroutine per session
+	// (shard.go). The user session always stays pump-driven: it wraps the
+	// caller's terminal, whose reads must be allowed to block.
+	Shards int
 }
 
 // NewEngine builds an engine with a fresh interpreter and the expect
@@ -119,6 +126,9 @@ func NewEngine(opt EngineOptions) *Engine {
 		// report that says "timed out" and one that shows the dialogue.
 		e.rec = trace.New(0)
 		e.rec.SetRecording(true)
+	}
+	if opt.Shards > 0 {
+		e.sched = NewScheduler(SchedulerOptions{Shards: opt.Shards})
 	}
 	e.Interp.Stdout = e.userOut
 	// Every Tcl command dispatch feeds the eval latency histogram and, when
@@ -172,6 +182,7 @@ func (e *Engine) sessionConfig(name string, id int) *Config {
 		Logger:   e.logSink(tap),
 		Rec:      e.rec,
 		SID:      int32(id),
+		Sched:    e.sched,
 		SpawnOptions: proc.Options{
 			WrapTransport: e.spawnWrap,
 			Rec:           e.rec,
@@ -359,7 +370,8 @@ func (e *Engine) RunFile(path string) (string, error) {
 // was never called) and whether exit was called.
 func (e *Engine) ExitCode() (int, bool) { return e.exitCode, e.exitCalled }
 
-// Shutdown closes every live session and the log file.
+// Shutdown closes every live session, stops the sharded scheduler (if
+// any), and closes the log file.
 func (e *Engine) Shutdown() {
 	e.mu.Lock()
 	sessions := make([]*Session, 0, len(e.sessions))
@@ -371,6 +383,9 @@ func (e *Engine) Shutdown() {
 	for _, s := range sessions {
 		s.Close()
 	}
+	if e.sched != nil {
+		e.sched.Stop()
+	}
 	e.logMu.Lock()
 	if e.logFile != nil {
 		e.logFile.Close()
@@ -378,6 +393,10 @@ func (e *Engine) Shutdown() {
 	}
 	e.logMu.Unlock()
 }
+
+// Scheduler returns the engine's sharded scheduler, or nil when sessions
+// are pump-driven.
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
 
 // SetLogUser flips the log_user state (what the user sees of the ongoing
 // dialogue, §3.3).

@@ -114,15 +114,75 @@ func (s *Session) ExpectMatch(glob string) (*MatchResult, error) {
 // includes TimeoutCase or EOFCase, in which case they complete normally
 // with the corresponding case index.
 func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, error) {
-	start := time.Now()
-	var deadline time.Time
-	if d >= 0 {
-		deadline = start.Add(d)
+	op := s.newExpectOp(d, cases)
+	if sh := s.shard; sh != nil {
+		return sh.runExpect(op)
 	}
-	// Compile the case patterns once; the per-wakeup loop below only runs
-	// compiled programs over buffer bytes.
-	prepareCases(cases, s.prof)
 
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		res, err, done := op.stepLocked(time.Now())
+		if done {
+			return res, err
+		}
+		// Nothing matched and the stream is live: wait for more output.
+		var remaining time.Duration
+		if !op.deadline.IsZero() {
+			remaining = time.Until(op.deadline)
+			if remaining <= 0 {
+				// The deadline slipped past between the step's timestamp and
+				// here; go around so the step resolves the timeout.
+				continue
+			}
+		}
+		s.waitLocked(remaining)
+	}
+}
+
+// expectOutcome carries a resolved expect across the shard boundary.
+type expectOutcome struct {
+	res *MatchResult
+	err error
+}
+
+// expectOp is one in-flight Expect call in step form. The classic path
+// drives it from a cond-wait loop; a shard event loop drives it from
+// ingest and timer events. Either way every attempt runs stepLocked, so
+// the two schedulers cannot drift semantically.
+type expectOp struct {
+	s           *Session
+	cases       []Case
+	start       time.Time
+	deadline    time.Time // zero = wait forever
+	incremental bool
+
+	// Lazily initialized by the first step (under s.mu): incremental NFA
+	// construction and the feed/read-to-wakeup high-water marks.
+	inited   bool
+	fed      int64 // totalSeen high-water mark already fed to matchers
+	seenMark int64 // output this call has reacted to (latency histogram)
+
+	// Sharded-delivery state, owned by the shard loop.
+	ch       chan expectOutcome
+	resolved bool
+	timed    bool // sitting in the shard's timer heap
+}
+
+// newExpectOp compiles the case patterns once and records the expect
+// event; the per-wakeup steps only run compiled programs over buffer
+// bytes.
+func (s *Session) newExpectOp(d time.Duration, cases []Case) *expectOp {
+	op := &expectOp{
+		s:           s,
+		cases:       cases,
+		start:       time.Now(),
+		incremental: s.matcher == MatcherIncremental,
+	}
+	if d >= 0 {
+		op.deadline = op.start.Add(d)
+	}
+	prepareCases(cases, s.prof)
 	if s.rec.On() {
 		t := int64(-1)
 		if d >= 0 {
@@ -130,146 +190,142 @@ func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, e
 		}
 		s.rec.Record(trace.KindExpect, s.sid, int64(len(cases)), t, false, "", "")
 	}
+	return op
+}
 
-	// Compile incremental matchers when enabled: one per glob case,
-	// carrying NFA state across wakeups so nothing is rescanned.
-	incremental := s.matcher == MatcherIncremental
-	var fed int64 // totalSeen high-water mark already fed to matchers
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	if incremental {
-		for i := range cases {
-			if cases[i].Kind == CaseGlob {
-				cases[i].inc = pattern.NewIncremental(cases[i].Pattern)
+// stepLocked runs one match attempt: feed fresh bytes to incremental
+// matchers, scan the cases, then resolve EOF or a passed deadline. It
+// returns done=false when the stream is live, nothing matched, and the
+// deadline (if any) is still ahead of now. The caller holds s.mu.
+func (op *expectOp) stepLocked(now time.Time) (*MatchResult, error, bool) {
+	s := op.s
+	if !op.inited {
+		op.inited = true
+		if op.incremental {
+			// One incremental matcher per glob case, carrying NFA state
+			// across wakeups so nothing is rescanned.
+			for i := range op.cases {
+				if op.cases[i].Kind == CaseGlob {
+					op.cases[i].inc = pattern.NewIncremental(op.cases[i].Pattern)
+				}
 			}
+			op.fed = s.totalSeen - int64(s.mb.length())
 		}
-		fed = s.totalSeen - int64(s.mb.length())
+		op.seenMark = s.totalSeen
+	}
+	cases := op.cases
+
+	var wake time.Time
+	if s.prof != nil {
+		wake = now
+		if s.totalSeen > op.seenMark && !s.lastRead.IsZero() {
+			s.prof.Observe(metrics.HistReadToWakeup, wake.Sub(s.lastRead))
+		}
+		op.seenMark = s.totalSeen
 	}
 
-	// seenMark tracks how much output this call has already reacted to, for
-	// the read-to-wakeup latency histogram.
-	seenMark := s.totalSeen
-
-	for {
-		var wake time.Time
-		if s.prof != nil {
-			wake = time.Now()
-			if s.totalSeen > seenMark && !s.lastRead.IsZero() {
-				s.prof.Observe(metrics.HistReadToWakeup, wake.Sub(s.lastRead))
-			}
-			seenMark = s.totalSeen
+	buf := s.mb.bytes()
+	if op.incremental {
+		// Feed only bytes not yet seen by the matchers. If match_max
+		// trimming outran the feed (a torrent arrived in one read),
+		// the skipped bytes are exactly the ones the engine forgot.
+		delta := s.totalSeen - op.fed
+		if delta > int64(len(buf)) {
+			delta = int64(len(buf))
 		}
-
-		buf := s.mb.bytes()
-		if incremental {
-			// Feed only bytes not yet seen by the matchers. If match_max
-			// trimming outran the feed (a torrent arrived in one read),
-			// the skipped bytes are exactly the ones the engine forgot.
-			delta := s.totalSeen - fed
-			if delta > int64(len(buf)) {
-				delta = int64(len(buf))
-			}
-			if delta > 0 {
-				fresh := buf[int64(len(buf))-delta:]
-				stop := s.prof.Start(metrics.PhaseMatch)
-				for i := range cases {
-					if cases[i].inc != nil {
-						cases[i].inc.Feed(fresh)
-					}
+		if delta > 0 {
+			fresh := buf[int64(len(buf))-delta:]
+			stop := s.prof.Start(metrics.PhaseMatch)
+			for i := range cases {
+				if cases[i].inc != nil {
+					cases[i].inc.Feed(fresh)
 				}
-				stop()
-				fed = s.totalSeen
 			}
+			stop()
+			op.fed = s.totalSeen
 		}
+	}
 
-		// Scan cases in order against the buffered output. The traced
-		// variant records one attempt event per case; the untraced one is
-		// the allocation-free fast path.
-		stop := s.prof.Start(metrics.PhaseMatch)
-		var idx, consumed int
+	// Scan cases in order against the buffered output. The traced
+	// variant records one attempt event per case; the untraced one is
+	// the allocation-free fast path.
+	stop := s.prof.Start(metrics.PhaseMatch)
+	var idx, consumed int
+	if s.rec.On() {
+		idx, consumed = s.scanCasesTraced(buf, cases, op.incremental)
+	} else {
+		idx, consumed = scanCases(buf, cases, op.incremental)
+	}
+	stop()
+	if s.prof != nil {
+		s.prof.Observe(metrics.HistWakeupToMatch, time.Since(wake))
+	}
+	if idx >= 0 {
+		text := string(buf[:consumed])
+		s.mb.consume(consumed)
 		if s.rec.On() {
-			idx, consumed = s.scanCasesTraced(buf, cases, incremental)
-		} else {
-			idx, consumed = scanCases(buf, cases, incremental)
+			s.rec.RecordBytes(trace.KindMatch, s.sid, int64(idx), int64(consumed), true, buf[:consumed], nil)
 		}
-		stop()
-		if s.prof != nil {
-			s.prof.Observe(metrics.HistWakeupToMatch, time.Since(wake))
-		}
-		if idx >= 0 {
-			text := string(buf[:consumed])
-			s.mb.consume(consumed)
-			if s.rec.On() {
-				s.rec.RecordBytes(trace.KindMatch, s.sid, int64(idx), int64(consumed), true, buf[:consumed], nil)
-			}
-			return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil
-		}
-
-		if s.eof {
-			text := string(buf)
-			for i, c := range cases {
-				if c.Kind == CaseEOF {
-					s.mb.reset()
-					if s.rec.On() {
-						s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, true, tailString(buf, trace.TextCap), "")
-					}
-					return &MatchResult{Index: i, Case: c, Text: text, Eof: true}, nil
-				}
-			}
-			readErr := s.readErr
-			if s.rec.On() {
-				aux := ""
-				if readErr != nil {
-					aux = readErr.Error()
-				}
-				s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, false, tailString(buf, trace.TextCap), aux)
-			}
-			return &MatchResult{Index: -1, Text: text, Eof: true}, &ExpectError{
-				Err:        ErrEOF,
-				Name:       s.name,
-				SID:        s.sid,
-				Elapsed:    time.Since(start),
-				BufferLen:  len(buf),
-				BufferTail: tailString(buf, tailBytes),
-				ReadErr:    readErr,
-				Dump:       s.rec.Dump(dumpEvents),
-			}
-		}
-
-		// Nothing matched and the stream is live: wait for more output.
-		var remaining time.Duration
-		if !deadline.IsZero() {
-			remaining = time.Until(deadline)
-			if remaining <= 0 {
-				buf := s.mb.bytes()
-				text := string(buf)
-				elapsed := time.Since(start)
-				for i, c := range cases {
-					if c.Kind == CaseTimeout {
-						if s.rec.On() {
-							s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), true, tailString(buf, trace.TextCap), "")
-						}
-						return &MatchResult{Index: i, Case: c, Text: text, TimedOut: true}, nil
-					}
-				}
-				if s.rec.On() {
-					s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), false, tailString(buf, trace.TextCap), "")
-				}
-				return &MatchResult{Index: -1, Text: text, TimedOut: true}, &ExpectError{
-					Err:        ErrTimeout,
-					Name:       s.name,
-					SID:        s.sid,
-					Elapsed:    elapsed,
-					BufferLen:  len(buf),
-					BufferTail: tailString(buf, tailBytes),
-					Dump:       s.rec.Dump(dumpEvents),
-				}
-			}
-		}
-		s.waitLocked(remaining)
+		return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil, true
 	}
+
+	if s.eof {
+		text := string(buf)
+		for i, c := range cases {
+			if c.Kind == CaseEOF {
+				s.mb.reset()
+				if s.rec.On() {
+					s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, true, tailString(buf, trace.TextCap), "")
+				}
+				return &MatchResult{Index: i, Case: c, Text: text, Eof: true}, nil, true
+			}
+		}
+		readErr := s.readErr
+		if s.rec.On() {
+			aux := ""
+			if readErr != nil {
+				aux = readErr.Error()
+			}
+			s.rec.Record(trace.KindEOF, s.sid, int64(len(buf)), 0, false, tailString(buf, trace.TextCap), aux)
+		}
+		return &MatchResult{Index: -1, Text: text, Eof: true}, &ExpectError{
+			Err:        ErrEOF,
+			Name:       s.name,
+			SID:        s.sid,
+			Elapsed:    time.Since(op.start),
+			BufferLen:  len(buf),
+			BufferTail: tailString(buf, tailBytes),
+			ReadErr:    readErr,
+			Dump:       s.rec.Dump(dumpEvents),
+		}, true
+	}
+
+	if !op.deadline.IsZero() && !now.Before(op.deadline) {
+		text := string(buf)
+		elapsed := time.Since(op.start)
+		for i, c := range cases {
+			if c.Kind == CaseTimeout {
+				if s.rec.On() {
+					s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), true, tailString(buf, trace.TextCap), "")
+				}
+				return &MatchResult{Index: i, Case: c, Text: text, TimedOut: true}, nil, true
+			}
+		}
+		if s.rec.On() {
+			s.rec.Record(trace.KindTimeout, s.sid, int64(len(buf)), int64(elapsed), false, tailString(buf, trace.TextCap), "")
+		}
+		return &MatchResult{Index: -1, Text: text, TimedOut: true}, &ExpectError{
+			Err:        ErrTimeout,
+			Name:       s.name,
+			SID:        s.sid,
+			Elapsed:    elapsed,
+			BufferLen:  len(buf),
+			BufferTail: tailString(buf, tailBytes),
+			Dump:       s.rec.Dump(dumpEvents),
+		}, true
+	}
+
+	return nil, nil, false
 }
 
 // scanCases checks prepared cases in order against buf; it returns the

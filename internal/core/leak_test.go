@@ -3,9 +3,10 @@ package core
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // TestSessionChurnDoesNotLeakGoroutines spawns and closes many sessions
@@ -13,8 +14,7 @@ import (
 // engine's entire concurrency budget (§7.2); leaks would make long-lived
 // scripts (the paper's nightly mail checks) accumulate threads.
 func TestSessionChurnDoesNotLeakGoroutines(t *testing.T) {
-	runtime.GC()
-	before := runtime.NumGoroutine()
+	defer testutil.LeakCheck(t, 10, 5*time.Second)()
 	const churn = 300
 	for i := 0; i < churn; i++ {
 		s, err := SpawnProgram(nil, fmt.Sprintf("p%d", i), func(stdin io.Reader, stdout io.Writer) error {
@@ -31,16 +31,6 @@ func TestSessionChurnDoesNotLeakGoroutines(t *testing.T) {
 		s.Close()
 		s.WaitPumpDrained()
 	}
-	// Allow stragglers (program goroutines finishing) to unwind.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		runtime.GC()
-		if runtime.NumGoroutine() <= before+10 {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
 // TestSelectWatcherCleanup verifies Select unregisters its wakeup channel.

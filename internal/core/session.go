@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -72,6 +73,11 @@ type Config struct {
 	// SID tags the session's flight-recorder events; the engine sets it to
 	// the spawn id so recordings read in script terms (-1 = no id).
 	SID int32
+	// Sched, when non-nil, hands the session to a sharded scheduler: one
+	// of its event loops owns the read side instead of a per-session pump
+	// goroutine (see shard.go). Raw-stream sessions (no process) always
+	// keep a pump.
+	Sched *Scheduler
 	// Spawn options passed through to the transport layer.
 	SpawnOptions proc.Options
 }
@@ -118,6 +124,21 @@ type Session struct {
 	lastRead time.Time
 
 	pumpDone chan struct{}
+	pumpOnce sync.Once
+
+	// Sharded-scheduler state (nil/zero for pump-driven sessions): the
+	// owning shard, the hash key it was assigned with, and the ingest
+	// flags its loop coordinates on.
+	shard      *shard
+	shardKey   uint64
+	notifyMode bool
+	inDirty    atomic.Bool
+	shardEOF   atomic.Bool
+	// stepPending is owned by the shard loop: set when a feeder chunk
+	// arrives mid-batch, cleared when the post-batch sweep steps the
+	// session. It coalesces match attempts to one per ingest batch, the
+	// same granularity the pump's wakeup gives the classic cond-wait path.
+	stepPending bool
 }
 
 // ErrTimeout is returned by Expect when no pattern matched in time and no
@@ -210,8 +231,22 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 		}
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg != nil && cfg.Sched != nil && p != nil {
+		if cfg.Sched.adopt(s) != nil {
+			return s
+		}
+	}
 	go s.pump()
 	return s
+}
+
+// ShardIndex returns the shard that owns this session, or -1 for
+// pump-driven sessions.
+func (s *Session) ShardIndex() int {
+	if s.shard == nil {
+		return -1
+	}
+	return s.shard.idx
 }
 
 // isTransient reports whether a read/write error is a retryable transient
@@ -229,55 +264,78 @@ func isTransient(err error) bool {
 }
 
 // pump moves child output into the match buffer, enforcing match_max and
-// waking waiters. One pump goroutine per session is the whole of the
-// engine's concurrency — the dialogue logic itself stays single-threaded,
-// like the original select-loop implementation (§7.2).
+// waking waiters. One pump goroutine per session is the classic
+// concurrency model — the dialogue logic itself stays single-threaded,
+// like the original select-loop implementation (§7.2). Sessions created
+// with Config.Sched skip the pump entirely: a shard event loop performs
+// the same applyChunk/applyEOF sequence (shard.go).
 func (s *Session) pump() {
-	defer close(s.pumpDone)
+	defer s.closePumpDone()
 	chunk := make([]byte, 4096)
 	for {
 		stop := s.prof.Start(metrics.PhaseIO)
 		n, err := s.rw.Read(chunk)
 		stop()
 		if n > 0 {
-			if s.logger != nil {
-				s.logger(chunk[:n])
-			}
-			if s.screen != nil {
-				s.screen.Write(chunk[:n])
-			}
-			s.mu.Lock()
-			s.totalSeen += int64(n)
-			// Forgetting per §3.1 happens inside appendData in O(1).
-			forgot := int64(s.mb.appendData(chunk[:n]))
-			s.forgotten += forgot
-			if s.prof != nil || s.rec.On() {
-				s.lastRead = time.Now()
-			}
-			if s.rec.On() {
-				s.rec.RecordBytes(trace.KindRead, s.sid, int64(n), s.totalSeen, false, chunk[:n], nil)
-				if forgot > 0 {
-					s.rec.Record(trace.KindForget, s.sid, forgot, s.forgotten, false, "", "")
-				}
-			}
-			s.notifyLocked()
-			s.mu.Unlock()
+			s.applyChunk(chunk[:n])
 		}
 		if err != nil {
 			if isTransient(err) {
 				// A transient fault, not a hangup: retry the read.
 				continue
 			}
-			s.mu.Lock()
-			s.eof = true
-			if err != io.EOF {
-				s.readErr = err
-			}
-			s.notifyLocked()
-			s.mu.Unlock()
+			s.applyEOF(err)
 			return
 		}
 	}
+}
+
+// applyChunk is the single ingest path shared by the pump and the shard
+// loops: tap loggers and the screen, append under the match_max bound,
+// record, and wake every waiter.
+func (s *Session) applyChunk(chunk []byte) {
+	n := len(chunk)
+	if s.logger != nil {
+		s.logger(chunk)
+	}
+	if s.screen != nil {
+		s.screen.Write(chunk)
+	}
+	s.mu.Lock()
+	s.totalSeen += int64(n)
+	// Forgetting per §3.1 happens inside appendData in O(1).
+	forgot := int64(s.mb.appendData(chunk))
+	s.forgotten += forgot
+	if s.prof != nil || s.rec.On() {
+		s.lastRead = time.Now()
+	}
+	if s.rec.On() {
+		s.rec.RecordBytes(trace.KindRead, s.sid, int64(n), s.totalSeen, false, chunk, nil)
+		if forgot > 0 {
+			s.rec.Record(trace.KindForget, s.sid, forgot, s.forgotten, false, "", "")
+		}
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// applyEOF marks the stream finished and wakes every waiter; a nil or
+// io.EOF err is a clean hangup, anything else is preserved for the
+// ExpectError report.
+func (s *Session) applyEOF(err error) {
+	s.mu.Lock()
+	s.eof = true
+	if err != nil && err != io.EOF {
+		s.readErr = err
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+}
+
+// closePumpDone releases WaitPumpDrained exactly once, whether the pump
+// or the owning shard observed EOF.
+func (s *Session) closePumpDone() {
+	s.pumpOnce.Do(func() { close(s.pumpDone) })
 }
 
 func (s *Session) notifyLocked() {

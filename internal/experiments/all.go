@@ -26,6 +26,7 @@ func All(repoRoot string) []Spec {
 		{"E13", "timeout semantics", TimeoutSemantics},
 		{"E15", "hot-path compilation caches", HotPathCaches},
 		{"E16", "flight-recorder overhead", TraceOverhead},
+		{"E17", "sharded scheduler scaling", ShardScaling},
 	}
 }
 

@@ -1,0 +1,329 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultify"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+	"repro/internal/trace"
+)
+
+// Mix weighs the dialogue kinds the seeded driver deals out. The zero
+// value means the default mix (mostly matches, a sprinkling of the
+// other three).
+type Mix struct {
+	Match    int // send a line, expect its marker
+	Timeout  int // expect a pattern that never comes, short deadline
+	EOF      int // tell the child to quit, expect EOF, respawn
+	Overflow int // blob past match_max, expect the tail marker
+}
+
+func (m Mix) total() int { return m.Match + m.Timeout + m.EOF + m.Overflow }
+
+// Config describes one workbench run. The zero value of most fields
+// picks a sensible default; Sessions is required.
+type Config struct {
+	// Sessions is K: concurrent sessions, each driven by one dialogue
+	// worker. Programs are dealt round-robin: echo server, slow talker,
+	// bursty logger, flaky child (echo behind a faultify cut).
+	Sessions int
+	// Dialogues is the per-session dialogue count. Ignored when Duration
+	// is set; defaults to 10.
+	Dialogues int
+	// Duration switches to soak mode: workers loop until the deadline
+	// instead of counting dialogues.
+	Duration time.Duration
+	// Shards > 0 runs sessions under a sharded scheduler with that many
+	// event loops; 0 keeps the per-session pump goroutine baseline.
+	Shards int
+	// Matcher selects rescan or incremental matching for every session.
+	Matcher core.MatcherMode
+	// Seed makes the dialogue mix reproducible. Same seed, same schedule
+	// of kinds per worker, whatever the shard count.
+	Seed uint64
+	// Mix weighs the dialogue kinds; zero value = default mix.
+	Mix Mix
+	// Probe is the deadline for timeout dialogues (default 2ms) — short,
+	// because every one of them rides it out in full.
+	Probe time.Duration
+	// MatchMax bounds the match buffer (0 = engine default). Overflow
+	// dialogues blob past twice this.
+	MatchMax int
+	// CutAfterBytes is the flaky child's faultify budget: its transport
+	// delivers this many bytes per incarnation, then EOFs (default 1024).
+	CutAfterBytes int64
+	// Prof, when non-nil, receives the engine's phase timings and the
+	// wakeup-to-match histogram; nil allocates a private one.
+	Prof *metrics.Profiler
+	// Rec, when non-nil, supplies per-shard flight recorders (only
+	// meaningful with Shards > 0).
+	Rec func(shard int) *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dialogues <= 0 && c.Duration <= 0 {
+		c.Dialogues = 10
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = Mix{Match: 12, Timeout: 2, EOF: 1, Overflow: 1}
+	}
+	if c.Probe <= 0 {
+		c.Probe = 2 * time.Millisecond
+	}
+	if c.CutAfterBytes <= 0 {
+		c.CutAfterBytes = 1024
+	}
+	if c.Prof == nil {
+		c.Prof = metrics.NewProfiler()
+	}
+	return c
+}
+
+// Result is the workbench report. Every dialogue started lands in
+// exactly one of Matches, Timeouts, or EOFs (the conservation law the
+// property test pins); Overflows counts dialogues that additionally
+// forced the match buffer to forget, and Errors counts dialogues that
+// failed outright (always zero on a healthy engine).
+type Result struct {
+	Sessions  int
+	Shards    int
+	Dialogues int64
+	Matches   int64
+	Timeouts  int64
+	EOFs      int64
+	Overflows int64
+	Errors    int64
+
+	Elapsed         time.Duration
+	DialoguesPerSec float64
+
+	// QueueDepthPeak is the high-water mark of each shard's ingest queue
+	// (nil for the pump baseline). Dropped counts events the scheduler
+	// had to discard — zero on any clean run.
+	QueueDepthPeak []int
+	Dropped        uint64
+
+	// Wakeup is the engine's wakeup-to-match latency distribution;
+	// Dialogue is end-to-end per-dialogue latency as the driver saw it.
+	Wakeup   metrics.HistSummary
+	Dialogue metrics.HistSummary
+}
+
+// counters is the workers' shared scoreboard.
+type counters struct {
+	dialogues, matches, timeouts, eofs, overflows, errors atomic.Int64
+}
+
+// worker drives one session through its dialogue schedule, respawning
+// after every EOF (deliberate or flaky).
+type worker struct {
+	id   int
+	cfg  *Config
+	sc   *core.Scheduler
+	rng  *rand.Rand
+	s    *core.Session
+	gen  int // respawn generation, keeps flaky seeds distinct
+	tall *counters
+	hist *metrics.Histogram
+}
+
+// respawn replaces w.s with a fresh incarnation of the worker's program.
+func (w *worker) respawn() error {
+	if w.s != nil {
+		w.s.Close()
+		w.s.WaitPumpDrained()
+	}
+	w.gen++
+	cfg := &core.Config{
+		Matcher:  w.cfg.Matcher,
+		MatchMax: w.cfg.MatchMax,
+		Prof:     w.cfg.Prof,
+		Sched:    w.sc,
+		SID:      int32(w.id),
+	}
+	var program proc.Program
+	name := ""
+	switch w.id % 4 {
+	case 0:
+		name, program = "echo", EchoServer()
+	case 1:
+		name, program = "slow", SlowTalker(100*time.Microsecond)
+	case 2:
+		name, program = "bursty", BurstyLogger(8)
+	case 3:
+		name, program = "flaky", EchoServer()
+		cut := faultify.Schedule{
+			Seed:          w.cfg.Seed ^ uint64(w.id)<<20 ^ uint64(w.gen),
+			CutAfterBytes: w.cfg.CutAfterBytes,
+		}
+		cfg.SpawnOptions.WrapTransport = faultify.Wrapper(cut, nil)
+	}
+	s, err := core.SpawnProgram(cfg, fmt.Sprintf("%s-%d.%d", name, w.id, w.gen), program)
+	if err != nil {
+		return err
+	}
+	w.s = s
+	return nil
+}
+
+// dialogue runs one exchange and scores it. The cases always include
+// timeout and EOF, so every outcome comes back as a result, not an
+// error; errors mean the engine itself misbehaved.
+func (w *worker) dialogue(n int64) {
+	w.tall.dialogues.Add(1)
+	kind := w.pickKind()
+	start := time.Now()
+	forgotBefore := w.s.Forgotten()
+
+	var (
+		deadline time.Duration
+		pattern  string
+	)
+	switch kind {
+	case "match":
+		pattern = fmt.Sprintf("m%d", n)
+		w.s.Send(pattern + "\n")
+		deadline = 30 * time.Second
+	case "timeout":
+		pattern = "pattern-that-never-arrives"
+		deadline = w.cfg.Probe
+	case "eof":
+		w.s.Send("quit\n")
+		pattern = "pattern-that-never-arrives"
+		deadline = 30 * time.Second
+	case "overflow":
+		max := w.cfg.MatchMax
+		if max <= 0 {
+			max = core.DefaultMatchMax
+		}
+		w.s.Send(fmt.Sprintf("blob %d\n", 2*max))
+		pattern = "blob"
+		deadline = 30 * time.Second
+	}
+
+	res, err := w.s.ExpectTimeout(deadline,
+		core.Exact("echo:"+pattern+"\n"), core.TimeoutCase(), core.EOFCase())
+	w.hist.Observe(time.Since(start))
+	if err != nil {
+		w.tall.errors.Add(1)
+		w.respawn()
+		return
+	}
+	switch {
+	case res.Eof:
+		w.tall.eofs.Add(1)
+		w.respawn()
+	case res.TimedOut:
+		w.tall.timeouts.Add(1)
+	default:
+		w.tall.matches.Add(1)
+	}
+	if w.s.Forgotten() > forgotBefore {
+		w.tall.overflows.Add(1)
+	}
+}
+
+func (w *worker) pickKind() string {
+	r := w.rng.Intn(w.cfg.Mix.total())
+	if r -= w.cfg.Mix.Match; r < 0 {
+		return "match"
+	}
+	if r -= w.cfg.Mix.Timeout; r < 0 {
+		return "timeout"
+	}
+	if r -= w.cfg.Mix.EOF; r < 0 {
+		return "eof"
+	}
+	return "overflow"
+}
+
+// Run executes one workbench configuration: spawn all K sessions (the
+// barrier keeps spawn cost out of the dialogue clock), run the dialogue
+// phase, tear everything down, and report.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Sessions <= 0 {
+		return nil, fmt.Errorf("load: Sessions must be positive, got %d", cfg.Sessions)
+	}
+	cfg = cfg.withDefaults()
+
+	var sc *core.Scheduler
+	if cfg.Shards > 0 {
+		sc = core.NewScheduler(core.SchedulerOptions{Shards: cfg.Shards, Rec: cfg.Rec})
+	}
+	tall := &counters{}
+	dialHist := metrics.NewHistogram()
+
+	workers := make([]*worker, cfg.Sessions)
+	for i := range workers {
+		workers[i] = &worker{
+			id:   i,
+			cfg:  &cfg,
+			sc:   sc,
+			rng:  rand.New(rand.NewSource(int64(cfg.Seed) + int64(i)*0x9e3779b9)),
+			tall: tall,
+			hist: dialHist,
+		}
+		if err := workers[i].respawn(); err != nil {
+			return nil, fmt.Errorf("load: spawn session %d: %w", i, err)
+		}
+	}
+
+	start := time.Now()
+	var end time.Time
+	if cfg.Duration > 0 {
+		end = start.Add(cfg.Duration)
+	}
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for n := int64(0); ; n++ {
+				if end.IsZero() {
+					if n >= int64(cfg.Dialogues) {
+						return
+					}
+				} else if !time.Now().Before(end) {
+					return
+				}
+				w.dialogue(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, w := range workers {
+		w.s.Close()
+		w.s.WaitPumpDrained()
+	}
+
+	res := &Result{
+		Sessions:  cfg.Sessions,
+		Shards:    cfg.Shards,
+		Dialogues: tall.dialogues.Load(),
+		Matches:   tall.matches.Load(),
+		Timeouts:  tall.timeouts.Load(),
+		EOFs:      tall.eofs.Load(),
+		Overflows: tall.overflows.Load(),
+		Errors:    tall.errors.Load(),
+		Elapsed:   elapsed,
+		Wakeup:    cfg.Prof.Hist(metrics.HistWakeupToMatch).Summary("wakeup_to_match"),
+		Dialogue:  dialHist.Summary("dialogue"),
+	}
+	if elapsed > 0 {
+		res.DialoguesPerSec = float64(res.Dialogues) / elapsed.Seconds()
+	}
+	if sc != nil {
+		sc.Stop()
+		res.QueueDepthPeak = sc.PeakQueueDepths()
+		res.Dropped = sc.Dropped()
+	}
+	return res, nil
+}

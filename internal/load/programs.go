@@ -1,0 +1,101 @@
+// Package load is the deterministic load/soak workbench: it spawns K
+// in-process virtual programs and drives M concurrent expect dialogues
+// against them with a seeded mix of matches, timeouts, EOFs, and
+// match_max overflows, reporting throughput and latency through the
+// engine's own metrics histograms. It exists to answer the scaling
+// question the sharded scheduler (internal/core/shard.go) was built
+// for: what happens at 10k sessions?
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// All workbench programs speak the same line protocol so the dialogue
+// driver is uniform across them:
+//
+//	<line>      → program-specific chatter, then "echo:<line>\n"
+//	blob <n>    → n bytes of filler, then "echo:blob\n" (match_max overflow)
+//	quit        → exit (clean EOF)
+//
+// The reply marker always arrives last, so a dialogue is "send line,
+// expect marker" regardless of which program is on the other end.
+
+// serve runs the shared command loop. chatter, when non-nil, writes the
+// program's personality (delays, bursts) before each marker.
+func serve(stdin io.Reader, stdout io.Writer, chatter func(w io.Writer, line string)) error {
+	sc := bufio.NewScanner(stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "quit":
+			return nil
+		case strings.HasPrefix(line, "blob "):
+			n, _ := strconv.Atoi(strings.TrimPrefix(line, "blob "))
+			writeFiller(stdout, n)
+			fmt.Fprint(stdout, "echo:blob\n")
+		default:
+			if chatter != nil {
+				chatter(stdout, line)
+			}
+			fmt.Fprintf(stdout, "echo:%s\n", line)
+		}
+	}
+	return nil
+}
+
+func writeFiller(w io.Writer, n int) {
+	const chunk = 512
+	buf := make([]byte, chunk)
+	for i := range buf {
+		buf[i] = 'x'
+	}
+	for n > 0 {
+		c := chunk
+		if n < c {
+			c = n
+		}
+		w.Write(buf[:c])
+		n -= c
+	}
+	io.WriteString(w, "\n")
+}
+
+// EchoServer replies immediately — the fastest talker, it measures pure
+// engine overhead.
+func EchoServer() proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		return serve(stdin, stdout, nil)
+	}
+}
+
+// SlowTalker sleeps interval before each reply, modelling a remote that
+// keeps sessions parked on their timers.
+func SlowTalker(interval time.Duration) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		return serve(stdin, stdout, func(io.Writer, string) {
+			time.Sleep(interval)
+		})
+	}
+}
+
+// BurstyLogger writes burst log lines before every reply, modelling a
+// chatty child that floods the match buffer between markers.
+func BurstyLogger(burst int) proc.Program {
+	return func(stdin io.Reader, stdout io.Writer) error {
+		n := 0
+		return serve(stdin, stdout, func(w io.Writer, _ string) {
+			for i := 0; i < burst; i++ {
+				n++
+				fmt.Fprintf(w, "log line %d: routine event, nothing to see\n", n)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// TestSoak2kSessions is the endurance leg: 2000 sessions across 8
+// shards churning dialogues (including flaky EOFs and respawns) for a
+// sustained window, under the race detector on the soak tier. It must
+// finish with zero dialogue errors, zero scheduler drops, zero dropped
+// trace events on the per-shard recorders, and zero leaked goroutines.
+// Skipped under -short: this is the scripts/check.sh soak leg, not a
+// unit test.
+func TestSoak2kSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: skipped under -short")
+	}
+	defer testutil.LeakCheck(t, 25, 15*time.Second)()
+
+	const shards = 8
+	recs := make([]*trace.Recorder, shards)
+	res, err := Run(Config{
+		Sessions: 2000,
+		Duration: 5 * time.Second,
+		Shards:   shards,
+		Seed:     2026,
+		Rec: func(i int) *trace.Recorder {
+			recs[i] = trace.New(8192)
+			recs[i].SetRecording(true)
+			return recs[i]
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("soak: %d dialogues in %v (%.0f/sec), %d matches %d timeouts %d EOFs %d overflows, peak queue %v",
+		res.Dialogues, res.Elapsed.Round(time.Millisecond), res.DialoguesPerSec,
+		res.Matches, res.Timeouts, res.EOFs, res.Overflows, res.QueueDepthPeak)
+
+	if res.Errors != 0 {
+		t.Errorf("%d dialogue errors", res.Errors)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("scheduler dropped %d events", res.Dropped)
+	}
+	if got := res.Matches + res.Timeouts + res.EOFs; got != res.Dialogues {
+		t.Errorf("conservation broken: %d+%d+%d = %d, want %d",
+			res.Matches, res.Timeouts, res.EOFs, got, res.Dialogues)
+	}
+	if res.Dialogues < int64(res.Sessions) {
+		t.Errorf("only %d dialogues across %d sessions — workers stalled", res.Dialogues, res.Sessions)
+	}
+	for i, rec := range recs {
+		if rec == nil {
+			t.Fatalf("shard %d recorder never requested", i)
+		}
+		if rec.Total() == 0 {
+			t.Errorf("shard %d recorded no events", i)
+		}
+	}
+}

@@ -18,6 +18,11 @@ type memPipe struct {
 	max         int
 	writeClosed bool
 	readClosed  bool
+	// notify, when set, is invoked (under mu) every time bytes become
+	// readable or the pipe reaches EOF — the level-triggered doorbell the
+	// sharded scheduler polls TryRead on. The callback must be non-blocking
+	// and must not reenter the pipe.
+	notify func()
 }
 
 // errPipeClosed is returned for writes into a pipe whose read side is gone.
@@ -76,8 +81,46 @@ func (p *memPipe) Write(b []byte) (int, error) {
 		p.buf = append(p.buf, chunk...)
 		written += len(chunk)
 		p.dataReady.Broadcast()
+		// Ring per chunk, not per call: a writer parked on spaceReady with
+		// a full buffer has already made bytes readable, and a doorbell
+		// deferred to return time would deadlock reader against writer.
+		if p.notify != nil {
+			p.notify()
+		}
 	}
 	return written, nil
+}
+
+// TryRead is the non-blocking read the sharded scheduler drains pipes
+// with: ok=false means no bytes were available and no terminal condition
+// was reached (a blocking Read would have parked). At EOF it returns
+// (0, true, io.EOF).
+func (p *memPipe) TryRead(b []byte) (int, bool, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.buf) == 0 {
+		if p.writeClosed || p.readClosed {
+			return 0, true, io.EOF
+		}
+		return 0, false, nil
+	}
+	n := copy(b, p.buf)
+	p.buf = p.buf[n:]
+	if len(p.buf) == 0 {
+		p.buf = nil
+	}
+	p.spaceReady.Broadcast()
+	return n, true, nil
+}
+
+// SetReadNotify installs the readable-data doorbell. Data buffered before
+// the handler was installed does not ring it; callers must do one
+// unconditional sweep after installation or risk missing a child that
+// spoke (or hung up) first.
+func (p *memPipe) SetReadNotify(fn func()) {
+	p.mu.Lock()
+	p.notify = fn
+	p.mu.Unlock()
 }
 
 // CloseWrite signals EOF to the reader once the buffer drains.
@@ -86,6 +129,9 @@ func (p *memPipe) CloseWrite() error {
 	p.writeClosed = true
 	p.dataReady.Broadcast()
 	p.spaceReady.Broadcast()
+	if p.notify != nil {
+		p.notify()
+	}
 	p.mu.Unlock()
 	return nil
 }
@@ -97,6 +143,9 @@ func (p *memPipe) CloseRead() error {
 	p.buf = nil
 	p.dataReady.Broadcast()
 	p.spaceReady.Broadcast()
+	if p.notify != nil {
+		p.notify()
+	}
 	p.mu.Unlock()
 	return nil
 }
@@ -118,6 +167,14 @@ func NewDuplexPair(capacity int) (*Duplex, *Duplex) {
 
 func (d *Duplex) Read(b []byte) (int, error)  { return d.in.Read(b) }
 func (d *Duplex) Write(b []byte) (int, error) { return d.out.Write(b) }
+
+// TryRead non-blockingly drains this endpoint's inbound pipe (see
+// memPipe.TryRead).
+func (d *Duplex) TryRead(b []byte) (int, bool, error) { return d.in.TryRead(b) }
+
+// SetReadNotify installs the inbound-data doorbell (see
+// memPipe.SetReadNotify).
+func (d *Duplex) SetReadNotify(fn func()) { d.in.SetReadNotify(fn) }
 
 // Close shuts down both directions as seen from this endpoint: the peer
 // reads EOF, and the peer's writes start failing.

@@ -283,6 +283,44 @@ func (p *Process) Read(b []byte) (int, error) { return p.rw.Read(b) }
 // Write sends input to the child.
 func (p *Process) Write(b []byte) (int, error) { return p.rw.Write(b) }
 
+// TryReader is the non-blocking read half of an event-capable transport:
+// TryRead returns ok=false when a blocking Read would have parked, and
+// (0, true, io.EOF) once the stream is finished.
+type TryReader interface {
+	TryRead(b []byte) (n int, ok bool, err error)
+}
+
+// ReadNotifier is the doorbell half: fn is invoked whenever bytes become
+// readable or EOF is reached. fn must be non-blocking and must not call
+// back into the transport. Data present (or EOF reached) before
+// installation does not ring it.
+type ReadNotifier interface {
+	SetReadNotify(fn func())
+}
+
+// EventCapable reports whether the transport supports the non-blocking
+// TryRead + SetReadNotify pair the sharded scheduler needs to own a
+// session without a dedicated reader goroutine. Unwrapped virtual
+// transports qualify; ptys, pipes, and wrapped (fault-injected) streams
+// do not and keep a feeder.
+func (p *Process) EventCapable() bool {
+	_, tr := p.rw.(TryReader)
+	_, rn := p.rw.(ReadNotifier)
+	return tr && rn
+}
+
+// TryRead forwards to the transport's non-blocking read; callers must
+// check EventCapable first.
+func (p *Process) TryRead(b []byte) (int, bool, error) {
+	return p.rw.(TryReader).TryRead(b)
+}
+
+// SetReadNotify forwards the doorbell installation; callers must check
+// EventCapable first.
+func (p *Process) SetReadNotify(fn func()) {
+	p.rw.(ReadNotifier).SetReadNotify(fn)
+}
+
 // CloseWrite half-closes the channel toward the child when the transport
 // supports it (pipe/virtual), delivering EOF on the child's stdin. Pty
 // transports have a single bidirectional line, so CloseWrite is a no-op

@@ -1,0 +1,33 @@
+// Package testutil holds small helpers shared by tests across packages.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the goroutine count and returns a closer that fails
+// t if, after grace, the count has not settled back to within slack of
+// the snapshot. Slack absorbs runtime helpers and program goroutines
+// still unwinding; the retry loop gives them time. Use as:
+//
+//	defer testutil.LeakCheck(t, 10, 5*time.Second)()
+func LeakCheck(t *testing.T, slack int, grace time.Duration) func() {
+	t.Helper()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(grace)
+		for time.Now().Before(deadline) {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before+slack {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: before=%d after=%d (slack %d)",
+			before, runtime.NumGoroutine(), slack)
+	}
+}

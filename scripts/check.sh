@@ -18,19 +18,37 @@ go vet ./...
 go test -race -short ./...
 
 # Differential conformance: replay every shipped script and engine
-# scenario through the matcher × eval-cache × fault-schedule matrix and
+# scenario through the matcher × eval-cache × fault-schedule matrix —
+# including the sharded-scheduler variants (-shards 1 and 8) — and
 # require identical outcomes. Divergences print a seed + minimized fault
 # schedule as the repro recipe.
 go test -race -count=1 ./internal/conformance
+
+# Sharded-scheduler matrix leg: the shard unit tests plus a goexpect run
+# under -shards, proving the flag-wired path end to end.
+go test -race -count=1 -run 'Shard|Scheduler' ./internal/core
+go run ./cmd/goexpect -shards 8 -transport pipe -sims -q scripts/passwd.exp >/dev/null
+
+# Soak tier: 2000 sessions across 8 shards for 5s under the race
+# detector (halting on the first report), with leak, drop, and
+# conservation checks. Skipped from the unit tier by -short.
+GORACE=halt_on_error=1 go test -race -count=1 -run TestSoak2kSessions ./internal/load
 
 # Fuzz smoke: a short budget per differential target. The real corpora
 # live in testdata/fuzz/ and always run as plain tests above; this adds a
 # few CPU-minutes of fresh exploration to every gate.
 go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
 go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
+go test -race -fuzz=FuzzShardHash -fuzztime=10s ./internal/core
 
 # Perf snapshot + trace-overhead guard: regenerate the hot-path benchmarks
 # (E15: eval/glob/gap-buffer) and the flight-recorder overhead + latency
 # histograms (E16) into BENCH_3.json, and fail if a present-but-disabled
 # recorder costs the expect hot loop more than 2% per wakeup.
 go run ./cmd/benchreport -exp e15,e16 -json BENCH_3.json -guard 2
+
+# Shard-scaling snapshot + tail-latency guard: rerun the E17 session
+# sweep against the committed BENCH_4.json and fail if the 1k-session
+# sharded p99 wakeup-to-match latency regressed by more than 10%, then
+# refresh the snapshot.
+go run ./cmd/benchreport -exp e17 -baseline BENCH_4.json -p99guard 10 -json BENCH_4.json
