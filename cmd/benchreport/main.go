@@ -14,6 +14,9 @@
 //	benchreport -p99guard PCT   with -baseline: fail if E17's 1k-session
 //	                            sharded p99 wakeup-to-match regressed by
 //	                            more than PCT percent vs the baseline
+//	benchreport -netguard X     fail if E18's 10k-session sharded socket
+//	                            per-dialogue cost exceeds X times the
+//	                            64-session goroutine socket baseline
 package main
 
 import (
@@ -34,6 +37,7 @@ func main() {
 		guard    = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
 		baseline = flag.String("baseline", "", "committed results JSON to regression-check against")
 		p99guard = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
+		netguard = flag.Float64("netguard", 0, "fail when E18's 10k-sharded vs 64-goroutine socket per-dialogue ratio exceeds this factor (0 disables)")
 	)
 	flag.Parse()
 
@@ -110,6 +114,31 @@ func main() {
 			os.Exit(2)
 		}
 		checkP99Guard(*baseline, results, *p99guard)
+	}
+
+	if *netguard > 0 {
+		const metric = "ratio_10k_sharded_vs_64_goroutine_net"
+		guarded := false
+		for _, r := range results {
+			ratio, ok := r.Metrics[metric]
+			if !ok {
+				continue
+			}
+			guarded = true
+			if ratio > *netguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: net-scaling guard FAILED: 10k sharded socket sessions cost %.2fx the 64-session baseline (bar %.2fx)\n",
+					ratio, *netguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: net-scaling guard ok: 10k sharded socket sessions at %.2fx the 64-session baseline (bar %.2fx)\n",
+				ratio, *netguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -netguard set but E18 did not run; add e18 to -exp")
+			os.Exit(2)
+		}
 	}
 }
 

@@ -1,0 +1,128 @@
+// Command expectd is the session server: a concurrent TCP daemon that
+// serves the repo's interactive programs — the load-workbench talkers
+// and the simulated programs (login, eliza, chess) — one program
+// instance per connection, so a goexpect script can drive them remotely:
+//
+//	expectd -serve echo,login-sim &
+//	goexpect -c 'spawn -network 127.0.0.1:46000; ...'
+//
+// Each served program gets its own listener; the daemon prints one
+//
+//	expectd: serving <name> on <host:port>
+//
+// line per program (machine-parseable — E18 scrapes them) and then
+// "expectd: ready".
+//
+// Shutdown honors the netx.Server drain contract: on SIGTERM/SIGINT the
+// daemon stops accepting, lets every in-flight session run its dialogue
+// to EOF within the -grace window, and only then closes. It exits 0 only
+// when no session was cut mid-dialogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/netx"
+	"repro/internal/proc"
+	"repro/internal/programs/authsim"
+	"repro/internal/programs/chess"
+	"repro/internal/programs/eliza"
+)
+
+// registry maps servable program names to constructors. Constructed once
+// per listener; program values are instance-safe (one invocation per
+// connection), same as virtual spawns.
+func registry() map[string]func() proc.Program {
+	return map[string]func() proc.Program{
+		"echo":   func() proc.Program { return load.EchoServer() },
+		"slow":   func() proc.Program { return load.SlowTalker(100 * time.Microsecond) },
+		"bursty": func() proc.Program { return load.BurstyLogger(8) },
+		"login-sim": func() proc.Program {
+			return authsim.NewLogin(authsim.LoginConfig{
+				Accounts: map[string]string{"guest": "guest", "don": "secret"},
+			})
+		},
+		"eliza-sim": func() proc.Program { return eliza.New(eliza.Config{}) },
+		"chess-sim": func() proc.Program { return chess.New(chess.Config{EngineSide: chess.Black}) },
+	}
+}
+
+func main() {
+	var (
+		serveList = flag.String("serve", "echo,slow,bursty,login-sim,eliza-sim,chess-sim",
+			"comma-separated programs to serve; each entry is name or name=host:port (default port 0 on -host)")
+		host  = flag.String("host", "127.0.0.1", "default listen host for entries without an explicit address")
+		grace = flag.Duration("grace", 30*time.Second, "drain window on SIGTERM/SIGINT before in-flight sessions are cut")
+	)
+	flag.Parse()
+
+	reg := registry()
+	var servers []*netx.Server
+	for _, entry := range strings.Split(*serveList, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr := entry, *host+":0"
+		if eq := strings.IndexByte(entry, '='); eq >= 0 {
+			name, addr = entry[:eq], entry[eq+1:]
+		}
+		mk, ok := reg[name]
+		if !ok {
+			known := make([]string, 0, len(reg))
+			for k := range reg {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "expectd: unknown program %q (have %s)\n", name, strings.Join(known, ", "))
+			os.Exit(2)
+		}
+		srv, err := netx.NewServer(addr, mk())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expectd: listen %s for %s: %v\n", addr, name, err)
+			os.Exit(1)
+		}
+		servers = append(servers, srv)
+		fmt.Printf("expectd: serving %s on %s\n", name, srv.Addr())
+	}
+	if len(servers) == 0 {
+		fmt.Fprintln(os.Stderr, "expectd: nothing to serve")
+		os.Exit(2)
+	}
+	fmt.Println("expectd: ready")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	<-sig
+	fmt.Printf("expectd: draining (grace %v)\n", *grace)
+
+	clean := true
+	var served uint64
+	done := make(chan bool, len(servers))
+	for _, srv := range servers {
+		srv := srv
+		go func() { done <- srv.Shutdown(*grace) }()
+	}
+	for range servers {
+		if !<-done {
+			clean = false
+		}
+	}
+	for _, srv := range servers {
+		served += srv.Served()
+	}
+	if clean {
+		fmt.Printf("expectd: drained clean, served %d sessions\n", served)
+		os.Exit(0)
+	}
+	fmt.Printf("expectd: drain cut sessions at deadline, served %d sessions\n", served)
+	os.Exit(1)
+}

@@ -7,6 +7,8 @@
 //	goexpect script.exp [args...]      run a script file
 //	goexpect -c "commands" [script]    run commands before the script
 //	goexpect -transport pipe script    spawn over pipes instead of ptys
+//	goexpect -network script           dial spawn targets as host:port
+//	                                   socket sessions (see cmd/expectd)
 //	goexpect -shards N script          own sessions with N sharded event
 //	                                   loops instead of one pump
 //	                                   goroutine per session
@@ -79,7 +81,8 @@ func (d *diagLevel) Set(v string) error {
 func run() int {
 	var (
 		commands  = flag.String("c", "", "commands to execute before (or instead of) the script")
-		transport = flag.String("transport", "pty", `spawn transport: "pty" or "pipe"`)
+		transport = flag.String("transport", "pty", `spawn transport: "pty", "pipe", or "network" (spawn targets are host:port addresses)`)
+		network   = flag.Bool("network", false, `shorthand for -transport network: every spawn target is a host:port dialed over the socket transport (expectd serves the other end)`)
 		sims      = flag.Bool("sims", false, "register the simulated interactive programs as spawnable names")
 		quiet     = flag.Bool("q", false, "start with log_user 0 (script output only)")
 		timeout   = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
@@ -89,6 +92,9 @@ func run() int {
 	flag.Var(&diag, "diag", "render exp_internal-style diagnostics on stderr (repeat for engine internals)")
 	flag.Parse()
 
+	if *network {
+		*transport = "network"
+	}
 	logUser := !*quiet
 	eng := core.NewEngine(core.EngineOptions{
 		Transport: *transport,

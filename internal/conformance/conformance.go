@@ -34,6 +34,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultify"
 	"repro/internal/metrics"
+	"repro/internal/netx"
+	"repro/internal/proc"
 	"repro/internal/programs/authsim"
 	"repro/internal/programs/eliza"
 	"repro/internal/programs/fsck"
@@ -55,6 +57,14 @@ type Variant struct {
 	// Shards > 0 runs the engine's sessions under a sharded scheduler
 	// with that many event loops instead of per-session pump goroutines.
 	Shards int
+	// Network serves every simulated program behind its own fresh
+	// loopback TCP server (internal/netx) and registers the names as
+	// remotes, so each spawn dials a socket instead of starting an
+	// in-process virtual — the loopback-socket transport variant. The
+	// observables must still be byte-identical: the wire adds real
+	// segmentation, which is exactly what the invariant surfaces are
+	// chosen to be immune to.
+	Network bool
 }
 
 // Variants is the full matrix: both matchers × both evaluation paths,
@@ -69,6 +79,8 @@ var Variants = []Variant{
 	{Name: "rescan-cached-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 1},
 	{Name: "rescan-cached-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
 	{Name: "incremental-cached-shard8", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
+	{Name: "rescan-cached-net", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Network: true},
+	{Name: "rescan-cached-net-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8, Network: true},
 }
 
 // Condition names one transport treatment. A Clean schedule means the
@@ -156,32 +168,69 @@ var Scripts = []ScriptCase{
 	{File: "rogue.exp", CompareUser: false},
 }
 
-// registerDeterministicSims installs the simulated programs with pinned
-// seeds and no environment dependence, unlike the CLI's registration
-// (time-based seeds, $USER): differential comparison needs every run of
-// a sim to emit byte-identical output for identical input.
-func registerDeterministicSims(eng *core.Engine) {
-	eng.RegisterVirtual("rogue-sim", rogue.New(rogue.Config{
-		Seed: 7, LuckNumerator: 1, LuckDenominator: 1,
-	}))
-	eng.RegisterVirtual("eliza-sim", eliza.New(eliza.Config{Seed: 42}))
-	eng.RegisterVirtual("fsck-sim", fsck.New(fsck.Config{
-		FS: fsck.Generate(7, 20, 100, 6),
-	}))
-	eng.RegisterVirtual("passwd-sim", authsim.NewPasswd(authsim.PasswdConfig{
-		User:       "don",
-		Dictionary: []string{"password", "dragon", "letmein", "qwerty"},
-	}))
-	eng.RegisterVirtual("login-sim", authsim.NewLogin(authsim.LoginConfig{
-		Accounts: map[string]string{"guest": "guest", "don": "secret"},
-	}))
-	eng.RegisterVirtual("tip-sim", modem.NewTip(modem.TipConfig{Modem: modem.Config{
-		Directory: map[string]modem.Entry{
-			"12016442332": {Result: modem.ResultConnect, Delay: 50 * time.Millisecond},
-			"5550000":     {Result: modem.ResultBusy},
-		},
-		Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: 100 * time.Millisecond},
-	}}))
+// sim pairs a spawnable name with its program.
+type sim struct {
+	name string
+	prog proc.Program
+}
+
+// deterministicSims builds the simulated programs with pinned seeds and
+// no environment dependence, unlike the CLI's registration (time-based
+// seeds, $USER): differential comparison needs every run of a sim to
+// emit byte-identical output for identical input. Built fresh per run so
+// stateful program values never carry dialogue state across runs.
+func deterministicSims() []sim {
+	return []sim{
+		{"rogue-sim", rogue.New(rogue.Config{
+			Seed: 7, LuckNumerator: 1, LuckDenominator: 1,
+		})},
+		{"eliza-sim", eliza.New(eliza.Config{Seed: 42})},
+		{"fsck-sim", fsck.New(fsck.Config{
+			FS: fsck.Generate(7, 20, 100, 6),
+		})},
+		{"passwd-sim", authsim.NewPasswd(authsim.PasswdConfig{
+			User:       "don",
+			Dictionary: []string{"password", "dragon", "letmein", "qwerty"},
+		})},
+		{"login-sim", authsim.NewLogin(authsim.LoginConfig{
+			Accounts: map[string]string{"guest": "guest", "don": "secret"},
+		})},
+		{"tip-sim", modem.NewTip(modem.TipConfig{Modem: modem.Config{
+			Directory: map[string]modem.Entry{
+				"12016442332": {Result: modem.ResultConnect, Delay: 50 * time.Millisecond},
+				"5550000":     {Result: modem.ResultBusy},
+			},
+			Default: modem.Entry{Result: modem.ResultNoCarrier, Delay: 100 * time.Millisecond},
+		}})},
+	}
+}
+
+// registerDeterministicSims installs the sims into the engine: as
+// in-process virtuals normally, or — for a Network variant — behind
+// per-run loopback TCP servers dialed by name, the remote registration
+// keeping spawn names (and hence Child.Name and trace text) identical
+// across transports. It returns the servers to shut down after the run
+// (nil when not networked).
+func registerDeterministicSims(eng *core.Engine, network bool) ([]*netx.Server, error) {
+	if !network {
+		for _, sm := range deterministicSims() {
+			eng.RegisterVirtual(sm.name, sm.prog)
+		}
+		return nil, nil
+	}
+	var servers []*netx.Server
+	for _, sm := range deterministicSims() {
+		srv, err := netx.NewServer("127.0.0.1:0", sm.prog)
+		if err != nil {
+			for _, s := range servers {
+				s.Shutdown(0)
+			}
+			return nil, fmt.Errorf("loopback server for %s: %w", sm.name, err)
+		}
+		servers = append(servers, srv)
+		eng.RegisterRemote(sm.name, srv.Addr())
+	}
+	return servers, nil
 }
 
 // lockedBuf is a pump-goroutine-safe byte sink.
@@ -270,7 +319,10 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	}
 	eng := core.NewEngine(opts)
 	eng.Interp.SetEvalCacheSize(v.EvalCacheSize)
-	registerDeterministicSims(eng)
+	servers, err := registerDeterministicSims(eng, v.Network)
+	if err != nil {
+		return nil, err
+	}
 	eng.Interp.GlobalSet("argv", tcl.FormList(append([]string{sc.File}, sc.Args...)))
 
 	_, runErr := eng.RunFile(scriptsDir + "/" + sc.File)
@@ -293,6 +345,11 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 		}
 	}
 	eng.Shutdown()
+	// Loopback servers drain after the engine hangs up: every session has
+	// had its FIN, so the programs are already returning.
+	for _, srv := range servers {
+		srv.Shutdown(drainDeadline)
+	}
 
 	out := &Outcome{
 		User:     user.String(),

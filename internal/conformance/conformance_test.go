@@ -58,19 +58,23 @@ func TestConformanceScripts(t *testing.T) {
 }
 
 // TestConformanceScenarios runs the engine-scenario table across both
-// matchers, every condition, and both schedulers (per-session pumps and
-// sharded event loops); all summaries must equal the baseline's.
+// matchers, every condition, both schedulers (per-session pumps and
+// sharded event loops), and both transports (virtual and loopback
+// socket); all summaries must equal the baseline's.
 func TestConformanceScenarios(t *testing.T) {
 	configs := []struct {
-		name   string
-		mode   core.MatcherMode
-		shards int
+		name    string
+		mode    core.MatcherMode
+		shards  int
+		network bool
 	}{
-		{"rescan", core.MatcherRescan, 0},
-		{"incremental", core.MatcherIncremental, 0},
-		{"rescan-shard1", core.MatcherRescan, 1},
-		{"rescan-shard8", core.MatcherRescan, 8},
-		{"incremental-shard8", core.MatcherIncremental, 8},
+		{"rescan", core.MatcherRescan, 0, false},
+		{"incremental", core.MatcherIncremental, 0, false},
+		{"rescan-shard1", core.MatcherRescan, 1, false},
+		{"rescan-shard8", core.MatcherRescan, 8, false},
+		{"incremental-shard8", core.MatcherIncremental, 8, false},
+		{"rescan-net", core.MatcherRescan, 0, true},
+		{"rescan-net-shard8", core.MatcherRescan, 8, true},
 	}
 	for _, sc := range AllScenarios() {
 		sc := sc
@@ -88,7 +92,10 @@ func TestConformanceScenarios(t *testing.T) {
 					m, cond := m, cond
 					t.Run(m.name+"/"+cond.Name, func(t *testing.T) {
 						t.Parallel()
-						got, err := RunScenarioSharded(sc, m.mode, cond.Sched, m.shards)
+						got, err := RunScenarioWith(sc, ScenarioRun{
+							Matcher: m.mode, Sched: cond.Sched,
+							Shards: m.shards, Network: m.network,
+						})
 						if err != nil {
 							t.Fatalf("run: %v", err)
 						}

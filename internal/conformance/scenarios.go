@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultify"
+	"repro/internal/netx"
 	"repro/internal/proc"
 )
 
@@ -144,12 +145,43 @@ var Scenarios = []Scenario{
 	},
 }
 
+// ScenarioRun parameterizes one scenario execution cell: the matcher ×
+// schedule axes, scheduler ownership, and — when Network is set — the
+// transport itself: each spawn then runs its program behind a one-shot
+// loopback TCP server and the session dials it, so the identical drive
+// logic exercises the socket transport.
+type ScenarioRun struct {
+	Matcher core.MatcherMode
+	Sched   faultify.Schedule
+	Shards  int
+	Network bool
+}
+
+// spawn starts one scenario child under the run's transport. The
+// returned cleanup tears down the loopback server (no-op for virtual).
+func (rn ScenarioRun) spawn(cfg *core.Config, name string, prog proc.Program) (*core.Session, func(), error) {
+	if !rn.Network {
+		s, err := core.SpawnProgram(cfg, name, prog)
+		return s, func() {}, err
+	}
+	srv, err := netx.NewServer("127.0.0.1:0", prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := core.SpawnNetwork(cfg, name, srv.Addr())
+	if err != nil {
+		srv.Shutdown(0)
+		return nil, nil, err
+	}
+	return s, func() { srv.Shutdown(drainDeadline) }, nil
+}
+
 // FanInScenario needs two sessions, so it lives outside the table shape:
 // a talker that must win the ExpectAny race and a silent bystander.
-func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler *core.Scheduler) (string, error) {
-	cfg := scenarioConfig(m, sched, clean)
+func runFanIn(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
+	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
-	talker, err := core.SpawnProgram(cfg, "talker",
+	talker, cleanupT, err := rn.spawn(cfg, "talker",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "ok ready\n")
 			blockForever(stdin)
@@ -158,8 +190,9 @@ func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler
 	if err != nil {
 		return "", err
 	}
+	defer cleanupT()
 	defer talker.Close()
-	silent, err := core.SpawnProgram(cfg, "silent",
+	silent, cleanupS, err := rn.spawn(cfg, "silent",
 		func(stdin io.Reader, stdout io.Writer) error {
 			blockForever(stdin)
 			return nil
@@ -167,6 +200,7 @@ func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler
 	if err != nil {
 		return "", err
 	}
+	defer cleanupS()
 	defer silent.Close()
 	winner, r, err := core.ExpectAny(5*time.Second,
 		[]*core.Session{silent, talker}, core.Exact("ready"), core.TimeoutCase())
@@ -185,10 +219,10 @@ func runFanIn(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler
 
 // runInteract checks the pass-through loop: scripted keystrokes flow to
 // an echo child, its replies flow back, and its exit ends the session.
-func runInteract(m core.MatcherMode, sched faultify.Schedule, clean bool, scheduler *core.Scheduler) (string, error) {
-	cfg := scenarioConfig(m, sched, clean)
+func runInteract(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
+	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
-	s, err := core.SpawnProgram(cfg, "echo",
+	s, cleanup, err := rn.spawn(cfg, "echo",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "shell> ")
 			for {
@@ -203,6 +237,7 @@ func runInteract(m core.MatcherMode, sched faultify.Schedule, clean bool, schedu
 	if err != nil {
 		return "", err
 	}
+	defer cleanup()
 	defer s.Close()
 	var userOut lockedBuf
 	outcome, err := s.Interact(core.InteractOptions{
@@ -241,23 +276,32 @@ func RunScenario(sc Scenario, m core.MatcherMode, sched faultify.Schedule) (stri
 // sharded scheduler of the given size (0 = pump baseline). The summary
 // must be identical either way — scheduling is not an observable.
 func RunScenarioSharded(sc Scenario, m core.MatcherMode, sched faultify.Schedule, shards int) (string, error) {
+	return RunScenarioWith(sc, ScenarioRun{Matcher: m, Sched: sched, Shards: shards})
+}
+
+// RunScenarioWith executes one scenario cell under full ScenarioRun
+// control — matcher, fault schedule, scheduler shape, and transport.
+// Neither scheduling nor the transport is an observable: the summary
+// must be identical across every cell.
+func RunScenarioWith(sc Scenario, rn ScenarioRun) (string, error) {
 	var scheduler *core.Scheduler
-	if shards > 0 {
-		scheduler = core.NewScheduler(core.SchedulerOptions{Shards: shards})
+	if rn.Shards > 0 {
+		scheduler = core.NewScheduler(core.SchedulerOptions{Shards: rn.Shards})
 		defer scheduler.Stop()
 	}
 	switch sc.Name {
 	case "fan-in":
-		return runFanIn(m, sched, sched.Clean(), scheduler)
+		return runFanIn(rn, scheduler)
 	case "interact-passthrough":
-		return runInteract(m, sched, sched.Clean(), scheduler)
+		return runInteract(rn, scheduler)
 	}
-	cfg := scenarioConfig(m, sched, sched.Clean())
+	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
-	s, err := core.SpawnProgram(cfg, sc.Name, sc.Program)
+	s, cleanup, err := rn.spawn(cfg, sc.Name, sc.Program)
 	if err != nil {
 		return "", err
 	}
+	defer cleanup()
 	defer s.Close()
 	return sc.Drive(s)
 }

@@ -106,8 +106,20 @@ func (e *Engine) cmdExpectAny(i *tcl.Interp, args []string) tcl.Result {
 
 // cmdSpawn: spawn program ?args? — creates a new process whose stdin,
 // stdout, and stderr are connected to expect. Sets spawn_id as a side
-// effect and returns the UNIX process id (§3.2).
+// effect and returns the UNIX process id (§3.2). The -network form,
+// `spawn -network host:port`, dials a socket session (an expectd program
+// or any line service) instead of forking; the returned pid is synthetic.
 func (e *Engine) cmdSpawn(i *tcl.Interp, args []string) tcl.Result {
+	if len(args) >= 2 && args[1] == "-network" {
+		if len(args) != 3 {
+			return tcl.Errf(`wrong # args: should be "spawn -network host:port"`)
+		}
+		s, _, err := e.SpawnRemote("", args[2])
+		if err != nil {
+			return tcl.Errf("spawn -network %s: %v", args[2], err)
+		}
+		return tcl.Ok(strconv.Itoa(s.Pid()))
+	}
 	if len(args) < 2 {
 		return tcl.Errf(`wrong # args: should be "spawn program ?args?"`)
 	}

@@ -39,6 +39,9 @@ type Engine struct {
 	rec      *trace.Recorder
 	matcher  MatcherMode
 	virtuals map[string]proc.Program
+	// remotes maps program names to network addresses (RegisterRemote);
+	// spawning a mapped name dials instead of forking.
+	remotes map[string]string
 	// transport selects how spawn starts real programs.
 	transport string
 	// childTap/spawnWrap are the observability and fault-injection hooks;
@@ -68,7 +71,9 @@ type EngineOptions struct {
 	Rec *trace.Recorder
 	// Matcher selects the glob scan strategy for all sessions.
 	Matcher MatcherMode
-	// Transport is "pty" (default) or "pipe" for real program spawns.
+	// Transport is "pty" (default) or "pipe" for real program spawns, or
+	// "network" to treat every spawn target as a host:port to dial over
+	// the socket transport (internal/netx).
 	Transport string
 	// LogUser sets the initial log_user state (default true: the user sees
 	// the dialogue as it happens).
@@ -104,6 +109,7 @@ func NewEngine(opt EngineOptions) *Engine {
 		rec:       opt.Rec,
 		matcher:   opt.Matcher,
 		virtuals:  make(map[string]proc.Program),
+		remotes:   make(map[string]string),
 		transport: opt.Transport,
 		childTap:  opt.ChildTap,
 		spawnWrap: opt.SpawnWrap,
@@ -154,6 +160,15 @@ func NewEngine(opt EngineOptions) *Engine {
 // this way for hermetic scripts, tests, and benchmarks.
 func (e *Engine) RegisterVirtual(name string, program proc.Program) {
 	e.virtuals[name] = program
+}
+
+// RegisterRemote maps a program name to a network address: `spawn name`
+// then dials the address over the socket transport instead of starting
+// anything locally. Remote registrations shadow virtual ones, which is
+// how the conformance matrix swaps its simulated programs out for
+// loopback servers without touching the scripts.
+func (e *Engine) RegisterRemote(name, addr string) {
+	e.remotes[name] = addr
 }
 
 // Profiler returns the engine's profiler (may be nil).
@@ -334,13 +349,36 @@ func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
 		s   *Session
 		err error
 	)
-	if prog, ok := e.virtuals[name]; ok {
+	if addr, ok := e.remotes[name]; ok {
+		s, err = SpawnNetwork(cfg, name, addr)
+	} else if prog, ok := e.virtuals[name]; ok {
 		s, err = SpawnProgram(cfg, name, prog)
+	} else if e.transport == "network" {
+		s, err = SpawnNetwork(cfg, name, name)
 	} else if e.transport == "pipe" {
 		s, err = SpawnPipeCommand(cfg, name, args...)
 	} else {
 		s, err = SpawnCommand(cfg, name, args...)
 	}
+	if err != nil {
+		return nil, 0, err
+	}
+	e.installSession(id, s)
+	return s, id, nil
+}
+
+// SpawnRemote dials a TCP address and makes the socket session the
+// current process — the script-level `spawn -network host:port`. The
+// session is named after the address unless name is non-empty (remote
+// registrations pass the program name, so transcripts and traces read in
+// program terms either way).
+func (e *Engine) SpawnRemote(name, addr string) (*Session, int, error) {
+	if name == "" {
+		name = addr
+	}
+	id := e.reserveID()
+	cfg := e.sessionConfig(name, id)
+	s, err := SpawnNetwork(cfg, name, addr)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestScriptSystemCommand(t *testing.T) {
@@ -72,6 +74,7 @@ func TestEnginePipeTransport(t *testing.T) {
 }
 
 func TestEnginePtyTransportReal(t *testing.T) {
+	testutil.RequirePty(t)
 	e, _ := newTestEngine(t) // default transport is pty
 	res, err := e.Run(`
 		set timeout 5
@@ -80,7 +83,7 @@ func TestEnginePtyTransportReal(t *testing.T) {
 		set r
 	`)
 	if err != nil {
-		t.Skipf("pty spawn failed (no pty in env?): %v", err)
+		t.Fatalf("pty spawn failed despite /dev/ptmx being present: %v", err)
 	}
 	if res != "tty" {
 		t.Errorf("r = %q — pty spawn did not give the child a terminal", res)

@@ -329,8 +329,13 @@ func TestScriptSelect(t *testing.T) {
 		io.Copy(io.Discard, stdin)
 		return nil
 	})
+	// Gated rather than sleep-delayed: "slow" stays silent for the whole
+	// script — the test asserts select returns only the fast id — and the
+	// cleanup release lets its goroutine unwind.
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) })
 	e.RegisterVirtual("slow", func(stdin io.Reader, stdout io.Writer) error {
-		time.Sleep(300 * time.Millisecond)
+		<-gate
 		fmt.Fprint(stdout, "late\n")
 		io.Copy(io.Discard, stdin)
 		return nil

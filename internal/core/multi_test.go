@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -26,8 +27,31 @@ func spawnSpeaker(t *testing.T, name, line string, delay time.Duration) *Session
 	return s
 }
 
+// spawnGated starts a speaker that stays silent until the returned
+// release is called — deterministic "hasn't spoken yet", where a
+// sleep-delayed speaker would turn into a race on a loaded machine.
+// Cleanup releases it regardless, so the program goroutine always
+// unwinds.
+func spawnGated(t *testing.T, name, line string) (*Session, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var once sync.Once
+	release := func() { once.Do(func() { close(gate) }) }
+	s, err := SpawnProgram(nil, name, func(stdin io.Reader, stdout io.Writer) error {
+		<-gate
+		fmt.Fprintln(stdout, line)
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { release(); s.Close() })
+	return s, release
+}
+
 func TestExpectAnyFirstSpeakerWins(t *testing.T) {
-	slow := spawnSpeaker(t, "slow", "slow-data", 300*time.Millisecond)
+	slow, _ := spawnGated(t, "slow", "slow-data")
 	fast := spawnSpeaker(t, "fast", "fast-data", 0)
 	winner, r, err := ExpectAny(2*time.Second, []*Session{slow, fast},
 		Glob("*data*"))
@@ -68,7 +92,7 @@ func TestExpectAnyConsumesOnlyWinner(t *testing.T) {
 
 func TestExpectAnyCaseSelection(t *testing.T) {
 	a := spawnSpeaker(t, "a", "only-here", 0)
-	quiet := spawnSpeaker(t, "quiet", "", 10*time.Second)
+	quiet, _ := spawnGated(t, "quiet", "")
 	_, r, err := ExpectAny(2*time.Second, []*Session{quiet, a},
 		Glob("*nothing*"), Glob("*only-here*"))
 	if err != nil {
@@ -80,7 +104,7 @@ func TestExpectAnyCaseSelection(t *testing.T) {
 }
 
 func TestExpectAnyTimeout(t *testing.T) {
-	quiet := spawnSpeaker(t, "quiet", "", 10*time.Second)
+	quiet, _ := spawnGated(t, "quiet", "")
 	start := time.Now()
 	_, _, err := ExpectAny(80*time.Millisecond, []*Session{quiet}, Glob("*x*"))
 	if !errors.Is(err, ErrTimeout) {
@@ -137,8 +161,12 @@ func TestScriptExpectAny(t *testing.T) {
 		io.Copy(io.Discard, stdin)
 		return nil
 	})
+	// Gated rather than sleep-delayed: "slow" must not have spoken when
+	// expect_any runs, however loaded the machine is; cleanup releases it.
+	gate := make(chan struct{})
+	t.Cleanup(func() { close(gate) })
 	e.RegisterVirtual("slow", func(stdin io.Reader, stdout io.Writer) error {
-		time.Sleep(250 * time.Millisecond)
+		<-gate
 		fmt.Fprintln(stdout, "from-slow")
 		io.Copy(io.Discard, stdin)
 		return nil

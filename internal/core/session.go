@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/proc"
 	"repro/internal/trace"
 	"repro/internal/vt"
@@ -183,6 +184,29 @@ func SpawnProgram(cfg *Config, name string, program proc.Program) (*Session, err
 	if err != nil {
 		return nil, err
 	}
+	return newSession(cfg, name, p, p), nil
+}
+
+// SpawnNetwork dials a TCP address and adopts the connection as a
+// session: the remote endpoint (an expectd program, a real network
+// service) plays the child's role. The socket transport is event-capable,
+// so under a sharded scheduler a network session runs goroutine-free on
+// the shard loop, exactly like a virtual one; the usual WrapTransport
+// hook composes on the client side, so fault schedules replay over
+// sockets too.
+func SpawnNetwork(cfg *Config, name, addr string) (*Session, error) {
+	opt := spawnOptions(cfg)
+	nopt := netx.Options{}
+	if opt.BufferCap > 0 {
+		nopt.ReadBuf = opt.BufferCap
+	}
+	stopFork := opt.Prof.Start(metrics.PhaseFork)
+	nc, err := netx.Dial(addr, nopt)
+	stopFork()
+	if err != nil {
+		return nil, err
+	}
+	p := proc.SpawnStream(name, proc.KindNetwork, nc, nc.WaitStatus, opt)
 	return newSession(cfg, name, p, p), nil
 }
 

@@ -127,11 +127,26 @@ func TestExpectTimeoutError(t *testing.T) {
 	}
 }
 
+// waitFor polls cond until it holds or the deadline passes — tests
+// synchronize on observable session state instead of sleeping blind.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never happened", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestExpectTimeoutCase(t *testing.T) {
 	s := spawnEcho(t, nil)
 	s.ExpectMatch("*ready*")
 	s.Send("abc\n")
-	time.Sleep(10 * time.Millisecond)
+	// The echo must already sit unmatched in the buffer when the timeout
+	// fires, so sync on it arriving rather than hoping 10ms suffices.
+	waitFor(t, "echo of abc", func() bool { return strings.Contains(s.Buffer(), "echo:abc") })
 	r, err := s.ExpectTimeout(50*time.Millisecond, Glob("*never*"), TimeoutCase())
 	if err != nil {
 		t.Fatalf("expect with timeout case: %v", err)
@@ -345,8 +360,11 @@ func TestSelectTwoSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fast.Close()
+	// Gated rather than sleep-delayed: "slow" must be provably silent for
+	// the first Select whatever the scheduler does; we release it after.
+	gate := make(chan struct{})
 	slow, err := SpawnProgram(nil, "slow", func(stdin io.Reader, stdout io.Writer) error {
-		time.Sleep(200 * time.Millisecond)
+		<-gate
 		fmt.Fprint(stdout, "slow-data\n")
 		io.Copy(io.Discard, stdin)
 		return nil
@@ -364,6 +382,7 @@ func TestSelectTwoSessions(t *testing.T) {
 		}
 		t.Fatalf("Select ready = %v, want [fast]", names)
 	}
+	close(gate)
 	// Eventually both are readable.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {

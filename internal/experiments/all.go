@@ -27,6 +27,7 @@ func All(repoRoot string) []Spec {
 		{"E15", "hot-path compilation caches", HotPathCaches},
 		{"E16", "flight-recorder overhead", TraceOverhead},
 		{"E17", "sharded scheduler scaling", ShardScaling},
+		{"E18", "socket transport scaling via expectd", func() (Result, error) { return NetworkScaling(repoRoot) }},
 	}
 }
 

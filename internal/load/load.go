@@ -10,9 +10,64 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultify"
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/proc"
 	"repro/internal/trace"
 )
+
+// NetAddrs points the workbench at loopback servers instead of the
+// in-process virtual programs: workers dial these addresses and drive
+// the identical dialogue mix over real sockets. Flaky workers dial Echo
+// with a client-side faultify cut, so the fault surface is unchanged.
+type NetAddrs struct {
+	Echo   string
+	Slow   string
+	Bursty string
+}
+
+// ServeLoopback starts the three talker programs behind loopback TCP
+// servers sized for an in-process network-mode run. The returned stop
+// drains them (netx.Server.Shutdown semantics) and reports whether every
+// server closed clean.
+func ServeLoopback(slowGap time.Duration, burstLines int) (*NetAddrs, func(grace time.Duration) bool, error) {
+	if slowGap <= 0 {
+		slowGap = 100 * time.Microsecond
+	}
+	if burstLines <= 0 {
+		burstLines = 8
+	}
+	progs := []struct {
+		name string
+		prog proc.Program
+	}{
+		{"echo", EchoServer()},
+		{"slow", SlowTalker(slowGap)},
+		{"bursty", BurstyLogger(burstLines)},
+	}
+	var servers []*netx.Server
+	addrs := make([]string, len(progs))
+	for i, p := range progs {
+		srv, err := netx.NewServer("127.0.0.1:0", p.prog)
+		if err != nil {
+			for _, s := range servers {
+				s.Shutdown(0)
+			}
+			return nil, nil, fmt.Errorf("load: serve %s: %w", p.name, err)
+		}
+		servers = append(servers, srv)
+		addrs[i] = srv.Addr()
+	}
+	stop := func(grace time.Duration) bool {
+		clean := true
+		for _, s := range servers {
+			if !s.Shutdown(grace) {
+				clean = false
+			}
+		}
+		return clean
+	}
+	return &NetAddrs{Echo: addrs[0], Slow: addrs[1], Bursty: addrs[2]}, stop, nil
+}
 
 // Mix weighs the dialogue kinds the seeded driver deals out. The zero
 // value means the default mix (mostly matches, a sprinkling of the
@@ -58,6 +113,11 @@ type Config struct {
 	// CutAfterBytes is the flaky child's faultify budget: its transport
 	// delivers this many bytes per incarnation, then EOFs (default 1024).
 	CutAfterBytes int64
+	// Net, when non-nil, switches the workbench to network mode: workers
+	// dial these loopback servers (see ServeLoopback) instead of spawning
+	// virtual programs in-process. The dialogue mix, seeds, and flaky-cut
+	// schedule are identical; only the transport changes.
+	Net *NetAddrs
 	// Prof, when non-nil, receives the engine's phase timings and the
 	// wakeup-to-match histogram; nil allocates a private one.
 	Prof *metrics.Profiler
@@ -148,7 +208,7 @@ func (w *worker) respawn() error {
 		SID:      int32(w.id),
 	}
 	var program proc.Program
-	name := ""
+	name, addr := "", ""
 	switch w.id % 4 {
 	case 0:
 		name, program = "echo", EchoServer()
@@ -164,7 +224,26 @@ func (w *worker) respawn() error {
 		}
 		cfg.SpawnOptions.WrapTransport = faultify.Wrapper(cut, nil)
 	}
-	s, err := core.SpawnProgram(cfg, fmt.Sprintf("%s-%d.%d", name, w.id, w.gen), program)
+	if net := w.cfg.Net; net != nil {
+		switch w.id % 4 {
+		case 0:
+			addr = net.Echo
+		case 1:
+			addr = net.Slow
+		case 2:
+			addr = net.Bursty
+		case 3:
+			addr = net.Echo // flaky = echo behind the client-side cut above
+		}
+	}
+	label := fmt.Sprintf("%s-%d.%d", name, w.id, w.gen)
+	var s *core.Session
+	var err error
+	if addr != "" {
+		s, err = core.SpawnNetwork(cfg, label, addr)
+	} else {
+		s, err = core.SpawnProgram(cfg, label, program)
+	}
 	if err != nil {
 		return err
 	}

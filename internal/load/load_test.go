@@ -99,6 +99,48 @@ func TestWorkbenchReportsLatency(t *testing.T) {
 	}
 }
 
+// TestNetworkModeConservation reruns the conservation property with the
+// workers dialing loopback servers instead of spawning virtual programs:
+// same mix, same seeds, same flaky cut — the transport must not be an
+// observable. Sharded cells additionally exercise the socket doorbell
+// (netx sessions are event-capable, so shards own them with no feeder).
+func TestNetworkModeConservation(t *testing.T) {
+	addrs, stop, err := ServeLoopback(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if !stop(10 * time.Second) {
+			t.Error("loopback servers did not drain clean")
+		}
+	}()
+	for _, shards := range []int{0, 4} {
+		res, err := Run(Config{
+			Sessions:  12,
+			Dialogues: 15,
+			Shards:    shards,
+			Seed:      42,
+			Net:       addrs,
+		})
+		if err != nil {
+			t.Fatalf("net/shards=%d: %v", shards, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("net/shards=%d: %d dialogue errors", shards, res.Errors)
+		}
+		if got := res.Matches + res.Timeouts + res.EOFs; got != res.Dialogues {
+			t.Errorf("net/shards=%d: matches %d + timeouts %d + EOFs %d = %d, want %d dialogues",
+				shards, res.Matches, res.Timeouts, res.EOFs, got, res.Dialogues)
+		}
+		if res.Dropped != 0 {
+			t.Errorf("net/shards=%d: scheduler dropped %d events", shards, res.Dropped)
+		}
+		if res.Matches == 0 || res.Timeouts == 0 || res.EOFs == 0 || res.Overflows == 0 {
+			t.Errorf("net/shards=%d: degenerate mix: %+v", shards, res)
+		}
+	}
+}
+
 // TestSoakModeStopsOnDeadline checks Duration mode terminates without a
 // dialogue budget.
 func TestSoakModeStopsOnDeadline(t *testing.T) {

@@ -1,0 +1,414 @@
+// Package netx is the socket transport: a session that arrives over a
+// wire instead of a fork. It implements the same contract as the
+// in-process transports of internal/proc — blocking Read/Write, CloseWrite
+// half-close, and the event-capable TryRead + SetReadNotify doorbell pair
+// the sharded scheduler (internal/core/shard.go) drains sessions with —
+// on top of a net.Conn.
+//
+// The division of timeout labor is deliberate and narrow: transport-level
+// read deadlines here are plumbing (a rolling poll so a quiet socket never
+// wedges the reader against teardown), and they are always absorbed as
+// transient retries. They never surface as EOF or as a timeout. The
+// engine's `timeout` variable, armed per Expect call, remains the only
+// timeout the dialogue can observe — a socket session times out exactly
+// like a pty session does, from the engine's own timer.
+//
+// Backpressure is bounded at both ends. Inbound, the reader goroutine
+// parks once ReadBuf bytes are queued undrained, which stops reading the
+// socket, which clogs the peer through TCP flow control — the same "pty
+// output queue fills" behaviour virtual transports get from their bounded
+// duplex. Outbound, Write blocks on the kernel socket buffer; an optional
+// WriteStall deadline converts a peer that never drains into a hard
+// ErrWriteStall instead of a goroutine parked forever.
+package netx
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options tunes a socket transport endpoint. The zero value is sensible.
+type Options struct {
+	// ReadBuf bounds the inbox between the socket reader and the engine
+	// (bytes, default 64 KiB). A full inbox blocks the reader — the
+	// inbound backpressure bound.
+	ReadBuf int
+	// PollInterval is the rolling read deadline the reader arms on the
+	// socket (default 1s). Deadline expiries are transport plumbing,
+	// absorbed as transient retries; they are never mapped to EOF or to
+	// the engine's timeout semantics. Negative disables the deadline.
+	PollInterval time.Duration
+	// WriteStall, when > 0, bounds how long one Write may block on a peer
+	// that never drains; past it the write fails with ErrWriteStall
+	// (non-transient, so the engine gives up instead of retrying).
+	WriteStall time.Duration
+	// DialTimeout bounds Dial (default 10s).
+	DialTimeout time.Duration
+}
+
+const (
+	defaultReadBuf      = 64 << 10
+	defaultPollInterval = time.Second
+	defaultDialTimeout  = 10 * time.Second
+)
+
+// ErrWriteStall reports a Write that exceeded Options.WriteStall against a
+// peer that stopped draining. It is deliberately not Temporary(): a
+// stalled peer past the bound is a dead dialogue, not a retry.
+var ErrWriteStall = errors.New("netx: write stalled past deadline")
+
+func (o Options) readBuf() int {
+	if o.ReadBuf <= 0 {
+		return defaultReadBuf
+	}
+	return o.ReadBuf
+}
+
+func (o Options) pollInterval() time.Duration {
+	if o.PollInterval == 0 {
+		return defaultPollInterval
+	}
+	if o.PollInterval < 0 {
+		return 0
+	}
+	return o.PollInterval
+}
+
+func (o Options) dialTimeout() time.Duration {
+	if o.DialTimeout <= 0 {
+		return defaultDialTimeout
+	}
+	return o.DialTimeout
+}
+
+// Conn is one endpoint of a socket-backed session. A single reader
+// goroutine owned by the transport moves bytes from the socket into a
+// bounded inbox; the inbox supplies the non-blocking TryRead and the
+// level-triggered SetReadNotify doorbell, so the sharded scheduler adds
+// no goroutine of its own to own a network session.
+type Conn struct {
+	c   net.Conn
+	opt Options
+
+	in   inbox
+	done chan struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	writeMu sync.Mutex
+}
+
+// Dial connects to a TCP addr and returns the transport endpoint.
+func Dial(addr string, opt Options) (*Conn, error) {
+	d := net.Dialer{Timeout: opt.dialTimeout()}
+	c, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Wrap(c, opt), nil
+}
+
+// Wrap adopts an established net.Conn as a transport endpoint, starting
+// its reader goroutine. The Conn owns c from here on.
+func Wrap(c net.Conn, opt Options) *Conn {
+	n := &Conn{c: c, opt: opt, done: make(chan struct{})}
+	n.in.init(opt.readBuf())
+	go n.reader()
+	return n
+}
+
+// reader is the transport-owned goroutine: socket → inbox, with the
+// rolling poll deadline and the EOF/RST → disposition mapping. A clean
+// FIN or a local Close finishes the inbox with io.EOF; a reset (or any
+// other hard error) preserves the error so the session's exit
+// disposition reports what actually happened on the wire.
+func (n *Conn) reader() {
+	defer close(n.done)
+	buf := make([]byte, 4096)
+	poll := n.opt.pollInterval()
+	for {
+		if poll > 0 {
+			n.c.SetReadDeadline(time.Now().Add(poll))
+		}
+		k, err := n.c.Read(buf)
+		if k > 0 {
+			if !n.in.put(buf[:k]) {
+				return // read side torn down locally
+			}
+		}
+		if err == nil {
+			continue
+		}
+		switch {
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			// Poll tick: transport plumbing, not a dialogue event. The
+			// engine's own Expect timer is the only timeout semantics.
+			continue
+		case isTransient(err):
+			continue
+		case n.closed.Load() || errors.Is(err, net.ErrClosed):
+			// Local close: a deliberate hangup, clean by definition.
+			n.in.finish(io.EOF)
+			return
+		case errors.Is(err, io.EOF):
+			n.in.finish(io.EOF)
+			return
+		default:
+			n.in.finish(err) // RST and friends: preserved disposition
+			return
+		}
+	}
+}
+
+// isTransient mirrors the engine's retry test: anything advertising
+// Temporary() that is not a deadline expiry (deadlines are handled above).
+func isTransient(err error) bool {
+	var temp interface{ Temporary() bool }
+	return errors.As(err, &temp) && temp.Temporary() &&
+		!errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// Read blocks for inbound bytes, returning the terminal disposition
+// (io.EOF for a clean hangup) once the stream is finished and drained.
+func (n *Conn) Read(b []byte) (int, error) { return n.in.read(b) }
+
+// TryRead is the scheduler's non-blocking drain: ok=false means a
+// blocking Read would have parked; at the end of the stream it reports
+// (0, true, err) with the terminal disposition.
+func (n *Conn) TryRead(b []byte) (int, bool, error) { return n.in.tryRead(b) }
+
+// SetReadNotify installs the level-triggered doorbell: fn runs whenever
+// bytes become readable or the stream finishes. Bytes queued before
+// installation do not ring it; callers sweep once after installing.
+func (n *Conn) SetReadNotify(fn func()) { n.in.setNotify(fn) }
+
+// Write sends bytes to the peer, blocking on the kernel socket buffer —
+// the outbound backpressure bound. With Options.WriteStall set, a write
+// still blocked past the deadline fails with ErrWriteStall.
+func (n *Conn) Write(b []byte) (int, error) {
+	n.writeMu.Lock()
+	defer n.writeMu.Unlock()
+	if n.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	if n.opt.WriteStall > 0 {
+		n.c.SetWriteDeadline(time.Now().Add(n.opt.WriteStall))
+		defer n.c.SetWriteDeadline(time.Time{})
+	}
+	k, err := n.c.Write(b)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		// A deadline expiry advertises Temporary(); rewrap so the engine's
+		// short-write retry loop does not spin on a dead peer forever.
+		return k, ErrWriteStall
+	}
+	return k, err
+}
+
+// CloseWrite half-closes the outbound direction (TCP FIN): the remote
+// program reads EOF on its stdin while its remaining output stays
+// readable here — the socket analogue of closing a child's stdin pipe.
+func (n *Conn) CloseWrite() error {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := n.c.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
+// Close tears the connection down. Matching the virtual transport's
+// close semantics, undelivered inbound bytes are dropped and subsequent
+// reads see a clean EOF immediately; the reader goroutine unblocks on the
+// socket close and exits.
+func (n *Conn) Close() error {
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		n.in.closeRead()
+		n.closeErr = n.c.Close()
+	})
+	return n.closeErr
+}
+
+// Done is closed when the stream dialogue is over: the reader observed
+// EOF, a reset, or a local close, and the terminal disposition is set.
+func (n *Conn) Done() <-chan struct{} { return n.done }
+
+// Err returns the terminal disposition after Done: nil for a clean
+// hangup, the preserved wire error otherwise.
+func (n *Conn) Err() error {
+	select {
+	case <-n.done:
+	default:
+		return nil
+	}
+	if err := n.in.terminal(); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// WaitStatus blocks until the dialogue is over and reports it
+// process-style: status 0 for a clean hangup, 1 when the connection died
+// with an error — the same convention virtual programs use.
+func (n *Conn) WaitStatus() (int, error) {
+	<-n.done
+	if n.Err() != nil {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// RemoteAddr reports the peer address.
+func (n *Conn) RemoteAddr() net.Addr { return n.c.RemoteAddr() }
+
+// inbox is the bounded byte queue between the socket reader and the
+// engine, with the same level-triggered doorbell semantics as the
+// virtual transport's memPipe: TryRead that never blocks, a notify
+// callback rung (under mu) per queued chunk and at finish, and writer
+// backpressure once max bytes are queued.
+type inbox struct {
+	mu     sync.Mutex
+	data   *sync.Cond
+	space  *sync.Cond
+	buf    []byte
+	max    int
+	fin    bool  // no more bytes will ever arrive
+	err    error // terminal disposition, valid once fin
+	closed bool  // read side torn down locally
+	notify func()
+}
+
+func (q *inbox) init(max int) {
+	if max < 1 {
+		max = 1
+	}
+	q.max = max
+	q.data = sync.NewCond(&q.mu)
+	q.space = sync.NewCond(&q.mu)
+}
+
+// put queues a chunk from the reader, blocking while the inbox is full.
+// It reports false once the read side is gone and the reader should stop.
+func (q *inbox) put(b []byte) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(b) > 0 {
+		if q.closed || q.fin {
+			return false
+		}
+		for len(q.buf) >= q.max {
+			q.space.Wait()
+			if q.closed || q.fin {
+				return false
+			}
+		}
+		room := q.max - len(q.buf)
+		chunk := b
+		if len(chunk) > room {
+			chunk = chunk[:room]
+		}
+		q.buf = append(q.buf, chunk...)
+		b = b[len(chunk):]
+		q.data.Broadcast()
+		// Ring per chunk, under mu: a reader parked on space has already
+		// made bytes readable, and a doorbell deferred to return time
+		// would deadlock the engine loop against the socket reader.
+		if q.notify != nil {
+			q.notify()
+		}
+	}
+	return true
+}
+
+// finish marks the stream over with its terminal disposition.
+func (q *inbox) finish(err error) {
+	q.mu.Lock()
+	if !q.fin {
+		q.fin = true
+		q.err = err
+	}
+	q.data.Broadcast()
+	q.space.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+	q.mu.Unlock()
+}
+
+// closeRead tears down the read side locally: pending bytes are dropped
+// and readers see a clean EOF, matching the virtual duplex's CloseRead.
+func (q *inbox) closeRead() {
+	q.mu.Lock()
+	q.closed = true
+	q.buf = nil
+	if !q.fin {
+		q.fin = true
+		q.err = io.EOF
+	}
+	q.data.Broadcast()
+	q.space.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+	q.mu.Unlock()
+}
+
+func (q *inbox) read(b []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 {
+		if q.fin {
+			if q.err == nil {
+				return 0, io.EOF
+			}
+			return 0, q.err
+		}
+		q.data.Wait()
+	}
+	n := copy(b, q.buf)
+	q.buf = q.buf[n:]
+	if len(q.buf) == 0 {
+		q.buf = nil
+	}
+	q.space.Broadcast()
+	return n, nil
+}
+
+func (q *inbox) tryRead(b []byte) (int, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buf) == 0 {
+		if q.fin {
+			if q.err == nil {
+				return 0, true, io.EOF
+			}
+			return 0, true, q.err
+		}
+		return 0, false, nil
+	}
+	n := copy(b, q.buf)
+	q.buf = q.buf[n:]
+	if len(q.buf) == 0 {
+		q.buf = nil
+	}
+	q.space.Broadcast()
+	return n, true, nil
+}
+
+func (q *inbox) setNotify(fn func()) {
+	q.mu.Lock()
+	q.notify = fn
+	q.mu.Unlock()
+}
+
+func (q *inbox) terminal() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}

@@ -1,0 +1,150 @@
+// The server half of the socket transport: an accept loop that runs one
+// proc.Program instance per connection, with a drain-then-close shutdown.
+//
+// Drain contract (relied on by cmd/expectd's SIGTERM handling and proved
+// by TestServerShutdownDrains): Shutdown first closes the listener — new
+// dials are refused — then waits for every accepted session's program to
+// return and its connection to be closed before returning. A session
+// admitted before Shutdown is therefore never dropped mid-dialogue: its
+// dialogue runs to its own EOF as long as it finishes within the grace
+// window. Only sessions still running at the grace deadline are
+// force-closed (their programs see a read error and unwind).
+package netx
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// Server serves one proc.Program per accepted TCP connection: the
+// expectd building block.
+type Server struct {
+	ln   net.Listener
+	prog proc.Program
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	served uint64 // sessions fully completed (program returned)
+}
+
+// NewServer listens on addr (host:0 picks an ephemeral port) and starts
+// serving prog, one instance per connection.
+func NewServer(addr string, prog proc.Program) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, prog), nil
+}
+
+// Serve starts the accept loop on an existing listener. The Server owns
+// the listener from here on.
+func Serve(ln net.Listener, prog proc.Program) *Server {
+	s := &Server{ln: ln, prog: prog, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr reports the bound listen address (useful with :0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: Shutdown in progress
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.session(c)
+	}
+}
+
+// session runs one program instance over the connection: the conn is the
+// program's terminal. The program returns when its dialogue is over
+// (typically on stdin EOF — the client's CloseWrite FIN); any buffered
+// output has already been written to the socket by then, so closing the
+// conn afterwards delivers a clean FIN, not a truncation.
+func (s *Server) session(c net.Conn) {
+	defer s.wg.Done()
+	s.prog(c, c)
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	c.Close()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.served++
+	s.mu.Unlock()
+}
+
+// ActiveSessions reports the number of in-flight sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Served reports how many sessions ran their program to completion.
+func (s *Server) Served() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Shutdown is the drain-then-close teardown (see the contract at the top
+// of this file): stop accepting, wait up to grace for in-flight sessions
+// to complete their dialogues, force-close any stragglers, and return
+// only when every session goroutine has unwound. It reports whether the
+// drain was clean (no session had to be cut).
+func (s *Server) Shutdown(grace time.Duration) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return true
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		select {
+		case <-done:
+			return true
+		case <-time.After(grace):
+		}
+	} else {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+	}
+	s.mu.Lock()
+	cut := len(s.conns)
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	return cut == 0
+}

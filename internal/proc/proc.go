@@ -35,6 +35,7 @@ const (
 	KindPty     Kind = "pty"
 	KindPipe    Kind = "pipe"
 	KindVirtual Kind = "virtual"
+	KindNetwork Kind = "network"
 )
 
 // Options configures spawning.
@@ -115,6 +116,7 @@ type Process struct {
 	waitErr    error
 	virtDone   chan struct{}
 	virtErr    error
+	waitFn     func() (int, error)
 }
 
 var virtualPidCounter int64 = 70000
@@ -266,6 +268,26 @@ func SpawnVirtual(name string, program Program, opt Options) (*Process, error) {
 	return p, nil
 }
 
+// SpawnStream adopts an already-established byte stream — typically a
+// netx socket connection — as a Process of the given kind. The stream
+// passes through the same WrapTransport hook and spawn recording as the
+// fork-based transports, so fault injection and tracing compose over it
+// unchanged. wait, when non-nil, supplies the exit status once the
+// stream's dialogue is over (netx maps clean hangup → 0, wire error → 1);
+// nil makes Wait return status 0 immediately. The pid is synthetic, like
+// a virtual program's.
+func SpawnStream(name string, kind Kind, rw io.ReadWriteCloser, wait func() (int, error), opt Options) *Process {
+	p := &Process{
+		name:   name,
+		kind:   kind,
+		rw:     opt.wrap(rw),
+		pid:    int(atomic.AddInt64(&virtualPidCounter, 1)),
+		waitFn: wait,
+	}
+	opt.recordSpawn(name, kind, p.pid)
+	return p
+}
+
 // Name returns the spawned program name.
 func (p *Process) Name() string { return p.name }
 
@@ -377,7 +399,9 @@ func (p *Process) Wait() (int, error) {
 				return
 			}
 			p.waitErr = err
-		default:
+		case p.waitFn != nil:
+			p.waitStatus, p.waitErr = p.waitFn()
+		case p.virtDone != nil:
 			<-p.virtDone
 			if p.virtErr != nil {
 				p.waitStatus = 1

@@ -10,6 +10,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 func TestMemPipeBasic(t *testing.T) {
@@ -210,9 +212,11 @@ func TestSpawnPipeCat(t *testing.T) {
 }
 
 func TestSpawnPtyCat(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "cat")
 	p, err := SpawnPty("cat", nil, Options{RawOutput: true, NoEcho: true})
 	if err != nil {
-		t.Skipf("no pty available: %v", err)
+		t.Fatalf("SpawnPty: %v", err)
 	}
 	defer p.Close()
 	if p.Kind() != KindPty {
@@ -245,10 +249,12 @@ func TestSpawnPtyCat(t *testing.T) {
 // TestSpawnPtyIsATty pins §2.1: the child of a pty spawn believes it has a
 // terminal; the child of a pipe spawn does not.
 func TestSpawnPtyIsATty(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "sh")
 	run := func(spawn func() (*Process, error)) string {
 		p, err := spawn()
 		if err != nil {
-			t.Skipf("spawn failed: %v", err)
+			t.Fatalf("spawn failed: %v", err)
 		}
 		defer p.Close()
 		var acc []byte
@@ -281,9 +287,11 @@ func TestSpawnPtyIsATty(t *testing.T) {
 // TestDevTtyThroughPty pins the paper's /dev/tty property: "Programs that
 // open /dev/tty will actually end up speaking to their pty."
 func TestDevTtyThroughPty(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "sh")
 	p, err := SpawnPty("sh", []string{"-c", "echo via-dev-tty > /dev/tty"}, Options{})
 	if err != nil {
-		t.Skipf("spawn failed: %v", err)
+		t.Fatalf("spawn failed: %v", err)
 	}
 	defer p.Close()
 	var acc []byte
@@ -306,9 +314,11 @@ func TestDevTtyThroughPty(t *testing.T) {
 }
 
 func TestSpawnPtyExitStatus(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "sh")
 	p, err := SpawnPty("sh", []string{"-c", "exit 3"}, Options{})
 	if err != nil {
-		t.Skipf("spawn failed: %v", err)
+		t.Fatalf("spawn failed: %v", err)
 	}
 	defer p.Close()
 	code, err := p.Wait()
@@ -329,11 +339,13 @@ func TestSpawnMissingBinary(t *testing.T) {
 // TestSignalRealChild covers §7.3's signal story at the transport level:
 // a child that traps SIGTERM reports it; Kill ends one that ignores EOF.
 func TestSignalRealChild(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "sh")
 	p, err := SpawnPty("sh", []string{"-c",
 		`trap 'echo GOT-TERM; exit 0' TERM; echo armed; while true; do sleep 0.05; done`},
 		Options{})
 	if err != nil {
-		t.Skipf("spawn: %v", err)
+		t.Fatalf("spawn: %v", err)
 	}
 	defer p.Close()
 	waitFor := func(needle string) bool {
@@ -369,10 +381,12 @@ func TestSignalRealChild(t *testing.T) {
 // TestKillBackstopsEOFIgnorers: close alone cannot end a child that
 // ignores hangups; Kill is the documented backstop.
 func TestKillBackstopsEOFIgnorers(t *testing.T) {
+	testutil.RequirePty(t)
+	testutil.RequireCmd(t, "sh")
 	p, err := SpawnPty("sh", []string{"-c",
 		`trap '' HUP; echo running; while true; do sleep 0.05; done`}, Options{})
 	if err != nil {
-		t.Skipf("spawn: %v", err)
+		t.Fatalf("spawn: %v", err)
 	}
 	p.Close()
 	if err := p.Kill(); err != nil {

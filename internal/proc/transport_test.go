@@ -3,7 +3,6 @@ package proc
 import (
 	"bytes"
 	"io"
-	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -112,90 +111,8 @@ func TestDuplexPairDegenerateCapacity(t *testing.T) {
 	}
 }
 
-// countingWrap wraps a transport and counts operations, standing in for a
-// fault-injection wrapper.
-type countingWrap struct {
-	rw           io.ReadWriteCloser
-	reads        atomic.Int64
-	writes       atomic.Int64
-	closeWrites  atomic.Int64
-	sawEngineEOF atomic.Bool
-}
-
-func (c *countingWrap) Read(b []byte) (int, error) {
-	c.reads.Add(1)
-	n, err := c.rw.Read(b)
-	if err == io.EOF {
-		c.sawEngineEOF.Store(true)
-	}
-	return n, err
-}
-
-func (c *countingWrap) Write(b []byte) (int, error) {
-	c.writes.Add(1)
-	return c.rw.Write(b)
-}
-
-func (c *countingWrap) Close() error { return c.rw.Close() }
-
-func (c *countingWrap) CloseWrite() error {
-	c.closeWrites.Add(1)
-	if cw, ok := c.rw.(interface{ CloseWrite() error }); ok {
-		return cw.CloseWrite()
-	}
-	return nil
-}
-
-// TestWrapTransportVirtual: the WrapTransport hook must see every engine
-// read and write, and Process.CloseWrite must route through the wrapper to
-// the wrapped stream so the child still observes EOF.
-func TestWrapTransportVirtual(t *testing.T) {
-	var wrap *countingWrap
-	echoed := make(chan string, 1)
-	p, err := SpawnVirtual("echo", func(stdin io.Reader, stdout io.Writer) error {
-		all, _ := io.ReadAll(stdin) // returns only on EOF
-		echoed <- string(all)
-		stdout.Write([]byte("done"))
-		return nil
-	}, Options{WrapTransport: func(rw io.ReadWriteCloser) io.ReadWriteCloser {
-		wrap = &countingWrap{rw: rw}
-		return wrap
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer p.Close()
-	if wrap == nil {
-		t.Fatal("WrapTransport was not invoked")
-	}
-	if _, err := p.Write([]byte("hello")); err != nil {
-		t.Fatal(err)
-	}
-	if err := p.CloseWrite(); err != nil {
-		t.Fatal(err)
-	}
-	select {
-	case got := <-echoed:
-		if got != "hello" {
-			t.Errorf("child read %q, want %q", got, "hello")
-		}
-	case <-time.After(2 * time.Second):
-		t.Fatal("child never saw EOF: CloseWrite not forwarded through wrapper")
-	}
-	buf := make([]byte, 16)
-	var got []byte
-	for {
-		n, rerr := p.Read(buf)
-		got = append(got, buf[:n]...)
-		if rerr != nil {
-			break
-		}
-	}
-	if string(got) != "done" {
-		t.Errorf("engine read %q", got)
-	}
-	if wrap.reads.Load() == 0 || wrap.writes.Load() == 0 || wrap.closeWrites.Load() == 0 {
-		t.Errorf("wrapper not on the path: reads=%d writes=%d closeWrites=%d",
-			wrap.reads.Load(), wrap.writes.Load(), wrap.closeWrites.Load())
-	}
-}
+// The generalizable transport assertions (wrap-hook coverage, EOF
+// ordering, half-close forwarding, notify semantics) live in the
+// capability-annotated contract suite in transport_contract_test.go,
+// which runs them against all four transports. This file keeps only the
+// virtual-duplex-specific delivery pins above.

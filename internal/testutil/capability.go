@@ -1,0 +1,27 @@
+package testutil
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+// RequirePty skips t on hosts that cannot allocate pseudo-terminals (no
+// /dev/ptmx — minimal containers): pty-path tests must skip there, not
+// fail, because capability absence is an environment fact, not a
+// regression.
+func RequirePty(t *testing.T) {
+	t.Helper()
+	if _, err := os.Stat("/dev/ptmx"); err != nil {
+		t.Skipf("pseudo-terminals unavailable: %v", err)
+	}
+}
+
+// RequireCmd skips t when the named binary is not on PATH; transport
+// legs that fork a real child gate on it.
+func RequireCmd(t *testing.T, name string) {
+	t.Helper()
+	if _, err := exec.LookPath(name); err != nil {
+		t.Skipf("%s unavailable: %v", name, err)
+	}
+}

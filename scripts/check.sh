@@ -17,6 +17,12 @@ go vet ./...
 # matrix (which gates itself on -short and runs in full below).
 go test -race -short ./...
 
+# Order-independence leg: rerun the unit tier with shuffled test and
+# subtest order. Tests that secretly depend on a predecessor's side
+# effects (shared binaries, leftover sessions, package state) fail here
+# with the shuffle seed printed for replay.
+go test -count=1 -shuffle=on -short ./...
+
 # Differential conformance: replay every shipped script and engine
 # scenario through the matcher × eval-cache × fault-schedule matrix —
 # including the sharded-scheduler variants (-shards 1 and 8) — and
@@ -39,6 +45,7 @@ GORACE=halt_on_error=1 go test -race -count=1 -run TestSoak2kSessions ./internal
 # few CPU-minutes of fresh exploration to every gate.
 go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
 go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
+go test -race -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzShardHash -fuzztime=10s ./internal/core
 
 # Perf snapshot + trace-overhead guard: regenerate the hot-path benchmarks
@@ -52,3 +59,9 @@ go run ./cmd/benchreport -exp e15,e16 -json BENCH_3.json -guard 2
 # sharded p99 wakeup-to-match latency regressed by more than 10%, then
 # refresh the snapshot.
 go run ./cmd/benchreport -exp e17 -baseline BENCH_4.json -p99guard 10 -json BENCH_4.json
+
+# Network-scaling snapshot + guard: build expectd, run the E18 loopback
+# socket sweep (64 → 10k sessions against one daemon), require the
+# daemon to drain clean on SIGTERM, and fail if 10k sharded costs more
+# than 2x the 64-session goroutine baseline per dialogue.
+go run ./cmd/benchreport -exp e18 -json BENCH_5.json -netguard 2
