@@ -17,6 +17,14 @@
 //	benchreport -netguard X     fail if E18's 10k-session sharded socket
 //	                            per-dialogue cost exceeds X times the
 //	                            64-session goroutine socket baseline
+//	benchreport -memguard PCT   fail if E19's copied-bytes or ingest-alloc
+//	                            per-dialogue drop at 10k sharded sessions
+//	                            falls short of PCT percent vs the legacy
+//	                            copying referee
+//	benchreport -goroguard N    fail if E19's ingest goroutines at 10k
+//	                            connections (peak minus drivers) exceed N
+//	benchreport -cpuprofile F   write a CPU profile of the run to F
+//	benchreport -memprofile F   write an allocation profile of the run to F
 package main
 
 import (
@@ -24,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -31,15 +41,46 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "run only these experiment ids (comma-separated, e.g. e5 or e15,e16)")
-		root     = flag.String("root", ".", "repository root (for the code-size experiment)")
-		jsonPath = flag.String("json", "", "write the results to this file as JSON")
-		guard    = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
-		baseline = flag.String("baseline", "", "committed results JSON to regression-check against")
-		p99guard = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
-		netguard = flag.Float64("netguard", 0, "fail when E18's 10k-sharded vs 64-goroutine socket per-dialogue ratio exceeds this factor (0 disables)")
+		exp        = flag.String("exp", "", "run only these experiment ids (comma-separated, e.g. e5 or e15,e16)")
+		root       = flag.String("root", ".", "repository root (for the code-size experiment)")
+		jsonPath   = flag.String("json", "", "write the results to this file as JSON")
+		guard      = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
+		baseline   = flag.String("baseline", "", "committed results JSON to regression-check against")
+		p99guard   = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
+		netguard   = flag.Float64("netguard", 0, "fail when E18's 10k-sharded vs 64-goroutine socket per-dialogue ratio exceeds this factor (0 disables)")
+		memguard   = flag.Float64("memguard", 0, "fail when E19's copied-bytes or ingest-alloc drop at 10k sharded sessions is below this percentage (0 disables)")
+		goroguard  = flag.Float64("goroguard", 0, "fail when E19's ingest goroutines at 10k connections exceed this count (0 disables)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -137,6 +178,55 @@ func main() {
 		}
 		if !guarded {
 			fmt.Fprintln(os.Stderr, "benchreport: -netguard set but E18 did not run; add e18 to -exp")
+			os.Exit(2)
+		}
+	}
+
+	if *memguard > 0 {
+		guarded := false
+		for _, r := range results {
+			copied, ok1 := r.Metrics["bytes_copied_drop_pct_10k"]
+			allocs, ok2 := r.Metrics["ingest_allocs_drop_pct_10k"]
+			if !ok1 || !ok2 {
+				continue
+			}
+			guarded = true
+			if copied < *memguard || allocs < *memguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: mem guard FAILED: zero-copy ingest drops copied bytes %.0f%% and ingest allocs %.0f%% per dialogue at 10k sharded sessions (bar %.0f%% each)\n",
+					copied, allocs, *memguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: mem guard ok: copied bytes -%.0f%%, ingest allocs -%.0f%% per dialogue at 10k sharded sessions (bar %.0f%% each)\n",
+				copied, allocs, *memguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -memguard set but E19 did not run; add e19 to -exp")
+			os.Exit(2)
+		}
+	}
+
+	if *goroguard > 0 {
+		guarded := false
+		for _, r := range results {
+			goro, ok := r.Metrics["ingest_goroutines_10k_sharded"]
+			if !ok {
+				continue
+			}
+			guarded = true
+			if goro > *goroguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: goroutine guard FAILED: %.0f ingest goroutines above the 10k drivers (ceiling %.0f) — O(conns) ingest is back\n",
+					goro, *goroguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: goroutine guard ok: %.0f ingest goroutines above the 10k drivers (ceiling %.0f)\n",
+				goro, *goroguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -goroguard set but E19 did not run; add e19 to -exp")
 			os.Exit(2)
 		}
 	}

@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
@@ -80,17 +82,47 @@ func (d *diagLevel) Set(v string) error {
 
 func run() int {
 	var (
-		commands  = flag.String("c", "", "commands to execute before (or instead of) the script")
-		transport = flag.String("transport", "pty", `spawn transport: "pty", "pipe", or "network" (spawn targets are host:port addresses)`)
-		network   = flag.Bool("network", false, `shorthand for -transport network: every spawn target is a host:port dialed over the socket transport (expectd serves the other end)`)
-		sims      = flag.Bool("sims", false, "register the simulated interactive programs as spawnable names")
-		quiet     = flag.Bool("q", false, "start with log_user 0 (script output only)")
-		timeout   = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
-		shards    = flag.Int("shards", 0, "run sessions under a sharded scheduler with this many event loops (0 = one pump goroutine per session)")
+		commands   = flag.String("c", "", "commands to execute before (or instead of) the script")
+		transport  = flag.String("transport", "pty", `spawn transport: "pty", "pipe", or "network" (spawn targets are host:port addresses)`)
+		network    = flag.Bool("network", false, `shorthand for -transport network: every spawn target is a host:port dialed over the socket transport (expectd serves the other end)`)
+		sims       = flag.Bool("sims", false, "register the simulated interactive programs as spawnable names")
+		quiet      = flag.Bool("q", false, "start with log_user 0 (script output only)")
+		timeout    = flag.Int("timeout", 0, "override the initial timeout variable (seconds; 0 keeps the default 10)")
+		shards     = flag.Int("shards", 0, "run sessions under a sharded scheduler with this many event loops (0 = one pump goroutine per session)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	var diag diagLevel
 	flag.Var(&diag, "diag", "render exp_internal-style diagnostics on stderr (repeat for engine internals)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "goexpect: cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "goexpect: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "goexpect: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "goexpect: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *network {
 		*transport = "network"

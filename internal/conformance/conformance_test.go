@@ -110,6 +110,45 @@ func TestConformanceScenarios(t *testing.T) {
 	}
 }
 
+// TestPollerFallbackScenarioEquivalence is the zero-copy ingest
+// differential: every scenario runs over the socket transport under a
+// sharded scheduler twice — once eligible for the shard's readiness
+// poller (the epoll loop on linux) and once pinned to the fallback
+// reader goroutine — and the summaries must be identical. Which loop
+// moves the bytes is not an observable. On platforms without a poller
+// both arms take the fallback and the test degenerates to a rerun.
+func TestPollerFallbackScenarioEquivalence(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, cond := range Conditions {
+				cond := cond
+				t.Run(cond.Name, func(t *testing.T) {
+					t.Parallel()
+					run := ScenarioRun{
+						Matcher: core.MatcherRescan, Sched: cond.Sched,
+						Shards: 4, Network: true,
+					}
+					polled, err := RunScenarioWith(sc, run)
+					if err != nil {
+						t.Fatalf("polled run: %v", err)
+					}
+					run.NoPoller = true
+					fallback, err := RunScenarioWith(sc, run)
+					if err != nil {
+						t.Fatalf("fallback run: %v", err)
+					}
+					if polled != fallback {
+						t.Errorf("ingest loops diverged under schedule %s:\n  polled: %s\nfallback: %s",
+							cond.Sched.String(), polled, fallback)
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestConformanceMutationCaught is the harness's own proof of life: a
 // deliberately semantics-altering schedule (forced EOF 5 bytes into the
 // passwd dialogue) must be detected as a divergence and reported with

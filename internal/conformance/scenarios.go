@@ -155,6 +155,11 @@ type ScenarioRun struct {
 	Sched   faultify.Schedule
 	Shards  int
 	Network bool
+	// NoPoller pins network sessions to the fallback reader goroutine
+	// instead of a shard readiness poller. The epoll loop and the
+	// fallback reader must be byte-identical; this flag is the other arm
+	// of that differential.
+	NoPoller bool
 }
 
 // spawn starts one scenario child under the run's transport. The
@@ -168,6 +173,7 @@ func (rn ScenarioRun) spawn(cfg *core.Config, name string, prog proc.Program) (*
 	if err != nil {
 		return nil, nil, err
 	}
+	cfg.NetOptions.NoPoller = rn.NoPoller
 	s, err := core.SpawnNetwork(cfg, name, srv.Addr())
 	if err != nil {
 		srv.Shutdown(0)

@@ -16,10 +16,36 @@ type matchBuffer struct {
 	max  int    // match_max bound on live bytes
 	data []byte // backing array; live bytes are data[off:]
 	off  int    // start of the live region
+	// free, when non-nil, is the lease on the current backing array (a
+	// pooled netx segment adopted by appendOwned). Release is called
+	// exactly once, when the buffer stops using that backing — reset,
+	// realloc, or replacement by the next adoption — after which data must
+	// not alias the old array. Held as an interface rather than a bound
+	// method so adoption stays allocation-free.
+	free owned
 }
 
-// reset drops all live bytes and rewinds the backing array.
+// owned is the lease half of proc.Owned, restated locally so the gap
+// buffer stays free of transport imports.
+type owned interface{ Release() }
+
+// releaseBacking returns adopted backing to its owner, if any.
+func (b *matchBuffer) releaseBacking() {
+	if b.free != nil {
+		b.free.Release()
+		b.free = nil
+	}
+}
+
+// reset drops all live bytes and rewinds the backing array. Owned backing
+// is returned to its pool and the slice dropped — the next append starts
+// from scratch rather than writing into memory another holder may now own.
 func (b *matchBuffer) reset() {
+	if b.free != nil {
+		b.releaseBacking()
+		b.data, b.off = nil, 0
+		return
+	}
 	b.data = b.data[:0]
 	b.off = 0
 }
@@ -65,6 +91,7 @@ func (b *matchBuffer) appendData(p []byte) (forgot int) {
 			}
 			nd := make([]byte, b.length(), newCap)
 			copy(nd, b.bytes())
+			b.releaseBacking()
 			b.data, b.off = nd, 0
 		} else {
 			// Room exists at the front: compact live bytes down. With the
@@ -113,7 +140,34 @@ func (b *matchBuffer) setMax(n int) (forgot int) {
 	if cap(b.data) > 2*n && cap(b.data) > 4096 {
 		nd := make([]byte, b.length())
 		copy(nd, b.bytes())
+		b.releaseBacking()
 		b.data, b.off = nd, 0
 	}
 	return forgot
+}
+
+// appendOwned adds p — the payload of a leased buffer whose lease is o —
+// preferring to adopt the buffer as the gap buffer's backing
+// outright instead of copying. Adoption happens when the window is empty,
+// which is the steady state of a pattern-matching dialogue: each match
+// consumes the window, so the next chunk lands in an empty buffer and its
+// segment becomes the backing with zero bytes moved. A non-empty window
+// (partial match pending) falls back to the copying appendData and
+// reports adopted=false so the caller can release the lease itself.
+//
+// On adoption the buffer takes over the lease: Release fires when the
+// window forgets the backing (reset, consume-to-empty, realloc growth,
+// shrink, or the next adoption). Trimming to max stays an offset bump
+// even on adopted backing.
+func (b *matchBuffer) appendOwned(p []byte, o owned) (forgot int, adopted bool) {
+	if o == nil || b.length() > 0 {
+		return b.appendData(p), false
+	}
+	b.releaseBacking()
+	b.data, b.off, b.free = p, 0, o
+	if over := len(p) - b.max; over > 0 {
+		b.off = over
+		forgot = over
+	}
+	return forgot, true
 }

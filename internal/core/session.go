@@ -81,6 +81,15 @@ type Config struct {
 	Sched *Scheduler
 	// Spawn options passed through to the transport layer.
 	SpawnOptions proc.Options
+	// NetOptions configures the socket transport for SpawnNetwork sessions
+	// (buffer caps, segment pool, legacy copying mode, poller opt-out).
+	// ReadBuf defaults from SpawnOptions.BufferCap when unset.
+	NetOptions netx.Options
+	// Ingest, when non-nil, receives copied/handed-off byte accounting
+	// from the whole ingest path — socket inbox and match-buffer append —
+	// for the zero-copy experiments. Defaults NetOptions.Stats when that
+	// is unset.
+	Ingest *metrics.IngestStats
 }
 
 func (c *Config) matchMax() int {
@@ -100,12 +109,13 @@ func (c *Config) timeout() time.Duration {
 // Session is one controlled dialogue: a spawned process plus the match
 // buffer its output accumulates in.
 type Session struct {
-	name string
-	p    *proc.Process // nil for raw-stream sessions (e.g. the user)
-	rw   io.ReadWriteCloser
-	prof *metrics.Profiler
-	rec  *trace.Recorder
-	sid  int32
+	name   string
+	p      *proc.Process // nil for raw-stream sessions (e.g. the user)
+	rw     io.ReadWriteCloser
+	prof   *metrics.Profiler
+	rec    *trace.Recorder
+	sid    int32
+	ingest *metrics.IngestStats
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -140,6 +150,9 @@ type Session struct {
 	// session. It coalesces match attempts to one per ingest batch, the
 	// same granularity the pump's wakeup gives the classic cond-wait path.
 	stepPending bool
+	// ownedMode marks a shard-owned session whose transport hands chunks
+	// over by ownership transfer (TryReadOwned) instead of copying drains.
+	ownedMode bool
 }
 
 // ErrTimeout is returned by Expect when no pattern matched in time and no
@@ -197,11 +210,27 @@ func SpawnProgram(cfg *Config, name string, program proc.Program) (*Session, err
 func SpawnNetwork(cfg *Config, name, addr string) (*Session, error) {
 	opt := spawnOptions(cfg)
 	nopt := netx.Options{}
-	if opt.BufferCap > 0 {
+	if cfg != nil {
+		nopt = cfg.NetOptions
+		if nopt.Stats == nil {
+			nopt.Stats = cfg.Ingest
+		}
+	}
+	if nopt.ReadBuf == 0 && opt.BufferCap > 0 {
 		nopt.ReadBuf = opt.BufferCap
 	}
 	stopFork := opt.Prof.Start(metrics.PhaseFork)
-	nc, err := netx.Dial(addr, nopt)
+	var nc *netx.Conn
+	var err error
+	if cfg != nil && cfg.Sched != nil && !nopt.Legacy {
+		// Defer ingest: the adopting shard chooses between its readiness
+		// loop (linux, zero goroutines per connection) and the fallback
+		// reader goroutine. If adoption falls through to a pump, the first
+		// blocking Read starts the fallback reader on its own.
+		nc, err = netx.DialDeferred(addr, nopt)
+	} else {
+		nc, err = netx.Dial(addr, nopt)
+	}
 	stopFork()
 	if err != nil {
 		return nil, err
@@ -250,6 +279,10 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 		s.matcher = cfg.Matcher
 		s.rec = cfg.Rec
 		s.sid = cfg.SID
+		s.ingest = cfg.Ingest
+		if s.ingest == nil {
+			s.ingest = cfg.NetOptions.Stats
+		}
 		if cfg.ScreenRows > 0 && cfg.ScreenCols > 0 {
 			s.screen = vt.NewScreen(cfg.ScreenRows, cfg.ScreenCols)
 		}
@@ -328,7 +361,14 @@ func (s *Session) applyChunk(chunk []byte) {
 	s.mu.Lock()
 	s.totalSeen += int64(n)
 	// Forgetting per §3.1 happens inside appendData in O(1).
+	prevCap := cap(s.mb.data)
 	forgot := int64(s.mb.appendData(chunk))
+	if s.ingest != nil {
+		s.ingest.AddCopied(n)
+		if cap(s.mb.data) != prevCap {
+			s.ingest.AddAlloc()
+		}
+	}
 	s.forgotten += forgot
 	if s.prof != nil || s.rec.On() {
 		s.lastRead = time.Now()
@@ -341,6 +381,55 @@ func (s *Session) applyChunk(chunk []byte) {
 	}
 	s.notifyLocked()
 	s.mu.Unlock()
+}
+
+// applyOwned is applyChunk's ownership-transfer twin: the chunk arrives
+// as a leased buffer (a pooled netx segment) and, in the steady state of
+// an empty match window, becomes the gap buffer's backing without a
+// copy — the lease travels kernel → segment → window and is released
+// when the window forgets it. Taps (logger, screen, recorder) read the
+// payload before any release; the recorder copies what it keeps. When
+// the window is mid-match and cannot adopt, the bytes are copied in and
+// the lease returned here.
+func (s *Session) applyOwned(o proc.Owned) {
+	chunk := o.Bytes()
+	n := len(chunk)
+	if s.logger != nil {
+		s.logger(chunk)
+	}
+	if s.screen != nil {
+		s.screen.Write(chunk)
+	}
+	s.mu.Lock()
+	s.totalSeen += int64(n)
+	prevCap := cap(s.mb.data)
+	forgotN, adopted := s.mb.appendOwned(chunk, o)
+	forgot := int64(forgotN)
+	if s.ingest != nil {
+		if adopted {
+			s.ingest.AddHandedOff(n)
+		} else {
+			s.ingest.AddCopied(n)
+			if cap(s.mb.data) != prevCap {
+				s.ingest.AddAlloc()
+			}
+		}
+	}
+	s.forgotten += forgot
+	if s.prof != nil || s.rec.On() {
+		s.lastRead = time.Now()
+	}
+	if s.rec.On() {
+		s.rec.RecordBytes(trace.KindRead, s.sid, int64(n), s.totalSeen, false, chunk, nil)
+		if forgot > 0 {
+			s.rec.Record(trace.KindForget, s.sid, forgot, s.forgotten, false, "", "")
+		}
+	}
+	s.notifyLocked()
+	s.mu.Unlock()
+	if !adopted {
+		o.Release()
+	}
 }
 
 // applyEOF marks the stream finished and wakes every waiter; a nil or

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/trace"
 )
 
@@ -173,6 +174,12 @@ func (sc *Scheduler) Stop() {
 	for _, sh := range sc.shards {
 		<-sh.done
 	}
+	// Loops are gone; tear down the readiness pollers they accreted. Any
+	// connection still registered is finished with a clean hangup, the
+	// same verdict a killed reader goroutine would yield.
+	for _, sh := range sc.shards {
+		sh.stopPoller()
+	}
 }
 
 // adopt hashes s onto a shard and hands ownership of its read side to
@@ -188,7 +195,12 @@ func (sc *Scheduler) adopt(s *Session) *shard {
 	s.shardKey = key
 	if s.p.EventCapable() {
 		s.notifyMode = true
+		s.ownedMode = s.p.OwnedCapable()
 		s.p.SetReadNotify(func() { sh.markDirty(s) })
+		// A deferred network connection has no ingest producer yet: claim
+		// it for this shard's readiness loop, or start its fallback reader.
+		// The doorbell is already installed, so no arrival can slip by.
+		sh.attachNetIngest(s)
 	}
 	sh.post(shardMsg{kind: msgRegister, s: s})
 	if s.notifyMode {
@@ -242,6 +254,59 @@ type shard struct {
 
 	depthPeak atomic.Int64
 	dropped   atomic.Uint64
+
+	// Readiness poller, created lazily at the first network adoption and
+	// shared by every socket session on this shard: O(shards) ingest
+	// goroutines instead of O(connections). pollTried latches a failed
+	// creation (non-linux) so each adoption doesn't retry the syscall.
+	pollMu    sync.Mutex
+	poll      *netx.Poller
+	pollTried bool
+}
+
+// netPoller returns the shard's readiness poller, creating it on first
+// use; nil when the platform has none (callers fall back to a reader
+// goroutine per connection).
+func (sh *shard) netPoller() *netx.Poller {
+	sh.pollMu.Lock()
+	defer sh.pollMu.Unlock()
+	if !sh.pollTried {
+		sh.pollTried = true
+		if p, err := netx.NewPoller(); err == nil {
+			sh.poll = p
+		}
+	}
+	return sh.poll
+}
+
+func (sh *shard) stopPoller() {
+	sh.pollMu.Lock()
+	p := sh.poll
+	sh.poll = nil
+	sh.pollTried = true
+	sh.pollMu.Unlock()
+	if p != nil {
+		p.Close()
+	}
+}
+
+// attachNetIngest gives a deferred socket transport its ingest producer:
+// the shard's readiness loop when the platform and options allow, the
+// connection's own fallback reader goroutine otherwise. Non-socket
+// transports (virtual duplexes) need neither and pass through.
+func (sh *shard) attachNetIngest(s *Session) {
+	nc, ok := s.p.Transport().(*netx.Conn)
+	if !ok {
+		return
+	}
+	if nc.OwnedEnabled() {
+		if p := sh.netPoller(); p != nil {
+			if err := p.Register(nc); err == nil {
+				return
+			}
+		}
+	}
+	nc.StartIngest()
 }
 
 // loop is the shard's event loop: one goroutine multiplexing the ingest,
@@ -310,13 +375,7 @@ func (sh *shard) loop() {
 			// the classic path. Stepping per chunk instead would let an
 			// early `*foo*` glob consume a prefix the pump path never
 			// observes in isolation.
-			for _, s := range sh.touched {
-				if s.stepPending {
-					s.stepPending = false
-					sh.stepSession(s)
-				}
-			}
-			sh.touched = sh.touched[:0]
+			sh.stepTouched()
 		case <-sh.wakeCh:
 			sh.disarm(timer, timerC)
 			sh.drainDirty()
@@ -404,10 +463,7 @@ func (sh *shard) handle(m shardMsg) {
 		}
 		// Deferred: the loop steps touched sessions after the whole batch
 		// is applied (see the cmds case in loop).
-		if !m.s.stepPending {
-			m.s.stepPending = true
-			sh.touched = append(sh.touched, m.s)
-		}
+		sh.touch(m.s)
 	case msgEOF:
 		sh.finishSession(m.s, m.err)
 	case msgExpect:
@@ -467,6 +523,10 @@ func (sh *shard) markDirty(s *Session) {
 	}
 }
 
+// drainDirty is two-phase: drain every rung session's transport first,
+// then step the touched set once. One poll round that readied N sockets
+// of the same shard costs one sweep with one match attempt per session,
+// however many segments each delivered — the batch granularity contract.
 func (sh *shard) drainDirty() {
 	sh.dirtyMu.Lock()
 	ds := sh.dirty
@@ -478,16 +538,42 @@ func (sh *shard) drainDirty() {
 		s.inDirty.Store(false)
 		sh.ingest(s)
 	}
+	sh.stepTouched()
+}
+
+// touch defers a session's match attempt to the end of the current ingest
+// batch, coalescing however many chunks arrive meanwhile into one step.
+func (sh *shard) touch(s *Session) {
+	if !s.stepPending {
+		s.stepPending = true
+		sh.touched = append(sh.touched, s)
+	}
+}
+
+// stepTouched steps every session the current batch touched exactly once.
+func (sh *shard) stepTouched() {
+	for _, s := range sh.touched {
+		if s.stepPending {
+			s.stepPending = false
+			sh.stepSession(s)
+		}
+	}
+	sh.touched = sh.touched[:0]
 }
 
 // maxSweepReads bounds how long one session may hold the loop; a firehose
 // re-queues itself so its shard-mates still get stepped.
 const maxSweepReads = 16
 
-// ingest drains an event-capable transport from the loop: TryRead until
-// empty (or EOF), then step the session's parked expects once.
+// ingest drains an event-capable transport from the loop — TryReadOwned
+// segment handoff for zero-copy sockets, copying TryRead otherwise —
+// then defers the session's match attempt to the end of the batch.
 func (sh *shard) ingest(s *Session) {
 	if s.shardEOF.Load() {
+		return
+	}
+	if s.ownedMode {
+		sh.ingestOwned(s)
 		return
 	}
 	for reads := 0; reads < maxSweepReads; reads++ {
@@ -495,13 +581,16 @@ func (sh *shard) ingest(s *Session) {
 		n, ok, err := s.p.TryRead(sh.scratch)
 		stop()
 		if n > 0 {
+			if s.ingest != nil {
+				s.ingest.AddCopied(n)
+			}
 			s.applyChunk(sh.scratch[:n])
 			if sh.rec.On() {
 				sh.rec.RecordBytes(trace.KindRead, s.sid, int64(n), 0, false, sh.scratch[:n], nil)
 			}
+			sh.touch(s)
 		}
 		if !ok {
-			sh.stepSession(s)
 			return
 		}
 		if err != nil {
@@ -512,7 +601,39 @@ func (sh *shard) ingest(s *Session) {
 			return
 		}
 	}
-	sh.stepSession(s)
+	sh.markDirty(s)
+}
+
+// ingestOwned is ingest for ownership-transfer transports: each queued
+// segment moves from the connection's inbox into the session whole — no
+// scratch buffer, no copy in the steady state — and the lease travels
+// with it (applyOwned either adopts it as match-buffer backing or, when
+// a partial match pins the window, copies and releases).
+func (sh *shard) ingestOwned(s *Session) {
+	for reads := 0; reads < maxSweepReads; reads++ {
+		stop := s.prof.Start(metrics.PhaseIO)
+		o, ok, err := s.p.TryReadOwned()
+		stop()
+		if o != nil {
+			if sh.rec.On() {
+				// Record before the handoff: the recorder copies what it
+				// keeps, and the lease may end inside applyOwned.
+				sh.rec.RecordBytes(trace.KindRead, s.sid, int64(len(o.Bytes())), 0, false, o.Bytes(), nil)
+			}
+			s.applyOwned(o)
+			sh.touch(s)
+		}
+		if !ok {
+			return
+		}
+		if err != nil {
+			if isTransient(err) {
+				continue
+			}
+			sh.finishSession(s, err)
+			return
+		}
+	}
 	sh.markDirty(s)
 }
 
@@ -654,6 +775,12 @@ func (s *Session) feed(sh *shard) {
 		if n > 0 {
 			data := make([]byte, n)
 			copy(data, chunk[:n])
+			if s.ingest != nil {
+				// The clone is a real ingest-path copy+alloc; the queue
+				// hand-off that follows is not.
+				s.ingest.AddCopied(n)
+				s.ingest.AddAlloc()
+			}
 			if !sh.postFeeder(shardMsg{kind: msgChunk, s: s, data: data}) {
 				return
 			}

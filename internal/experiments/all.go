@@ -28,6 +28,7 @@ func All(repoRoot string) []Spec {
 		{"E16", "flight-recorder overhead", TraceOverhead},
 		{"E17", "sharded scheduler scaling", ShardScaling},
 		{"E18", "socket transport scaling via expectd", func() (Result, error) { return NetworkScaling(repoRoot) }},
+		{"E19", "zero-copy socket ingest via segment ownership transfer", func() (Result, error) { return ZeroCopyIngest(repoRoot) }},
 	}
 }
 

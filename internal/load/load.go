@@ -3,6 +3,7 @@ package load
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,18 @@ type Config struct {
 	// virtual programs in-process. The dialogue mix, seeds, and flaky-cut
 	// schedule are identical; only the transport changes.
 	Net *NetAddrs
+	// LegacyNet pins network sessions to the copying slab ingest path —
+	// reader goroutine per connection, no segment pool, no readiness
+	// loop. It is the frozen referee the E19 zero-copy comparison
+	// measures against.
+	LegacyNet bool
+	// NoWrap drops the flaky worker's faultify transport wrapper, so
+	// every session stays on the raw event-capable transport. E19 uses
+	// it to isolate the ingest architecture: a wrapped stream hides the
+	// TryRead/TryReadOwned capability and deliberately falls back to a
+	// feeder goroutine, which would smear the O(shards)-vs-O(conns)
+	// goroutine comparison with a constant it isn't measuring.
+	NoWrap bool
 	// Prof, when non-nil, receives the engine's phase timings and the
 	// wakeup-to-match histogram; nil allocates a private one.
 	Prof *metrics.Profiler
@@ -169,6 +182,23 @@ type Result struct {
 	QueueDepthPeak []int
 	Dropped        uint64
 
+	// Ingest accounting (network mode only; zero otherwise): what the
+	// socket→match-buffer data path did to every payload byte, and the
+	// per-dialogue quotients the E19 memguard gate compares across the
+	// legacy and zero-copy configurations.
+	BytesCopied       int64
+	BytesHandedOff    int64
+	IngestAllocs      int64
+	SegmentLeases     int64
+	SegmentReuses     int64
+	BytesCopiedPerDlg float64
+	IngestAllocsPer1k float64 // ingest allocations per 1000 dialogues
+
+	// GoroutinePeak is the highest runtime.NumGoroutine() sampled during
+	// the dialogue phase — the O(conns) vs O(shards) ingest-goroutine
+	// evidence at 10k sessions.
+	GoroutinePeak int
+
 	// Wakeup is the engine's wakeup-to-match latency distribution;
 	// Dialogue is end-to-end per-dialogue latency as the driver saw it.
 	Wakeup   metrics.HistSummary
@@ -191,6 +221,12 @@ type worker struct {
 	gen  int // respawn generation, keeps flaky seeds distinct
 	tall *counters
 	hist *metrics.Histogram
+
+	// Network-mode ingest instrumentation, shared across the run: every
+	// worker's sessions report into one scoreboard and lease from one
+	// segment pool.
+	ingest *metrics.IngestStats
+	pool   *netx.SegmentPool
 }
 
 // respawn replaces w.s with a fresh incarnation of the worker's program.
@@ -206,7 +242,10 @@ func (w *worker) respawn() error {
 		Prof:     w.cfg.Prof,
 		Sched:    w.sc,
 		SID:      int32(w.id),
+		Ingest:   w.ingest,
 	}
+	cfg.NetOptions.Legacy = w.cfg.LegacyNet
+	cfg.NetOptions.Pool = w.pool
 	var program proc.Program
 	name, addr := "", ""
 	switch w.id % 4 {
@@ -218,11 +257,13 @@ func (w *worker) respawn() error {
 		name, program = "bursty", BurstyLogger(8)
 	case 3:
 		name, program = "flaky", EchoServer()
-		cut := faultify.Schedule{
-			Seed:          w.cfg.Seed ^ uint64(w.id)<<20 ^ uint64(w.gen),
-			CutAfterBytes: w.cfg.CutAfterBytes,
+		if !w.cfg.NoWrap {
+			cut := faultify.Schedule{
+				Seed:          w.cfg.Seed ^ uint64(w.id)<<20 ^ uint64(w.gen),
+				CutAfterBytes: w.cfg.CutAfterBytes,
+			}
+			cfg.SpawnOptions.WrapTransport = faultify.Wrapper(cut, nil)
 		}
-		cfg.SpawnOptions.WrapTransport = faultify.Wrapper(cut, nil)
 	}
 	if net := w.cfg.Net; net != nil {
 		switch w.id % 4 {
@@ -338,20 +379,56 @@ func Run(cfg Config) (*Result, error) {
 	tall := &counters{}
 	dialHist := metrics.NewHistogram()
 
+	// One ingest scoreboard and one segment pool for the whole run, so
+	// reuse crosses sessions and the per-dialogue quotients aggregate.
+	var ingest *metrics.IngestStats
+	var pool *netx.SegmentPool
+	if cfg.Net != nil {
+		ingest = &metrics.IngestStats{}
+		if !cfg.LegacyNet {
+			pool = netx.NewSegmentPool(netx.Options{}.ReadChunk(), ingest)
+		}
+	}
+
 	workers := make([]*worker, cfg.Sessions)
 	for i := range workers {
 		workers[i] = &worker{
-			id:   i,
-			cfg:  &cfg,
-			sc:   sc,
-			rng:  rand.New(rand.NewSource(int64(cfg.Seed) + int64(i)*0x9e3779b9)),
-			tall: tall,
-			hist: dialHist,
+			id:     i,
+			cfg:    &cfg,
+			sc:     sc,
+			rng:    rand.New(rand.NewSource(int64(cfg.Seed) + int64(i)*0x9e3779b9)),
+			tall:   tall,
+			hist:   dialHist,
+			ingest: ingest,
+			pool:   pool,
 		}
 		if err := workers[i].respawn(); err != nil {
 			return nil, fmt.Errorf("load: spawn session %d: %w", i, err)
 		}
 	}
+
+	// Sample the goroutine count through the dialogue phase: the ingest
+	// architecture shows up here as O(sessions) reader goroutines versus
+	// O(shards) readiness loops.
+	goroPeak := runtime.NumGoroutine()
+	sampleStop := make(chan struct{})
+	var sampleDone sync.WaitGroup
+	sampleDone.Add(1)
+	go func() {
+		defer sampleDone.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > goroPeak {
+					goroPeak = n
+				}
+			case <-sampleStop:
+				return
+			}
+		}
+	}()
 
 	start := time.Now()
 	var end time.Time
@@ -377,6 +454,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(sampleStop)
+	sampleDone.Wait()
+	if n := runtime.NumGoroutine(); n > goroPeak {
+		goroPeak = n
+	}
 
 	for _, w := range workers {
 		w.s.Close()
@@ -398,6 +480,18 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if elapsed > 0 {
 		res.DialoguesPerSec = float64(res.Dialogues) / elapsed.Seconds()
+	}
+	res.GoroutinePeak = goroPeak
+	if ingest != nil {
+		res.BytesCopied = ingest.BytesCopied()
+		res.BytesHandedOff = ingest.BytesHandedOff()
+		res.IngestAllocs = ingest.IngestAllocs()
+		res.SegmentLeases = ingest.SegmentLeases()
+		res.SegmentReuses = ingest.SegmentReuses()
+		if res.Dialogues > 0 {
+			res.BytesCopiedPerDlg = float64(res.BytesCopied) / float64(res.Dialogues)
+			res.IngestAllocsPer1k = 1000 * float64(res.IngestAllocs) / float64(res.Dialogues)
+		}
 	}
 	if sc != nil {
 		sc.Stop()

@@ -5,6 +5,16 @@
 // the sharded scheduler (internal/core/shard.go) drains sessions with —
 // on top of a net.Conn.
 //
+// Ingest is zero-copy by default: socket reads land in pooled Segments
+// (segment.go) whose ownership travels with them — reader → inbox →
+// TryReadOwned → gap-buffer backing — so the steady-state path moves no
+// payload bytes between buffers. The per-connection reader goroutine is
+// itself optional: a deferred connection (DialDeferred/WrapDeferred) can
+// be registered with a shard's readiness Poller (poller_linux.go), which
+// reads many sockets from one loop via raw epoll. Options.Legacy keeps
+// the original copying slab inbox and eager reader goroutine as the
+// referee arm the E19 memguard gate measures the zero-copy path against.
+//
 // The division of timeout labor is deliberate and narrow: transport-level
 // read deadlines here are plumbing (a rolling poll so a quiet socket never
 // wedges the reader against teardown), and they are always absorbed as
@@ -13,13 +23,14 @@
 // timeout the dialogue can observe — a socket session times out exactly
 // like a pty session does, from the engine's own timer.
 //
-// Backpressure is bounded at both ends. Inbound, the reader goroutine
-// parks once ReadBuf bytes are queued undrained, which stops reading the
-// socket, which clogs the peer through TCP flow control — the same "pty
-// output queue fills" behaviour virtual transports get from their bounded
-// duplex. Outbound, Write blocks on the kernel socket buffer; an optional
-// WriteStall deadline converts a peer that never drains into a hard
-// ErrWriteStall instead of a goroutine parked forever.
+// Backpressure is bounded at both ends. Inbound, the producer (reader
+// goroutine or poller) parks once ReadBuf bytes are queued undrained,
+// which stops reading the socket, which clogs the peer through TCP flow
+// control — the same "pty output queue fills" behaviour virtual
+// transports get from their bounded duplex. Outbound, Write blocks on the
+// kernel socket buffer; an optional WriteStall deadline converts a peer
+// that never drains into a hard ErrWriteStall instead of a goroutine
+// parked forever.
 package netx
 
 import (
@@ -29,19 +40,24 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/proc"
 )
 
 // Options tunes a socket transport endpoint. The zero value is sensible.
 type Options struct {
 	// ReadBuf bounds the inbox between the socket reader and the engine
-	// (bytes, default 64 KiB). A full inbox blocks the reader — the
+	// (bytes, default 64 KiB). A full inbox blocks the producer — the
 	// inbound backpressure bound.
 	ReadBuf int
-	// PollInterval is the rolling read deadline the reader arms on the
-	// socket (default 1s). Deadline expiries are transport plumbing,
-	// absorbed as transient retries; they are never mapped to EOF or to
-	// the engine's timeout semantics. Negative disables the deadline.
+	// PollInterval is the rolling read deadline the fallback reader arms
+	// on the socket (default 1s). Deadline expiries are transport
+	// plumbing, absorbed as transient retries; they are never mapped to
+	// EOF or to the engine's timeout semantics. Negative disables the
+	// deadline. The epoll readiness loop needs no poll deadline at all.
 	PollInterval time.Duration
 	// WriteStall, when > 0, bounds how long one Write may block on a peer
 	// that never drains; past it the write fails with ErrWriteStall
@@ -49,12 +65,29 @@ type Options struct {
 	WriteStall time.Duration
 	// DialTimeout bounds Dial (default 10s).
 	DialTimeout time.Duration
+	// Stats, when non-nil, receives ingest accounting: bytes copied vs
+	// handed off by ownership transfer, and payload-buffer allocations.
+	Stats *metrics.IngestStats
+	// Pool supplies the segment pool reads lease from; nil uses a shared
+	// process-wide pool sized to the read chunk.
+	Pool *SegmentPool
+	// Legacy selects the original copying ingest path: a byte-slab inbox
+	// the reader copies into and TryRead copies out of, one eager reader
+	// goroutine per connection, no ownership transfer. It exists as the
+	// frozen referee arm for the E19 comparison and is never the default.
+	Legacy bool
+	// NoPoller keeps a zero-copy connection off any readiness Poller
+	// (Register refuses it), forcing the fallback reader goroutine. The
+	// conformance suite uses it to differentially test the two loops.
+	NoPoller bool
 }
 
 const (
 	defaultReadBuf      = 64 << 10
 	defaultPollInterval = time.Second
 	defaultDialTimeout  = 10 * time.Second
+	minReadChunk        = 4096
+	maxReadChunk        = 64 << 10
 )
 
 // ErrWriteStall reports a Write that exceeded Options.WriteStall against a
@@ -67,6 +100,24 @@ func (o Options) readBuf() int {
 		return defaultReadBuf
 	}
 	return o.ReadBuf
+}
+
+// readChunk sizes one socket read from the configured inbox bound instead
+// of a fixed 4 KiB, so large-inbox configs don't degrade to 4 KiB
+// syscalls: an eighth of the inbox, clamped to [4 KiB, 64 KiB].
+// ReadChunk reports the per-read segment size these options produce —
+// the capacity callers should give a custom SegmentPool.
+func (o Options) ReadChunk() int { return o.readChunk() }
+
+func (o Options) readChunk() int {
+	c := o.readBuf() / 8
+	if c < minReadChunk {
+		c = minReadChunk
+	}
+	if c > maxReadChunk {
+		c = maxReadChunk
+	}
+	return c
 }
 
 func (o Options) pollInterval() time.Duration {
@@ -86,61 +137,157 @@ func (o Options) dialTimeout() time.Duration {
 	return o.DialTimeout
 }
 
-// Conn is one endpoint of a socket-backed session. A single reader
-// goroutine owned by the transport moves bytes from the socket into a
-// bounded inbox; the inbox supplies the non-blocking TryRead and the
-// level-triggered SetReadNotify doorbell, so the sharded scheduler adds
-// no goroutine of its own to own a network session.
+// Ingest modes a Conn can be in. A connection starts deferred and moves
+// exactly once to one of the running modes; the transition is a CAS so a
+// poller registration and a blocking Read racing each other settle on a
+// single owner of the socket's read side.
+const (
+	modeDeferred int32 = iota // no ingest yet (DialDeferred/WrapDeferred)
+	modeReader                // fallback reader goroutine, pooled segments
+	modePolled                // a shard readiness Poller owns the fd
+	modeLegacy                // referee: reader goroutine + copying slab
+)
+
+// Conn is one endpoint of a socket-backed session. Its read side is owned
+// by exactly one producer — a readiness Poller or a fallback reader
+// goroutine — that moves bytes from the socket into a bounded inbox of
+// owned segments; the inbox supplies blocking Read, the non-blocking
+// TryRead, the ownership-transfer TryReadOwned, and the level-triggered
+// SetReadNotify doorbell.
 type Conn struct {
-	c   net.Conn
-	opt Options
+	c    net.Conn
+	opt  Options
+	pool *SegmentPool
 
 	in   inbox
 	done chan struct{}
+
+	mode    atomic.Int32
+	finOnce sync.Once
 
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 
 	writeMu sync.Mutex
+
+	// Readiness-loop attachment (nil/zero unless Register succeeded).
+	poll    *Poller
+	pollTok int32
+	raw     syscall.RawConn
+	parked  atomic.Bool
 }
 
-// Dial connects to a TCP addr and returns the transport endpoint.
+// Dial connects to a TCP addr and returns the transport endpoint with its
+// ingest already running (fallback reader goroutine).
 func Dial(addr string, opt Options) (*Conn, error) {
+	n, err := DialDeferred(addr, opt)
+	if err != nil {
+		return nil, err
+	}
+	n.StartIngest()
+	return n, nil
+}
+
+// DialDeferred connects without starting ingest: no reader goroutine
+// exists until the connection is registered with a Poller or StartIngest
+// runs (a blocking Read starts it implicitly). The sharded scheduler uses
+// this window to claim the socket for its per-shard readiness loop.
+func DialDeferred(addr string, opt Options) (*Conn, error) {
 	d := net.Dialer{Timeout: opt.dialTimeout()}
 	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return Wrap(c, opt), nil
+	return WrapDeferred(c, opt), nil
 }
 
 // Wrap adopts an established net.Conn as a transport endpoint, starting
-// its reader goroutine. The Conn owns c from here on.
+// its ingest. The Conn owns c from here on.
 func Wrap(c net.Conn, opt Options) *Conn {
-	n := &Conn{c: c, opt: opt, done: make(chan struct{})}
-	n.in.init(opt.readBuf())
-	go n.reader()
+	n := WrapDeferred(c, opt)
+	n.StartIngest()
 	return n
 }
 
-// reader is the transport-owned goroutine: socket → inbox, with the
-// rolling poll deadline and the EOF/RST → disposition mapping. A clean
-// FIN or a local Close finishes the inbox with io.EOF; a reset (or any
-// other hard error) preserves the error so the session's exit
+// WrapDeferred adopts an established net.Conn without starting ingest;
+// see DialDeferred.
+func WrapDeferred(c net.Conn, opt Options) *Conn {
+	n := &Conn{c: c, opt: opt, done: make(chan struct{})}
+	segSize := 0
+	if !opt.Legacy {
+		n.pool = opt.Pool
+		if n.pool == nil {
+			n.pool = poolFor(opt.readChunk())
+		}
+		segSize = n.pool.Size()
+	}
+	n.in.init(opt.readBuf(), segSize, opt.Legacy, opt.Stats)
+	return n
+}
+
+// StartIngest starts the fallback reader goroutine if no producer owns
+// the read side yet. It is idempotent and safe to race with a Poller
+// registration: exactly one producer wins.
+func (n *Conn) StartIngest() {
+	want := modeReader
+	if n.opt.Legacy {
+		want = modeLegacy
+	}
+	if n.mode.CompareAndSwap(modeDeferred, want) {
+		go n.reader()
+	}
+}
+
+// finish marks the dialogue over exactly once: terminal disposition into
+// the inbox (ringing the doorbell) and Done closed.
+func (n *Conn) finish(err error) {
+	n.finOnce.Do(func() {
+		n.in.finish(err)
+		close(n.done)
+	})
+}
+
+// reader is the fallback transport-owned goroutine: socket → inbox, with
+// the rolling poll deadline and the EOF/RST → disposition mapping. A
+// clean FIN or a local Close finishes the inbox with io.EOF; a reset (or
+// any other hard error) preserves the error so the session's exit
 // disposition reports what actually happened on the wire.
+//
+// In the default mode each read lands in a leased segment queued whole —
+// no copy; in Legacy mode it lands in a reusable scratch buffer the inbox
+// slab copies out of, reproducing the original data path byte for byte.
 func (n *Conn) reader() {
-	defer close(n.done)
-	buf := make([]byte, 4096)
 	poll := n.opt.pollInterval()
+	legacy := n.mode.Load() == modeLegacy
+	var scratch []byte
+	if legacy {
+		scratch = make([]byte, n.opt.readChunk())
+	}
 	for {
 		if poll > 0 {
 			n.c.SetReadDeadline(time.Now().Add(poll))
 		}
-		k, err := n.c.Read(buf)
-		if k > 0 {
-			if !n.in.put(buf[:k]) {
-				return // read side torn down locally
+		var k int
+		var err error
+		var seg *Segment
+		if legacy {
+			k, err = n.c.Read(scratch)
+			if k > 0 && !n.in.put(scratch[:k]) {
+				n.finish(io.EOF) // read side torn down locally
+				return
+			}
+		} else {
+			seg = n.pool.Get()
+			k, err = n.c.Read(seg.buf)
+			if k > 0 {
+				seg.n = k
+				if !n.in.putSeg(seg) {
+					n.finish(io.EOF)
+					return
+				}
+			} else {
+				seg.Release()
 			}
 		}
 		if err == nil {
@@ -155,13 +302,13 @@ func (n *Conn) reader() {
 			continue
 		case n.closed.Load() || errors.Is(err, net.ErrClosed):
 			// Local close: a deliberate hangup, clean by definition.
-			n.in.finish(io.EOF)
+			n.finish(io.EOF)
 			return
 		case errors.Is(err, io.EOF):
-			n.in.finish(io.EOF)
+			n.finish(io.EOF)
 			return
 		default:
-			n.in.finish(err) // RST and friends: preserved disposition
+			n.finish(err) // RST and friends: preserved disposition
 			return
 		}
 	}
@@ -177,12 +324,44 @@ func isTransient(err error) bool {
 
 // Read blocks for inbound bytes, returning the terminal disposition
 // (io.EOF for a clean hangup) once the stream is finished and drained.
-func (n *Conn) Read(b []byte) (int, error) { return n.in.read(b) }
+// On a deferred connection nobody claimed, the first Read starts the
+// fallback reader.
+func (n *Conn) Read(b []byte) (int, error) {
+	if n.mode.Load() == modeDeferred {
+		n.StartIngest()
+	}
+	return n.in.read(b)
+}
 
 // TryRead is the scheduler's non-blocking drain: ok=false means a
 // blocking Read would have parked; at the end of the stream it reports
 // (0, true, err) with the terminal disposition.
-func (n *Conn) TryRead(b []byte) (int, bool, error) { return n.in.tryRead(b) }
+func (n *Conn) TryRead(b []byte) (int, bool, error) {
+	if n.mode.Load() == modeDeferred {
+		n.StartIngest()
+	}
+	return n.in.tryRead(b)
+}
+
+// TryReadOwned pops the next queued segment whole, transferring its
+// ownership to the caller — the zero-copy drain. Contract matches
+// TryRead: ok=false would have parked, (nil, true, err) is stream end.
+// The returned chunk must be Released once its bytes are forgotten.
+func (n *Conn) TryReadOwned() (proc.Owned, bool, error) {
+	if n.mode.Load() == modeDeferred {
+		n.StartIngest()
+	}
+	g, ok, err := n.in.tryTake()
+	if g == nil {
+		return nil, ok, err // explicit nil interface, not (*Segment)(nil)
+	}
+	return g, ok, err
+}
+
+// OwnedEnabled reports whether this connection actually runs the
+// ownership-transfer path; a Legacy connection implements the method set
+// but copies internally, and the engine must not treat it as zero-copy.
+func (n *Conn) OwnedEnabled() bool { return !n.opt.Legacy }
 
 // SetReadNotify installs the level-triggered doorbell: fn runs whenever
 // bytes become readable or the stream finishes. Bytes queued before
@@ -223,19 +402,25 @@ func (n *Conn) CloseWrite() error {
 }
 
 // Close tears the connection down. Matching the virtual transport's
-// close semantics, undelivered inbound bytes are dropped and subsequent
-// reads see a clean EOF immediately; the reader goroutine unblocks on the
-// socket close and exits.
+// close semantics, undelivered inbound bytes are dropped (their segments
+// returned to the pool) and subsequent reads see a clean EOF immediately.
+// A reader goroutine unblocks on the socket close and exits; a polled or
+// never-started connection has no goroutine to observe the close, so the
+// dialogue is finished right here.
 func (n *Conn) Close() error {
 	n.closeOnce.Do(func() {
 		n.closed.Store(true)
 		n.in.closeRead()
 		n.closeErr = n.c.Close()
+		n.pollDetach()
+		if m := n.mode.Load(); m != modeReader && m != modeLegacy {
+			n.finish(io.EOF)
+		}
 	})
 	return n.closeErr
 }
 
-// Done is closed when the stream dialogue is over: the reader observed
+// Done is closed when the stream dialogue is over: the producer observed
 // EOF, a reset, or a local close, and the terminal disposition is set.
 func (n *Conn) Done() <-chan struct{} { return n.done }
 
@@ -267,34 +452,62 @@ func (n *Conn) WaitStatus() (int, error) {
 // RemoteAddr reports the peer address.
 func (n *Conn) RemoteAddr() net.Addr { return n.c.RemoteAddr() }
 
-// inbox is the bounded byte queue between the socket reader and the
-// engine, with the same level-triggered doorbell semantics as the
-// virtual transport's memPipe: TryRead that never blocks, a notify
-// callback rung (under mu) per queued chunk and at finish, and writer
-// backpressure once max bytes are queued.
+// inbox is the bounded queue between the socket's producer and the
+// engine, with the same level-triggered doorbell semantics as the virtual
+// transport's memPipe: TryRead that never blocks, a notify callback rung
+// (under mu) per queued chunk and at finish, and producer backpressure
+// once max bytes are queued.
+//
+// Two storage modes. The default is a queue of owned segments: putSeg
+// enqueues a leased segment whole, tryTake dequeues one whole, and the
+// copying read/tryRead paths advance through segment fronts, releasing
+// each segment to its pool as it drains. Legacy mode is the original byte
+// slab the producer copies into and readers copy out of — preserved
+// verbatim (including its realloc-per-put behaviour once tryRead nils the
+// emptied slab) as the frozen referee the E19 memguard gate measures the
+// segment path against; "fixing" it would erase the baseline.
 type inbox struct {
 	mu     sync.Mutex
 	data   *sync.Cond
 	space  *sync.Cond
-	buf    []byte
 	max    int
-	fin    bool  // no more bytes will ever arrive
-	err    error // terminal disposition, valid once fin
-	closed bool  // read side torn down locally
-	notify func()
+	stats  *metrics.IngestStats
+	legacy bool
+
+	buf []byte // legacy slab
+
+	segs   []*Segment // segment queue; segs[head:] are live
+	head   int
+	total  int // queued payload bytes across segs
+	segCap int // max queued segments (bounds memory for tiny reads)
+
+	fin     bool  // no more bytes will ever arrive
+	err     error // terminal disposition, valid once fin
+	closed  bool  // read side torn down locally
+	notify  func()
+	spaceFn func() // poller re-arm hook, invoked outside mu
 }
 
-func (q *inbox) init(max int) {
+func (q *inbox) init(max, segSize int, legacy bool, stats *metrics.IngestStats) {
 	if max < 1 {
 		max = 1
 	}
 	q.max = max
+	q.legacy = legacy
+	q.stats = stats
+	if segSize > 0 {
+		q.segCap = max/segSize + 1
+		if q.segCap < 2 {
+			q.segCap = 2
+		}
+	}
 	q.data = sync.NewCond(&q.mu)
 	q.space = sync.NewCond(&q.mu)
 }
 
-// put queues a chunk from the reader, blocking while the inbox is full.
-// It reports false once the read side is gone and the reader should stop.
+// put queues a chunk by copying it into the legacy slab, blocking while
+// the inbox is full. It reports false once the read side is gone and the
+// reader should stop. Segment-mode connections never call it.
 func (q *inbox) put(b []byte) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -313,7 +526,12 @@ func (q *inbox) put(b []byte) bool {
 		if len(chunk) > room {
 			chunk = chunk[:room]
 		}
+		capBefore := cap(q.buf)
 		q.buf = append(q.buf, chunk...)
+		if cap(q.buf) != capBefore {
+			q.stats.AddAlloc()
+		}
+		q.stats.AddCopied(len(chunk))
 		b = b[len(chunk):]
 		q.data.Broadcast()
 		// Ring per chunk, under mu: a reader parked on space has already
@@ -324,6 +542,88 @@ func (q *inbox) put(b []byte) bool {
 		}
 	}
 	return true
+}
+
+// putSeg queues a leased segment whole — ownership moves to the inbox, no
+// copy — blocking while the inbox is full. On false the read side is gone;
+// the segment has been returned to its pool and the producer should stop.
+func (q *inbox) putSeg(g *Segment) bool {
+	q.mu.Lock()
+	for {
+		if q.closed || q.fin {
+			q.mu.Unlock()
+			g.Release()
+			return false
+		}
+		if q.total < q.max && len(q.segs)-q.head < q.segCap {
+			break
+		}
+		q.space.Wait()
+	}
+	q.segs = append(q.segs, g)
+	q.total += g.Len()
+	q.stats.AddHandedOff(g.Len())
+	q.data.Broadcast()
+	if q.notify != nil {
+		q.notify()
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// hasRoom reports whether the producer may queue another segment — the
+// poller's pre-read check, so a readiness loop serving many connections
+// never blocks inside putSeg (a single producer per connection means room
+// observed here cannot vanish before the put).
+func (q *inbox) hasRoom() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return !q.closed && !q.fin && q.total < q.max && len(q.segs)-q.head < q.segCap
+}
+
+// copyOutLocked copies queued bytes into b, releasing segments as they
+// drain, and returns the count. Caller holds mu.
+func (q *inbox) copyOutLocked(b []byte) int {
+	n := 0
+	for n < len(b) && q.head < len(q.segs) {
+		g := q.segs[q.head]
+		k := copy(b[n:], g.Bytes())
+		g.advance(k)
+		n += k
+		q.total -= k
+		if g.Len() == 0 {
+			q.segs[q.head] = nil
+			q.head++
+			g.Release()
+		}
+	}
+	q.compactLocked()
+	q.stats.AddCopied(n)
+	return n
+}
+
+// compactLocked rewinds the segment queue once drained (and shifts a
+// long-consumed prefix down) so the slice never grows without bound.
+func (q *inbox) compactLocked() {
+	if q.head == len(q.segs) {
+		q.segs = q.segs[:0]
+		q.head = 0
+	} else if q.head > 32 {
+		n := copy(q.segs, q.segs[q.head:])
+		for i := n; i < len(q.segs); i++ {
+			q.segs[i] = nil
+		}
+		q.segs = q.segs[:n]
+		q.head = 0
+	}
+}
+
+// spaceFreedLocked reports whether the poller's re-arm hook should run:
+// a parked producer has room again. Caller holds mu; the hook itself must
+// be invoked after unlocking.
+func (q *inbox) spaceFreedLocked() bool {
+	return q.spaceFn != nil && !q.closed && !q.fin &&
+		q.total < q.max && len(q.segs)-q.head < q.segCap
 }
 
 // finish marks the stream over with its terminal disposition.
@@ -342,11 +642,17 @@ func (q *inbox) finish(err error) {
 }
 
 // closeRead tears down the read side locally: pending bytes are dropped
-// and readers see a clean EOF, matching the virtual duplex's CloseRead.
+// (segments back to their pool) and readers see a clean EOF, matching the
+// virtual duplex's CloseRead.
 func (q *inbox) closeRead() {
 	q.mu.Lock()
 	q.closed = true
 	q.buf = nil
+	for i := q.head; i < len(q.segs); i++ {
+		q.segs[i].Release()
+		q.segs[i] = nil
+	}
+	q.segs, q.head, q.total = nil, 0, 0
 	if !q.fin {
 		q.fin = true
 		q.err = io.EOF
@@ -361,49 +667,136 @@ func (q *inbox) closeRead() {
 
 func (q *inbox) read(b []byte) (int, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.buf) == 0 {
-		if q.fin {
-			if q.err == nil {
-				return 0, io.EOF
+	if q.legacy {
+		defer q.mu.Unlock()
+		for len(q.buf) == 0 {
+			if q.fin {
+				if q.err == nil {
+					return 0, io.EOF
+				}
+				return 0, q.err
 			}
-			return 0, q.err
+			q.data.Wait()
+		}
+		n := copy(b, q.buf)
+		q.stats.AddCopied(n)
+		q.buf = q.buf[n:]
+		if len(q.buf) == 0 {
+			q.buf = nil
+		}
+		q.space.Broadcast()
+		return n, nil
+	}
+	for q.total == 0 {
+		if q.fin {
+			err := q.err
+			q.mu.Unlock()
+			if err == nil {
+				err = io.EOF
+			}
+			return 0, err
 		}
 		q.data.Wait()
 	}
-	n := copy(b, q.buf)
-	q.buf = q.buf[n:]
-	if len(q.buf) == 0 {
-		q.buf = nil
-	}
+	n := q.copyOutLocked(b)
 	q.space.Broadcast()
+	rearm := q.spaceFreedLocked()
+	fn := q.spaceFn
+	q.mu.Unlock()
+	if rearm {
+		fn()
+	}
 	return n, nil
 }
 
 func (q *inbox) tryRead(b []byte) (int, bool, error) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if len(q.buf) == 0 {
-		if q.fin {
-			if q.err == nil {
-				return 0, true, io.EOF
+	if q.legacy {
+		defer q.mu.Unlock()
+		if len(q.buf) == 0 {
+			if q.fin {
+				if q.err == nil {
+					return 0, true, io.EOF
+				}
+				return 0, true, q.err
 			}
-			return 0, true, q.err
+			return 0, false, nil
+		}
+		n := copy(b, q.buf)
+		q.stats.AddCopied(n)
+		q.buf = q.buf[n:]
+		if len(q.buf) == 0 {
+			q.buf = nil
+		}
+		q.space.Broadcast()
+		return n, true, nil
+	}
+	if q.total == 0 {
+		fin, err := q.fin, q.err
+		q.mu.Unlock()
+		if fin {
+			if err == nil {
+				err = io.EOF
+			}
+			return 0, true, err
 		}
 		return 0, false, nil
 	}
-	n := copy(b, q.buf)
-	q.buf = q.buf[n:]
-	if len(q.buf) == 0 {
-		q.buf = nil
-	}
+	n := q.copyOutLocked(b)
 	q.space.Broadcast()
+	rearm := q.spaceFreedLocked()
+	fn := q.spaceFn
+	q.mu.Unlock()
+	if rearm {
+		fn()
+	}
 	return n, true, nil
+}
+
+// tryTake dequeues the front segment whole, moving its ownership to the
+// caller. Same contract shape as tryRead; legacy inboxes always report
+// not-ready so a misrouted caller falls back to the copying drain.
+func (q *inbox) tryTake() (*Segment, bool, error) {
+	q.mu.Lock()
+	if q.legacy || q.total == 0 {
+		fin, err := q.fin, q.err
+		legacy, buffered := q.legacy, len(q.buf) > 0
+		q.mu.Unlock()
+		if legacy && buffered {
+			return nil, false, nil
+		}
+		if fin {
+			if err == nil {
+				err = io.EOF
+			}
+			return nil, true, err
+		}
+		return nil, false, nil
+	}
+	g := q.segs[q.head]
+	q.segs[q.head] = nil
+	q.head++
+	q.total -= g.Len()
+	q.compactLocked()
+	q.space.Broadcast()
+	rearm := q.spaceFreedLocked()
+	fn := q.spaceFn
+	q.mu.Unlock()
+	if rearm {
+		fn()
+	}
+	return g, true, nil
 }
 
 func (q *inbox) setNotify(fn func()) {
 	q.mu.Lock()
 	q.notify = fn
+	q.mu.Unlock()
+}
+
+func (q *inbox) setSpaceFn(fn func()) {
+	q.mu.Lock()
+	q.spaceFn = fn
 	q.mu.Unlock()
 }
 

@@ -1,0 +1,27 @@
+//go:build !linux
+
+package netx
+
+import "errors"
+
+// Poller is the non-linux stand-in for the epoll readiness loop: it can
+// never be created, so every connection falls back to its own reader
+// goroutine — the portable ingest path the conformance suite proves
+// byte-identical to the polled one.
+type Poller struct{}
+
+// ErrPollerUnavailable reports that readiness polling is not supported on
+// this platform; callers fall back to StartIngest.
+var ErrPollerUnavailable = errors.New("netx: readiness poller unavailable on this platform")
+
+// NewPoller always fails off linux.
+func NewPoller() (*Poller, error) { return nil, ErrPollerUnavailable }
+
+// Register always refuses; the caller starts the fallback reader.
+func (p *Poller) Register(n *Conn) error { return ErrPollerUnavailable }
+
+// Close is a no-op.
+func (p *Poller) Close() {}
+
+// pollDetach is a no-op without a poller implementation.
+func (n *Conn) pollDetach() {}

@@ -343,6 +343,49 @@ func (p *Process) SetReadNotify(fn func()) {
 	p.rw.(ReadNotifier).SetReadNotify(fn)
 }
 
+// Owned is a chunk of child output whose buffer ownership travels with
+// it: the holder may alias Bytes until it calls Release, at which point
+// the backing storage returns to its pool and every alias dies. This is
+// the unit of zero-copy ingest — a pooled read segment handed from the
+// socket reader to the engine whole instead of being copied through an
+// intermediate slab.
+type Owned interface {
+	// Bytes returns the payload; valid only until Release.
+	Bytes() []byte
+	// Release returns the backing buffer to its owner. Must be called
+	// exactly once; the payload must not be touched afterwards.
+	Release()
+}
+
+// OwnedReader is the ownership-transfer read half of a zero-copy
+// transport: TryReadOwned pops one whole owned chunk without copying,
+// returning ok=false when nothing is buffered and (nil, true, io.EOF)
+// once the stream is finished and drained. OwnedEnabled lets a transport
+// that implements the interface decline at runtime (e.g. a legacy-mode
+// connection that still buffers through a copying slab).
+type OwnedReader interface {
+	TryReadOwned() (Owned, bool, error)
+	OwnedEnabled() bool
+}
+
+// OwnedCapable reports whether the transport can hand output chunks to
+// the engine by ownership transfer. Requires the event pair too — owned
+// ingest rides the same doorbell discipline as TryRead.
+func (p *Process) OwnedCapable() bool {
+	or, ok := p.rw.(OwnedReader)
+	return ok && or.OwnedEnabled() && p.EventCapable()
+}
+
+// TryReadOwned forwards to the transport's ownership-transfer read;
+// callers must check OwnedCapable first.
+func (p *Process) TryReadOwned() (Owned, bool, error) {
+	return p.rw.(OwnedReader).TryReadOwned()
+}
+
+// Transport exposes the raw transport for capability probes that need
+// more than the forwarding methods (test harnesses, shard adoption).
+func (p *Process) Transport() io.ReadWriteCloser { return p.rw }
+
 // CloseWrite half-closes the channel toward the child when the transport
 // supports it (pipe/virtual), delivering EOF on the child's stdin. Pty
 // transports have a single bidirectional line, so CloseWrite is a no-op

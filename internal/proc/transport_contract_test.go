@@ -39,6 +39,11 @@ type contractLeg struct {
 	// cleanEOF: stream end arrives as io.EOF. A pty master instead
 	// errors (EIO) when the child side hangs up.
 	cleanEOF bool
+	// owned: the transport hands chunks over by ownership transfer
+	// (TryReadOwned) instead of copying. Only the segment-mode socket
+	// qualifies; a legacy socket implements the methods but must decline
+	// via OwnedEnabled.
+	owned bool
 }
 
 func contractLegs() []contractLeg {
@@ -106,7 +111,35 @@ func contractLegs() []contractLeg {
 					}
 				}
 			},
-			halfClose: true, event: true, cleanEOF: true,
+			halfClose: true, event: true, cleanEOF: true, owned: true,
+		},
+		{
+			// The frozen copying referee: same socket, same contract,
+			// but chunks cross a byte slab instead of moving whole — it
+			// must refuse the zero-copy capability at runtime.
+			name: "socket-legacy",
+			spawn: func(t *testing.T, opt proc.Options) (*proc.Process, func()) {
+				srv, err := netx.NewServer("127.0.0.1:0", func(stdin io.Reader, stdout io.Writer) error {
+					io.Copy(stdout, stdin)
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nc, err := netx.Dial(srv.Addr(), netx.Options{Legacy: true})
+				if err != nil {
+					srv.Shutdown(0)
+					t.Fatal(err)
+				}
+				p := proc.SpawnStream("cat", proc.KindNetwork, nc, nc.WaitStatus, opt)
+				return p, func() {
+					p.Close()
+					if !srv.Shutdown(5 * time.Second) {
+						t.Error("loopback server did not drain clean")
+					}
+				}
+			},
+			halfClose: true, event: true, cleanEOF: true, owned: false,
 		},
 	}
 }
@@ -271,6 +304,99 @@ func TestTransportContractNotify(t *testing.T) {
 				}
 				if err != nil {
 					t.Fatalf("TryRead: %v", err)
+				}
+				if !ok {
+					select {
+					case <-rings:
+					case <-time.After(50 * time.Millisecond):
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTransportContractOwned: owned legs must expose the zero-copy
+// drain — idle TryReadOwned parks nobody, written bytes come back as
+// whole released-once chunks, and stream end is (nil, true, io.EOF).
+// Non-owned legs must refuse via OwnedCapable rather than hand out
+// chunks with dangling ownership.
+func TestTransportContractOwned(t *testing.T) {
+	for _, lg := range contractLegs() {
+		lg := lg
+		t.Run(lg.name, func(t *testing.T) {
+			if lg.skip != nil {
+				lg.skip(t)
+			}
+			defer testutil.LeakCheck(t, 10, 5*time.Second)()
+			p, cleanup := lg.spawn(t, proc.Options{})
+			defer cleanup()
+
+			if !lg.owned {
+				if p.OwnedCapable() {
+					t.Fatalf("%s unexpectedly claims ownership-transfer reads", lg.name)
+				}
+				return
+			}
+			if !p.OwnedCapable() {
+				t.Fatalf("%s transport should support TryReadOwned", lg.name)
+			}
+
+			rings := make(chan struct{}, 64)
+			p.SetReadNotify(func() {
+				select {
+				case rings <- struct{}{}:
+				default:
+				}
+			})
+			if o, ok, err := p.TryReadOwned(); o != nil || ok || err != nil {
+				t.Fatalf("idle TryReadOwned = (%v, %v, %v), want (nil, false, nil)", o, ok, err)
+			}
+
+			if _, err := p.Write([]byte("ding\n")); err != nil {
+				t.Fatal(err)
+			}
+			var got []byte
+			deadline := time.Now().Add(5 * time.Second)
+			for !bytes.Contains(got, []byte("ding\n")) {
+				if time.Now().After(deadline) {
+					t.Fatalf("TryReadOwned never yielded the echo; got %q", got)
+				}
+				o, ok, err := p.TryReadOwned()
+				if err != nil {
+					t.Fatalf("TryReadOwned: %v (got %q)", err, got)
+				}
+				if o != nil {
+					if len(o.Bytes()) == 0 {
+						t.Fatal("owned chunk with no payload")
+					}
+					got = append(got, o.Bytes()...)
+					o.Release()
+				}
+				if !ok {
+					select {
+					case <-rings:
+					case <-time.After(50 * time.Millisecond):
+					}
+				}
+			}
+
+			endInput(t, lg, p)
+			deadline = time.Now().Add(5 * time.Second)
+			for {
+				if time.Now().After(deadline) {
+					t.Fatal("TryReadOwned never reported EOF after input closed")
+				}
+				o, ok, err := p.TryReadOwned()
+				if o != nil {
+					o.Release()
+					continue
+				}
+				if ok && err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("TryReadOwned: %v", err)
 				}
 				if !ok {
 					select {

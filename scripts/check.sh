@@ -65,3 +65,11 @@ go run ./cmd/benchreport -exp e17 -baseline BENCH_4.json -p99guard 10 -json BENC
 # daemon to drain clean on SIGTERM, and fail if 10k sharded costs more
 # than 2x the 64-session goroutine baseline per dialogue.
 go run ./cmd/benchreport -exp e18 -json BENCH_5.json -netguard 2
+
+# Zero-copy ingest snapshot + guards: rerun the socket sweep on the
+# segment-ownership path against the frozen copying referee. memguard:
+# copied bytes and ingest allocations per dialogue at 10k sharded
+# sessions must both drop >= 40% vs legacy. goroguard: ingest goroutines
+# at 10k connections stay O(shards) — at most 256 above the drivers,
+# not one reader per connection.
+go run ./cmd/benchreport -exp e19 -json BENCH_6.json -memguard 40 -goroguard 256
