@@ -23,6 +23,12 @@
 //	                            copying referee
 //	benchreport -goroguard N    fail if E19's ingest goroutines at 10k
 //	                            connections (peak minus drivers) exceed N
+//	benchreport -replayguard P  fail if E20's journaled-soak per-dialogue
+//	                            overhead exceeds P percent vs ring-only
+//	benchreport -ckptguard PCT  with -baseline: fail if E20's
+//	                            checkpoint/restore round-trip p99
+//	                            regressed by more than PCT percent vs
+//	                            the committed BENCH_7.json
 //	benchreport -cpuprofile F   write a CPU profile of the run to F
 //	benchreport -memprofile F   write an allocation profile of the run to F
 package main
@@ -41,17 +47,19 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "", "run only these experiment ids (comma-separated, e.g. e5 or e15,e16)")
-		root       = flag.String("root", ".", "repository root (for the code-size experiment)")
-		jsonPath   = flag.String("json", "", "write the results to this file as JSON")
-		guard      = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
-		baseline   = flag.String("baseline", "", "committed results JSON to regression-check against")
-		p99guard   = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
-		netguard   = flag.Float64("netguard", 0, "fail when E18's 10k-sharded vs 64-goroutine socket per-dialogue ratio exceeds this factor (0 disables)")
-		memguard   = flag.Float64("memguard", 0, "fail when E19's copied-bytes or ingest-alloc drop at 10k sharded sessions is below this percentage (0 disables)")
-		goroguard  = flag.Float64("goroguard", 0, "fail when E19's ingest goroutines at 10k connections exceed this count (0 disables)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		exp         = flag.String("exp", "", "run only these experiment ids (comma-separated, e.g. e5 or e15,e16)")
+		root        = flag.String("root", ".", "repository root (for the code-size experiment)")
+		jsonPath    = flag.String("json", "", "write the results to this file as JSON")
+		guard       = flag.Float64("guard", 0, "fail when E16's disabled-recorder overhead exceeds this percentage (0 disables)")
+		baseline    = flag.String("baseline", "", "committed results JSON to regression-check against")
+		p99guard    = flag.Float64("p99guard", 0, "with -baseline: fail when E17's 1k-session sharded p99 wakeup latency regresses by more than this percentage (0 disables)")
+		netguard    = flag.Float64("netguard", 0, "fail when E18's 10k-sharded vs 64-goroutine socket per-dialogue ratio exceeds this factor (0 disables)")
+		memguard    = flag.Float64("memguard", 0, "fail when E19's copied-bytes or ingest-alloc drop at 10k sharded sessions is below this percentage (0 disables)")
+		goroguard   = flag.Float64("goroguard", 0, "fail when E19's ingest goroutines at 10k connections exceed this count (0 disables)")
+		replayguard = flag.Float64("replayguard", 0, "fail when E20's journaled-soak per-dialogue overhead exceeds this percentage (0 disables)")
+		ckptguard   = flag.Float64("ckptguard", 0, "with -baseline: fail when E20's checkpoint/restore round-trip p99 regresses by more than this percentage (0 disables)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -112,6 +120,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Snapshot the baseline BEFORE -json rewrites it: check.sh points
+	// -baseline and -json at the same committed file, so reading it after
+	// the write would compare the run against itself and pass forever.
+	base := baselineSnapshot{path: *baseline}
+	if *baseline != "" {
+		base.data, base.err = os.ReadFile(*baseline)
+	}
+
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
@@ -154,7 +170,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport: -p99guard needs -baseline FILE")
 			os.Exit(2)
 		}
-		checkP99Guard(*baseline, results, *p99guard)
+		checkBaselineGuard(base, results, *p99guard,
+			"p99_wakeup_ns_1000_sharded", "p99 guard", "1k-session sharded p99 wakeup", "e17")
 	}
 
 	if *netguard > 0 {
@@ -230,14 +247,56 @@ func main() {
 			os.Exit(2)
 		}
 	}
+
+	if *replayguard > 0 {
+		guarded := false
+		for _, r := range results {
+			overhead, ok := r.Metrics["journal_overhead_pct"]
+			if !ok {
+				continue
+			}
+			guarded = true
+			if overhead > *replayguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: replay guard FAILED: journaled soak costs %+.1f%% per dialogue vs ring-only (budget %.1f%%)\n",
+					overhead, *replayguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: replay guard ok: journaled soak %+.1f%% per dialogue vs ring-only (budget %.1f%%)\n",
+				overhead, *replayguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -replayguard set but E20 did not run; add e20 to -exp")
+			os.Exit(2)
+		}
+	}
+
+	if *ckptguard > 0 {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchreport: -ckptguard needs -baseline FILE")
+			os.Exit(2)
+		}
+		checkBaselineGuard(base, results, *ckptguard,
+			"ckpt_roundtrip_p99_ns", "ckpt guard", "checkpoint/restore round-trip p99", "e20")
+	}
 }
 
-// checkP99Guard compares E17's 1k-session sharded tail latency against
-// the committed baseline. A missing baseline file or a baseline without
-// the metric is the bootstrap case: warn and pass, so the first run
-// that commits BENCH_4.json doesn't have to guard against itself.
-func checkP99Guard(path string, results []experiments.Result, pct float64) {
-	const metric = "p99_wakeup_ns_1000_sharded"
+// baselineSnapshot is the committed baseline file as it was before this
+// run rewrote it with -json. Guards must compare against the snapshot,
+// never re-read the path.
+type baselineSnapshot struct {
+	path string
+	data []byte
+	err  error
+}
+
+// checkBaselineGuard compares one nanosecond metric of the current run
+// against a committed baseline JSON, failing past pct percent regression.
+// A missing baseline file or metric is the bootstrap case: warn and pass,
+// so the first run that commits the snapshot doesn't guard against
+// itself.
+func checkBaselineGuard(base baselineSnapshot, results []experiments.Result, pct float64, metric, guardName, what, expID string) {
 	var cur float64
 	found := false
 	for _, r := range results {
@@ -246,39 +305,37 @@ func checkP99Guard(path string, results []experiments.Result, pct float64) {
 		}
 	}
 	if !found {
-		fmt.Fprintln(os.Stderr, "benchreport: -p99guard set but E17 did not run; add e17 to -exp")
+		fmt.Fprintf(os.Stderr, "benchreport: %s set but the experiment did not run; add %s to -exp\n", guardName, expID)
 		os.Exit(2)
 	}
-
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: no baseline at %s (%v) — bootstrap pass\n", path, err)
+	if base.err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %s: no baseline at %s (%v) — bootstrap pass\n", guardName, base.path, base.err)
 		return
 	}
-	var base []experiments.Result
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: unreadable baseline %s: %v\n", path, err)
+	var baseResults []experiments.Result
+	if err := json.Unmarshal(base.data, &baseResults); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %s: unreadable baseline %s: %v\n", guardName, base.path, err)
 		os.Exit(1)
 	}
 	var ref float64
 	refFound := false
-	for _, r := range base {
+	for _, r := range baseResults {
 		if v, ok := r.Metrics[metric]; ok {
 			ref, refFound = v, true
 		}
 	}
 	if !refFound || ref <= 0 {
-		fmt.Fprintf(os.Stderr, "benchreport: p99 guard: baseline %s lacks %s — bootstrap pass\n", path, metric)
+		fmt.Fprintf(os.Stderr, "benchreport: %s: baseline %s lacks %s — bootstrap pass\n", guardName, base.path, metric)
 		return
 	}
 	regress := (cur/ref - 1) * 100
 	if regress > pct {
 		fmt.Fprintf(os.Stderr,
-			"benchreport: p99 guard FAILED: 1k-session sharded p99 wakeup %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
-			cur, ref, regress, pct)
+			"benchreport: %s FAILED: %s %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
+			guardName, what, cur, ref, regress, pct)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr,
-		"benchreport: p99 guard ok: 1k-session sharded p99 wakeup %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
-		cur, ref, regress, pct)
+		"benchreport: %s ok: %s %.0fns vs baseline %.0fns (%+.1f%%, budget %+.1f%%)\n",
+		guardName, what, cur, ref, regress, pct)
 }

@@ -13,6 +13,23 @@
 // line per program (machine-parseable — E18 scrapes them) and then
 // "expectd: ready".
 //
+// The daemon can also run a goexpect script of its own (-drive), which
+// spawns the same programs in-process — a resident driver session. With
+// -checkpoint FILE armed, SIGUSR1 serializes the drive engine's state
+// (interpreter globals plus one SessionCheckpoint per live spawn,
+// including any expect parked on a shard loop) and atomically writes it
+// to FILE:
+//
+//	expectd -drive robot.exp -checkpoint /var/run/expectd.ckpt &
+//	kill -USR1 $!             # → "expectd: checkpointed N sessions to ..."
+//
+// A later incarnation started with -restore FILE reads the checkpoint
+// back and reinstalls the interpreter globals before the drive script
+// runs, so a crashed daemon's script can resume from its recorded
+// progress. Session transports do not survive the process — restoring
+// live dialogues is core.RestoreSession plus a reconnect, which is the
+// client's job (see the crash/recovery battery in internal/load).
+//
 // Shutdown honors the netx.Server drain contract: on SIGTERM/SIGINT the
 // daemon stops accepting, lets every in-flight session run its dialogue
 // to EOF within the -grace window, and only then closes. It exits 0 only
@@ -24,11 +41,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/netx"
 	"repro/internal/proc"
@@ -55,14 +74,67 @@ func registry() map[string]func() proc.Program {
 	}
 }
 
+// writeFileAtomic writes b to path via a same-directory temp file and
+// rename, so a reader (or a crash) never sees a half-written checkpoint.
+func writeFileAtomic(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
 func main() {
 	var (
 		serveList = flag.String("serve", "echo,slow,bursty,login-sim,eliza-sim,chess-sim",
 			"comma-separated programs to serve; each entry is name or name=host:port (default port 0 on -host)")
 		host  = flag.String("host", "127.0.0.1", "default listen host for entries without an explicit address")
 		grace = flag.Duration("grace", 30*time.Second, "drain window on SIGTERM/SIGINT before in-flight sessions are cut")
+		drive = flag.String("drive", "",
+			"goexpect script the daemon runs in-process; served program names are spawnable directly")
+		ckptPath = flag.String("checkpoint", "",
+			"arm SIGUSR1: each signal atomically writes an engine checkpoint (interpreter globals + live session snapshots) to this file; signal while the drive script is parked in expect, not mid-evaluation")
+		restorePath = flag.String("restore", "",
+			"engine-checkpoint file to read at startup; its interpreter globals are reinstalled before -drive runs")
 	)
 	flag.Parse()
+
+	// The drive engine exists only when something needs it. Shards > 0
+	// matters for -checkpoint: shard-parked expects are captured by the
+	// loop-synchronized checkpoint path, so a SIGUSR1 taken while the
+	// drive script waits in expect records the pending op.
+	var eng *core.Engine
+	if *drive != "" || *ckptPath != "" || *restorePath != "" {
+		eng = core.NewEngine(core.EngineOptions{Transport: "pipe", Shards: 2})
+		for name, mk := range registry() {
+			eng.RegisterVirtual(name, mk())
+		}
+		if *restorePath != "" {
+			b, err := os.ReadFile(*restorePath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expectd: restore: %v\n", err)
+				os.Exit(1)
+			}
+			ec, err := core.ParseEngineCheckpoint(b)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "expectd: restore %s: %v\n", *restorePath, err)
+				os.Exit(1)
+			}
+			eng.RestoreGlobals(ec)
+			fmt.Printf("expectd: restored %d globals and %d session checkpoints from %s\n",
+				len(ec.Globals), len(ec.Sessions), *restorePath)
+		}
+	}
 
 	reg := registry()
 	var servers []*netx.Server
@@ -99,10 +171,40 @@ func main() {
 	}
 	fmt.Println("expectd: ready")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
-	<-sig
+	if *drive != "" {
+		go func() {
+			if _, err := eng.RunFile(*drive); err != nil {
+				fmt.Fprintf(os.Stderr, "expectd: drive: %v\n", err)
+				return
+			}
+			fmt.Println("expectd: drive script finished")
+		}()
+	}
+
+	notif := []os.Signal{syscall.SIGTERM, syscall.SIGINT}
+	if *ckptPath != "" {
+		notif = append(notif, syscall.SIGUSR1)
+	}
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, notif...)
+	for s := range sig {
+		if s != syscall.SIGUSR1 {
+			break
+		}
+		ec := eng.CheckpointAll()
+		if err := writeFileAtomic(*ckptPath, ec.Marshal()); err != nil {
+			fmt.Fprintf(os.Stderr, "expectd: checkpoint: %v\n", err)
+			continue
+		}
+		fmt.Printf("expectd: checkpointed %d sessions to %s\n", len(ec.Sessions), *ckptPath)
+	}
 	fmt.Printf("expectd: draining (grace %v)\n", *grace)
+
+	// Tear the drive engine down first: its sessions resolve with ErrClosed
+	// and the script unwinds, so the drain below only waits on the wire.
+	if eng != nil {
+		eng.Shutdown()
+	}
 
 	clean := true
 	var served uint64

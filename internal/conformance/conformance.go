@@ -138,6 +138,11 @@ type Outcome struct {
 	// boundaries legitimately differ between runs. When a cell diverges,
 	// this is the black box that says what the engine actually saw.
 	Dump []byte
+	// Journal is the run's full durable journal (trace journal mode:
+	// complete payloads, unbounded length) — unlike Dump it is not a
+	// preview but the replayable record: internal/replay re-drives it
+	// byte-for-byte and must reproduce the same observables standalone.
+	Journal []byte
 }
 
 // dumpTailEvents bounds the flight-recording tail attached to each
@@ -305,6 +310,11 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	// engine saw, in one sequence-ordered recording.
 	rec := trace.New(0)
 	rec.SetRecording(true)
+	// Journal mode rides along: the ring keeps serving the bounded Dump
+	// while the journal retains every event with full payloads, so a
+	// diverging cell ships a standalone replayable record of itself.
+	jrn := trace.NewJournal()
+	rec.SetJournal(jrn)
 	opts := core.EngineOptions{
 		UserIn:   strings.NewReader(""),
 		UserOut:  &user,
@@ -356,6 +366,7 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 		Children: taps.children(),
 		Faults:   counters.Snapshot(),
 		Dump:     rec.Dump(dumpTailEvents),
+		Journal:  jrn.Bytes(),
 	}
 	out.ExitCode, out.ExitCalled = eng.ExitCode()
 	if runErr != nil {
@@ -418,6 +429,12 @@ type Divergence struct {
 	// attempts, and injected faults leading up to the divergence without
 	// re-running anything.
 	Dump []byte
+	// Journal is the diverging run's full replayable journal
+	// (Outcome.Journal): internal/replay.RunJournal re-drives it
+	// standalone — no sims, no faults, no scheduler — and must reproduce
+	// the identical dispositions, which is how the harness confirms a
+	// divergence is real engine behaviour rather than run-to-run noise.
+	Journal []byte
 }
 
 func (d *Divergence) String() string {
@@ -433,7 +450,22 @@ func (d *Divergence) String() string {
 			sb.WriteString(line)
 		}
 	}
+	if n := bytesLines(d.Journal); n > 0 {
+		fmt.Fprintf(&sb, "\n  replayable journal: %d events, %d bytes (re-drive with internal/replay.RunJournal)",
+			n, len(d.Journal))
+	}
 	return sb.String()
+}
+
+// bytesLines counts newline-terminated records in a JSONL blob.
+func bytesLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
 }
 
 // Minimize greedily strips fault classes from sched while diverges keeps

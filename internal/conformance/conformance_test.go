@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultify"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -46,7 +47,7 @@ func TestConformanceScripts(t *testing.T) {
 							div := &Divergence{
 								Subject: sc.File, Variant: v,
 								Schedule: cond.Sched, Minimal: cond.Sched, Detail: d,
-								Dump: got.Dump,
+								Dump: got.Dump, Journal: got.Journal,
 							}
 							t.Error(div.String())
 						}
@@ -190,13 +191,29 @@ func TestConformanceMutationCaught(t *testing.T) {
 		Minimal:  Minimize(mutated, diverges),
 		Detail:   detail,
 		Dump:     got.Dump,
+		Journal:  got.Journal,
 	}
 	report := div.String()
 	t.Logf("mutation report (expected):\n%s", report)
 	for _, want := range []string{"seed=5", "cutafter=5B", "passwd.exp", "minimized",
-		"flight recording"} {
+		"flight recording", "replayable journal"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// The embedded journal must replay standalone and reproduce the
+	// diverging run's dispositions exactly — the harness's confirmation
+	// that the divergence is engine behaviour, not run-to-run noise.
+	reports, err := replay.RunJournal(div.Journal, replay.Options{})
+	if err != nil {
+		t.Fatalf("divergence journal does not replay: %v", err)
+	}
+	if len(reports) == 0 {
+		t.Fatal("divergence journal replayed no sessions")
+	}
+	for _, rep := range reports {
+		if !rep.Clean() {
+			t.Errorf("divergence journal did not reproduce its own run: %s", rep)
 		}
 	}
 	// The embedded black box must be machine-readable and must show both

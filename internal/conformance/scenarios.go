@@ -20,6 +20,7 @@ import (
 	"repro/internal/faultify"
 	"repro/internal/netx"
 	"repro/internal/proc"
+	"repro/internal/trace"
 )
 
 // Scenario is one differential dialogue: a virtual child program plus a
@@ -160,6 +161,10 @@ type ScenarioRun struct {
 	// fallback reader must be byte-identical; this flag is the other arm
 	// of that differential.
 	NoPoller bool
+	// Rec, when non-nil, is an armed flight recorder the run's sessions
+	// report to — with a journal attached it captures the full replayable
+	// event stream (see RunScenarioJournaled).
+	Rec *trace.Recorder
 }
 
 // spawn starts one scenario child under the run's transport. The
@@ -187,6 +192,8 @@ func (rn ScenarioRun) spawn(cfg *core.Config, name string, prog proc.Program) (*
 func runFanIn(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
 	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
+	cfg.Rec = rn.Rec
+	cfg.SID = 1
 	talker, cleanupT, err := rn.spawn(cfg, "talker",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "ok ready\n")
@@ -198,7 +205,9 @@ func runFanIn(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
 	}
 	defer cleanupT()
 	defer talker.Close()
-	silent, cleanupS, err := rn.spawn(cfg, "silent",
+	cfg2 := *cfg
+	cfg2.SID = 2
+	silent, cleanupS, err := rn.spawn(&cfg2, "silent",
 		func(stdin io.Reader, stdout io.Writer) error {
 			blockForever(stdin)
 			return nil
@@ -228,6 +237,8 @@ func runFanIn(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
 func runInteract(rn ScenarioRun, scheduler *core.Scheduler) (string, error) {
 	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
+	cfg.Rec = rn.Rec
+	cfg.SID = 1
 	s, cleanup, err := rn.spawn(cfg, "echo",
 		func(stdin io.Reader, stdout io.Writer) error {
 			io.WriteString(stdout, "shell> ")
@@ -303,6 +314,8 @@ func RunScenarioWith(sc Scenario, rn ScenarioRun) (string, error) {
 	}
 	cfg := scenarioConfig(rn.Matcher, rn.Sched, rn.Sched.Clean())
 	cfg.Sched = scheduler
+	cfg.Rec = rn.Rec
+	cfg.SID = 1
 	s, cleanup, err := rn.spawn(cfg, sc.Name, sc.Program)
 	if err != nil {
 		return "", err
@@ -310,6 +323,20 @@ func RunScenarioWith(sc Scenario, rn ScenarioRun) (string, error) {
 	defer cleanup()
 	defer s.Close()
 	return sc.Drive(s)
+}
+
+// RunScenarioJournaled executes one scenario cell with a journal-armed
+// flight recorder and returns the summary plus the durable JSONL journal
+// — the replayable record of everything the engine observed. This is the
+// journal the replay-determinism matrix re-drives and the one a
+// divergence report embeds.
+func RunScenarioJournaled(sc Scenario, rn ScenarioRun) (string, []byte, error) {
+	rec := trace.New(0)
+	jrn := trace.NewJournal()
+	rec.SetJournal(jrn)
+	rn.Rec = rec
+	sum, err := RunScenarioWith(sc, rn)
+	return sum, jrn.Bytes(), err
 }
 
 // AllScenarios returns the table plus the special-cased multi-session and

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"io"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeOwned is a pooled-segment stand-in: Release scribbles the payload,
+// the way a real pool reusing the backing for another connection would.
+type fakeOwned struct {
+	data     []byte
+	released atomic.Bool
+}
+
+func (f *fakeOwned) Bytes() []byte { return f.data }
+func (f *fakeOwned) Release() {
+	f.released.Store(true)
+	for i := range f.data {
+		f.data[i] = 0xee
+	}
+}
+
+func TestSessionCheckpointRestoreRoundTrip(t *testing.T) {
+	s := NewManualSession(&Config{MatchMax: 128, Timeout: 7 * time.Second}, "cp")
+	s.Feed([]byte("login: "))
+	cp := s.Checkpoint()
+
+	// JSON round-trip: the checkpoint must survive a process boundary.
+	cp2, err := ParseSessionCheckpoint(cp.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Name != "cp" || cp2.MatchMax != 128 || cp2.TimeoutNS != int64(7*time.Second) {
+		t.Fatalf("checkpoint lost config: %+v", cp2)
+	}
+	if string(cp2.Buffer) != "login: " || cp2.TotalSeen != 7 {
+		t.Fatalf("checkpoint lost buffer state: %+v", cp2)
+	}
+
+	r, err := RestoreSession(nil, cp2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ExpectTimeout(time.Second, Glob("*login: "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 0 {
+		t.Fatalf("restored buffer did not match: %+v", res)
+	}
+	if seen := r.TotalSeen(); seen != 7 {
+		t.Fatalf("restored totalSeen = %d, want 7", seen)
+	}
+}
+
+// A checkpoint taken while the match buffer sits on adopted (owned)
+// backing must copy: when the lease ends and the pool scribbles the
+// segment, the checkpoint is unaffected.
+func TestCheckpointCopiesOwnedBacking(t *testing.T) {
+	s := NewManualSession(&Config{MatchMax: 64}, "owned")
+	o := &fakeOwned{data: []byte("prompt> ")}
+	s.applyOwned(o)
+	cp := s.Checkpoint()
+
+	// Simulate the pool reclaiming the segment out from under any alias.
+	for i := range o.data {
+		o.data[i] = 0xee
+	}
+	if string(cp.Buffer) != "prompt> " {
+		t.Fatalf("checkpoint aliases owned backing: %q", cp.Buffer)
+	}
+	s.Close()
+}
+
+func TestRestoreSessionResumesEOF(t *testing.T) {
+	s := NewManualSession(nil, "eof")
+	s.Feed([]byte("tail"))
+	s.FeedEOF(io.ErrUnexpectedEOF)
+	cp := s.Checkpoint()
+	if !cp.Eof || cp.ReadErr == "" {
+		t.Fatalf("EOF disposition not captured: %+v", cp)
+	}
+
+	r, err := RestoreSession(nil, cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.ExpectTimeout(time.Second, EOFCase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eof {
+		t.Fatalf("restored session lost its EOF: %+v", res)
+	}
+}
+
+func TestResumeExpectAfterRestore(t *testing.T) {
+	s := NewManualSession(nil, "resume")
+	s.Feed([]byte("partial out"))
+	cp := s.Checkpoint()
+	oc := OpCheckpoint{
+		Cases:       []CaseSpec{{Kind: int(CaseGlob), Pattern: "*done*"}},
+		RemainingNS: int64(5 * time.Second),
+	}
+
+	r, err := RestoreSession(nil, cp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Feed([]byte("put done\n"))
+	res, err := r.ResumeExpect(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 0 || !strings.Contains(res.Text, "done") {
+		t.Fatalf("resumed expect missed: %+v", res)
+	}
+}
+
+// waitParked polls the loop-synchronized checkpoint until the pending
+// Expect shows up in it (or the deadline passes).
+func waitParked(t *testing.T, sc *Scheduler, s *Session) *SessionCheckpoint {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cp, err := sc.CheckpointSession(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cp.Pending) > 0 {
+			return cp
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("expect op never parked on the shard loop")
+	return nil
+}
+
+// A scheduler checkpoint must see ops parked on the owning loop: their
+// case lists and the remaining (not original) deadline budget.
+func TestSchedulerCheckpointSeesParkedOp(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 1})
+	defer sc.Stop()
+	s, err := SpawnProgram(&Config{Sched: sc}, "mute", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.ExpectTimeout(10*time.Second, Glob("*never*"), Exact("nope"))
+	}()
+	cp := waitParked(t, sc, s)
+	if len(cp.Pending) != 1 {
+		t.Fatalf("pending ops = %d, want 1", len(cp.Pending))
+	}
+	oc := cp.Pending[0]
+	if len(oc.Cases) != 2 || oc.Cases[0].Pattern != "*never*" || CaseKind(oc.Cases[1].Kind) != CaseExact {
+		t.Fatalf("pending case list wrong: %+v", oc)
+	}
+	if oc.RemainingNS <= 0 || oc.RemainingNS > int64(10*time.Second) {
+		t.Fatalf("remaining budget out of range: %d", oc.RemainingNS)
+	}
+	s.Close()
+	<-done
+}
+
+// The tentpole property: a session migrates between shards while an
+// Expect is parked, and the op resolves on the destination when the
+// child finally speaks. Event-capable transport — the doorbell must be
+// re-aimed at the destination loop.
+func TestMigrateMidExpect(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	release := make(chan struct{})
+	s, err := SpawnProgram(&Config{Sched: sc}, "gate", func(stdin io.Reader, stdout io.Writer) error {
+		<-release
+		io.WriteString(stdout, "token done\n")
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *MatchResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := s.ExpectTimeout(10*time.Second, Glob("*done*"))
+		resCh <- outcome{res, err}
+	}()
+	waitParked(t, sc, s)
+
+	src := s.ShardIndex()
+	dst := 1 - src
+	if err := sc.Migrate(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardIndex(); got != dst {
+		t.Fatalf("after migrate ShardIndex = %d, want %d", got, dst)
+	}
+	// Migrating to the shard that already owns it is a no-op.
+	if err := sc.Migrate(s, dst); err != nil {
+		t.Fatal(err)
+	}
+
+	close(release)
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !strings.Contains(out.res.Text, "done") {
+		t.Fatalf("migrated expect matched %q", out.res.Text)
+	}
+	s.Close()
+}
+
+// Feeder-path migration: a pipe transport has a dedicated reader that
+// keeps posting to the old shard forever; chunks must still reach the
+// buffer in order and wake the op on the new owner.
+func TestMigrateFeederSession(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	s, err := SpawnPipeCommand(&Config{Sched: sc}, "cat")
+	if err != nil {
+		t.Skipf("cannot spawn cat: %v", err)
+	}
+	if s.ShardIndex() < 0 {
+		t.Fatal("pipe session not shard-owned")
+	}
+	type outcome struct {
+		res *MatchResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := s.ExpectTimeout(10*time.Second, Glob("*hello-echo*"))
+		resCh <- outcome{res, err}
+	}()
+	waitParked(t, sc, s)
+
+	dst := 1 - s.ShardIndex()
+	if err := sc.Migrate(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("hello-echo\n"); err != nil {
+		t.Fatal(err)
+	}
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !strings.Contains(out.res.Text, "hello-echo") {
+		t.Fatalf("matched %q", out.res.Text)
+	}
+	s.Close()
+}
+
+// A parked deadline travels with the migration: the destination loop
+// must fire it.
+func TestMigrateTimeoutFiresOnDestination(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	s, err := SpawnProgram(&Config{Sched: sc}, "mute", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *MatchResult
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := s.ExpectTimeout(400*time.Millisecond, Glob("*never*"), TimeoutCase())
+		resCh <- outcome{res, err}
+	}()
+	waitParked(t, sc, s)
+	dst := 1 - s.ShardIndex()
+	if err := sc.Migrate(s, dst); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-resCh:
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		if !out.res.TimedOut {
+			t.Fatalf("want timeout case, got %+v", out.res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("migrated deadline never fired on the destination")
+	}
+	s.Close()
+}
+
+func TestMigrateErrors(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	s, err := SpawnProgram(&Config{Sched: sc}, "p", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Migrate(s, 99); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+	manual := NewManualSession(nil, "m")
+	if err := sc.Migrate(manual, 0); err == nil {
+		t.Fatal("pump/manual session migrated")
+	}
+	s.Close()
+}
+
+func TestEngineCheckpointGlobalsRoundTrip(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	if _, err := e.Run("set greeting hello\nset cfg(retries) 3\nset cfg(host) deep"); err != nil {
+		t.Fatal(err)
+	}
+	ec := e.CheckpointAll()
+	ec2, err := ParseEngineCheckpoint(ec.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(EngineOptions{})
+	e2.RestoreGlobals(ec2)
+	if v, _ := e2.Interp.GlobalGet("greeting"); v != "hello" {
+		t.Fatalf("greeting = %q", v)
+	}
+	if v, _ := e2.Interp.GlobalGet("cfg(retries)"); v != "3" {
+		t.Fatalf("cfg(retries) = %q", v)
+	}
+	if v, _ := e2.Interp.GlobalGet("cfg(host)"); v != "deep" {
+		t.Fatalf("cfg(host) = %q", v)
+	}
+}
+
+func TestEngineMigrateSessionByID(t *testing.T) {
+	e := NewEngine(EngineOptions{Shards: 2})
+	defer e.Shutdown()
+	e.RegisterVirtual("mute", func(stdin io.Reader, stdout io.Writer) error {
+		io.Copy(io.Discard, stdin)
+		return nil
+	})
+	s, id, err := e.Spawn("mute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := 1 - s.ShardIndex()
+	if err := e.MigrateSession(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ShardIndex(); got != dst {
+		t.Fatalf("ShardIndex = %d, want %d", got, dst)
+	}
+	if err := e.MigrateSession(id+100, 0); err == nil {
+		t.Fatal("unknown spawn id migrated")
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"regexp"
 	"time"
 
@@ -115,7 +117,7 @@ func (s *Session) ExpectMatch(glob string) (*MatchResult, error) {
 // with the corresponding case index.
 func (s *Session) ExpectTimeout(d time.Duration, cases ...Case) (*MatchResult, error) {
 	op := s.newExpectOp(d, cases)
-	if sh := s.shard; sh != nil {
+	if sh := s.owningShard(); sh != nil {
 		return sh.runExpect(op)
 	}
 
@@ -188,9 +190,113 @@ func (s *Session) newExpectOp(d time.Duration, cases []Case) *expectOp {
 		if d >= 0 {
 			t = int64(d)
 		}
-		s.rec.Record(trace.KindExpect, s.sid, int64(len(cases)), t, false, "", "")
+		if s.rec.Journaling() {
+			// A journaled expect carries its serialized case list so a
+			// replay can reconstruct the exact call; ring-only runs skip
+			// the encoding allocation.
+			s.rec.RecordData(trace.KindExpect, s.sid, int64(len(cases)), t, false, "", "", EncodeCases(cases))
+		} else {
+			s.rec.Record(trace.KindExpect, s.sid, int64(len(cases)), t, false, "", "")
+		}
 	}
 	return op
+}
+
+// caseJSON is the journal schema for one expect case.
+type caseJSON struct {
+	K int    `json:"k"`
+	P string `json:"p,omitempty"`
+}
+
+// EncodeCases serializes an expect case list for the journal (kind +
+// pattern per case; compiled forms are rebuilt on decode).
+func EncodeCases(cases []Case) []byte {
+	out := make([]caseJSON, len(cases))
+	for i, c := range cases {
+		out[i] = caseJSON{K: int(c.Kind), P: c.Pattern}
+	}
+	b, _ := json.Marshal(out)
+	return b
+}
+
+// DecodeCases inverts EncodeCases, recompiling regexp cases.
+func DecodeCases(data []byte) ([]Case, error) {
+	var in []caseJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("core: bad case list %q: %w", data, err)
+	}
+	out := make([]Case, len(in))
+	for i, c := range in {
+		cs, err := caseFromSpec(c.K, c.P)
+		if err != nil {
+			return nil, fmt.Errorf("core: case %d: %w", i, err)
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// caseFromSpec rebuilds one case from its portable kind+pattern form,
+// recompiling as needed. Shared by journal decode and checkpoint restore.
+func caseFromSpec(kind int, pat string) (Case, error) {
+	switch CaseKind(kind) {
+	case CaseGlob:
+		return Glob(pat), nil
+	case CaseExact:
+		return Exact(pat), nil
+	case CaseRegexp:
+		re, err := pattern.CompileRegexp(pat)
+		if err != nil {
+			return Case{}, err
+		}
+		return Case{Kind: CaseRegexp, Pattern: pat, re: re}, nil
+	case CaseEOF:
+		return EOFCase(), nil
+	case CaseTimeout:
+		return TimeoutCase(), nil
+	default:
+		return Case{}, fmt.Errorf("unknown case kind %d", kind)
+	}
+}
+
+// ManualExpect is an Expect call driven by hand: no cond-wait, no shard
+// loop, no wall clock. The replay engine uses it to reproduce a journaled
+// run's exact wakeup structure — Feed a chunk, Step a scan — and the
+// checkpoint path uses it to resume a restored pending op. It must not be
+// mixed with a concurrent Expect on the same session.
+type ManualExpect struct {
+	op *expectOp
+}
+
+// BeginExpect starts a manually-stepped expect call. Unlike ExpectTimeout
+// it returns immediately without scanning; the first Step is the first
+// wakeup.
+func (s *Session) BeginExpect(d time.Duration, cases ...Case) *ManualExpect {
+	return &ManualExpect{op: s.newExpectOp(d, cases)}
+}
+
+// Step runs one match attempt (one wakeup) at the op's start time, so an
+// armed deadline can never fire mid-stream: recorded timeouts are replayed
+// by StepDeadline, not by racing the clock.
+func (m *ManualExpect) Step() (*MatchResult, error, bool) {
+	s := m.op.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.op.stepLocked(m.op.start)
+}
+
+// StepDeadline runs one match attempt with the clock forced past the op's
+// deadline, resolving the call as the recorded timeout did — virtual time,
+// no waiting. With no deadline armed it behaves like Step.
+func (m *ManualExpect) StepDeadline() (*MatchResult, error, bool) {
+	s := m.op.s
+	now := m.op.deadline
+	if now.IsZero() {
+		return m.Step()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return m.op.stepLocked(now)
 }
 
 // stepLocked runs one match attempt: feed fresh bytes to incremental

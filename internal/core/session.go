@@ -246,6 +246,60 @@ func NewSession(cfg *Config, name string, rw io.ReadWriteCloser) *Session {
 	return newSession(cfg, name, nil, rw)
 }
 
+// sinkRW is the manual session's transport: sends vanish, there is no
+// child to read from.
+type sinkRW struct{}
+
+func (sinkRW) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (sinkRW) Write(p []byte) (int, error) { return len(p), nil }
+func (sinkRW) Close() error                { return nil }
+
+// NewManualSession builds a session with no child, no pump goroutine, and
+// no scheduler: bytes enter only through Feed/FeedEOF and match attempts
+// run only through ManualExpect.Step. This is the replay engine's virtual
+// transport — fully synchronous, so a journaled run's chunk boundaries and
+// wakeup order reproduce exactly — and the restore path's blank slate.
+func NewManualSession(cfg *Config, name string) *Session {
+	var scrubbed Config
+	if cfg != nil {
+		scrubbed = *cfg
+	}
+	scrubbed.Sched = nil // manual sessions are never shard-adopted
+	s := newManualSession(&scrubbed, name)
+	return s
+}
+
+func newManualSession(cfg *Config, name string) *Session {
+	s := &Session{
+		name:     name,
+		rw:       sinkRW{},
+		mb:       matchBuffer{max: cfg.matchMax()},
+		timeout:  cfg.timeout(),
+		watchers: make(map[chan struct{}]struct{}),
+		pumpDone: make(chan struct{}),
+	}
+	s.prof = cfg.Prof
+	s.logger = cfg.Logger
+	s.matcher = cfg.Matcher
+	s.rec = cfg.Rec
+	s.sid = cfg.SID
+	if cfg.ScreenRows > 0 && cfg.ScreenCols > 0 {
+		s.screen = vt.NewScreen(cfg.ScreenRows, cfg.ScreenCols)
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.closePumpDone() // nothing will ever pump
+	return s
+}
+
+// Feed applies one chunk of child output exactly as the pump would:
+// match_max trimming, taps, recording, waiter wakeup. Replay and tests
+// drive sessions with it; it must not race a live pump on the same
+// session.
+func (s *Session) Feed(chunk []byte) { s.applyChunk(chunk) }
+
+// FeedEOF applies end-of-stream; a nil or io.EOF err is a clean hangup.
+func (s *Session) FeedEOF(err error) { s.applyEOF(err) }
+
 func spawnOptions(cfg *Config) proc.Options {
 	if cfg == nil {
 		return proc.Options{}
@@ -300,10 +354,29 @@ func newSession(cfg *Config, name string, p *proc.Process, rw io.ReadWriteCloser
 // ShardIndex returns the shard that owns this session, or -1 for
 // pump-driven sessions.
 func (s *Session) ShardIndex() int {
-	if s.shard == nil {
+	sh := s.owningShard()
+	if sh == nil {
 		return -1
 	}
-	return s.shard.idx
+	return sh.idx
+}
+
+// owningShard reads the current shard owner under the session lock;
+// Migrate rewrites it mid-life, so unlocked reads of s.shard are only
+// safe before adoption completes.
+func (s *Session) owningShard() *shard {
+	s.mu.Lock()
+	sh := s.shard
+	s.mu.Unlock()
+	return sh
+}
+
+// setShard flips the ownership pointer; called only from the source
+// loop's detach step.
+func (s *Session) setShard(sh *shard) {
+	s.mu.Lock()
+	s.shard = sh
+	s.mu.Unlock()
 }
 
 // isTransient reports whether a read/write error is a retryable transient
@@ -503,6 +576,11 @@ func (s *Session) SetMatchMax(n int) {
 		n = DefaultMatchMax
 	}
 	s.mu.Lock()
+	if s.rec.On() {
+		// Journaled before the trim so replay applies the same bound at
+		// the same stream position.
+		s.rec.Record(trace.KindConfig, s.sid, int64(n), 0, false, "match_max", "")
+	}
 	forgot := int64(s.mb.setMax(n))
 	s.forgotten += forgot
 	if forgot > 0 && s.rec.On() {

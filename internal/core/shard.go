@@ -2,6 +2,8 @@ package core
 
 import (
 	"container/heap"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -221,6 +223,17 @@ const (
 	msgChunk
 	msgEOF
 	msgExpect
+	// msgStep asks the owner to re-attempt a session's parked ops — sent
+	// when a non-owning shard applied a chunk on a migrated session's
+	// behalf (its feeder still targets the old queue).
+	msgStep
+	// msgDetach (to the source loop) and msgAttach (to the destination
+	// loop) are the two halves of Scheduler.Migrate.
+	msgDetach
+	msgAttach
+	// msgCheckpoint asks the owning loop for a session snapshot that
+	// includes its parked expect ops.
+	msgCheckpoint
 )
 
 type shardMsg struct {
@@ -229,6 +242,17 @@ type shardMsg struct {
 	data []byte
 	err  error
 	op   *expectOp
+	mig  *migration
+}
+
+// migration carries the cross-loop state of one Migrate or loop-side
+// checkpoint: the destination shard, the expect ops pulled off the source
+// loop, and the reply channels (each buffered, written exactly once).
+type migration struct {
+	dst   *shard
+	ops   []*expectOp
+	reply chan error
+	cpc   chan *SessionCheckpoint
 }
 
 type shard struct {
@@ -418,6 +442,20 @@ func (sh *shard) shutdown() {
 				sh.dropped.Add(1)
 				m.op.resolved = true
 				m.op.ch <- expectOutcome{nil, ErrClosed}
+			case msgDetach:
+				m.mig.reply <- ErrClosed
+			case msgAttach:
+				for _, op := range m.mig.ops {
+					if !op.resolved {
+						sh.dropped.Add(1)
+						op.resolved = true
+						op.ch <- expectOutcome{nil, ErrClosed}
+					}
+				}
+				m.s.closePumpDone()
+				m.mig.reply <- ErrClosed
+			case msgCheckpoint:
+				// No reply; the requester's select sees sh.done close.
 			}
 		default:
 			for s, ops := range sh.ops {
@@ -461,13 +499,75 @@ func (sh *shard) handle(m shardMsg) {
 		if sh.rec.On() {
 			sh.rec.RecordBytes(trace.KindRead, m.s.sid, int64(len(m.data)), 0, false, m.data, nil)
 		}
+		if own := m.s.owningShard(); own != sh && own != nil {
+			// The session migrated away but its feeder still targets this
+			// queue — which is what keeps chunk order intact, since every
+			// chunk flows through here in sequence. The bytes are applied
+			// above (applyChunk is lock-protected and owner-agnostic); only
+			// the match attempt belongs to the owner, so ping it.
+			go forwardMsg(own, shardMsg{kind: msgStep, s: m.s})
+			return
+		}
 		// Deferred: the loop steps touched sessions after the whole batch
 		// is applied (see the cmds case in loop).
 		sh.touch(m.s)
 	case msgEOF:
+		if own := m.s.owningShard(); own != sh && own != nil {
+			// EOF is the feeder's last word; all prior chunks are already
+			// applied, so the owner can finish the session whole.
+			go forwardMsg(own, m)
+			return
+		}
 		sh.finishSession(m.s, m.err)
 	case msgExpect:
+		if own := m.s.owningShard(); own != sh && own != nil {
+			go forwardMsg(own, m)
+			return
+		}
 		sh.admitOp(m.op)
+	case msgStep:
+		if own := m.s.owningShard(); own != sh && own != nil {
+			go forwardMsg(own, m)
+			return
+		}
+		sh.stepSession(m.s)
+	case msgDetach:
+		sh.detach(m)
+	case msgAttach:
+		sh.attach(m)
+	case msgCheckpoint:
+		if own := m.s.owningShard(); own != sh && own != nil {
+			go forwardMsg(own, m)
+			return
+		}
+		cp := m.s.Checkpoint()
+		now := time.Now()
+		for _, op := range sh.ops[m.s] {
+			if !op.resolved {
+				cp.Pending = append(cp.Pending, op.checkpoint(now))
+			}
+		}
+		m.mig.cpc <- cp
+	}
+}
+
+// forwardMsg re-posts a message to the shard that owns its session now —
+// the catch-all for messages that raced a migration. Runs off-loop (a
+// blocking loop→loop post could deadlock two busy shards against each
+// other); ordering across forwarded messages doesn't matter, because the
+// only forwarded kinds are idempotent steps, the final EOF, checkpoint
+// requests, and not-yet-admitted expects.
+func forwardMsg(own *shard, m shardMsg) {
+	select {
+	case own.cmds <- m:
+		own.noteDepth(len(own.cmds))
+	case <-own.done:
+		switch m.kind {
+		case msgExpect:
+			m.op.ch <- expectOutcome{nil, ErrClosed}
+		case msgEOF:
+			m.s.closePumpDone()
+		}
 	}
 }
 
@@ -570,6 +670,15 @@ const maxSweepReads = 16
 // then defers the session's match attempt to the end of the batch.
 func (sh *shard) ingest(s *Session) {
 	if s.shardEOF.Load() {
+		return
+	}
+	if own := s.owningShard(); own != sh {
+		// Rung on a stale doorbell mid-migration: pass the ring to the
+		// owner. The bytes stay queued in the transport until the owner
+		// drains them, so nothing is applied out of order here.
+		if own != nil {
+			own.markDirty(s)
+		}
 		return
 	}
 	if s.ownedMode {
@@ -736,6 +845,159 @@ func (sh *shard) stepOp(op *expectOp, now time.Time) {
 func (sh *shard) resolve(op *expectOp, res *MatchResult, err error) {
 	op.resolved = true
 	op.ch <- expectOutcome{res, err}
+}
+
+// Migrate moves a shard-owned session to shard dst, carrying its parked
+// expect ops and armed deadlines with it. It blocks until the destination
+// loop has adopted the session (or until a loop shuts down). Chunks from
+// a feeder that still targets the old shard keep being applied there — in
+// order, since they all flow through one queue — with the match attempt
+// forwarded to the new owner; doorbell transports are re-aimed at the
+// destination during detach. A pending Expect therefore resolves on the
+// destination loop with no bytes lost or reordered.
+func (sc *Scheduler) Migrate(s *Session, dst int) error {
+	if sc == nil || sc.stopped.Load() {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= len(sc.shards) {
+		return fmt.Errorf("core: migrate: no shard %d (scheduler has %d)", dst, len(sc.shards))
+	}
+	dsh := sc.shards[dst]
+	src := s.owningShard()
+	if src == nil {
+		return errors.New("core: migrate: session is not shard-owned")
+	}
+	if src == dsh {
+		return nil
+	}
+	mig := &migration{dst: dsh, reply: make(chan error, 1)}
+	select {
+	case src.cmds <- shardMsg{kind: msgDetach, s: s, mig: mig}:
+		src.noteDepth(len(src.cmds))
+	case <-src.done:
+		return ErrClosed
+	}
+	// Every path replies exactly once: detach errors reply on the source
+	// loop, successful attaches on the destination loop, and loop
+	// shutdowns reply ErrClosed from the drain handler.
+	return <-mig.reply
+}
+
+// CheckpointSession snapshots a session including any Expect calls parked
+// on its owning shard loop — state Session.Checkpoint alone cannot see.
+// Pump-driven sessions fall back to the plain snapshot.
+func (sc *Scheduler) CheckpointSession(s *Session) (*SessionCheckpoint, error) {
+	sh := s.owningShard()
+	if sh == nil {
+		return s.Checkpoint(), nil
+	}
+	mig := &migration{cpc: make(chan *SessionCheckpoint, 1)}
+	select {
+	case sh.cmds <- shardMsg{kind: msgCheckpoint, s: s, mig: mig}:
+		sh.noteDepth(len(sh.cmds))
+	case <-sh.done:
+		return nil, ErrClosed
+	}
+	select {
+	case cp := <-mig.cpc:
+		return cp, nil
+	case <-sh.done:
+		return nil, ErrClosed
+	}
+}
+
+// detach is the source half of a migration, on the source loop: pull the
+// session and its parked ops out of this shard's structures, flip the
+// ownership pointer, re-aim the doorbell, and hand everything to the
+// destination loop.
+func (sh *shard) detach(m shardMsg) {
+	s, mig := m.s, m.mig
+	if _, owned := sh.sessions[s]; !owned {
+		if s.shardEOF.Load() {
+			mig.reply <- errors.New("core: migrate: session already finished")
+		} else {
+			mig.reply <- errors.New("core: migrate: session not owned by source shard")
+		}
+		return
+	}
+	mig.ops = sh.ops[s]
+	delete(sh.ops, s)
+	delete(sh.sessions, s)
+	// Pull this session's deadlines out of the timer heap; the
+	// destination re-arms them at admission.
+	if len(mig.ops) > 0 && len(sh.timers) > 0 {
+		kept := sh.timers[:0]
+		for _, op := range sh.timers {
+			if op.s == s {
+				op.timed = false
+				continue
+			}
+			kept = append(kept, op)
+		}
+		sh.timers = kept
+		heap.Init(&sh.timers)
+	}
+	// Forget any pending batch step here; the destination sweeps and
+	// steps at attach.
+	if s.stepPending {
+		s.stepPending = false
+		for i, ts := range sh.touched {
+			if ts == s {
+				sh.touched = append(sh.touched[:i], sh.touched[i+1:]...)
+				break
+			}
+		}
+	}
+	s.setShard(mig.dst)
+	if s.notifyMode {
+		dst := mig.dst
+		s.p.SetReadNotify(func() { dst.markDirty(s) })
+	}
+	if sh.rec.On() {
+		sh.rec.Record(trace.KindSpawn, s.sid, int64(sh.idx), int64(mig.dst.idx), false, s.name, "migrate-out")
+	}
+	// Hand over off-loop: a blocking loop→loop post could deadlock two
+	// shards migrating toward each other.
+	go func() {
+		select {
+		case mig.dst.cmds <- shardMsg{kind: msgAttach, s: s, mig: mig}:
+			mig.dst.noteDepth(len(mig.dst.cmds))
+		case <-mig.dst.done:
+			for _, op := range mig.ops {
+				if !op.resolved {
+					op.resolved = true
+					op.ch <- expectOutcome{nil, ErrClosed}
+				}
+			}
+			mig.reply <- ErrClosed
+		}
+	}()
+}
+
+// attach is the destination half, on the destination loop: adopt the
+// session, re-admit its ops (the synchronous admission step covers
+// anything that arrived while the handoff was in flight), and sweep the
+// transport in case the re-aimed doorbell rang into a void.
+func (sh *shard) attach(m shardMsg) {
+	s, mig := m.s, m.mig
+	if !s.shardEOF.Load() {
+		sh.sessions[s] = struct{}{}
+		if ob := sh.sched.observer; ob != nil {
+			ob(s, sh.idx)
+		}
+		if sh.rec.On() {
+			sh.rec.Record(trace.KindSpawn, s.sid, int64(sh.idx), 0, false, s.name, "migrate-in")
+		}
+	}
+	for _, op := range mig.ops {
+		if !op.resolved {
+			sh.admitOp(op)
+		}
+	}
+	if s.notifyMode && !s.shardEOF.Load() {
+		sh.ingest(s)
+	}
+	mig.reply <- nil
 }
 
 // runExpect hands an op to the owning shard and blocks the caller until

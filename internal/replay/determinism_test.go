@@ -1,0 +1,134 @@
+package replay_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// replayObservables replays a journal once and returns the concatenated
+// normalized observables of every session, failing on any divergence.
+func replayObservables(t *testing.T, journal []byte, round int) []byte {
+	t.Helper()
+	reports, err := replay.RunJournal(journal, replay.Options{})
+	if err != nil {
+		t.Fatalf("replay round %d: %v", round, err)
+	}
+	if len(reports) == 0 {
+		t.Fatalf("replay round %d: no sessions", round)
+	}
+	var all []byte
+	for _, rep := range reports {
+		if !rep.Clean() {
+			t.Fatalf("replay round %d diverged: %s", round, rep)
+		}
+		events, err := trace.ParseJSONL(rep.ReplayJournal)
+		if err != nil {
+			t.Fatalf("replay round %d journal unparseable: %v", round, err)
+		}
+		norm, _ := replay.Normalize(events, rep.SID)
+		all = append(all, trace.MarshalJSONL(norm)...)
+	}
+	return all
+}
+
+// TestReplayDeterminismMatrix is the replay-determinism matrix: every
+// conformance scenario is journaled once under every fault condition,
+// then the journal is replayed three times. Each replay must be clean
+// (same match/timeout/EOF dispositions, same wakeup-ordered scans) and
+// the three replays' normalized observables must be byte-identical —
+// replay is a function of the journal alone, not of the wall clock, the
+// scheduler, or the fault schedule that produced it.
+func TestReplayDeterminismMatrix(t *testing.T) {
+	for _, sc := range conformance.AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, cond := range conformance.Conditions {
+				cond := cond
+				t.Run(cond.Name, func(t *testing.T) {
+					t.Parallel()
+					_, journal, err := conformance.RunScenarioJournaled(sc, conformance.ScenarioRun{
+						Matcher: core.MatcherRescan, Sched: cond.Sched,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(journal) == 0 {
+						t.Fatal("scenario produced an empty journal")
+					}
+					var prev []byte
+					for round := 1; round <= 3; round++ {
+						got := replayObservables(t, journal, round)
+						if prev != nil && !bytes.Equal(prev, got) {
+							t.Fatalf("round %d observables differ from round %d", round, round-1)
+						}
+						prev = got
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestReplayShardedScenarioJournal covers the sharded-scheduler journal
+// shape (shard loops interleave ingest and stepping differently from the
+// pump): a journal recorded under shards must replay just as clean.
+func TestReplayShardedScenarioJournal(t *testing.T) {
+	for _, sc := range conformance.AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			_, journal, err := conformance.RunScenarioJournaled(sc, conformance.ScenarioRun{
+				Matcher: core.MatcherRescan,
+				Sched:   conformance.Conditions[0].Sched,
+				Shards:  4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayObservables(t, journal, 1)
+		})
+	}
+}
+
+// TestReplayScenarioJournalMutation re-checks the mutation property on a
+// real scenario journal (not just the hand-built login dialogue): flip
+// one journaled read byte and the replayer must report, never absorb.
+func TestReplayScenarioJournalMutation(t *testing.T) {
+	_, journal, err := conformance.RunScenarioJournaled(conformance.Scenarios[0], conformance.ScenarioRun{
+		Matcher: core.MatcherRescan, Sched: conformance.Conditions[0].Sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := trace.ParseJSONL(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := false
+	for i := range events {
+		if events[i].Kind == trace.KindRead.String() && len(events[i].Data) > 0 {
+			events[i].Data[0] ^= 0x01
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no read payload to mutate")
+	}
+	reports, err := replay.RunJournal(trace.MarshalJSONL(events), replay.Options{})
+	if err != nil {
+		return // structural rejection is loud reporting too
+	}
+	for _, rep := range reports {
+		if !rep.Clean() {
+			return
+		}
+	}
+	t.Fatal("mutated scenario journal replayed clean")
+}

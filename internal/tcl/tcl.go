@@ -344,6 +344,55 @@ func (i *Interp) GlobalGet(name string) (string, bool) {
 	return v, ok
 }
 
+// VarSnapshot is the serializable value of one variable: a scalar or a
+// whole array. It is the unit of the interpreter state a session
+// checkpoint carries across a process boundary.
+type VarSnapshot struct {
+	Value string            `json:"value,omitempty"`
+	Arr   map[string]string `json:"arr,omitempty"`
+	IsArr bool              `json:"is_arr,omitempty"`
+}
+
+// SnapshotGlobals captures every global variable (following upvar links
+// to their targets) as deep copies safe to serialize or hold across
+// further evaluation.
+func (i *Interp) SnapshotGlobals() map[string]VarSnapshot {
+	g := i.frames[0]
+	out := make(map[string]VarSnapshot, len(g.vars))
+	for name, v := range g.vars {
+		t := v.target()
+		if t.isArr {
+			arr := make(map[string]string, len(t.arr))
+			for k, val := range t.arr {
+				arr[k] = val
+			}
+			out[name] = VarSnapshot{Arr: arr, IsArr: true}
+		} else {
+			out[name] = VarSnapshot{Value: t.value}
+		}
+	}
+	return out
+}
+
+// RestoreGlobals installs a snapshot into the global frame, overwriting
+// the variables it names and leaving all others untouched.
+func (i *Interp) RestoreGlobals(snap map[string]VarSnapshot) {
+	g := i.frames[0]
+	for name, vs := range snap {
+		v := &variable{}
+		if vs.IsArr {
+			v.isArr = true
+			v.arr = make(map[string]string, len(vs.Arr))
+			for k, val := range vs.Arr {
+				v.arr[k] = val
+			}
+		} else {
+			v.value = vs.Value
+		}
+		g.vars[name] = v
+	}
+}
+
 // linkVar makes local name in the current frame an alias for target's slot.
 func (i *Interp) linkVar(name string, target *variable) {
 	i.current().vars[name] = &variable{link: target}

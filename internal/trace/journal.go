@@ -1,0 +1,363 @@
+// Journal: the durable arm of the flight recorder. The ring answers "what
+// just happened" with bounded memory; the journal answers "what happened,
+// exactly, from the start" — an append-only JSONL stream carrying full
+// payloads, which is what deterministic replay (internal/replay) and
+// conformance divergence artifacts need. A journal is attached to a
+// Recorder with SetJournal; every recorded event then becomes one line.
+package trace
+
+import (
+	"bufio"
+	"encoding/base64"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Journal is an append-only JSONL event sink with optional segment
+// rotation. Two backings:
+//
+//   - writer-backed (NewJournal): every line goes to one sliceWriter-style
+//     in-memory buffer; Bytes returns the whole recording. Tests and the
+//     conformance harness use this.
+//   - file-backed (NewFileJournal): lines append to numbered segment files
+//     under a directory, rotating when a segment passes maxSegBytes, so a
+//     long soak journals in bounded-size chunks a collector can ship or
+//     prune oldest-first.
+//
+// Appends are serialized by the owning Recorder's lock (journal order is
+// seq order); the Journal's own mutex guards Close and direct use.
+type Journal struct {
+	mu  sync.Mutex
+	err error // sticky: first append/rotate failure
+
+	// writer-backed
+	buf *sliceWriter
+
+	// file-backed. Lines go through a buffered writer — one flush per
+	// buffer-full instead of one write syscall per event, which is what
+	// keeps the journal arm inside E20's 10% soak-overhead bar. The
+	// buffer is flushed at rotation, Close, and Flush; a crash can lose
+	// at most the buffered tail, which ParseJSONL surfaces as a
+	// positioned truncation with the good prefix intact.
+	dir         string
+	prefix      string
+	maxSegBytes int64
+	cur         *os.File
+	w           *bufio.Writer
+	curBytes    int64
+	segIndex    int
+	segments    []string
+
+	// scratch is the reusable line-encoding buffer for appendEvent; it
+	// lives under j.mu so the hot path allocates nothing steady-state.
+	scratch []byte
+
+	lines int64
+}
+
+// NewJournal builds an in-memory journal.
+func NewJournal() *Journal {
+	return &Journal{buf: &sliceWriter{}}
+}
+
+// NewFileJournal builds a file-backed journal writing segment files named
+// prefix-NNNN.jsonl under dir, rotating once a segment exceeds maxSegBytes
+// (<=0 means a single unbounded segment). The first segment is created
+// eagerly so an empty journal is still a visible artifact.
+func NewFileJournal(dir, prefix string, maxSegBytes int64) (*Journal, error) {
+	j := &Journal{dir: dir, prefix: prefix, maxSegBytes: maxSegBytes}
+	if err := j.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) segPath(i int) string {
+	return filepath.Join(j.dir, fmt.Sprintf("%s-%04d.jsonl", j.prefix, i))
+}
+
+// rotateLocked flushes and closes the current segment and opens the next.
+func (j *Journal) rotateLocked() error {
+	if j.cur != nil {
+		if err := j.w.Flush(); err != nil && j.err == nil {
+			j.err = err
+		}
+		if err := j.cur.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	j.segIndex++
+	f, err := os.OpenFile(j.segPath(j.segIndex),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = err
+		j.cur = nil
+		j.w = nil
+		return err
+	}
+	j.cur = f
+	if j.w == nil {
+		j.w = bufio.NewWriterSize(f, 64<<10)
+	} else {
+		j.w.Reset(f)
+	}
+	j.curBytes = 0
+	j.segments = append(j.segments, f.Name())
+	return nil
+}
+
+// appendEvent marshals one event (with its full payload) and appends the
+// line. Called by Recorder.record under the recorder lock. This is the
+// journal hot path: it renders into a reusable scratch buffer with an
+// append-style encoder instead of reflective json.Marshal, so a journaled
+// soak costs allocation-free line rendering plus a buffered memcpy. The
+// output is not byte-identical to the canonical MarshalJSONL form (no
+// HTML escaping) but parses back to the identical events, which is the
+// property replay needs; ParseJSONL∘MarshalJSONL re-canonicalizes.
+func (j *Journal) appendEvent(ev *Event, data []byte) {
+	if j == nil {
+		return
+	}
+	e := toJSON(ev)
+	e.Data = data
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.scratch = appendEventJSONL(j.scratch[:0], &e)
+	j.appendLocked(j.scratch)
+}
+
+// Append writes pre-rendered JSONL bytes (one or more complete lines).
+func (j *Journal) Append(line []byte) {
+	if j == nil || len(line) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.appendLocked(line)
+}
+
+func (j *Journal) appendLocked(line []byte) {
+	if j.err != nil {
+		return
+	}
+	j.lines++
+	if j.buf != nil {
+		j.buf.Write(line)
+		return
+	}
+	if j.cur == nil {
+		return
+	}
+	if j.maxSegBytes > 0 && j.curBytes > 0 && j.curBytes+int64(len(line)) > j.maxSegBytes {
+		if err := j.rotateLocked(); err != nil {
+			return
+		}
+	}
+	n, err := j.w.Write(line)
+	j.curBytes += int64(n)
+	if err != nil {
+		j.err = err
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. s must be valid
+// UTF-8 (toJSON sanitizes previews); multi-byte runes pass through raw,
+// which is legal JSON and what keeps this a single byte-scan.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c >= 0x20:
+			dst = append(dst, c)
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendEventJSONL renders one event as a JSONL line, schema-identical to
+// json.Marshal of EventJSON (same field names, same omitempty behaviour,
+// std base64 for data) without reflection or per-line allocation.
+func appendEventJSONL(dst []byte, e *EventJSON) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"t_ns":`...)
+	dst = strconv.AppendInt(dst, e.TNs, 10)
+	dst = append(dst, `,"kind":`...)
+	dst = appendJSONString(dst, e.Kind)
+	dst = append(dst, `,"sid":`...)
+	dst = strconv.AppendInt(dst, int64(e.SID), 10)
+	if e.A != 0 {
+		dst = append(dst, `,"a":`...)
+		dst = strconv.AppendInt(dst, e.A, 10)
+	}
+	if e.B != 0 {
+		dst = append(dst, `,"b":`...)
+		dst = strconv.AppendInt(dst, e.B, 10)
+	}
+	if e.OK {
+		dst = append(dst, `,"ok":true`...)
+	}
+	if e.Text != "" {
+		dst = append(dst, `,"text":`...)
+		dst = appendJSONString(dst, e.Text)
+	}
+	if e.Aux != "" {
+		dst = append(dst, `,"aux":`...)
+		dst = appendJSONString(dst, e.Aux)
+	}
+	if len(e.Data) > 0 {
+		dst = append(dst, `,"data":"`...)
+		off := len(dst)
+		n := base64.StdEncoding.EncodedLen(len(e.Data))
+		for cap(dst) < off+n {
+			dst = append(dst[:cap(dst)], 0)
+		}
+		dst = dst[:off+n]
+		base64.StdEncoding.Encode(dst[off:], e.Data)
+		dst = append(dst, '"')
+	}
+	return append(dst, '}', '\n')
+}
+
+// Flush forces buffered lines of a file-backed journal to the segment
+// file — the durability point callers take before handing a live
+// journal's segments to a reader.
+func (j *Journal) Flush() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.w != nil {
+		if err := j.w.Flush(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}
+
+// Bytes returns the full recording of a writer-backed journal (nil for
+// file-backed; use ReadAll there).
+func (j *Journal) Bytes() []byte {
+	if j == nil || j.buf == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]byte, len(j.buf.b))
+	copy(out, j.buf.b)
+	return out
+}
+
+// Segments returns the file paths written so far, oldest first.
+func (j *Journal) Segments() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.segments...)
+}
+
+// Lines returns how many events have been appended.
+func (j *Journal) Lines() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lines
+}
+
+// Err returns the sticky write error, if any. A journal that hit an error
+// stops appending; callers gate on this before trusting the artifact.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the current segment. Writer-backed journals
+// keep their bytes readable after Close.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cur != nil {
+		if err := j.w.Flush(); err != nil && j.err == nil {
+			j.err = err
+		}
+		if err := j.cur.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.cur = nil
+		j.w = nil
+	}
+	return j.err
+}
+
+// ReadAll concatenates a journal's segments back into one JSONL stream —
+// what the replay engine parses. For writer-backed journals it is Bytes.
+// It also works on a Journal recovered by ReadJournalDir.
+func (j *Journal) ReadAll() ([]byte, error) {
+	if j == nil {
+		return nil, nil
+	}
+	if j.buf != nil {
+		return j.Bytes(), nil
+	}
+	if err := j.Flush(); err != nil {
+		return nil, err
+	}
+	var out []byte
+	for _, p := range j.Segments() {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// ReadJournalDir reassembles the JSONL stream from the segment files a
+// file-backed journal left under dir (crash recovery: the writing process
+// is gone, the segments survive).
+func ReadJournalDir(dir, prefix string) ([]byte, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, prefix+"-*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []byte
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/trace"
+)
+
+// seedJournal records a representative spread of event kinds (including
+// payloads that are not valid UTF-8) through a real Recorder+Journal, so
+// the fuzz corpus starts from bytes the production writer actually emits.
+func seedJournal() []byte {
+	r := trace.New(64)
+	j := trace.NewJournal()
+	r.SetJournal(j)
+	r.SetRecording(true)
+	r.Record(trace.KindSpawn, 1, 0, 0, true, "echo", "virtual")
+	r.RecordBytes(trace.KindRead, 1, 12, 0, false, []byte("login: \xff\xfe"), nil)
+	r.RecordBytes(trace.KindWrite, 1, 6, 0, false, []byte("guest\n"), nil)
+	r.RecordData(trace.KindExpect, 1, 2, int64(30e9), false, "", "", []byte(`[{"k":0,"p":"*login*"}]`))
+	r.RecordAttempt(1, 0, 12, true, "*login*", []byte("login: "))
+	r.Record(trace.KindMatch, 1, 0, 12, true, "login: ", "")
+	r.Record(trace.KindTimeout, 1, 1, int64(2e6), false, "", "")
+	r.Record(trace.KindEOF, 1, 0, 0, false, "", "")
+	r.Record(trace.KindConfig, 1, 2000, 0, false, "match_max", "")
+	return j.Bytes()
+}
+
+// soakJournal runs a miniature workbench soak with journal-armed shard
+// recorders and returns the concatenated journals — real soak bytes, the
+// corpus the satellite task asks for.
+func soakJournal() []byte {
+	journals := make([]*trace.Journal, 2)
+	_, err := load.Run(load.Config{
+		Sessions:  8,
+		Dialogues: 2,
+		Shards:    2,
+		Seed:      7,
+		Rec: func(i int) *trace.Recorder {
+			r := trace.New(1024)
+			journals[i] = trace.NewJournal()
+			r.SetJournal(journals[i])
+			r.SetRecording(true)
+			return r
+		},
+	})
+	if err != nil {
+		return nil
+	}
+	var out []byte
+	for _, j := range journals {
+		out = append(out, j.Bytes()...)
+	}
+	return out
+}
+
+// FuzzJournalRoundTrip is the journal schema's durability property under
+// arbitrary bytes: whatever ParseJSONL accepts must reach the canonical
+// fixpoint (MarshalJSONL∘ParseJSONL stabilizes after one round), and
+// whatever it rejects must be rejected with a positioned *ParseError —
+// never a silent partial absorb. The good prefix returned alongside an
+// error must itself round-trip, so a truncated or garbage-tailed journal
+// replays exactly as far as it was good and reports where it stopped.
+func FuzzJournalRoundTrip(f *testing.F) {
+	real := seedJournal()
+	f.Add(real)
+	if sj := soakJournal(); len(sj) > 0 {
+		f.Add(sj)
+		// A mid-line truncation of real soak bytes: the classic crash tail.
+		f.Add(sj[:len(sj)-len(sj)/3])
+	}
+	f.Add([]byte{})
+	f.Add(real[:len(real)-5])                                                                          // truncated mid-line
+	f.Add(append(append([]byte{}, real...), []byte("garbage\n")...))                                   // garbage tail
+	f.Add([]byte(`{"seq":1,"kind":"warp","sid":1}` + "\n"))                                            // unknown kind
+	f.Add([]byte(`{"seq":2,"kind":"read","sid":1}` + "\n" + `{"seq":2,"kind":"read","sid":1}` + "\n")) // seq stall
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := trace.ParseJSONL(data)
+		if err != nil {
+			var pe *trace.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("parse error is %T, not *trace.ParseError: %v", err, err)
+			}
+			if pe.Line <= 0 || pe.Offset < 0 || pe.Offset > len(data) {
+				t.Fatalf("parse error position out of bounds: line %d, byte %d of %d", pe.Line, pe.Offset, len(data))
+			}
+		}
+		// The accepted events (all of them on success, the good prefix on
+		// error) must reach the canonical fixpoint.
+		canon := trace.MarshalJSONL(events)
+		again, err2 := trace.ParseJSONL(canon)
+		if err2 != nil {
+			t.Fatalf("canonical form does not reparse: %v", err2)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("canonical reparse kept %d of %d events", len(again), len(events))
+		}
+		if !bytes.Equal(trace.MarshalJSONL(again), canon) {
+			t.Fatal("MarshalJSONL∘ParseJSONL is not a fixpoint on its own output")
+		}
+	})
+}
+
+// TestJournalGarbageTailPositioned pins the exact failure surface the
+// fuzz target explores: a real journal with a truncated or garbage tail
+// parses its good prefix and reports the first bad line by number and
+// byte offset.
+func TestJournalGarbageTailPositioned(t *testing.T) {
+	good := seedJournal()
+	wantEvents, err := trace.ParseJSONL(good)
+	if err != nil {
+		t.Fatalf("seed journal does not parse: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name     string
+		data     []byte
+		wantLine int
+	}{
+		// Cutting 4 bytes corrupts the final line in place: the error names
+		// it. Appending garbage leaves every good line intact and the error
+		// names the first extra line.
+		{"truncated", good[:len(good)-4], len(wantEvents)},
+		{"garbage-tail", append(append([]byte{}, good...), []byte("{not json}\n")...), len(wantEvents) + 1},
+		{"binary-tail", append(append([]byte{}, good...), 0x00, 0x01, 0x02, '\n'), len(wantEvents) + 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := trace.ParseJSONL(tc.data)
+			if err == nil {
+				t.Fatal("corrupt journal parsed clean")
+			}
+			var pe *trace.ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, want *trace.ParseError", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("error at line %d, want %d (first bad line)", pe.Line, tc.wantLine)
+			}
+			if pe.Offset <= 0 || pe.Offset > len(tc.data) {
+				t.Errorf("error offset %d out of range (0, %d]", pe.Offset, len(tc.data))
+			}
+			if len(events) >= len(wantEvents)+1 {
+				t.Errorf("parser absorbed the corrupt tail: %d events", len(events))
+			}
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A journaled byte payload must round-trip exactly, even when it is longer
+// than the ring preview and not valid UTF-8 (JSON string escaping would
+// mangle it; Data carries it as base64).
+func TestJournalFullPayload(t *testing.T) {
+	r := New(8)
+	j := NewJournal()
+	r.SetJournal(j)
+	if !r.Recording() {
+		t.Fatal("SetJournal must arm ring recording")
+	}
+
+	chunk := bytes.Repeat([]byte{0xff, 0x00, 'x'}, 100) // 300 bytes, invalid UTF-8
+	r.RecordBytes(KindRead, 3, int64(len(chunk)), 300, false, chunk, nil)
+	r.RecordData(KindExpect, 3, 2, -1, false, "cases", "", []byte(`[{"k":1,"p":"*a*"}]`))
+	r.Record(KindExit, 3, 0, 0, false, "prog", "")
+
+	evs, err := ParseJSONL(j.Bytes())
+	if err != nil {
+		t.Fatalf("parse journal: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if !bytes.Equal(evs[0].Data, chunk) {
+		t.Fatalf("read payload did not round-trip: %d bytes vs %d", len(evs[0].Data), len(chunk))
+	}
+	if ring := r.Events(); len(ring[0].Text()) != TextCap {
+		t.Fatalf("ring preview should stay capped at %d, got %d", TextCap, len(ring[0].Text()))
+	}
+	if string(evs[1].Data) != `[{"k":1,"p":"*a*"}]` {
+		t.Fatalf("expect case payload = %q", evs[1].Data)
+	}
+	if evs[2].Data != nil {
+		t.Fatalf("string-payload event should have no data, got %q", evs[2].Data)
+	}
+	if j.Lines() != 3 {
+		t.Fatalf("Lines = %d", j.Lines())
+	}
+}
+
+// The ring keeps only the last N events; the journal keeps all of them.
+func TestJournalOutlivesRing(t *testing.T) {
+	r := New(4)
+	j := NewJournal()
+	r.SetJournal(j)
+	for i := 0; i < 100; i++ {
+		r.Record(KindEval, -1, int64(i), 0, false, "cmd", "")
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+	evs, err := ParseJSONL(j.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 100 {
+		t.Fatalf("journal has %d events, want 100", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestFileJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := NewFileJournal(dir, "sess", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(8)
+	r.SetJournal(j)
+	for i := 0; i < 50; i++ {
+		r.Record(KindRead, 1, 10, int64(i), false, "abcdefghij", "")
+	}
+	r.SetJournal(nil)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := j.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	all, err := j.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ReadJournalDir(dir, "sess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(all, rec) {
+		t.Fatal("ReadJournalDir != ReadAll")
+	}
+	evs, err := ParseJSONL(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 50 {
+		t.Fatalf("got %d events across segments, want 50", len(evs))
+	}
+}
+
+// The strict schema: unknown kinds, seq regressions, truncated tails and
+// garbage all fail with a positioned *ParseError instead of being absorbed.
+func TestParseJSONLStrict(t *testing.T) {
+	good := `{"seq":1,"t_ns":5,"kind":"read","sid":1,"a":3}` + "\n"
+
+	cases := []struct {
+		name string
+		in   string
+		line int
+		want string
+	}{
+		{"unknown-kind", good + `{"seq":2,"t_ns":6,"kind":"warp","sid":1}` + "\n", 2, "unknown event kind"},
+		{"seq-regression", good + `{"seq":1,"t_ns":6,"kind":"eof","sid":1}` + "\n", 2, "seq 1 not after 1"},
+		{"truncated-tail", good + `{"seq":2,"t_ns":6,"ki`, 2, "bad event"},
+		{"garbage-tail", good + "\x01\x02 not json\n", 2, "bad event"},
+		{"garbage-only", "nope\n", 1, "bad event"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			evs, err := ParseJSONL([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("want error, got %d events", len(evs))
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not *ParseError: %v", err, err)
+			}
+			if pe.Line != tc.line {
+				t.Fatalf("line = %d, want %d (%v)", pe.Line, tc.line, err)
+			}
+			if !strings.Contains(pe.Msg, tc.want) {
+				t.Fatalf("msg %q missing %q", pe.Msg, tc.want)
+			}
+			if pe.Offset < 0 || pe.Offset > len(tc.in) {
+				t.Fatalf("offset %d out of range", pe.Offset)
+			}
+		})
+	}
+
+	// And the good prefix is still returned alongside the error.
+	evs, err := ParseJSONL([]byte(good + "garbage"))
+	if err == nil || len(evs) != 1 || evs[0].Seq != 1 {
+		t.Fatalf("good prefix not preserved: %v %v", evs, err)
+	}
+}
+
+// MarshalJSONL must invert ParseJSONL on anything the recorder produced.
+func TestMarshalParseFixpoint(t *testing.T) {
+	r := New(64)
+	j := NewJournal()
+	r.SetJournal(j)
+	r.Record(KindSpawn, 1, 42, 0, false, "prog", "pty")
+	r.RecordBytes(KindRead, 1, 5, 5, false, []byte{0x00, 0xfe, 'a', 'b', 'c'}, nil)
+	r.RecordAttempt(1, 0, 5, true, "*b*", []byte("abc"))
+	r.Record(KindTimeout, 1, 5, 123456, false, "abc", "")
+
+	for _, src := range [][]byte{j.Bytes(), r.Dump(0)} {
+		evs, err := ParseJSONL(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(MarshalJSONL(evs), src) {
+			t.Fatalf("marshal(parse(x)) != x:\n%s\nvs\n%s", MarshalJSONL(evs), src)
+		}
+	}
+}
+
+// The journal hot path renders lines with an append-style encoder instead
+// of reflective json.Marshal. The two encodings need not be byte-equal
+// (the fast path skips HTML escaping) but must parse back to identical
+// events — otherwise a replayed journal would diverge from the canon.
+func TestAppendEventJSONLMatchesCanonical(t *testing.T) {
+	events := []EventJSON{
+		{Seq: 1, TNs: 42, Kind: "spawn", SID: 1, OK: true, Text: "echo", Aux: "virtual"},
+		{Seq: 2, TNs: 43, Kind: "read", SID: 1, A: 12, Text: `quote " back \ slash`, Data: []byte{0x00, 0xff, 0xfe, 'x'}},
+		{Seq: 3, TNs: 44, Kind: "write", SID: 1, B: -7, Text: "tabs\tand\nnewlines\rand\x01ctrl"},
+		{Seq: 4, TNs: 45, Kind: "match", SID: 2, Text: "html <&> unicode    ok"},
+		{Seq: 5, TNs: 46, Kind: "eof", SID: 2},
+	}
+	var fast []byte
+	for i := range events {
+		fast = appendEventJSONL(fast, &events[i])
+	}
+	got, err := ParseJSONL(fast)
+	if err != nil {
+		t.Fatalf("fast encoding does not parse: %v", err)
+	}
+	want, err := ParseJSONL(MarshalJSONL(events))
+	if err != nil {
+		t.Fatalf("canonical encoding does not parse: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fast parse kept %d events, canonical %d", len(got), len(want))
+	}
+	if !bytes.Equal(MarshalJSONL(got), MarshalJSONL(want)) {
+		t.Fatalf("fast and canonical encodings parse to different events:\n%s\nvs\n%s",
+			MarshalJSONL(got), MarshalJSONL(want))
+	}
+}

@@ -78,6 +78,8 @@ func renderEvent(w io.Writer, e *Event) {
 		fmt.Fprintf(w, "match_max: forgot %d bytes (spawn_id %d, %d total)\n", e.A, e.SID, e.B)
 	case KindFault:
 		fmt.Fprintf(w, "faultify: %s (spawn_id %d)\n", e.Text(), e.SID)
+	case KindConfig:
+		fmt.Fprintf(w, "config: %s = %d (spawn_id %d)\n", e.Text(), e.A, e.SID)
 	default:
 		fmt.Fprintf(w, "trace: %s (spawn_id %d) a=%d b=%d %q %q\n",
 			e.Kind, e.SID, e.A, e.B, e.Text(), e.Aux())

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +76,10 @@ const (
 	// KindFault: the fault-injection transport perturbed the stream.
 	// Text=fault label.
 	KindFault
+	// KindConfig: a session knob changed mid-run (match_max, …). A=new
+	// value, Text=knob name. Journaled so replay reproduces the semantics
+	// the knob controls.
+	KindConfig
 
 	numKinds
 )
@@ -82,6 +87,7 @@ const (
 var kindNames = [numKinds]string{
 	"spawn", "exit", "read", "write", "expect", "attempt", "match",
 	"timeout", "eof", "eval", "timer-arm", "timer-fire", "forget", "fault",
+	"config",
 }
 
 func (k Kind) String() string {
@@ -167,7 +173,8 @@ func (e *Event) setAuxBytes(b []byte) {
 const DefaultCapacity = 512
 
 // Recorder is the flight recorder: a bounded ring of events plus an
-// optional live diagnostics rendering (the exp_internal surface).
+// optional live diagnostics rendering (the exp_internal surface) plus an
+// optional durable journal (the replay surface).
 //
 // The mode word packs both knobs into one atomic so the disabled fast path
 // is a single load: 0 means fully off; otherwise the low bit arms ring
@@ -175,7 +182,11 @@ const DefaultCapacity = 512
 // ring-only flight recording, 1 = dialogue diagnostics, 2 = verbose).
 // A nil *Recorder is a valid no-op sink everywhere.
 type Recorder struct {
-	mode  atomic.Int32
+	mode atomic.Int32
+	// jrn is the durable journal sink (nil = ring-only). Kept out of the
+	// mode word so Journaling() stays one pointer load for the call sites
+	// that build full payloads only when a journal will keep them.
+	jrn   atomic.Pointer[Journal]
 	epoch time.Time
 
 	mu   sync.Mutex
@@ -269,6 +280,37 @@ func (r *Recorder) SetDiag(level int, w io.Writer) {
 	}
 }
 
+// SetJournal attaches (or, with nil, detaches) a durable journal: from now
+// on every recorded event is also appended to j as one JSON line carrying
+// the FULL payload (the ring slot keeps only its bounded preview). A
+// journal implies ring recording — replay needs the event stream, and a
+// run worth journaling is a run worth a flight recording of — so attaching
+// arms the record bit. Detaching leaves recording armed.
+func (r *Recorder) SetJournal(j *Journal) {
+	if r == nil {
+		return
+	}
+	r.jrn.Store(j)
+	if j != nil {
+		r.SetRecording(true)
+	}
+}
+
+// Journaling reports whether a journal sink is attached. Call sites that
+// must build a full payload (an expect call serializing its case list)
+// check this so ring-only runs keep their allocation profile.
+func (r *Recorder) Journaling() bool {
+	return r != nil && r.jrn.Load() != nil
+}
+
+// Journal returns the attached journal (nil when ring-only).
+func (r *Recorder) Journal() *Journal {
+	if r == nil {
+		return nil
+	}
+	return r.jrn.Load()
+}
+
 // Reset drops all buffered events (mode is unchanged).
 func (r *Recorder) Reset() {
 	if r == nil {
@@ -315,10 +357,15 @@ func (r *Recorder) lenLocked() int {
 	return int(r.next)
 }
 
-// record is the shared slow path: copy one event into the ring (if armed)
-// and render it (if the diagnostics level shows its kind). Callers have
-// already checked On().
-func (r *Recorder) record(k Kind, sid int32, a, b int64, flag bool, text string, textB []byte, aux string, auxB []byte) {
+// record is the shared slow path: copy one event into the ring (if armed),
+// append it to the journal (if attached), and render it (if the
+// diagnostics level shows its kind). Callers have already checked On().
+//
+// data is the full byte payload destined for the journal only; when nil,
+// textB (the uncapped byte payload, if any) stands in for it, so journaled
+// reads/writes/matches keep every byte while the ring slot keeps the
+// bounded preview.
+func (r *Recorder) record(k Kind, sid int32, a, b int64, flag bool, text string, textB []byte, aux string, auxB []byte, data []byte) {
 	mode := r.mode.Load()
 	if mode == 0 {
 		return
@@ -338,12 +385,23 @@ func (r *Recorder) record(k Kind, sid int32, a, b int64, flag bool, text string,
 	} else {
 		ev.setAux(aux)
 	}
+	jrn := r.jrn.Load()
 
 	r.mu.Lock()
 	if mode&recordBit != 0 {
 		r.next++
 		ev.Seq = r.next
 		r.ring[(r.next-1)%uint64(len(r.ring))] = ev
+		if jrn != nil {
+			// Append inside the lock so journal order is seq order. Full
+			// payloads ride in Data ([]byte → base64) because JSON string
+			// escaping is lossy for arbitrary bytes.
+			payload := data
+			if payload == nil {
+				payload = textB
+			}
+			jrn.appendEvent(&ev, payload)
+		}
 	}
 	diag, level := r.diag, int(mode>>1)
 	if diag != nil && kindVisible(k, level) {
@@ -359,16 +417,27 @@ func (r *Recorder) Record(k Kind, sid int32, a, b int64, flag bool, text, aux st
 	if !r.On() {
 		return
 	}
-	r.record(k, sid, a, b, flag, text, nil, aux, nil)
+	r.record(k, sid, a, b, flag, text, nil, aux, nil, nil)
 }
 
 // RecordBytes logs an event whose payloads are byte slices (chunk
-// previews); the slices are copied, never retained.
+// previews); the slices are copied, never retained. When a journal is
+// attached the text payload is journaled in full, not preview-capped.
 func (r *Recorder) RecordBytes(k Kind, sid int32, a, b int64, flag bool, text, aux []byte) {
 	if !r.On() {
 		return
 	}
-	r.record(k, sid, a, b, flag, "", text, "", aux)
+	r.record(k, sid, a, b, flag, "", text, "", aux, nil)
+}
+
+// RecordData logs an event carrying an explicit full payload for the
+// journal (an expect call's serialized case list, say) alongside the usual
+// bounded previews. Ring-only recorders just drop data.
+func (r *Recorder) RecordData(k Kind, sid int32, a, b int64, flag bool, text, aux string, data []byte) {
+	if !r.On() {
+		return
+	}
+	r.record(k, sid, a, b, flag, text, nil, aux, nil, data)
 }
 
 // RecordAttempt logs one pattern attempt: pattern text plus a preview of
@@ -377,7 +446,7 @@ func (r *Recorder) RecordAttempt(sid int32, caseIdx int, bufLen int, matched boo
 	if !r.On() {
 		return
 	}
-	r.record(KindAttempt, sid, int64(caseIdx), int64(bufLen), matched, pattern, nil, "", previewTail(buf, AuxCap))
+	r.record(KindAttempt, sid, int64(caseIdx), int64(bufLen), matched, pattern, nil, "", previewTail(buf, AuxCap), nil)
 }
 
 // previewTail bounds b to its last n bytes (the tail is where the action
@@ -406,7 +475,10 @@ func (r *Recorder) Events() []Event {
 }
 
 // EventJSON is the dump schema: one JSON object per line, stable field
-// names, previews as (JSON-escaped) strings.
+// names, previews as (JSON-escaped) strings. Journal lines additionally
+// carry Data — the FULL byte payload, base64-encoded — because previews
+// are bounded and JSON string escaping cannot round-trip arbitrary bytes;
+// Data is what makes a journal byte-for-byte replayable.
 type EventJSON struct {
 	Seq  uint64 `json:"seq"`
 	TNs  int64  `json:"t_ns"`
@@ -417,12 +489,21 @@ type EventJSON struct {
 	OK   bool   `json:"ok,omitempty"`
 	Text string `json:"text,omitempty"`
 	Aux  string `json:"aux,omitempty"`
+	Data []byte `json:"data,omitempty"`
 }
+
+// KindID resolves the kind name back to its Kind (false for unknown).
+func (e *EventJSON) KindID() (Kind, bool) { return KindFromString(e.Kind) }
 
 func toJSON(e *Event) EventJSON {
 	return EventJSON{
 		Seq: e.Seq, TNs: e.At, Kind: e.Kind.String(), SID: e.SID,
-		A: e.A, B: e.B, OK: e.Flag, Text: e.Text(), Aux: e.Aux(),
+		A: e.A, B: e.B, OK: e.Flag,
+		// Previews are sanitized to valid UTF-8 so marshal∘parse is a
+		// fixpoint (the JSON encoder escapes invalid bytes asymmetrically).
+		// Exact bytes, when they matter, travel in Data.
+		Text: strings.ToValidUTF8(e.Text(), "�"),
+		Aux:  strings.ToValidUTF8(e.Aux(), "�"),
 	}
 }
 
@@ -468,24 +549,88 @@ func (r *Recorder) tail(n int) []Event {
 	return evs
 }
 
-// ParseJSONL decodes a DumpJSONL flight recording (tests and tooling use
-// this to assert on dump contents).
+// ParseError reports where a dump or journal stopped being parseable: the
+// 1-based line number and the byte offset of that line's start. Truncated
+// tails, garbage lines, unknown kinds, and seq regressions all land here —
+// a journal that fails to parse must fail loudly and positioned, never
+// feed a replay a silently shortened history.
+type ParseError struct {
+	Line   int
+	Offset int
+	Msg    string
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	s := fmt.Sprintf("trace: line %d (byte %d): %s", e.Line, e.Offset, e.Msg)
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ParseJSONL decodes a DumpJSONL flight recording or journal (tests,
+// tooling, and the replay engine use this). The schema is strict: every
+// line must be a complete JSON event, the kind must name a known Kind,
+// and seq must be strictly increasing. Errors are *ParseError carrying the
+// offending line's position; the events decoded before it are returned so
+// a caller can report how far the recording was good.
 func ParseJSONL(data []byte) ([]EventJSON, error) {
 	var out []EventJSON
+	var prevSeq uint64
+	lineNo := 0
 	start := 0
 	for i := 0; i <= len(data); i++ {
 		if i == len(data) || data[i] == '\n' {
 			line := data[start:i]
+			lineStart := start
 			start = i + 1
 			if len(line) == 0 {
 				continue
 			}
+			lineNo++
 			var e EventJSON
 			if err := json.Unmarshal(line, &e); err != nil {
-				return out, fmt.Errorf("trace: bad dump line %q: %w", line, err)
+				return out, &ParseError{Line: lineNo, Offset: lineStart,
+					Msg: fmt.Sprintf("bad event %q", bound(line, 80)), Err: err}
 			}
+			if _, ok := KindFromString(e.Kind); !ok {
+				return out, &ParseError{Line: lineNo, Offset: lineStart,
+					Msg: fmt.Sprintf("unknown event kind %q", e.Kind)}
+			}
+			if e.Seq <= prevSeq {
+				return out, &ParseError{Line: lineNo, Offset: lineStart,
+					Msg: fmt.Sprintf("seq %d not after %d", e.Seq, prevSeq)}
+			}
+			prevSeq = e.Seq
 			out = append(out, e)
 		}
 	}
 	return out, nil
+}
+
+// bound truncates a line for inclusion in an error message.
+func bound(b []byte, n int) []byte {
+	if len(b) > n {
+		return b[:n]
+	}
+	return b
+}
+
+// MarshalJSONL renders events back to the exact JSONL bytes DumpJSONL and
+// the journal produce — ParseJSONL∘MarshalJSONL is a fixpoint, which is
+// what lets the fuzz harness prove round-trips lossless and the replay
+// engine diff two recordings as bytes.
+func MarshalJSONL(events []EventJSON) []byte {
+	var sb sliceWriter
+	for i := range events {
+		line, err := json.Marshal(&events[i])
+		if err != nil {
+			continue // fixed schema: cannot happen
+		}
+		sb.Write(append(line, '\n'))
+	}
+	return sb.b
 }

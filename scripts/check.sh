@@ -40,6 +40,20 @@ go run ./cmd/goexpect -shards 8 -transport pipe -sims -q scripts/passwd.exp >/de
 # conservation checks. Skipped from the unit tier by -short.
 GORACE=halt_on_error=1 go test -race -count=1 -run TestSoak2kSessions ./internal/load
 
+# Replay leg: the journal/replay engine unit tier plus the journaled
+# conformance matrix under the race detector. Every scenario is recorded
+# to a JSONL journal and re-driven byte-for-byte; dispositions must be
+# identical, and any divergence carries its journal as the repro artifact.
+go test -race -count=1 ./internal/trace ./internal/replay
+go test -race -count=1 -run 'Journal|Replay' ./internal/conformance
+
+# Crash/recovery battery: SIGKILL expectd mid-soak at a seeded point with
+# 2k live sessions, restore every session from its checkpoint against a
+# fresh daemon, and require the conservation law (matches + timeouts +
+# EOFs == dialogues) with zero lost dialogues — plus the SIGUSR1
+# checkpoint-all / -restore round-trip through a live driven daemon.
+go test -race -count=1 -run 'TestCrashRecoverySoak|TestExpectdCheckpointRestore' ./internal/load
+
 # Fuzz smoke: a short budget per differential target. The real corpora
 # live in testdata/fuzz/ and always run as plain tests above; this adds a
 # few CPU-minutes of fresh exploration to every gate.
@@ -47,6 +61,7 @@ go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
 go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzShardHash -fuzztime=10s ./internal/core
+go test -race -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/trace
 
 # Perf snapshot + trace-overhead guard: regenerate the hot-path benchmarks
 # (E15: eval/glob/gap-buffer) and the flight-recorder overhead + latency
@@ -73,3 +88,10 @@ go run ./cmd/benchreport -exp e18 -json BENCH_5.json -netguard 2
 # at 10k connections stay O(shards) — at most 256 above the drivers,
 # not one reader per connection.
 go run ./cmd/benchreport -exp e19 -json BENCH_6.json -memguard 40 -goroguard 256
+
+# Replay economics snapshot + guards: rerun the E20 journal/checkpoint
+# pricing. replayguard: a journal-armed soak may cost at most 10% more
+# per dialogue than ring-only. ckptguard: the checkpoint/restore
+# round-trip p99 may not regress more than 25% against the committed
+# BENCH_7.json, then refresh the snapshot.
+go run ./cmd/benchreport -exp e20 -baseline BENCH_7.json -replayguard 10 -ckptguard 25 -json BENCH_7.json
