@@ -29,6 +29,9 @@
 //	                            checkpoint/restore round-trip p99
 //	                            regressed by more than PCT percent vs
 //	                            the committed BENCH_7.json
+//	benchreport -statsguard P   fail if E21's 1 Hz-scraped telemetry
+//	                            overhead exceeds P percent per dialogue,
+//	                            or armed-but-unscraped exceeds P/3
 //	benchreport -cpuprofile F   write a CPU profile of the run to F
 //	benchreport -memprofile F   write an allocation profile of the run to F
 package main
@@ -58,6 +61,7 @@ func main() {
 		goroguard   = flag.Float64("goroguard", 0, "fail when E19's ingest goroutines at 10k connections exceed this count (0 disables)")
 		replayguard = flag.Float64("replayguard", 0, "fail when E20's journaled-soak per-dialogue overhead exceeds this percentage (0 disables)")
 		ckptguard   = flag.Float64("ckptguard", 0, "with -baseline: fail when E20's checkpoint/restore round-trip p99 regresses by more than this percentage (0 disables)")
+		statsguard  = flag.Float64("statsguard", 0, "fail when E21's scraped telemetry overhead exceeds this percentage per dialogue, or armed-but-unscraped exceeds a third of it (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
@@ -279,6 +283,32 @@ func main() {
 		}
 		checkBaselineGuard(base, results, *ckptguard,
 			"ckpt_roundtrip_p99_ns", "ckpt guard", "checkpoint/restore round-trip p99", "e20")
+	}
+
+	if *statsguard > 0 {
+		armedBudget := *statsguard / 3
+		guarded := false
+		for _, r := range results {
+			armed, ok1 := r.Metrics["telemetry_armed_overhead_pct"]
+			scraped, ok2 := r.Metrics["telemetry_scraped_overhead_pct"]
+			if !ok1 || !ok2 {
+				continue
+			}
+			guarded = true
+			if scraped > *statsguard || armed > armedBudget {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: stats guard FAILED: telemetry costs %+.1f%% per dialogue armed (budget %.1f%%), %+.1f%% scraped at 1 Hz (budget %.1f%%)\n",
+					armed, armedBudget, scraped, *statsguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: stats guard ok: telemetry %+.1f%% per dialogue armed (budget %.1f%%), %+.1f%% scraped at 1 Hz (budget %.1f%%)\n",
+				armed, armedBudget, scraped, *statsguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -statsguard set but E21 did not run; add e21 to -exp")
+			os.Exit(2)
+		}
 	}
 }
 

@@ -13,6 +13,14 @@
 // line per program (machine-parseable — E18 scrapes them) and then
 // "expectd: ready".
 //
+// With -admin addr the daemon also serves a telemetry plane: Prometheus
+// metrics on /metrics, live session and shard introspection on
+// /debug/sessions and /debug/shards, pprof under /debug/pprof/, and a
+// streaming JSONL trace tap on /debug/trace?sid=N. Its bound address is
+// printed as "expectd: admin <host:port>" before the ready line, and the
+// listener is the LAST thing closed on shutdown — /debug/sessions stays
+// readable while the daemon drains.
+//
 // The daemon can also run a goexpect script of its own (-drive), which
 // spawns the same programs in-process — a resident driver session. With
 // -checkpoint FILE armed, SIGUSR1 serializes the drive engine's state
@@ -47,8 +55,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admin"
 	"repro/internal/core"
 	"repro/internal/load"
+	"repro/internal/metrics"
 	"repro/internal/netx"
 	"repro/internal/proc"
 	"repro/internal/programs/authsim"
@@ -106,6 +116,8 @@ func main() {
 			"arm SIGUSR1: each signal atomically writes an engine checkpoint (interpreter globals + live session snapshots) to this file; signal while the drive script is parked in expect, not mid-evaluation")
 		restorePath = flag.String("restore", "",
 			"engine-checkpoint file to read at startup; its interpreter globals are reinstalled before -drive runs")
+		adminAddr = flag.String("admin", "",
+			"telemetry-plane listen address (host:0 picks a port): /metrics, /debug/sessions, /debug/shards, /debug/pprof/, /debug/trace")
 	)
 	flag.Parse()
 
@@ -138,6 +150,7 @@ func main() {
 
 	reg := registry()
 	var servers []*netx.Server
+	var serverNames []string
 	for _, entry := range strings.Split(*serveList, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
@@ -163,11 +176,59 @@ func main() {
 			os.Exit(1)
 		}
 		servers = append(servers, srv)
+		serverNames = append(serverNames, name)
 		fmt.Printf("expectd: serving %s on %s\n", name, srv.Addr())
 	}
 	if len(servers) == 0 {
 		fmt.Fprintln(os.Stderr, "expectd: nothing to serve")
 		os.Exit(2)
+	}
+
+	// The telemetry plane comes up after the listeners (so its per-program
+	// gauges have servers to read) and before the ready line (so a harness
+	// that waits for ready already knows the admin address).
+	var adminSrv *admin.Server
+	if *adminAddr != "" {
+		mreg := metrics.NewRegistry()
+		perProgram := func(read func(netx.ServerStats) float64) func() map[string]float64 {
+			return func() map[string]float64 {
+				out := make(map[string]float64, len(servers))
+				for i, srv := range servers {
+					out[serverNames[i]] = read(srv.Stats())
+				}
+				return out
+			}
+		}
+		mreg.GaugeVec("expectd_sessions_active",
+			"Connections currently running a program instance, per served program.",
+			"program", perProgram(func(st netx.ServerStats) float64 { return float64(st.Active) }))
+		mreg.CounterVec("expectd_sessions_served_total",
+			"Sessions whose program ran to completion, per served program.",
+			"program", perProgram(func(st netx.ServerStats) float64 { return float64(st.Served) }))
+		mreg.Gauge("expectd_draining",
+			"1 once the daemon has begun its drain, 0 while accepting.",
+			func() float64 {
+				for _, srv := range servers {
+					if srv.Stats().Draining {
+						return 1
+					}
+				}
+				return 0
+			})
+		opt := admin.Options{Registry: mreg}
+		if eng != nil {
+			eng.RegisterMetrics(mreg)
+			opt.Sessions = eng.SessionInfos
+			opt.Shards = eng.Scheduler().SnapshotShards
+			opt.Recorder = eng.Recorder()
+		}
+		var err error
+		adminSrv, err = admin.Listen(*adminAddr, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expectd: admin listen %s: %v\n", *adminAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("expectd: admin %s\n", adminSrv.Addr())
 	}
 	fmt.Println("expectd: ready")
 
@@ -221,10 +282,15 @@ func main() {
 	for _, srv := range servers {
 		served += srv.Served()
 	}
+	// The admin listener closes LAST — after the wire has drained and the
+	// final report is out — so /debug/sessions and /metrics stay readable
+	// for the whole drain window (a scraper can watch the backlog fall).
 	if clean {
 		fmt.Printf("expectd: drained clean, served %d sessions\n", served)
+		adminSrv.Close()
 		os.Exit(0)
 	}
 	fmt.Printf("expectd: drain cut sessions at deadline, served %d sessions\n", served)
+	adminSrv.Close()
 	os.Exit(1)
 }

@@ -16,6 +16,9 @@
 //	                                   (rogue-sim, chess-sim, eliza-sim,
 //	                                   fsck-sim, tip-sim, passwd-sim,
 //	                                   login-sim) spawnable by name
+//	goexpect -stats script             print an engine metrics summary
+//	                                   (sessions, phase shares, latency
+//	                                   percentiles) on stderr at exit
 //	goexpect -diag script              narrate the dialogue on stderr
 //	                                   (exp_internal 1: received bytes,
 //	                                   pattern attempts and verdicts);
@@ -37,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/programs/authsim"
 	"repro/internal/programs/chess"
 	"repro/internal/programs/eliza"
@@ -91,6 +95,7 @@ func run() int {
 		shards     = flag.Int("shards", 0, "run sessions under a sharded scheduler with this many event loops (0 = one pump goroutine per session)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		stats      = flag.Bool("stats", false, "print an engine metrics summary (sessions, phase shares, latency percentiles) on stderr at exit")
 	)
 	var diag diagLevel
 	flag.Var(&diag, "diag", "render exp_internal-style diagnostics on stderr (repeat for engine internals)")
@@ -128,12 +133,23 @@ func run() int {
 		*transport = "network"
 	}
 	logUser := !*quiet
-	eng := core.NewEngine(core.EngineOptions{
+	opts := core.EngineOptions{
 		Transport: *transport,
 		LogUser:   &logUser,
 		Shards:    *shards,
-	})
+	}
+	if *stats {
+		// -stats needs a profiler from the first spawn so the phase and
+		// latency families have observations by exit.
+		opts.Prof = metrics.NewProfiler()
+	}
+	eng := core.NewEngine(opts)
 	defer eng.Shutdown()
+	if *stats {
+		reg := metrics.NewRegistry()
+		eng.RegisterMetrics(reg)
+		defer fmt.Fprint(os.Stderr, reg.Summary())
+	}
 	if diag > 0 {
 		// Same switch the script-level exp_internal command flips; the
 		// flag just turns it on before the first spawn.

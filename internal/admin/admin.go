@@ -1,0 +1,213 @@
+// Package admin is expectd's telemetry plane: a small HTTP listener
+// exposing the live state of a running daemon — Prometheus metrics,
+// per-session and per-shard introspection, pprof, and a streaming trace
+// tap. The paper's exp_internal (§3.3) shows one dialogue after the fact;
+// this surface answers "what are all ten thousand dialogues doing right
+// now" from outside the process, without stopping any of them.
+//
+// The package wires surfaces together but owns no state of its own:
+// every data source arrives as a closure or handle in Options, so admin
+// depends only on core/metrics/trace and any binary (expectd, a test, an
+// experiment) can stand up the same endpoints around whatever it runs.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Options names the data sources behind the endpoints. Every field is
+// optional: a nil Registry renders an empty (valid) exposition, nil
+// snapshot funcs report empty lists, and a nil Recorder turns
+// /debug/trace into a 404.
+type Options struct {
+	// Registry backs /metrics.
+	Registry *metrics.Registry
+	// Sessions backs /debug/sessions: the live per-session snapshot.
+	Sessions func() []core.SessionInfo
+	// Shards backs /debug/shards: the per-shard-loop snapshot. Session
+	// details are stripped from the reply (they have their own endpoint).
+	Shards func() []core.ShardSnapshot
+	// Recorder backs /debug/trace: live JSONL event streaming by tap.
+	Recorder *trace.Recorder
+}
+
+// Server is one admin listener. Close is immediate (it hangs up streaming
+// trace watchers too); expectd closes it after the drain report so the
+// plane stays readable while the daemon drains.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	opt Options
+}
+
+// Listen binds addr (host:0 picks an ephemeral port) and starts serving
+// the telemetry endpoints.
+func Listen(addr string, opt Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, opt: opt}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/sessions", s.handleSessions)
+	mux.HandleFunc("/debug/shards", s.handleShards)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close tears the listener and every in-flight request down immediately.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// get guards an endpoint to the GET method.
+func get(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	return true
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format, version 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opt.Registry.WritePrometheus(w)
+}
+
+// sessionsReply is the /debug/sessions JSON schema. Count duplicates
+// len(sessions) so a scraper can assert the conservation law without
+// parsing the whole list.
+type sessionsReply struct {
+	Count    int                `json:"count"`
+	Sessions []core.SessionInfo `json:"sessions"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	reply := sessionsReply{Sessions: []core.SessionInfo{}}
+	if s.opt.Sessions != nil {
+		if infos := s.opt.Sessions(); infos != nil {
+			reply.Sessions = infos
+		}
+	}
+	reply.Count = len(reply.Sessions)
+	writeJSON(w, reply)
+}
+
+// shardsReply is the /debug/shards JSON schema.
+type shardsReply struct {
+	Count  int                  `json:"count"`
+	Shards []core.ShardSnapshot `json:"shards"`
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	reply := shardsReply{Shards: []core.ShardSnapshot{}}
+	if s.opt.Shards != nil {
+		for _, snap := range s.opt.Shards() {
+			snap.Sessions = nil // shard-level view; sessions have their own endpoint
+			reply.Shards = append(reply.Shards, snap)
+		}
+	}
+	reply.Count = len(reply.Shards)
+	writeJSON(w, reply)
+}
+
+// handleTrace streams live trace events as JSONL (the journal schema;
+// each line parses with trace.ParseJSONL). Query parameters: sid filters
+// to one session (-1 or absent = all), n closes the stream after that
+// many lines (absent = until the client hangs up). Delivery taps the
+// recorder with a bounded buffer, so a stalled watcher silently loses
+// lines instead of stalling the engine — the same never-block contract
+// the journal writer keeps.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	if s.opt.Recorder == nil {
+		http.Error(w, "no flight recorder armed", http.StatusNotFound)
+		return
+	}
+	sid := int32(-1)
+	if v := r.URL.Query().Get("sid"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad sid %q", v), http.StatusBadRequest)
+			return
+		}
+		sid = int32(n)
+	}
+	limit := -1
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad n %q", v), http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	tap := s.opt.Recorder.Subscribe(sid, 0)
+	defer tap.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	sent := 0
+	for limit < 0 || sent < limit {
+		select {
+		case line, ok := <-tap.Events():
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,229 @@
+package admin
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func testServer(t *testing.T, opt Options) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0", opt)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func httpGet(t *testing.T, s *Server, path string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("up", "Always one.", func() float64 { return 1 })
+	s := testServer(t, Options{Registry: reg})
+	code, ctype, body := httpGet(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("content-type %q", ctype)
+	}
+	if !strings.Contains(body, "# TYPE up gauge") || !strings.Contains(body, "up 1\n") {
+		t.Errorf("exposition missing the gauge:\n%s", body)
+	}
+}
+
+func TestMetricsEndpointNilRegistry(t *testing.T) {
+	s := testServer(t, Options{})
+	if code, _, body := httpGet(t, s, "/metrics"); code != http.StatusOK || body != "" {
+		t.Errorf("nil registry: status %d body %q, want empty 200", code, body)
+	}
+}
+
+func TestSessionsAndShardsEndpoints(t *testing.T) {
+	s := testServer(t, Options{
+		Sessions: func() []core.SessionInfo {
+			return []core.SessionInfo{
+				{SID: 1, Name: "echo-1", State: "open", Shard: 0, ParkedOps: 1, RemainingTimeoutNS: 5000},
+				{SID: 2, Name: "slow-2", State: "eof", Shard: 1, RemainingTimeoutNS: -1},
+			}
+		},
+		Shards: func() []core.ShardSnapshot {
+			return []core.ShardSnapshot{{
+				Shard:      0,
+				QueueDepth: 3,
+				Sessions:   []core.SessionInfo{{SID: 1}}, // must be stripped
+			}}
+		},
+	})
+
+	code, ctype, body := httpGet(t, s, "/debug/sessions")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("sessions: status %d content-type %q", code, ctype)
+	}
+	var sessions struct {
+		Count    int                `json:"count"`
+		Sessions []core.SessionInfo `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &sessions); err != nil {
+		t.Fatalf("sessions JSON: %v\n%s", err, body)
+	}
+	if sessions.Count != 2 || len(sessions.Sessions) != 2 {
+		t.Errorf("count %d / %d sessions, want 2 / 2", sessions.Count, len(sessions.Sessions))
+	}
+	if sessions.Sessions[0].Name != "echo-1" || sessions.Sessions[0].ParkedOps != 1 {
+		t.Errorf("session 0 round-trip: %+v", sessions.Sessions[0])
+	}
+
+	code, _, body = httpGet(t, s, "/debug/shards")
+	if code != http.StatusOK {
+		t.Fatalf("shards: status %d", code)
+	}
+	var shards struct {
+		Count  int                  `json:"count"`
+		Shards []core.ShardSnapshot `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &shards); err != nil {
+		t.Fatalf("shards JSON: %v\n%s", err, body)
+	}
+	if shards.Count != 1 || shards.Shards[0].QueueDepth != 3 {
+		t.Errorf("shards round-trip: %+v", shards)
+	}
+	if len(shards.Shards[0].Sessions) != 0 {
+		t.Error("/debug/shards leaked per-session details")
+	}
+}
+
+func TestEmptyRepliesAreValidJSON(t *testing.T) {
+	s := testServer(t, Options{})
+	_, _, body := httpGet(t, s, "/debug/sessions")
+	if want := `{"count":0,"sessions":[]}` + "\n"; body != want {
+		t.Errorf("empty sessions = %q, want %q", body, want)
+	}
+	_, _, body = httpGet(t, s, "/debug/shards")
+	if want := `{"count":0,"shards":[]}` + "\n"; body != want {
+		t.Errorf("empty shards = %q, want %q", body, want)
+	}
+}
+
+func TestNonGETRejected(t *testing.T) {
+	s := testServer(t, Options{})
+	for _, path := range []string{"/metrics", "/debug/sessions", "/debug/shards", "/debug/trace"} {
+		resp, err := http.Post("http://"+s.Addr()+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestTraceEndpointStreams(t *testing.T) {
+	rec := trace.New(128)
+	s := testServer(t, Options{Recorder: rec})
+
+	// Start the watcher first; it blocks until n lines arrive.
+	type result struct {
+		lines []string
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/debug/trace?sid=7&n=3")
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var lines []string
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		done <- result{lines: lines, err: sc.Err()}
+	}()
+
+	// Subscribe arms recording; poll for it so the watcher is attached
+	// before the events fire.
+	deadline := time.Now().Add(5 * time.Second)
+	for !rec.Recording() {
+		if time.Now().After(deadline) {
+			t.Fatal("recorder never armed (watcher did not subscribe)")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// A little slack for the tap to land in r.taps after arming.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		rec.Record(trace.KindRead, 7, int64(i), 0, false, fmt.Sprintf("payload-%d", i), "")
+		rec.Record(trace.KindRead, 9, 0, 0, false, "other-session", "")
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("watcher: %v", res.err)
+	}
+	if len(res.lines) != 3 {
+		t.Fatalf("streamed %d lines, want 3 (n=3)", len(res.lines))
+	}
+	evs, err := trace.ParseJSONL([]byte(strings.Join(res.lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("streamed lines are not valid journal JSONL: %v", err)
+	}
+	for i, e := range evs {
+		if e.SID != 7 {
+			t.Errorf("line %d: sid %d leaked through the sid=7 filter", i, e.SID)
+		}
+	}
+}
+
+func TestTraceEndpointWithoutRecorder(t *testing.T) {
+	s := testServer(t, Options{})
+	if code, _, _ := httpGet(t, s, "/debug/trace"); code != http.StatusNotFound {
+		t.Errorf("status %d, want 404 when no recorder is wired", code)
+	}
+}
+
+func TestTraceEndpointBadParams(t *testing.T) {
+	s := testServer(t, Options{Recorder: trace.New(16)})
+	for _, path := range []string{"/debug/trace?sid=abc", "/debug/trace?n=-1", "/debug/trace?n=x"} {
+		if code, _, _ := httpGet(t, s, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", path, code)
+		}
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	s := testServer(t, Options{})
+	code, _, body := httpGet(t, s, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, _, _ := httpGet(t, s, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", code)
+	}
+}

@@ -175,6 +175,7 @@ type expectOp struct {
 // event; the per-wakeup steps only run compiled programs over buffer
 // bytes.
 func (s *Session) newExpectOp(d time.Duration, cases []Case) *expectOp {
+	s.nExpects.Add(1)
 	op := &expectOp{
 		s:           s,
 		cases:       cases,
@@ -372,11 +373,13 @@ func (op *expectOp) stepLocked(now time.Time) (*MatchResult, error, bool) {
 		if s.rec.On() {
 			s.rec.RecordBytes(trace.KindMatch, s.sid, int64(idx), int64(consumed), true, buf[:consumed], nil)
 		}
+		s.nMatches.Add(1)
 		return &MatchResult{Index: idx, Case: cases[idx], Text: text}, nil, true
 	}
 
 	if s.eof {
 		text := string(buf)
+		s.nEofs.Add(1)
 		for i, c := range cases {
 			if c.Kind == CaseEOF {
 				s.mb.reset()
@@ -408,6 +411,7 @@ func (op *expectOp) stepLocked(now time.Time) (*MatchResult, error, bool) {
 
 	if !op.deadline.IsZero() && !now.Before(op.deadline) {
 		text := string(buf)
+		s.nTimeouts.Add(1)
 		elapsed := time.Since(op.start)
 		for i, c := range cases {
 			if c.Kind == CaseTimeout {

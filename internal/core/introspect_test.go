@@ -1,0 +1,199 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestSessionInfoLifecycle walks one pump-driven session through its
+// states and checks the snapshot at each stop: open → eof → closed, with
+// the dialogue counters advancing by the conservation law.
+func TestSessionInfoLifecycle(t *testing.T) {
+	s, err := SpawnProgram(&Config{}, "echo", echoLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := s.Info()
+	if info.State != "open" || info.Shard != -1 {
+		t.Errorf("fresh session: state=%q shard=%d, want open/-1", info.State, info.Shard)
+	}
+	if info.Expects != 0 || info.RemainingTimeoutNS != -1 {
+		t.Errorf("fresh session: expects=%d remaining=%d", info.Expects, info.RemainingTimeoutNS)
+	}
+	if info.Name != "echo" {
+		t.Errorf("Name = %q", info.Name)
+	}
+
+	// One match dialogue.
+	s.Send("hi\n")
+	if _, err := s.ExpectTimeout(5*time.Second, Exact("echo:hi\n")); err != nil {
+		t.Fatal(err)
+	}
+	// One timeout dialogue.
+	res, err := s.ExpectTimeout(5*time.Millisecond, Exact("never"), TimeoutCase())
+	if err != nil || !res.TimedOut {
+		t.Fatalf("timeout dialogue: res=%+v err=%v", res, err)
+	}
+	// One EOF dialogue.
+	s.CloseWrite()
+	res, err = s.ExpectTimeout(5*time.Second, Exact("never"), EOFCase())
+	if err != nil || !res.Eof {
+		t.Fatalf("eof dialogue: res=%+v err=%v", res, err)
+	}
+
+	info = s.Info()
+	if info.Expects != 3 || info.Matches != 1 || info.Timeouts != 1 || info.Eofs != 1 {
+		t.Errorf("counters after 3 dialogues: %+v", info)
+	}
+	if info.Matches+info.Timeouts+info.Eofs != info.Expects {
+		t.Errorf("conservation law broken: %+v", info)
+	}
+	if info.State != "eof" {
+		t.Errorf("state after EOF = %q", info.State)
+	}
+	if info.TotalSeen == 0 {
+		t.Error("TotalSeen = 0 after a match")
+	}
+
+	s.Close()
+	if got := s.Info().State; got != "closed" {
+		t.Errorf("state after Close = %q", got)
+	}
+}
+
+// TestShardSnapshotSeesParkedOp parks an expect on a shard loop and
+// checks the loop-consistent snapshot reports it: the owning shard, the
+// unresolved op, and a remaining timeout between zero and the armed
+// deadline.
+func TestShardSnapshotSeesParkedOp(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	s, err := SpawnProgram(&Config{Sched: sc, SID: 11}, "parked", echoLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const armed = 30 * time.Second
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.ExpectTimeout(armed, Exact("echo:release\n"))
+		done <- err
+	}()
+
+	var got SessionInfo
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos := sc.SessionInfos()
+		if len(infos) == 1 && infos[0].ParkedOps == 1 {
+			got = infos[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parked op never appeared in snapshot: %+v", infos)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got.SID != 11 || got.Name != "parked" {
+		t.Errorf("snapshot identity: %+v", got)
+	}
+	if got.Shard < 0 || got.Shard > 1 {
+		t.Errorf("shard %d out of range", got.Shard)
+	}
+	if got.RemainingTimeoutNS <= 0 || got.RemainingTimeoutNS > armed.Nanoseconds() {
+		t.Errorf("remaining timeout %d outside (0, %d]", got.RemainingTimeoutNS, armed.Nanoseconds())
+	}
+	if got.Expects != 1 {
+		t.Errorf("Expects = %d while parked, want 1", got.Expects)
+	}
+
+	// The shard-level rollup agrees with the per-session view.
+	var parked int
+	for _, snap := range sc.SnapshotShards() {
+		parked += snap.ParkedOps
+		if snap.Shard != 0 && snap.Shard != 1 {
+			t.Errorf("snapshot shard index %d", snap.Shard)
+		}
+	}
+	if parked != 1 {
+		t.Errorf("rolled-up ParkedOps = %d, want 1", parked)
+	}
+
+	s.Send("release\n")
+	if err := <-done; err != nil {
+		t.Fatalf("parked expect: %v", err)
+	}
+}
+
+// TestSnapshotAfterStopDoesNotHang pins the drain contract: a scraper
+// that races Scheduler.Stop gets empty snapshots, never a hang.
+func TestSnapshotAfterStopDoesNotHang(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 4})
+	sc.Stop()
+	ch := make(chan []ShardSnapshot, 1)
+	go func() { ch <- sc.SnapshotShards() }()
+	select {
+	case snaps := <-ch:
+		if len(snaps) != 4 {
+			t.Fatalf("got %d snapshots, want 4", len(snaps))
+		}
+		for _, snap := range snaps {
+			if len(snap.Sessions) != 0 || snap.ParkedOps != 0 {
+				t.Errorf("stopped shard %d reports live state: %+v", snap.Shard, snap)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SnapshotShards hung on a stopped scheduler")
+	}
+}
+
+// TestSchedulerWakeupHistogram checks the per-shard wakeup clocks feed
+// both ShardWakeups (for the registry) and the snapshot's digest.
+func TestSchedulerWakeupHistogram(t *testing.T) {
+	sc := NewScheduler(SchedulerOptions{Shards: 2})
+	defer sc.Stop()
+	s, err := SpawnProgram(&Config{Sched: sc, SID: 5}, "w", echoLines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Send("ping\n")
+	if _, err := s.ExpectTimeout(5*time.Second, Exact("echo:ping\n")); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, h := range sc.ShardWakeups() {
+		total += h.Count()
+	}
+	if total == 0 {
+		t.Error("no wakeup observations after a served dialogue")
+	}
+}
+
+// TestEngineRegisterMetricsRenders is the smoke seam expectd and goexpect
+// -stats share: an engine's registry renders a parseable exposition with
+// the session and shard families present.
+func TestEngineRegisterMetricsRenders(t *testing.T) {
+	logUser := false
+	eng := NewEngine(EngineOptions{Transport: "pipe", Shards: 2, LogUser: &logUser})
+	defer eng.Shutdown()
+	reg := metrics.NewRegistry()
+	eng.RegisterMetrics(reg)
+	out := string(reg.RenderPrometheus())
+	for _, want := range []string{
+		"# TYPE expect_sessions_live gauge",
+		"# TYPE expect_spawns_total counter",
+		"# TYPE expect_shard_queue_depth gauge",
+		"# TYPE expect_shard_wakeup_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if infos := eng.SessionInfos(); len(infos) != 0 {
+		t.Errorf("fresh engine reports %d sessions", len(infos))
+	}
+}

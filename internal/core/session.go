@@ -153,6 +153,13 @@ type Session struct {
 	// ownedMode marks a shard-owned session whose transport hands chunks
 	// over by ownership transfer (TryReadOwned) instead of copying drains.
 	ownedMode bool
+
+	// Dialogue counters, atomics so the expect paths bump them without
+	// extra locking and the telemetry snapshot reads them from any
+	// goroutine: expects issued, and how each resolved (match, timeout,
+	// EOF). The load workbench's conservation law — matches + timeouts +
+	// EOFs == dialogues — is checkable per session from these.
+	nExpects, nMatches, nTimeouts, nEofs atomic.Int64
 }
 
 // ErrTimeout is returned by Expect when no pattern matched in time and no

@@ -234,6 +234,11 @@ const (
 	// msgCheckpoint asks the owning loop for a session snapshot that
 	// includes its parked expect ops.
 	msgCheckpoint
+	// msgInspect asks a loop for a telemetry snapshot of everything it
+	// owns — sessions, parked ops, earliest deadlines — taken on the loop
+	// itself, so it is consistent with the loop's own view (no session is
+	// half-registered or mid-step in the reply).
+	msgInspect
 )
 
 type shardMsg struct {
@@ -253,6 +258,7 @@ type migration struct {
 	ops   []*expectOp
 	reply chan error
 	cpc   chan *SessionCheckpoint
+	insp  chan ShardSnapshot
 }
 
 type shard struct {
@@ -278,6 +284,12 @@ type shard struct {
 
 	depthPeak atomic.Int64
 	dropped   atomic.Uint64
+
+	// wake distributes how long each loop wakeup's servicing took — one
+	// observation per cmds batch or dirty sweep, so it prices the batch,
+	// not the message. Lock-free Observe on the loop, lock-free Merge by
+	// the telemetry plane; /debug/shards reports its percentiles.
+	wake metrics.Histogram
 
 	// Readiness poller, created lazily at the first network adoption and
 	// shared by every socket session on this shard: O(shards) ingest
@@ -382,6 +394,7 @@ func (sh *shard) loop() {
 		select {
 		case m := <-sh.cmds:
 			sh.disarm(timer, timerC)
+			wake := time.Now()
 			sh.handle(m)
 			// Batch whatever else is already queued before re-arming.
 			for more := true; more; {
@@ -400,9 +413,12 @@ func (sh *shard) loop() {
 			// early `*foo*` glob consume a prefix the pump path never
 			// observes in isolation.
 			sh.stepTouched()
+			sh.wake.Observe(time.Since(wake))
 		case <-sh.wakeCh:
 			sh.disarm(timer, timerC)
+			wake := time.Now()
 			sh.drainDirty()
+			sh.wake.Observe(time.Since(wake))
 		case <-timerC:
 		case <-sh.stopCh:
 			sh.disarm(timer, timerC)
@@ -456,6 +472,10 @@ func (sh *shard) shutdown() {
 				m.mig.reply <- ErrClosed
 			case msgCheckpoint:
 				// No reply; the requester's select sees sh.done close.
+			case msgInspect:
+				// The loop is gone; reply with an empty snapshot so a
+				// scraper that raced the drain never hangs.
+				m.mig.insp <- ShardSnapshot{Shard: sh.idx}
 			}
 		default:
 			for s, ops := range sh.ops {
@@ -548,6 +568,8 @@ func (sh *shard) handle(m shardMsg) {
 			}
 		}
 		m.mig.cpc <- cp
+	case msgInspect:
+		m.mig.insp <- sh.inspect(time.Now())
 	}
 }
 

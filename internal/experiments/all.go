@@ -30,6 +30,7 @@ func All(repoRoot string) []Spec {
 		{"E18", "socket transport scaling via expectd", func() (Result, error) { return NetworkScaling(repoRoot) }},
 		{"E19", "zero-copy socket ingest via segment ownership transfer", func() (Result, error) { return ZeroCopyIngest(repoRoot) }},
 		{"E20", "replay journal & checkpoint economics", ReplayEconomics},
+		{"E21", "telemetry plane economics", TelemetryEconomics},
 	}
 }
 

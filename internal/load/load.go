@@ -137,6 +137,16 @@ type Config struct {
 	// Rec, when non-nil, supplies per-shard flight recorders (only
 	// meaningful with Shards > 0).
 	Rec func(shard int) *trace.Recorder
+	// Registry, when non-nil, gets the run's telemetry registered into it
+	// before the dialogue phase starts: driver-side dialogue counters and
+	// latency, ingest accounting, profiler families, and the scheduler's
+	// per-shard gauges. E21 serves it from an admin listener and scrapes
+	// it at 1 Hz while the soak runs.
+	Registry *metrics.Registry
+	// OnScheduler, when non-nil, observes the run's scheduler right after
+	// creation (called with nil for the pump baseline). The telemetry
+	// tests use it to point /debug/sessions at a live run.
+	OnScheduler func(*core.Scheduler)
 }
 
 func (c Config) withDefaults() Config {
@@ -388,6 +398,25 @@ func Run(cfg Config) (*Result, error) {
 		if !cfg.LegacyNet {
 			pool = netx.NewSegmentPool(netx.Options{}.ReadChunk(), ingest)
 		}
+	}
+
+	if cfg.OnScheduler != nil {
+		cfg.OnScheduler(sc)
+	}
+	if r := cfg.Registry; r != nil {
+		gauge := func(name, help string, n *atomic.Int64) {
+			r.Counter(name, help, func() float64 { return float64(n.Load()) })
+		}
+		gauge("load_dialogues_total", "Dialogues started by the workbench drivers.", &tall.dialogues)
+		gauge("load_matches_total", "Dialogues resolved by a pattern match.", &tall.matches)
+		gauge("load_timeouts_total", "Dialogues resolved by timeout.", &tall.timeouts)
+		gauge("load_eofs_total", "Dialogues resolved by EOF.", &tall.eofs)
+		gauge("load_errors_total", "Dialogues that failed outright (zero on a healthy engine).", &tall.errors)
+		r.Histogram("load_dialogue_seconds", "End-to-end dialogue latency as the driver saw it.",
+			func() []*metrics.Histogram { return []*metrics.Histogram{dialHist} })
+		ingest.RegisterInto(r)
+		cfg.Prof.RegisterInto(r)
+		sc.RegisterMetrics(r)
 	}
 
 	workers := make([]*worker, cfg.Sessions)

@@ -1,0 +1,346 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file pins the /metrics exposition with a round trip: a strict
+// parser for the subset of the Prometheus text format the registry emits,
+// and a fixpoint test — parse(render(registry)) re-rendered must equal
+// the original bytes exactly. Any drift between what WritePrometheus
+// writes and what a scraper reads (a lost sample, a reordered family, a
+// float that doesn't round-trip) breaks the equality.
+
+// expoError is a positioned parse failure, styled after trace.ParseError:
+// line is 1-based, offset is the byte position of the offending line.
+type expoError struct {
+	Line   int
+	Offset int
+	Msg    string
+}
+
+func (e *expoError) Error() string {
+	return fmt.Sprintf("expo: line %d (byte %d): %s", e.Line, e.Offset, e.Msg)
+}
+
+// expoSample is one parsed sample line. Suffix distinguishes a
+// histogram's _bucket/_sum/_count series from the family's own name.
+type expoSample struct {
+	suffix   string // "", "bucket", "sum", or "count"
+	labelKey string
+	labelVal string
+	value    float64
+	intVal   int64 // used when isInt (bucket and count series render %d)
+	isInt    bool
+}
+
+// expoFamily is one parsed family: HELP line, TYPE line, samples.
+type expoFamily struct {
+	name    string
+	help    string
+	kind    string
+	samples []expoSample
+}
+
+// parseExpo strictly parses a text-format exposition: every family is
+// HELP then TYPE then its samples, families may not repeat, every sample
+// must belong to the family above it, and every line must be complete
+// (trailing newline included).
+func parseExpo(b []byte) ([]expoFamily, error) {
+	var fams []expoFamily
+	seen := map[string]bool{}
+	var cur *expoFamily
+	line, off := 0, 0
+	fail := func(msg string) error { return &expoError{Line: line, Offset: off, Msg: msg} }
+
+	for off < len(b) {
+		line++
+		nl := bytes.IndexByte(b[off:], '\n')
+		if nl < 0 {
+			return nil, fail("truncated line (no trailing newline)")
+		}
+		text := string(b[off : off+nl])
+		switch {
+		case strings.HasPrefix(text, "# HELP "):
+			rest := text[len("# HELP "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				return nil, fail("HELP line without help text")
+			}
+			name := rest[:sp]
+			if !validName(name) {
+				return nil, fail("invalid metric name " + strconv.Quote(name))
+			}
+			if seen[name] {
+				return nil, fail("duplicate metric name " + strconv.Quote(name))
+			}
+			seen[name] = true
+			fams = append(fams, expoFamily{name: name, help: rest[sp+1:]})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(text, "# TYPE "):
+			rest := text[len("# TYPE "):]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				return nil, fail("TYPE line without a kind")
+			}
+			name, kind := rest[:sp], rest[sp+1:]
+			if cur == nil || cur.name != name {
+				return nil, fail("TYPE for " + strconv.Quote(name) + " without its HELP line")
+			}
+			if cur.kind != "" {
+				return nil, fail("second TYPE line for " + strconv.Quote(name))
+			}
+			switch kind {
+			case "gauge", "counter", "histogram":
+			default:
+				return nil, fail("unknown kind " + strconv.Quote(kind))
+			}
+			cur.kind = kind
+		case strings.HasPrefix(text, "#"):
+			return nil, fail("unexpected comment " + strconv.Quote(text))
+		case text == "":
+			return nil, fail("blank line")
+		default:
+			if cur == nil || cur.kind == "" {
+				return nil, fail("sample before any # HELP/# TYPE header")
+			}
+			s, err := parseSample(cur, text)
+			if err != "" {
+				return nil, fail(err)
+			}
+			cur.samples = append(cur.samples, s)
+		}
+		off += nl + 1
+	}
+	for i := range fams {
+		if fams[i].kind == "" {
+			line, off = 0, 0
+			return nil, &expoError{Msg: "family " + strconv.Quote(fams[i].name) + " has no TYPE line"}
+		}
+	}
+	return fams, nil
+}
+
+// parseSample parses one sample line against its family, returning an
+// error message ("" on success).
+func parseSample(f *expoFamily, text string) (expoSample, string) {
+	sp := strings.LastIndexByte(text, ' ')
+	if sp < 0 {
+		return expoSample{}, "sample without a value: " + strconv.Quote(text)
+	}
+	series, valText := text[:sp], text[sp+1:]
+
+	var s expoSample
+	if br := strings.IndexByte(series, '{'); br >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return expoSample{}, "unterminated label set: " + strconv.Quote(series)
+		}
+		pair := series[br+1 : len(series)-1]
+		series = series[:br]
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+			return expoSample{}, "malformed label pair: " + strconv.Quote(pair)
+		}
+		s.labelKey = pair[:eq]
+		val, ok := unescapeLabel(pair[eq+2 : len(pair)-1])
+		if !ok {
+			return expoSample{}, "bad label escape in " + strconv.Quote(pair)
+		}
+		s.labelVal = val
+	}
+
+	switch {
+	case series == f.name:
+	case f.kind == "histogram" && series == f.name+"_bucket":
+		s.suffix = "bucket"
+		if s.labelKey != "le" {
+			return expoSample{}, "histogram bucket without an le label: " + strconv.Quote(text)
+		}
+	case f.kind == "histogram" && series == f.name+"_sum":
+		s.suffix = "sum"
+	case f.kind == "histogram" && series == f.name+"_count":
+		s.suffix = "count"
+	default:
+		return expoSample{}, "sample " + strconv.Quote(series) + " does not belong to family " + strconv.Quote(f.name)
+	}
+
+	if s.suffix == "bucket" || s.suffix == "count" {
+		n, err := strconv.ParseInt(valText, 10, 64)
+		if err != nil {
+			return expoSample{}, "bad integer value " + strconv.Quote(valText)
+		}
+		s.intVal, s.isInt = n, true
+		return s, ""
+	}
+	switch valText {
+	case "+Inf", "-Inf", "NaN":
+		// Accepted spellings; round-trip through formatVal below.
+	default:
+		if _, err := strconv.ParseFloat(valText, 64); err != nil {
+			return expoSample{}, "bad value " + strconv.Quote(valText)
+		}
+	}
+	v, _ := strconv.ParseFloat(valText, 64)
+	s.value = v
+	return s, ""
+}
+
+func unescapeLabel(s string) (string, bool) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, true
+	}
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			sb.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false
+		}
+		switch s[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", false
+		}
+	}
+	return sb.String(), true
+}
+
+// renderExpo re-renders parsed families the way WritePrometheus does;
+// parse → renderExpo is the fixpoint leg of the round trip.
+func renderExpo(fams []expoFamily) []byte {
+	var sb strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.samples {
+			series := f.name
+			if s.suffix != "" {
+				series += "_" + s.suffix
+			}
+			if s.labelKey != "" {
+				series += "{" + s.labelKey + "=\"" + escapeLabel(s.labelVal) + "\"}"
+			}
+			if s.isInt {
+				fmt.Fprintf(&sb, "%s %d\n", series, s.intVal)
+			} else {
+				fmt.Fprintf(&sb, "%s %s\n", series, formatVal(s.value))
+			}
+		}
+	}
+	return []byte(sb.String())
+}
+
+// richRegistry builds a registry exercising every family shape the
+// renderer has: plain gauge and counter, labeled vecs (with a value that
+// needs escaping), and a histogram with a clamped top-bucket observation.
+func richRegistry() *Registry {
+	h := NewHistogram()
+	h.Observe(900 * time.Nanosecond)
+	h.Observe(30 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Hour) // clamps into the top bucket → +Inf is load-bearing
+	r := NewRegistry()
+	r.Gauge("live_sessions", "Live sessions.", func() float64 { return 42 })
+	r.Counter("dialogues_total", "Dialogues run.", func() float64 { return 123456 })
+	r.GaugeVec("shard_depth", "Backlog per shard.", "shard", func() map[string]float64 {
+		return map[string]float64{"0": 1, "1": 0.5, "10": 3}
+	})
+	r.CounterVec("outcomes_total", "Outcomes by kind.", "kind", func() map[string]float64 {
+		return map[string]float64{"match": 10, `quo"te`: 1, "time\nout": 2}
+	})
+	r.Histogram("latency_seconds", "Dialogue latency.", func() []*Histogram { return []*Histogram{h} })
+	return r
+}
+
+func TestExpositionRoundTripFixpoint(t *testing.T) {
+	rendered := richRegistry().RenderPrometheus()
+	fams, err := parseExpo(rendered)
+	if err != nil {
+		t.Fatalf("parse(render()): %v\nexposition:\n%s", err, rendered)
+	}
+	again := renderExpo(fams)
+	if !bytes.Equal(rendered, again) {
+		t.Fatalf("round trip is not a fixpoint:\n--- rendered ---\n%s\n--- re-rendered ---\n%s", rendered, again)
+	}
+	// And the fixpoint is stable: a second trip changes nothing.
+	fams2, err := parseExpo(again)
+	if err != nil {
+		t.Fatalf("second parse: %v", err)
+	}
+	if !bytes.Equal(renderExpo(fams2), again) {
+		t.Fatal("second round trip diverged")
+	}
+}
+
+func TestExpositionParserRejectsDuplicates(t *testing.T) {
+	dup := []byte("" +
+		"# HELP x_total One.\n# TYPE x_total counter\nx_total 1\n" +
+		"# HELP y_total Two.\n# TYPE y_total counter\ny_total 2\n" +
+		"# HELP x_total Again.\n# TYPE x_total counter\nx_total 3\n")
+	_, err := parseExpo(dup)
+	if err == nil {
+		t.Fatal("duplicate family parsed without error")
+	}
+	pe, ok := err.(*expoError)
+	if !ok {
+		t.Fatalf("error is %T, want *expoError", err)
+	}
+	if !strings.Contains(pe.Msg, "duplicate") || !strings.Contains(pe.Msg, "x_total") {
+		t.Errorf("message %q does not name the duplicate", pe.Msg)
+	}
+	if pe.Line != 7 {
+		t.Errorf("error at line %d, want 7 (the second HELP x_total)", pe.Line)
+	}
+	if want := strings.Index(string(dup), "# HELP x_total Again."); pe.Offset != want {
+		t.Errorf("error offset %d, want %d", pe.Offset, want)
+	}
+}
+
+func TestExpositionParserPositionedErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		in       string
+		wantLine int
+		wantMsg  string
+	}{
+		{"sample before header", "orphan 1\n", 1, "before any"},
+		{"type without help", "# TYPE x gauge\n", 1, "without its HELP"},
+		{"unknown kind", "# HELP x H.\n# TYPE x summary\n", 2, "unknown kind"},
+		{"foreign sample", "# HELP x H.\n# TYPE x gauge\ny 1\n", 3, "does not belong"},
+		{"bad value", "# HELP x H.\n# TYPE x gauge\nx one\n", 3, "bad value"},
+		{"truncated line", "# HELP x H.\n# TYPE x gauge\nx 1", 3, "truncated"},
+		{"blank line", "# HELP x H.\n# TYPE x gauge\n\n", 3, "blank"},
+		{"bucket without le", "# HELP x H.\n# TYPE x histogram\nx_bucket 1\n", 3, "le label"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseExpo([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("parsed without error:\n%s", tc.in)
+			}
+			pe, ok := err.(*expoError)
+			if !ok {
+				t.Fatalf("error is %T, want *expoError", err)
+			}
+			if pe.Line != tc.wantLine {
+				t.Errorf("line %d, want %d (%v)", pe.Line, tc.wantLine, err)
+			}
+			if !strings.Contains(pe.Msg, tc.wantMsg) {
+				t.Errorf("message %q missing %q", pe.Msg, tc.wantMsg)
+			}
+		})
+	}
+}

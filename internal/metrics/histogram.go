@@ -177,6 +177,36 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.Max()
 }
 
+// Merge folds src's observations into h without locking either side:
+// bucket counts, count, and sum are transferred with atomic adds, and the
+// maximum with the same CAS loop Observe uses. Merging while either
+// histogram is being observed is safe and approximate by at most the
+// in-flight observations (the Percentile contract); src is not modified.
+// Safe when either receiver or src is nil.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if c := src.bucket[i].Load(); c != 0 {
+			h.bucket[i].Add(c)
+		}
+	}
+	if c := src.count.Load(); c != 0 {
+		h.count.Add(c)
+	}
+	if s := src.sum.Load(); s != 0 {
+		h.sum.Add(s)
+	}
+	ns := src.maxNS.Load()
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
 // Reset clears the histogram.
 func (h *Histogram) Reset() {
 	if h == nil {

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// TestNilSinkContract pins the package-wide convention in one table: a nil
+// pointer to ANY metrics type is a valid no-op sink. Callers thread
+// optional instrumentation without nil checks, so every method must
+// tolerate a nil receiver — new types and new methods get a row here.
+func TestNilSinkContract(t *testing.T) {
+	cases := []struct {
+		name string
+		use  func()
+	}{
+		{"Profiler", func() {
+			var pr *Profiler
+			pr.Add(PhaseMatch, time.Millisecond)
+			done := pr.Start(PhaseIO)
+			done()
+			_ = pr.Snapshot()
+			_ = pr.Report()
+			_ = pr.Hist(HistWakeupToMatch)
+			pr.Reset()
+			pr.RegisterInto(NewRegistry())
+			pr.RegisterInto(nil)
+		}},
+		{"Counters", func() {
+			var c *Counters
+			c.Add("k", 1)
+			_ = c.Get("k")
+			_ = c.Snapshot()
+			_ = c.Report()
+			c.Reset()
+			c.RegisterInto(NewRegistry(), "nil_counters_total", "h", "k")
+			c.RegisterInto(nil, "x_total", "h", "k")
+		}},
+		{"Histogram", func() {
+			var h *Histogram
+			h.Observe(time.Millisecond)
+			_ = h.Count()
+			_ = h.Mean()
+			_ = h.Max()
+			_ = h.Percentile(0.5)
+			_ = h.Snapshot()
+			_ = h.Summary("x")
+			_ = h.Report()
+			h.Merge(NewHistogram())
+			NewHistogram().Merge(h)
+			h.Reset()
+		}},
+		{"IngestStats", func() {
+			var st *IngestStats
+			st.AddCopied(1)
+			st.AddHandedOff(1)
+			st.AddAlloc()
+			st.NoteLease(true)
+			_ = st.BytesCopied()
+			_ = st.BytesHandedOff()
+			_ = st.IngestAllocs()
+			_ = st.SegmentLeases()
+			_ = st.SegmentReuses()
+			st.RegisterInto(NewRegistry())
+			st.RegisterInto(nil)
+		}},
+		{"Registry", func() {
+			var r *Registry
+			r.Gauge("g", "h", func() float64 { return 0 })
+			r.Counter("c_total", "h", func() float64 { return 0 })
+			r.GaugeVec("gv", "h", "l", func() map[string]float64 { return nil })
+			r.CounterVec("cv_total", "h", "l", func() map[string]float64 { return nil })
+			r.Histogram("hist_seconds", "h", func() []*Histogram { return nil })
+			if err := r.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("nil Registry WritePrometheus: %v", err)
+			}
+			if out := r.RenderPrometheus(); len(out) != 0 {
+				t.Errorf("nil Registry rendered %q", out)
+			}
+			if out := r.Summary(); out != "" {
+				t.Errorf("nil Registry Summary = %q", out)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The contract is simply "does not panic, returns zero values";
+			// any panic fails the subtest with its stack.
+			tc.use()
+		})
+	}
+}

@@ -1,0 +1,386 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry names and aggregates the engine's scattered instrumentation —
+// Counters maps, lock-free Histograms, IngestStats atomics, per-shard
+// scheduler state — into one queryable surface. It is pull-based: a
+// registration hands the registry a closure, and nothing is evaluated
+// until a render (the /metrics scrape or a -stats summary), so an armed
+// registry costs the hot paths nothing.
+//
+// Families are rendered in sorted name order and, within a labeled
+// family, in sorted label-value order, so renders are deterministic and
+// the exposition round-trip test can require a fixpoint. A nil *Registry
+// is a valid no-op sink, matching the Profiler/Counters convention.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+type familyKind int
+
+const (
+	kindGauge familyKind = iota
+	kindCounter
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindCounter:
+		return "counter"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric: either a single value, a labeled set of
+// values produced by one snapshot call, or a histogram merged from one or
+// more shard-local Histograms at render time.
+type family struct {
+	name  string
+	help  string
+	kind  familyKind
+	label string // label name for vec families, "" for scalars
+
+	fn    func() float64            // scalar gauge/counter
+	vec   func() map[string]float64 // labeled gauge/counter
+	hists func() []*Histogram       // histogram sources, merged per render
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+// validName is the Prometheus metric/label name grammar. Registration is
+// programmer-driven (names are compile-time literals), so violations and
+// duplicate names panic instead of returning errors nobody checks.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(f *family) {
+	if r == nil {
+		return
+	}
+	if !validName(f.name) {
+		panic("metrics: invalid metric name " + strconv.Quote(f.name))
+	}
+	if f.label != "" && !validName(f.label) {
+		panic("metrics: invalid label name " + strconv.Quote(f.label))
+	}
+	if strings.ContainsAny(f.help, "\n") {
+		panic("metrics: help text must be a single line: " + strconv.Quote(f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fams == nil {
+		r.fams = map[string]*family{}
+	}
+	if _, dup := r.fams[f.name]; dup {
+		panic("metrics: duplicate metric name " + strconv.Quote(f.name))
+	}
+	r.fams[f.name] = f
+}
+
+// Gauge registers a single instantaneous value, sampled at render time.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// Counter registers a single monotonically-increasing total.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// GaugeVec registers a labeled gauge family. fn is called once per render
+// and must return the full label-value → value set, so one snapshot call
+// yields a consistent view across the family's samples.
+func (r *Registry) GaugeVec(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, label: label, vec: fn})
+}
+
+// CounterVec registers a labeled counter family (one snapshot per render,
+// like GaugeVec).
+func (r *Registry) CounterVec(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, label: label, vec: fn})
+}
+
+// Histogram registers a latency histogram whose samples live in one or
+// more shard-local Histograms. At render time the sources are folded with
+// the lock-free Merge into a scratch histogram, so per-shard Observe
+// calls never contend and the exposition still shows one fleet-wide
+// distribution. Observations are exported in seconds per the Prometheus
+// convention.
+func (r *Registry) Histogram(name, help string, src func() []*Histogram) {
+	r.register(&family{name: name, help: help, kind: kindHistogram, hists: src})
+}
+
+// families returns the registered families sorted by name. Callbacks are
+// evaluated by the caller after the lock is released, so a slow source
+// (e.g. a scheduler snapshot) never blocks registration.
+func (r *Registry) families() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatVal renders a sample value the way the exposition parser expects
+// to re-render it: shortest round-trippable float, with the Prometheus
+// spellings for the non-finite values.
+func formatVal(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}
+
+// vecSample is one evaluated labeled sample, sorted for deterministic
+// renders.
+type vecSample struct {
+	labelVal string
+	value    float64
+}
+
+func (f *family) vecSamples() []vecSample {
+	m := f.vec()
+	out := make([]vecSample, 0, len(m))
+	for k, v := range m {
+		out = append(out, vecSample{labelVal: k, value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labelVal < out[j].labelVal })
+	return out
+}
+
+// merged folds the family's histogram sources into one scratch histogram.
+func (f *family) merged() *Histogram {
+	m := NewHistogram()
+	for _, h := range f.hists() {
+		m.Merge(h)
+	}
+	return m
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, samples
+// beneath, histograms as cumulative _bucket/_sum/_count series with le
+// edges in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var sb strings.Builder
+	for _, f := range r.families() {
+		fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.kind == kindHistogram:
+			h := f.merged()
+			var cum int64
+			for _, b := range h.Snapshot() {
+				cum += b.Count
+				fmt.Fprintf(&sb, "%s_bucket{le=%q} %d\n",
+					f.name, formatVal(b.High.Seconds()), cum)
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", f.name, h.Count())
+			fmt.Fprintf(&sb, "%s_sum %s\n", f.name,
+				formatVal(float64(h.sum.Load())/float64(time.Second)))
+			fmt.Fprintf(&sb, "%s_count %d\n", f.name, h.Count())
+		case f.vec != nil:
+			for _, s := range f.vecSamples() {
+				fmt.Fprintf(&sb, "%s{%s=\"%s\"} %s\n",
+					f.name, f.label, escapeLabel(s.labelVal), formatVal(s.value))
+			}
+		default:
+			fmt.Fprintf(&sb, "%s %s\n", f.name, formatVal(f.fn()))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// RenderPrometheus renders the exposition into a fresh buffer.
+func (r *Registry) RenderPrometheus() []byte {
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	return buf.Bytes()
+}
+
+// Summary renders every family through the shared aligned-table formatter
+// (the goexpect -stats exit report). Histograms expand to one row per
+// digest statistic; everything else is one name/value row.
+func (r *Registry) Summary() string {
+	if r == nil {
+		return ""
+	}
+	fams := r.families()
+	if len(fams) == 0 {
+		return ""
+	}
+	var t alignedTable
+	t.row("metric", "value")
+	for _, f := range fams {
+		switch {
+		case f.kind == kindHistogram:
+			h := f.merged()
+			t.row(f.name+" count", strconv.FormatInt(h.Count(), 10))
+			if h.Count() == 0 {
+				continue
+			}
+			t.row(f.name+" mean", h.Mean().String())
+			t.row(f.name+" p50", "<"+h.Percentile(0.50).String())
+			t.row(f.name+" p90", "<"+h.Percentile(0.90).String())
+			t.row(f.name+" p99", "<"+h.Percentile(0.99).String())
+			t.row(f.name+" max", h.Max().String())
+		case f.vec != nil:
+			for _, s := range f.vecSamples() {
+				t.row(fmt.Sprintf("%s{%s=%q}", f.name, f.label, escapeLabel(s.labelVal)),
+					formatVal(s.value))
+			}
+		default:
+			t.row(f.name, formatVal(f.fn()))
+		}
+	}
+	return t.String()
+}
+
+// RegisterInto publishes the profiler's phase totals and latency
+// histograms under the expect_ namespace: one labeled seconds/samples
+// counter pair for the §7.4 share table, and one histogram family per
+// HistKind. Safe on a nil profiler (registers nothing).
+func (pr *Profiler) RegisterInto(r *Registry) {
+	if pr == nil || r == nil {
+		return
+	}
+	r.CounterVec("expect_phase_seconds_total",
+		"Wall seconds charged per engine phase (the paper's section 7.4 share table).",
+		"phase", func() map[string]float64 {
+			out := make(map[string]float64, numPhases)
+			for _, s := range pr.Snapshot() {
+				out[phaseSlug(s.Phase)] = s.Total.Seconds()
+			}
+			return out
+		})
+	r.CounterVec("expect_phase_samples_total",
+		"Samples charged per engine phase.",
+		"phase", func() map[string]float64 {
+			out := make(map[string]float64, numPhases)
+			for _, s := range pr.Snapshot() {
+				out[phaseSlug(s.Phase)] = float64(s.Count)
+			}
+			return out
+		})
+	for _, k := range HistKinds() {
+		k := k
+		r.Histogram("expect_"+strings.ReplaceAll(k.String(), "-", "_")+"_seconds",
+			"Latency distribution of the "+k.String()+" span.",
+			func() []*Histogram { return []*Histogram{pr.Hist(k)} })
+	}
+}
+
+// phaseSlug is the label-safe spelling of a phase name.
+func phaseSlug(p Phase) string {
+	s := strings.ToLower(p.String())
+	for _, cut := range []string{" (pty)", "/"} {
+		s = strings.ReplaceAll(s, cut, " ")
+	}
+	return strings.ReplaceAll(strings.TrimSpace(s), " ", "_")
+}
+
+// RegisterInto publishes the ingest-path byte and allocation totals.
+// Safe on nil stats (registers nothing).
+func (st *IngestStats) RegisterInto(r *Registry) {
+	if st == nil || r == nil {
+		return
+	}
+	counter := func(name, help string, fn func() int64) {
+		r.Counter(name, help, func() float64 { return float64(fn()) })
+	}
+	counter("expect_ingest_bytes_copied_total",
+		"Bytes that crossed the socket ingest path by copy.", st.BytesCopied)
+	counter("expect_ingest_bytes_handed_off_total",
+		"Bytes that crossed the socket ingest path by segment ownership transfer.", st.BytesHandedOff)
+	counter("expect_ingest_allocs_total",
+		"Buffer allocations on the ingest path.", st.IngestAllocs)
+	counter("expect_ingest_segment_leases_total",
+		"Pool segments leased to connections.", st.SegmentLeases)
+	counter("expect_ingest_segment_reuses_total",
+		"Pool segments returned and reused.", st.SegmentReuses)
+}
+
+// RegisterInto publishes a Counters map as one labeled counter family.
+// Safe on nil counters (registers nothing).
+func (c *Counters) RegisterInto(r *Registry, name, help, label string) {
+	if c == nil || r == nil {
+		return
+	}
+	r.CounterVec(name, help, label, func() map[string]float64 {
+		snap := c.Snapshot()
+		out := make(map[string]float64, len(snap))
+		for k, v := range snap {
+			out[k] = float64(v)
+		}
+		return out
+	})
+}

@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("b_gauge", "Second alphabetically.", func() float64 { return 2.5 })
+	r.Counter("a_counter", "First alphabetically.", func() float64 { return 7 })
+	r.GaugeVec("c_vec", "Labeled family.", "shard", func() map[string]float64 {
+		return map[string]float64{"1": 10, "0": 20} // map order must not leak
+	})
+	first := string(r.RenderPrometheus())
+	for i := 0; i < 10; i++ {
+		if got := string(r.RenderPrometheus()); got != first {
+			t.Fatalf("render not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Families sorted by name, vec samples by label value.
+	ia, ib, ic := strings.Index(first, "a_counter"), strings.Index(first, "b_gauge"), strings.Index(first, "c_vec")
+	if !(ia < ib && ib < ic) {
+		t.Errorf("families not sorted by name:\n%s", first)
+	}
+	if i0, i1 := strings.Index(first, `c_vec{shard="0"}`), strings.Index(first, `c_vec{shard="1"}`); !(i0 >= 0 && i0 < i1) {
+		t.Errorf("vec samples not sorted by label:\n%s", first)
+	}
+	if !strings.Contains(first, "# TYPE a_counter counter") ||
+		!strings.Contains(first, "# TYPE b_gauge gauge") {
+		t.Errorf("missing TYPE lines:\n%s", first)
+	}
+	if !strings.Contains(first, "a_counter 7\n") || !strings.Contains(first, "b_gauge 2.5\n") {
+		t.Errorf("missing samples:\n%s", first)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500 * time.Nanosecond) // bucket (1024,2048]
+	h.Observe(1600 * time.Nanosecond)
+	h.Observe(3 * time.Microsecond) // bucket (2048,4096]
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "Latency.", func() []*Histogram { return []*Histogram{h} })
+	out := string(r.RenderPrometheus())
+	if !strings.Contains(out, "# TYPE lat_seconds histogram") {
+		t.Fatalf("missing histogram TYPE:\n%s", out)
+	}
+	// Buckets are cumulative and end with +Inf == count.
+	if !strings.Contains(out, `lat_seconds_bucket{le="2.048e-06"} 2`) {
+		t.Errorf("first bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{le="4.096e-06"} 3`) {
+		t.Errorf("cumulative second bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_seconds_count 3") {
+		t.Errorf("count sample wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "lat_seconds_sum 6.1e-06") {
+		t.Errorf("sum sample wrong (want 6.1e-06):\n%s", out)
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	mustPanic := func(name string, f func(r *Registry)) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f(NewRegistry())
+	}
+	mustPanic("invalid metric name", func(r *Registry) {
+		r.Gauge("bad-name", "hyphen is not legal", func() float64 { return 0 })
+	})
+	mustPanic("empty name", func(r *Registry) {
+		r.Counter("", "empty", func() float64 { return 0 })
+	})
+	mustPanic("leading digit", func(r *Registry) {
+		r.Gauge("1up", "digit first", func() float64 { return 0 })
+	})
+	mustPanic("multiline help", func(r *Registry) {
+		r.Gauge("ok_name", "line one\nline two", func() float64 { return 0 })
+	})
+	mustPanic("duplicate name", func(r *Registry) {
+		r.Gauge("dup", "once", func() float64 { return 0 })
+		r.Gauge("dup", "twice", func() float64 { return 0 })
+	})
+	mustPanic("duplicate across kinds", func(r *Registry) {
+		r.Counter("dup2", "as counter", func() float64 { return 0 })
+		r.Histogram("dup2", "as histogram", func() []*Histogram { return nil })
+	})
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(1 * time.Microsecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(3 * time.Microsecond)
+	b.Observe(5 * time.Second)
+
+	m := NewHistogram()
+	m.Merge(a)
+	m.Merge(b)
+	if got := m.Count(); got != 4 {
+		t.Fatalf("merged Count = %d, want 4", got)
+	}
+	if got, want := m.Max(), 5*time.Second; got != want {
+		t.Errorf("merged Max = %v, want %v", got, want)
+	}
+	wantMean := (1*time.Microsecond + 2*time.Millisecond + 3*time.Microsecond + 5*time.Second) / 4
+	if got := m.Mean(); got != wantMean {
+		t.Errorf("merged Mean = %v, want %v", got, wantMean)
+	}
+	// Bucket counts are the exact sums: the merged snapshot covers every
+	// source observation.
+	var total int64
+	for _, bk := range m.Snapshot() {
+		total += bk.Count
+	}
+	if total != 4 {
+		t.Errorf("merged snapshot holds %d observations, want 4", total)
+	}
+	// Merging in the other order gives the identical distribution.
+	m2 := NewHistogram()
+	m2.Merge(b)
+	m2.Merge(a)
+	if m2.Report() != m.Report() {
+		t.Errorf("merge is order-sensitive:\n%s\nvs\n%s", m.Report(), m2.Report())
+	}
+	// Sources are untouched.
+	if a.Count() != 2 || b.Count() != 2 {
+		t.Errorf("Merge mutated a source: a=%d b=%d", a.Count(), b.Count())
+	}
+}
+
+func TestHistogramMergeConcurrentObserve(t *testing.T) {
+	src := NewHistogram()
+	dst := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src.Observe(time.Duration(i%4096) * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		dst.Merge(src)
+	}
+	close(stop)
+	wg.Wait()
+	// No invariant on the merged totals under concurrent Observe (the
+	// merge is approximate by contract) — the test is that nothing races
+	// or panics, and the destination is monotone non-negative.
+	if dst.Count() < 0 {
+		t.Fatalf("merged count went negative: %d", dst.Count())
+	}
+}
+
+func TestHistogramPercentileEdges(t *testing.T) {
+	// Empty: every percentile is zero.
+	h := NewHistogram()
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	// Single observation: every percentile lands in its bucket.
+	h.Observe(100 * time.Microsecond)
+	lo, hi := 50*time.Microsecond, 200*time.Microsecond
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		got := h.Percentile(p)
+		if got < lo || got > hi {
+			t.Errorf("single-obs Percentile(%v) = %v, want within [%v, %v]", p, got, lo, hi)
+		}
+	}
+	// Concurrent Observe during the percentile walk must not panic or
+	// return something wild (the walk reads each bucket once).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if got := h.Percentile(0.5); got < 0 {
+			t.Fatalf("Percentile went negative under concurrent Observe: %v", got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrySummary(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	r := NewRegistry()
+	r.Gauge("live", "Live things.", func() float64 { return 3 })
+	r.Histogram("lat_seconds", "Latency.", func() []*Histogram { return []*Histogram{h} })
+	out := r.Summary()
+	for _, want := range []string{"metric", "value", "live", "3", "lat_seconds count", "lat_seconds p50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Summary missing %q:\n%s", want, out)
+		}
+	}
+	// Aligned-table shape: no trailing spaces.
+	for _, line := range strings.Split(out, "\n") {
+		if line != strings.TrimRight(line, " ") {
+			t.Errorf("trailing spaces in summary line %q", line)
+		}
+	}
+}
+
+func TestProfilerRegisterInto(t *testing.T) {
+	pr := NewProfiler()
+	pr.Add(PhaseMatch, 2*time.Millisecond)
+	pr.Hist(HistWakeupToMatch).Observe(30 * time.Microsecond)
+	r := NewRegistry()
+	pr.RegisterInto(r)
+	out := string(r.RenderPrometheus())
+	for _, want := range []string{
+		`expect_phase_seconds_total{phase="pattern_matching"} 0.002`,
+		`expect_phase_samples_total{phase="pattern_matching"} 1`,
+		"# TYPE expect_wakeup_to_match_seconds histogram",
+		"expect_wakeup_to_match_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestIngestStatsRegisterInto(t *testing.T) {
+	st := &IngestStats{}
+	st.AddCopied(100)
+	st.AddHandedOff(200)
+	st.AddAlloc()
+	st.NoteLease(true)
+	st.NoteLease(false)
+	r := NewRegistry()
+	st.RegisterInto(r)
+	out := string(r.RenderPrometheus())
+	for _, want := range []string{
+		"expect_ingest_bytes_copied_total 100",
+		"expect_ingest_bytes_handed_off_total 200",
+		"expect_ingest_allocs_total 1",
+		"expect_ingest_segment_leases_total 2",
+		"expect_ingest_segment_reuses_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -105,6 +105,25 @@ func (s *Server) Served() uint64 {
 	return s.served
 }
 
+// ServerStats is one server's telemetry snapshot.
+type ServerStats struct {
+	// Active counts connections currently running a program instance.
+	Active int
+	// Served counts sessions whose program ran to completion.
+	Served uint64
+	// Draining reports that Shutdown has begun (no new accepts).
+	Draining bool
+}
+
+// Stats reads the three counters under one lock hold, so the telemetry
+// plane's per-program gauges are consistent with each other: a scrape
+// never sees a session counted both active and served.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{Active: len(s.conns), Served: s.served, Draining: s.closed}
+}
+
 // Shutdown is the drain-then-close teardown (see the contract at the top
 // of this file): stop accepting, wait up to grace for in-flight sessions
 // to complete their dialogues, force-close any stragglers, and return

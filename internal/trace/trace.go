@@ -193,6 +193,12 @@ type Recorder struct {
 	ring []Event
 	next uint64 // total events ever recorded; ring index = next % len(ring)
 	diag io.Writer
+
+	// taps are live event subscribers (the /debug/trace streaming surface);
+	// tapScratch is the shared line-render buffer. Both guarded by mu; see
+	// tap.go for the never-block fan-out contract.
+	taps       []*Tap
+	tapScratch []byte
 }
 
 // New builds a recorder with the given ring capacity (DefaultCapacity when
@@ -392,15 +398,18 @@ func (r *Recorder) record(k Kind, sid int32, a, b int64, flag bool, text string,
 		r.next++
 		ev.Seq = r.next
 		r.ring[(r.next-1)%uint64(len(r.ring))] = ev
+		payload := data
+		if payload == nil {
+			payload = textB
+		}
 		if jrn != nil {
 			// Append inside the lock so journal order is seq order. Full
 			// payloads ride in Data ([]byte → base64) because JSON string
 			// escaping is lossy for arbitrary bytes.
-			payload := data
-			if payload == nil {
-				payload = textB
-			}
 			jrn.appendEvent(&ev, payload)
+		}
+		if len(r.taps) > 0 {
+			r.fanOutLocked(&ev, payload)
 		}
 	}
 	diag, level := r.diag, int(mode>>1)

@@ -95,3 +95,37 @@ go run ./cmd/benchreport -exp e19 -json BENCH_6.json -memguard 40 -goroguard 256
 # round-trip p99 may not regress more than 25% against the committed
 # BENCH_7.json, then refresh the snapshot.
 go run ./cmd/benchreport -exp e20 -baseline BENCH_7.json -replayguard 10 -ckptguard 25 -json BENCH_7.json
+
+# Telemetry plane leg: the registry/exposition unit tier and the admin
+# endpoint battery under the race detector, then the two end-to-end
+# checks — /debug/sessions agreeing with the load workbench's
+# conservation law at a parked instant, and the expectd admin protocol
+# (admin line before ready, plane readable mid-drain, listener closed
+# last).
+go test -race -count=1 ./internal/metrics ./internal/admin
+go test -race -count=1 -run 'TestAdminSessionsConservation|TestExpectdAdminProtocol' ./internal/load
+
+# Live-daemon curl leg: boot expectd with -admin, scrape /metrics and
+# /debug/sessions with curl against the advertised address, and require
+# well-formed output plus a clean SIGTERM exit.
+tmpd=$(mktemp -d)
+go build -o "$tmpd/expectd" ./cmd/expectd
+"$tmpd/expectd" -serve echo -admin 127.0.0.1:0 >"$tmpd/out" &
+epid=$!
+for _ in $(seq 1 100); do
+	grep -q '^expectd: ready$' "$tmpd/out" 2>/dev/null && break
+	sleep 0.1
+done
+grep -q '^expectd: ready$' "$tmpd/out"
+adminaddr=$(awk '/^expectd: admin /{print $3}' "$tmpd/out")
+curl -fsS "http://$adminaddr/metrics" | grep -q '# TYPE'
+curl -fsS "http://$adminaddr/debug/sessions" | grep -q '"sessions"'
+kill -TERM "$epid"
+wait "$epid"
+rm -rf "$tmpd"
+
+# Telemetry economics snapshot + guard: rerun the E21 pricing into
+# BENCH_8.json. statsguard: scraping /metrics at 1 Hz may cost at most
+# 3% per dialogue, and an armed-but-unscraped plane at most a third of
+# that (1%).
+go run ./cmd/benchreport -exp e21 -json BENCH_8.json -statsguard 3
