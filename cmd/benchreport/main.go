@@ -32,6 +32,10 @@
 //	benchreport -statsguard P   fail if E21's 1 Hz-scraped telemetry
 //	                            overhead exceeds P percent per dialogue,
 //	                            or armed-but-unscraped exceeds P/3
+//	benchreport -vmguard X      fail if E22's bytecode vm is not at least
+//	                            X times faster than the cached evaluator
+//	                            on eval and expr, or if any script in the
+//	                            differential sweep diverges from classic
 //	benchreport -cpuprofile F   write a CPU profile of the run to F
 //	benchreport -memprofile F   write an allocation profile of the run to F
 package main
@@ -62,6 +66,7 @@ func main() {
 		replayguard = flag.Float64("replayguard", 0, "fail when E20's journaled-soak per-dialogue overhead exceeds this percentage (0 disables)")
 		ckptguard   = flag.Float64("ckptguard", 0, "with -baseline: fail when E20's checkpoint/restore round-trip p99 regresses by more than this percentage (0 disables)")
 		statsguard  = flag.Float64("statsguard", 0, "fail when E21's scraped telemetry overhead exceeds this percentage per dialogue, or armed-but-unscraped exceeds a third of it (0 disables)")
+		vmguard     = flag.Float64("vmguard", 0, "fail when E22's bytecode vm eval or expr speedup over the cached evaluator is below this factor, or its differential sweep diverges (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
@@ -307,6 +312,38 @@ func main() {
 		}
 		if !guarded {
 			fmt.Fprintln(os.Stderr, "benchreport: -statsguard set but E21 did not run; add e21 to -exp")
+			os.Exit(2)
+		}
+	}
+
+	if *vmguard > 0 {
+		guarded := false
+		for _, r := range results {
+			evalX, ok1 := r.Metrics["vm_eval_speedup_vs_cached"]
+			exprX, ok2 := r.Metrics["vm_expr_speedup_vs_cached"]
+			diverged, ok3 := r.Metrics["vm_conformance_divergences"]
+			if !ok1 || !ok2 || !ok3 {
+				continue
+			}
+			guarded = true
+			if diverged > 0 {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: vm guard FAILED: %d differential-sweep scripts diverge from the classic referee\n",
+					int(diverged))
+				os.Exit(1)
+			}
+			if evalX < *vmguard || exprX < *vmguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: vm guard FAILED: vm is %.1fx (eval) / %.1fx (expr) vs cached (bar %.1fx)\n",
+					evalX, exprX, *vmguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: vm guard ok: vm %.1fx (eval) / %.1fx (expr) vs cached (bar %.1fx), 0 divergences\n",
+				evalX, exprX, *vmguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -vmguard set but E22 did not run; add e22 to -exp")
 			os.Exit(2)
 		}
 	}

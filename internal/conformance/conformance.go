@@ -1,7 +1,7 @@
 // Package conformance is the differential harness: it replays the shipped
 // scripts/*.exp and a table of engine scenarios through every engine
-// variant (rescan vs incremental matching × cached vs classic Tcl
-// evaluation) and through clean vs deterministically-faultified
+// variant (rescan vs incremental matching × the classic/cached/vm Tcl
+// evaluation modes) and through clean vs deterministically-faultified
 // transports (internal/faultify), then asserts that the observable
 // outcomes are identical.
 //
@@ -54,6 +54,11 @@ type Variant struct {
 	// EvalCacheSize is passed to Interp.SetEvalCacheSize; 0 restores the
 	// classic parse-as-you-evaluate path.
 	EvalCacheSize int
+	// EvalMode, when non-empty, selects the interpreter's evaluation
+	// engine ("classic", "cached", or "vm" — see tcl.ParseEvalMode). The
+	// register-bytecode vm must be observably identical to the classic
+	// walker on every script, scenario, and fault schedule.
+	EvalMode string
 	// Shards > 0 runs the engine's sessions under a sharded scheduler
 	// with that many event loops instead of per-session pump goroutines.
 	Shards int
@@ -67,20 +72,25 @@ type Variant struct {
 	Network bool
 }
 
-// Variants is the full matrix: both matchers × both evaluation paths,
-// plus the sharded-scheduler cells (shard counts pinned explicitly —
-// the default would collapse to GOMAXPROCS). Variants[0] is the
-// seed-faithful baseline every other cell is compared against.
+// Variants is the full matrix: both matchers × the three evaluation
+// modes, plus the sharded-scheduler cells (shard counts pinned
+// explicitly — the default would collapse to GOMAXPROCS). Variants[0]
+// is the seed-faithful baseline every other cell is compared against.
 var Variants = []Variant{
 	{Name: "rescan-cached", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize},
 	{Name: "incremental-cached", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize},
-	{Name: "rescan-classic", Matcher: core.MatcherRescan},
-	{Name: "incremental-classic", Matcher: core.MatcherIncremental},
+	{Name: "rescan-classic", Matcher: core.MatcherRescan, EvalMode: "classic"},
+	{Name: "incremental-classic", Matcher: core.MatcherIncremental, EvalMode: "classic"},
+	{Name: "rescan-vm", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm"},
+	{Name: "incremental-vm", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm"},
 	{Name: "rescan-cached-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 1},
 	{Name: "rescan-cached-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
 	{Name: "incremental-cached-shard8", Matcher: core.MatcherIncremental, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8},
+	{Name: "rescan-vm-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Shards: 1},
+	{Name: "rescan-vm-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Shards: 8},
 	{Name: "rescan-cached-net", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Network: true},
 	{Name: "rescan-cached-net-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8, Network: true},
+	{Name: "rescan-vm-net", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Network: true},
 }
 
 // Condition names one transport treatment. A Clean schedule means the
@@ -171,6 +181,18 @@ var Scripts = []ScriptCase{
 	{File: "login.exp", CompareUser: true},
 	{File: "passwd.exp", CompareUser: true},
 	{File: "rogue.exp", CompareUser: false},
+}
+
+// ScriptedScenarios are the interpreter-heavy dialogue fixtures under
+// testdata/: unlike the engine-scenario table (scenarios.go), which
+// drives sessions through the core API with no interpreter in the loop,
+// these compute every sent byte with procs, loops, and expr between
+// expect wakeups — so the eval-mode axis (classic/cached/vm) is load-
+// bearing for every cell. They run through RunScript with scriptsDir
+// pointed at the package testdata directory.
+var ScriptedScenarios = []ScriptCase{
+	{File: "vmdialog.exp", CompareUser: true},
+	{File: "vmcompute.exp", CompareUser: true},
 }
 
 // sim pairs a spawnable name with its program.
@@ -329,6 +351,9 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	}
 	eng := core.NewEngine(opts)
 	eng.Interp.SetEvalCacheSize(v.EvalCacheSize)
+	if m, ok := tcl.ParseEvalMode(v.EvalMode); ok {
+		eng.Interp.SetEvalMode(m)
+	}
 	servers, err := registerDeterministicSims(eng, v.Network)
 	if err != nil {
 		return nil, err

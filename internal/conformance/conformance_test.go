@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultify"
 	"repro/internal/replay"
+	"repro/internal/tcl"
 	"repro/internal/trace"
 )
 
@@ -40,6 +41,62 @@ func TestConformanceScripts(t *testing.T) {
 					t.Run(v.Name+"/"+cond.Name, func(t *testing.T) {
 						t.Parallel()
 						got, err := RunScript(scriptsDir, sc, v, cond.Sched)
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						if d := Diff(base, got, sc.CompareUser); d != "" {
+							div := &Divergence{
+								Subject: sc.File, Variant: v,
+								Schedule: cond.Sched, Minimal: cond.Sched, Detail: d,
+								Dump: got.Dump, Journal: got.Journal,
+							}
+							t.Error(div.String())
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceScriptedScenarios replays the interpreter-heavy
+// testdata fixtures across the three evaluation modes × every fault
+// schedule × scheduler shapes (including the shard1/shard8 legs),
+// anchored to the classic evaluator — the frozen referee — as baseline.
+// The fixtures compute each sent byte in Tcl, so a vm miscompile shows
+// up as a transcript or exit divergence here, not just in unit tests.
+func TestConformanceScriptedScenarios(t *testing.T) {
+	variants := []Variant{
+		{Name: "classic", Matcher: core.MatcherRescan, EvalMode: "classic"},
+		{Name: "cached", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "cached"},
+		{Name: "vm", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm"},
+		{Name: "classic-shard1", Matcher: core.MatcherRescan, EvalMode: "classic", Shards: 1},
+		{Name: "cached-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "cached", Shards: 1},
+		{Name: "vm-shard1", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Shards: 1},
+		{Name: "classic-shard8", Matcher: core.MatcherRescan, EvalMode: "classic", Shards: 8},
+		{Name: "cached-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "cached", Shards: 8},
+		{Name: "vm-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Shards: 8},
+	}
+	for _, sc := range ScriptedScenarios {
+		sc := sc
+		t.Run(sc.File, func(t *testing.T) {
+			t.Parallel()
+			base, err := RunScript("testdata", sc, variants[0], Conditions[0].Sched)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if base.Err != "" {
+				t.Fatalf("baseline script error: %s", base.Err)
+			}
+			for _, v := range variants {
+				for _, cond := range Conditions {
+					if v.Name == variants[0].Name && cond.Name == Conditions[0].Name {
+						continue
+					}
+					v, cond := v, cond
+					t.Run(v.Name+"/"+cond.Name, func(t *testing.T) {
+						t.Parallel()
+						got, err := RunScript("testdata", sc, v, cond.Sched)
 						if err != nil {
 							t.Fatalf("run: %v", err)
 						}

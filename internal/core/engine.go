@@ -94,6 +94,13 @@ type EngineOptions struct {
 	// (shard.go). The user session always stays pump-driven: it wraps the
 	// caller's terminal, whose reads must be allowed to block.
 	Shards int
+	// EvalMode selects the interpreter's evaluation engine: "classic"
+	// (re-parse every evaluation; the frozen referee), "cached" (parse-once
+	// skeletons, the default), or "vm" (register bytecode with inline
+	// caches). Unknown or empty values keep the default; all three modes
+	// are observably identical — the conformance harness runs every
+	// scenario across them.
+	EvalMode string
 }
 
 // NewEngine builds an engine with a fresh interpreter and the expect
@@ -135,6 +142,9 @@ func NewEngine(opt EngineOptions) *Engine {
 	}
 	if opt.Shards > 0 {
 		e.sched = NewScheduler(SchedulerOptions{Shards: opt.Shards})
+	}
+	if m, ok := tcl.ParseEvalMode(opt.EvalMode); ok {
+		e.Interp.SetEvalMode(m)
 	}
 	e.Interp.Stdout = e.userOut
 	// Every Tcl command dispatch feeds the eval latency histogram and, when

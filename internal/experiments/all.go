@@ -31,6 +31,7 @@ func All(repoRoot string) []Spec {
 		{"E19", "zero-copy socket ingest via segment ownership transfer", func() (Result, error) { return ZeroCopyIngest(repoRoot) }},
 		{"E20", "replay journal & checkpoint economics", ReplayEconomics},
 		{"E21", "telemetry plane economics", TelemetryEconomics},
+		{"E22", "register bytecode vm economics", VMBytecode},
 	}
 }
 

@@ -290,6 +290,7 @@ func cmdProc(i *Interp, args []string) Result {
 		p.Args = append(p.Args, arg)
 	}
 	i.procs[args[1]] = p
+	i.cmdEpoch++
 	return Ok("")
 }
 
@@ -303,6 +304,7 @@ func cmdRename(i *Interp, args []string) Result {
 		if nw != "" {
 			i.procs[nw] = p
 		}
+		i.cmdEpoch++
 		return Ok("")
 	}
 	if c, ok := i.commands[old]; ok {
@@ -310,6 +312,7 @@ func cmdRename(i *Interp, args []string) Result {
 		if nw != "" {
 			i.commands[nw] = c
 		}
+		i.cmdEpoch++
 		return Ok("")
 	}
 	return Errf("can't rename %q: command doesn't exist", old)

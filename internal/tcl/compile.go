@@ -29,6 +29,12 @@ const (
 	// segVarArr is a $name(index) element reference; the index is itself a
 	// segment list substituted at eval time.
 	segVarArr
+	// segVarArrOpen is a $name( reference whose ')' never arrives. The
+	// classic scanner substitutes the index as it looks for the paren, so
+	// an inner substitution failure outranks the missing-paren report;
+	// evaluation replays the index segments in order and only then raises
+	// `missing ")"`.
+	segVarArrOpen
 	// segScript is a [command] substitution holding a compiled script.
 	segScript
 )
@@ -385,7 +391,9 @@ func (c *compiler) compileVarRef() (wordSeg, int, Result, bool) {
 			}
 		}
 		if sub.done() {
-			return wordSeg{}, 0, Errf(`missing ")" in array reference`), false
+			w := ib.word()
+			return wordSeg{kind: segVarArrOpen, text: name, index: wordSegs(w)},
+				sub.pos - c.pos, Ok(""), false
 		}
 		sub.pos++ // consume ')'
 		w := ib.word()
@@ -545,6 +553,11 @@ func (i *Interp) substCompiledSeg(seg *wordSeg) (string, Result) {
 			}
 		}
 		return "", Errf("can't read %q: no such element in array", seg.text+"("+idx+")")
+	case segVarArrOpen:
+		if _, res := i.substSegs(seg.index); res.Code != OK {
+			return "", res
+		}
+		return "", Errf(`missing ")" in array reference`)
 	case segScript:
 		out, atBracket := i.runCompiled(seg.script)
 		if out.Code == Return {

@@ -145,8 +145,11 @@ func (i *Interp) ExprInt(text string) (int64, Result) {
 }
 
 func (i *Interp) exprValue(text string) (exprValue, Result) {
-	if i.exprCache == nil {
+	if i.evalMode == EvalClassic || i.exprCache == nil {
 		return i.exprValueUncached(text)
+	}
+	if i.evalMode == EvalVM && i.vmExprCache != nil {
+		return i.vmExprValue(text)
 	}
 	ast, ok := i.exprCache.Get(text)
 	if !ok {

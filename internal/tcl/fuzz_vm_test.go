@@ -1,0 +1,114 @@
+package tcl
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzModeInterp is fuzzInterp with an eval-mode axis: same hardening
+// (captured output, step bound, no process/filesystem/clock commands),
+// plus the requested evaluation engine.
+func fuzzModeInterp(mode EvalMode, out *strings.Builder) *Interp {
+	i := fuzzInterp(DefaultEvalCacheSize, out)
+	i.SetEvalMode(mode)
+	return i
+}
+
+// FuzzVMEquivalence is the three-way differential driver behind the vm:
+// the same script runs under the classic walker (the frozen referee), the
+// cached skeleton evaluator, and the register bytecode vm, and all three
+// must agree on value, error text, captured output, and step count. The
+// bytecode compiler, the skeleton compiler, and the classic parser are
+// three independent implementations of the same language, so any
+// divergence is a bug in one of them. Each script also runs twice in the
+// vm interpreter so warm inline caches and memoized programs are fuzzed,
+// not just the cold compile.
+func FuzzVMEquivalence(f *testing.F) {
+	for _, s := range []string{
+		// The FuzzEvalCacheEquivalence seeds.
+		`set a 5; while {$a > 0} {incr a -1}; set a`,
+		`proc fib {n} { if {$n < 2} { return $n }; expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]} }; fib 9`,
+		`foreach x {1 2 3} { puts "item $x" }`,
+		`catch {error boom} msg; set msg`,
+		`set l [list a b c]; lappend l "d e"; llength $l`,
+		`switch -glob ab* {a* {format star} default {format none}}`,
+		`expr {3.5 * 2 + (7 % 3)}`,
+		`string match {[a-c]?} bz`,
+		`subst {nested [expr {1+1}] $tcl_version}`,
+		`while 1 {}`,
+		`unknown_command_xyz 1 2`,
+		"set x {unbalanced",
+		// vm-specific seeds: specialized opcodes, inline-cache churn,
+		// lazy expression operators, and the native-value channel.
+		`set t 0; foreach n {1 2 3 4} { if {$n % 2} { incr t $n } else { set t [expr {$t * 2}] } }; set t`,
+		`rename set s2; s2 a 1; rename s2 set; set a`,
+		`proc incr {v args} { return shadowed }; incr q`,
+		`set a 0x10; set b [set a]; expr {$a == $b}`,
+		`expr {1 ? [expr {2 + 3}] : [die]}`,
+		`expr {0 && 1/0}`,
+		`set x 21; set y 3; expr {($x * 2 + 100 / $y) > 50 && $x % 7 <= 3 || !($y == 3)}`,
+		`set n v; set $n 9; incr $n; set v`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		if len(script) > 1024 {
+			t.Skip("bounded script size")
+		}
+		if hasLongDigitRun(script, 8) {
+			t.Skip("pathological numeric literal")
+		}
+		var outC, outK, outV strings.Builder
+		classic := fuzzModeInterp(EvalClassic, &outC)
+		cached := fuzzModeInterp(EvalCached, &outK)
+		vmi := fuzzModeInterp(EvalVM, &outV)
+
+		valC, errC := classic.Eval(script)
+		valK, errK := cached.Eval(script)
+		valV, errV := vmi.Eval(script)
+
+		check := func(mode string, val string, err error, out string, steps int64) {
+			if (errC == nil) != (err == nil) {
+				t.Fatalf("%s error presence diverged: classic=%v %s=%v script=%q", mode, errC, mode, err, script)
+			}
+			if errC != nil && errC.Error() != err.Error() {
+				t.Fatalf("%s error text diverged:\nclassic: %s\n%s: %s\nscript=%q", mode, errC, mode, err, script)
+			}
+			if valC != val {
+				t.Fatalf("%s result diverged: classic=%q %s=%q script=%q", mode, valC, mode, val, script)
+			}
+			if outC.String() != out {
+				t.Fatalf("%s output diverged:\nclassic: %q\n%s: %q\nscript=%q", mode, outC.String(), mode, out, script)
+			}
+			if sc := classic.Steps(); sc != steps {
+				t.Fatalf("%s step count diverged: classic=%d %s=%d script=%q", mode, sc, mode, steps, script)
+			}
+		}
+		check("cached", valK, errK, outK.String(), cached.Steps())
+		check("vm", valV, errV, outV.String(), vmi.Steps())
+
+		// Warm pass: a second vm interpreter runs the script twice so the
+		// memoized programs and primed inline caches face the same check.
+		// The referee reruns too — scripts are not idempotent.
+		var outC2, outV2 strings.Builder
+		classic2 := fuzzModeInterp(EvalClassic, &outC2)
+		vmi2 := fuzzModeInterp(EvalVM, &outV2)
+		classic2.Eval(script)
+		vmi2.Eval(script)
+		classic2.ResetSteps()
+		vmi2.ResetSteps()
+		outC2.Reset()
+		outV2.Reset()
+		valC2, errC2 := classic2.Eval(script)
+		valV2, errV2 := vmi2.Eval(script)
+		if (errC2 == nil) != (errV2 == nil) || valC2 != valV2 || outC2.String() != outV2.String() ||
+			classic2.Steps() != vmi2.Steps() {
+			t.Fatalf("warm vm run diverged: classic=%q/%v/%q/%d vm=%q/%v/%q/%d script=%q",
+				valC2, errC2, outC2.String(), classic2.Steps(),
+				valV2, errV2, outV2.String(), vmi2.Steps(), script)
+		}
+		if errC2 != nil && errV2 != nil && errC2.Error() != errV2.Error() {
+			t.Fatalf("warm vm error text diverged:\nclassic: %s\nvm: %s\nscript=%q", errC2, errV2, script)
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/lru"
+	"repro/internal/tcl/vm"
 )
 
 // Code is a Tcl completion code. Every command evaluation completes with one
@@ -84,6 +85,12 @@ type variable struct {
 	arr   map[string]string
 	isArr bool
 	link  *variable // non-nil for upvar/global aliases
+
+	// num memoizes the vm's numeric classification of value; numState is 0
+	// when unknown and 1 when num == vm.ClassifyOperand(value). Every write
+	// to value must reset numState (or re-establish the invariant).
+	num      vm.Value
+	numState uint8
 }
 
 func (v *variable) target() *variable {
@@ -172,6 +179,35 @@ type Interp struct {
 	// selects the classic parse-as-you-evaluate path.
 	evalCache *lru.Cache[string, *compiledScript]
 	exprCache *lru.Cache[string, *exprAST]
+
+	// evalMode selects the engine behind EvalScript and expr: the cached
+	// tree walker (default), the classic re-parsing evaluator, or the
+	// bytecode vm. The vm caches hold lowered programs plus their
+	// inline-cache arrays; cacheSize remembers the configured bound.
+	evalMode    EvalMode
+	vmCache     *lru.Cache[string, *vmEntry]
+	vmExprCache *lru.Cache[string, *vmExprEntry]
+	cacheSize   int
+
+	// One-entry front caches ahead of the vm LRUs: the steady state
+	// re-evaluates the same text (loop bodies, proc bodies), where a
+	// pointer-equal string hit skips the lock + map + recency update.
+	vmFront        *vmEntry
+	vmFrontKey     string
+	vmExprFront    *vmExprEntry
+	vmExprFrontKey string
+
+	// vmRegs is the vm's shared register stack; each program execution
+	// opens a window on top and pops it on return.
+	vmRegs []vm.Value
+
+	// cmdEpoch and varEpoch version the vm's inline caches. cmdEpoch
+	// advances whenever the command/procedure tables change shape
+	// (register, unregister, proc, rename); varEpoch whenever a variable
+	// binding is destroyed or re-linked (unset, upvar/global, restore).
+	// Both start at 1 so zero-valued cache entries are always stale.
+	cmdEpoch uint64
+	varEpoch uint64
 }
 
 // DefaultEvalCacheSize bounds the script and expr compile caches. A few
@@ -189,6 +225,8 @@ func New() *Interp {
 		Stdout:   os.Stdout,
 		Stderr:   os.Stderr,
 		MaxDepth: 1000,
+		cmdEpoch: 1,
+		varEpoch: 1,
 	}
 	i.SetEvalCacheSize(DefaultEvalCacheSize)
 	registerCoreCommands(i)
@@ -202,12 +240,14 @@ func New() *Interp {
 // Register installs (or replaces) a command implementation.
 func (i *Interp) Register(name string, cmd Command) {
 	i.commands[name] = cmd
+	i.cmdEpoch++
 }
 
 // Unregister removes a command; it reports whether the command existed.
 func (i *Interp) Unregister(name string) bool {
 	_, ok := i.commands[name]
 	delete(i.commands, name)
+	i.cmdEpoch++
 	return ok
 }
 
@@ -283,6 +323,7 @@ func (i *Interp) SetVar(name, value string) string {
 	}
 	v.isArr = false
 	v.value = value
+	v.numState = 0
 	return value
 }
 
@@ -324,6 +365,7 @@ func (i *Interp) UnsetVar(name string) bool {
 		return ok
 	}
 	delete(f.vars, base)
+	i.varEpoch++
 	return true
 }
 
@@ -391,11 +433,13 @@ func (i *Interp) RestoreGlobals(snap map[string]VarSnapshot) {
 		}
 		g.vars[name] = v
 	}
+	i.varEpoch++
 }
 
 // linkVar makes local name in the current frame an alias for target's slot.
 func (i *Interp) linkVar(name string, target *variable) {
 	i.current().vars[name] = &variable{link: target}
+	i.varEpoch++
 }
 
 // splitArrayRef splits "a(b)" into ("a","b",true); plain names pass through.
@@ -442,13 +486,22 @@ func (i *Interp) Eval(script string) (string, error) {
 // restoring the classic parse-as-you-evaluate path (useful as an
 // equivalence/benchmark baseline).
 func (i *Interp) SetEvalCacheSize(n int) {
+	i.cacheSize = n
+	i.vmFront, i.vmFrontKey = nil, ""
+	i.vmExprFront, i.vmExprFrontKey = nil, ""
 	if n <= 0 {
 		i.evalCache = nil
 		i.exprCache = nil
+		i.vmCache = nil
+		i.vmExprCache = nil
 		return
 	}
 	i.evalCache = lru.New[string, *compiledScript](n)
 	i.exprCache = lru.New[string, *exprAST](n)
+	if i.vmCache != nil || i.evalMode == EvalVM {
+		i.vmCache = lru.New[string, *vmEntry](n)
+		i.vmExprCache = lru.New[string, *vmExprEntry](n)
+	}
 }
 
 // EvalCacheStats reports cumulative hit/miss/eviction counts for the script
@@ -472,8 +525,11 @@ func (i *Interp) EvalScript(script string) Result {
 	}
 	i.depth++
 	defer func() { i.depth-- }()
-	if i.evalCache == nil {
+	if i.evalMode == EvalClassic || i.evalCache == nil {
 		return i.evalScript(script, false).Result
+	}
+	if i.evalMode == EvalVM && i.vmCache != nil {
+		return i.vmEvalScript(script)
 	}
 	cs, ok := i.evalCache.Get(script)
 	if !ok {

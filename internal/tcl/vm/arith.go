@@ -1,0 +1,243 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BinOp numbers the binary operators of the expression machine. The
+// numeric order groups them by apply family (arith / int-only / compare)
+// so the executor and disassembler can switch on ranges.
+type BinOp uint8
+
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpBitOr
+	OpBitXor
+	OpBitAnd
+	OpShl
+	OpShr
+	OpEq
+	OpNe
+	OpLt
+	OpGt
+	OpLe
+	OpGe
+)
+
+var binOpNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpBitOr: "|", OpBitXor: "^", OpBitAnd: "&", OpShl: "<<", OpShr: ">>",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpGt: ">", OpLe: "<=", OpGe: ">=",
+}
+
+// Name returns the operator's source spelling (used in error messages,
+// which must match the classic evaluator's byte for byte).
+func (op BinOp) Name() string { return binOpNames[op] }
+
+// BinOpByName maps an operator spelling back to its code (compiler use).
+func BinOpByName(name string) (BinOp, bool) {
+	for op, n := range binOpNames {
+		if n == name {
+			return BinOp(op), true
+		}
+	}
+	return 0, false
+}
+
+// ApplyBinary evaluates a binary operator over two values, reproducing
+// applyArith/applyIntOp/applyCompare exactly, error strings included. The
+// second return is the error message, "" on success.
+func ApplyBinary(op BinOp, a, b Value) (Value, string) {
+	switch {
+	case op <= OpMod:
+		return applyArith(op, a, b)
+	case op <= OpShr:
+		return applyIntOp(op, a, b)
+	default:
+		return applyCompare(op, a, b)
+	}
+}
+
+func applyArith(op BinOp, a, b Value) (Value, string) {
+	an, aok := a.Numeric()
+	bn, bok := b.Numeric()
+	if !aok || !bok {
+		return Value{}, fmt.Sprintf("can't use non-numeric string as operand of %q", op.Name())
+	}
+	if an.kind == KInt && bn.kind == KInt {
+		ax, bx := an.Int(), bn.Int()
+		switch op {
+		case OpAdd:
+			return IntValue(ax + bx), ""
+		case OpSub:
+			return IntValue(ax - bx), ""
+		case OpMul:
+			return IntValue(ax * bx), ""
+		case OpDiv:
+			if bx == 0 {
+				return Value{}, "divide by zero"
+			}
+			// Tcl floors integer division toward negative infinity.
+			q := ax / bx
+			if (ax%bx != 0) && ((ax < 0) != (bx < 0)) {
+				q--
+			}
+			return IntValue(q), ""
+		case OpMod:
+			if bx == 0 {
+				return Value{}, "divide by zero"
+			}
+			r := ax % bx
+			if r != 0 && ((ax < 0) != (bx < 0)) {
+				r += bx
+			}
+			return IntValue(r), ""
+		}
+	}
+	af, bf := an.asFloat(), bn.asFloat()
+	switch op {
+	case OpAdd:
+		return FloatValue(af + bf), ""
+	case OpSub:
+		return FloatValue(af - bf), ""
+	case OpMul:
+		return FloatValue(af * bf), ""
+	case OpDiv:
+		if bf == 0 {
+			return Value{}, "divide by zero"
+		}
+		return FloatValue(af / bf), ""
+	case OpMod:
+		return Value{}, `can't use floating-point value as operand of "%"`
+	}
+	return Value{}, fmt.Sprintf("unknown operator %q", op.Name())
+}
+
+func applyIntOp(op BinOp, a, b Value) (Value, string) {
+	an, aok := a.Numeric()
+	bn, bok := b.Numeric()
+	if !aok || !bok || an.kind != KInt || bn.kind != KInt {
+		return Value{}, fmt.Sprintf("can't use non-integer value as operand of %q", op.Name())
+	}
+	ax, bx := an.Int(), bn.Int()
+	switch op {
+	case OpBitOr:
+		return IntValue(ax | bx), ""
+	case OpBitXor:
+		return IntValue(ax ^ bx), ""
+	case OpBitAnd:
+		return IntValue(ax & bx), ""
+	case OpShl:
+		if bx < 0 || bx > 63 {
+			return Value{}, fmt.Sprintf("invalid shift count %d", bx)
+		}
+		return IntValue(ax << uint(bx)), ""
+	case OpShr:
+		if bx < 0 || bx > 63 {
+			return Value{}, fmt.Sprintf("invalid shift count %d", bx)
+		}
+		return IntValue(ax >> uint(bx)), ""
+	}
+	return Value{}, fmt.Sprintf("unknown operator %q", op.Name())
+}
+
+func applyCompare(op BinOp, a, b Value) (Value, string) {
+	an, aok := a.Numeric()
+	bn, bok := b.Numeric()
+	var cmp int
+	if aok && bok {
+		if an.kind == KInt && bn.kind == KInt {
+			switch ax, bx := an.Int(), bn.Int(); {
+			case ax < bx:
+				cmp = -1
+			case ax > bx:
+				cmp = 1
+			}
+		} else {
+			af, bf := an.asFloat(), bn.asFloat()
+			switch {
+			case af < bf:
+				cmp = -1
+			case af > bf:
+				cmp = 1
+			}
+		}
+	} else {
+		cmp = strings.Compare(a.Text(), b.Text())
+	}
+	switch op {
+	case OpEq:
+		return BoolValue(cmp == 0), ""
+	case OpNe:
+		return BoolValue(cmp != 0), ""
+	case OpLt:
+		return BoolValue(cmp < 0), ""
+	case OpGt:
+		return BoolValue(cmp > 0), ""
+	case OpLe:
+		return BoolValue(cmp <= 0), ""
+	case OpGe:
+		return BoolValue(cmp >= 0), ""
+	}
+	return Value{}, fmt.Sprintf("unknown comparison %q", op.Name())
+}
+
+// ApplyUnary evaluates a unary operator ('+', '-', '!', '~').
+func ApplyUnary(op byte, v Value) (Value, string) {
+	n, ok := v.Numeric()
+	if !ok {
+		return Value{}, fmt.Sprintf("can't use non-numeric string %q as operand of %q", v.Text(), string(op))
+	}
+	switch op {
+	case '+':
+		return n, ""
+	case '-':
+		if n.kind == KFloat {
+			return FloatValue(-n.Float()), ""
+		}
+		return IntValue(-n.Int()), ""
+	case '!':
+		b, _ := n.Truth()
+		return BoolValue(!b), ""
+	case '~':
+		if n.kind != KInt {
+			return Value{}, `can't use floating-point value as operand of "~"`
+		}
+		return IntValue(^n.Int()), ""
+	}
+	return Value{}, fmt.Sprintf("unknown unary operator %q", string(op))
+}
+
+// ApplyMathFunc evaluates a math function call (abs, int, round, double).
+// The unknown-name error happens here — at evaluation, never at compile —
+// so untaken calls are free to name unknown functions.
+func ApplyMathFunc(name string, arg Value) (Value, string) {
+	n, ok := arg.Numeric()
+	if !ok {
+		return Value{}, fmt.Sprintf("argument to %s() is not numeric: %q", name, arg.Text())
+	}
+	switch name {
+	case "abs":
+		if n.kind == KFloat {
+			return FloatValue(math.Abs(n.Float())), ""
+		}
+		if n.Int() < 0 {
+			return IntValue(-n.Int()), ""
+		}
+		return n, ""
+	case "int":
+		return IntValue(int64(n.asFloat())), ""
+	case "round":
+		return IntValue(int64(math.Round(n.asFloat()))), ""
+	case "double":
+		return FloatValue(n.asFloat()), ""
+	default:
+		return Value{}, fmt.Sprintf("unknown math function %q", name)
+	}
+}

@@ -1,0 +1,1274 @@
+package tcl
+
+import (
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/lru"
+	"repro/internal/tcl/vm"
+)
+
+// The bytecode executor: the interpreter loop for vm.Program and
+// vm.ExprProg, plus the inline-cache runtime the compiled slots index.
+// Observable behavior — results, error strings, ErrorInfo notes, step
+// charges, trace/dispatch-hook events — matches the classic evaluator's
+// at every point; the differential conformance matrix and the
+// FuzzVMEquivalence harness hold that equality byte for byte.
+//
+// Alongside the Result string, program execution threads an optional
+// native value for the final command result (numOK below). The channel
+// carries only KInt values whose canonical rendering equals the Result
+// string, so a consumer may substitute the native value for the string
+// without changing any observable rendering or numeric classification.
+
+// EvalMode selects the evaluation engine behind EvalScript and expr.
+type EvalMode uint8
+
+const (
+	// EvalCached is the default: parse-once skeletons and expr ASTs,
+	// memoized by source text, replayed by the tree walker.
+	EvalCached EvalMode = iota
+	// EvalClassic re-parses every script on every evaluation — the frozen
+	// referee the other modes are proven against.
+	EvalClassic
+	// EvalVM lowers cached skeletons to register bytecode with inline
+	// caches and native numeric values.
+	EvalVM
+)
+
+func (m EvalMode) String() string {
+	switch m {
+	case EvalClassic:
+		return "classic"
+	case EvalVM:
+		return "vm"
+	default:
+		return "cached"
+	}
+}
+
+// ParseEvalMode maps the -evalmode flag spellings to a mode.
+func ParseEvalMode(s string) (EvalMode, bool) {
+	switch s {
+	case "classic":
+		return EvalClassic, true
+	case "cached":
+		return EvalCached, true
+	case "vm":
+		return EvalVM, true
+	}
+	return EvalCached, false
+}
+
+// SetEvalMode selects the evaluation engine. Entering vm mode allocates
+// the bytecode caches (and restores the compile caches if they were
+// disabled, since the vm compiles through them).
+func (i *Interp) SetEvalMode(m EvalMode) {
+	i.evalMode = m
+	i.vmFront, i.vmFrontKey = nil, ""
+	i.vmExprFront, i.vmExprFrontKey = nil, ""
+	if m != EvalVM {
+		return
+	}
+	if i.evalCache == nil {
+		i.SetEvalCacheSize(DefaultEvalCacheSize)
+	}
+	if i.vmCache == nil {
+		n := i.cacheSize
+		if n <= 0 {
+			n = DefaultEvalCacheSize
+		}
+		i.vmCache = lru.New[string, *vmEntry](n)
+		i.vmExprCache = lru.New[string, *vmExprEntry](n)
+	}
+}
+
+// EvalMode reports the active evaluation engine.
+func (i *Interp) EvalMode() EvalMode { return i.evalMode }
+
+// cmdCache is one command-dispatch inline cache: the resolution of name
+// at cmdEpoch. kind: 0 = unknown name, 1 = command, 2 = procedure.
+type cmdCache struct {
+	epoch uint64
+	name  string
+	kind  uint8
+	cmd   Command
+	proc  *Proc
+}
+
+// varCache is one variable inline cache: the resolved *target* slot of a
+// name in a specific frame at varEpoch. Misses (frame changed, epoch
+// bumped) re-resolve and refill; no negative results are cached, so
+// creating variables never needs invalidation.
+type varCache struct {
+	epoch uint64
+	fr    *frame
+	v     *variable
+}
+
+// specCache memoizes the canonical-builtin guard at cmdEpoch.
+type specCache struct {
+	epoch uint64
+	ok    bool
+}
+
+// vmRun is the mutable runtime state of one cached program tree: the
+// OpCmd host table and the inline-cache arrays its slots index.
+type vmRun struct {
+	hosts []*compiledCmd
+	cmds  []cmdCache
+	vars  []varCache
+	specs []specCache
+}
+
+func newVMRun(hosts []*compiledCmd, sc vm.SlotCounts) vmRun {
+	return vmRun{
+		hosts: hosts,
+		cmds:  make([]cmdCache, sc.Cmds),
+		vars:  make([]varCache, sc.Vars),
+		specs: make([]specCache, sc.Specs),
+	}
+}
+
+// vmEntry is one vm script-cache entry.
+type vmEntry struct {
+	prog *vm.Program
+	run  vmRun
+}
+
+// vmExprEntry is one vm expression-cache entry; ast is the classic
+// fallback when the expression did not lower.
+type vmExprEntry struct {
+	prog *vm.ExprProg
+	ast  *exprAST
+	run  vmRun
+}
+
+// canonicalBuiltins maps the specialized command names to the code
+// pointers of their canonical implementations; the specialization guard
+// compares the live binding against these so rename/proc shadowing
+// reverts specialized sites to generic dispatch.
+var canonicalBuiltins map[string]uintptr
+
+func init() {
+	canonicalBuiltins = map[string]uintptr{
+		"set":     reflect.ValueOf(Command(cmdSet)).Pointer(),
+		"incr":    reflect.ValueOf(Command(cmdIncr)).Pointer(),
+		"expr":    reflect.ValueOf(Command(cmdExpr)).Pointer(),
+		"if":      reflect.ValueOf(Command(cmdIf)).Pointer(),
+		"while":   reflect.ValueOf(Command(cmdWhile)).Pointer(),
+		"foreach": reflect.ValueOf(Command(cmdForeach)).Pointer(),
+	}
+}
+
+// vmEvalScript is EvalScript's vm-mode body (depth and step accounting
+// already done by the caller). A one-entry front cache short-circuits
+// the LRU on the common re-evaluate-the-same-text path.
+func (i *Interp) vmEvalScript(script string) Result {
+	e := i.vmFront
+	if e == nil || i.vmFrontKey != script {
+		var ok bool
+		e, ok = i.vmCache.Get(script)
+		if !ok {
+			cs, csok := i.evalCache.Get(script)
+			if !csok {
+				cs = compileScript(script, false)
+				i.evalCache.Put(script, cs)
+			}
+			prog, hosts := lowerRootScript(cs)
+			e = &vmEntry{prog: prog, run: newVMRun(hosts, prog.Slots)}
+			i.vmCache.Put(script, e)
+		}
+		i.vmFront, i.vmFrontKey = e, script
+	}
+	res, _, _, _ := i.runProgram(&e.run, e.prog)
+	return res
+}
+
+// vmExprValue is exprValue's vm-mode body.
+func (i *Interp) vmExprValue(text string) (exprValue, Result) {
+	e := i.vmExprFront
+	if e == nil || i.vmExprFrontKey != text {
+		var ok bool
+		e, ok = i.vmExprCache.Get(text)
+		if !ok {
+			prog, hosts, slots := lowerRootExpr(text)
+			e = &vmExprEntry{prog: prog, run: newVMRun(hosts, slots)}
+			if !prog.Lowered() {
+				e.ast = compileExpr(text)
+			}
+			i.vmExprCache.Put(text, e)
+		}
+		i.vmExprFront, i.vmExprFrontKey = e, text
+	}
+	if e.ast != nil {
+		return e.ast.run(i)
+	}
+	v, res := i.runExprProg(&e.run, e.prog)
+	if res.Code != OK {
+		return exprValue{}, res
+	}
+	return exprValueOf(v), Ok("")
+}
+
+func exprValueOf(v vm.Value) exprValue {
+	switch v.Kind() {
+	case vm.KInt:
+		return intVal(v.Int())
+	case vm.KFloat:
+		return floatVal(v.Float())
+	default:
+		return strVal(v.Text())
+	}
+}
+
+// --- register stack -----------------------------------------------------
+
+// pushRegs opens a register window of n values on the shared stack and
+// returns its base offset. Windows are never zeroed: the compiler
+// guarantees every register read is dominated by a write in the same
+// command (or expression).
+func (i *Interp) pushRegs(n int32) int {
+	base := len(i.vmRegs)
+	need := base + int(n)
+	if need <= cap(i.vmRegs) {
+		i.vmRegs = i.vmRegs[:need]
+	} else {
+		grown := make([]vm.Value, need, need*2+16)
+		copy(grown, i.vmRegs)
+		i.vmRegs = grown
+	}
+	return base
+}
+
+// runProgram executes a lowered script, mirroring runCompiled's
+// contract: the Result plus whether execution ended on a terminating
+// ']', plus the native-value channel for the final result (see the
+// package comment above).
+func (i *Interp) runProgram(r *vmRun, p *vm.Program) (Result, bool, vm.Value, bool) {
+	base := i.pushRegs(p.NRegs)
+	res, atBracket, num, numOK := i.execProgram(r, p, base)
+	i.vmRegs = i.vmRegs[:base]
+	return res, atBracket, num, numOK
+}
+
+// --- inline-cache runtime -----------------------------------------------
+
+// vmVar resolves name's target slot in the current frame through a cache
+// slot; nil when the variable does not exist.
+func (i *Interp) vmVar(r *vmRun, slot int32, name string) *variable {
+	c := &r.vars[slot]
+	fr := i.current()
+	if c.epoch == i.varEpoch && c.fr == fr {
+		return c.v
+	}
+	v, ok := fr.vars[name]
+	if !ok {
+		return nil
+	}
+	t := v.target()
+	c.epoch, c.fr, c.v = i.varEpoch, fr, t
+	return t
+}
+
+// vmReadVar reads scalar name (GetVar semantics for plain names).
+func (i *Interp) vmReadVar(r *vmRun, slot int32, name string) (string, bool) {
+	t := i.vmVar(r, slot, name)
+	if t == nil || t.isArr {
+		return "", false
+	}
+	return t.value, true
+}
+
+// vmReadVarNum reads scalar name as an expression operand, memoizing the
+// numeric classification on the variable slot.
+func (i *Interp) vmReadVarNum(r *vmRun, slot int32, name string) (vm.Value, bool) {
+	t := i.vmVar(r, slot, name)
+	if t == nil || t.isArr {
+		return vm.Value{}, false
+	}
+	if t.numState == 0 {
+		t.num = vm.ClassifyOperand(t.value)
+		t.numState = 1
+	}
+	return t.num, true
+}
+
+// vmWriteVar sets scalar name (SetVar semantics for plain names) and
+// returns the stored string. Integer values keep their native form in
+// the variable's numeric memo; floats do not (their canonical 12-digit
+// rendering is lossy, so the memo must be re-derived from the string).
+func (i *Interp) vmWriteVar(r *vmRun, slot int32, name string, val vm.Value) string {
+	s := val.Text()
+	c := &r.vars[slot]
+	fr := i.current()
+	t := c.v
+	if c.epoch != i.varEpoch || c.fr != fr {
+		v, ok := fr.vars[name]
+		if !ok {
+			v = &variable{}
+			fr.vars[name] = v
+		}
+		t = v.target()
+		c.epoch, c.fr, c.v = i.varEpoch, fr, t
+	}
+	t.isArr = false
+	t.value = s
+	if val.Kind() == vm.KInt {
+		t.num = val
+		t.numState = 1
+	} else {
+		t.numState = 0
+	}
+	return s
+}
+
+// vmDispatch resolves and runs a command through a dispatch cache slot.
+func (i *Interp) vmDispatch(r *vmRun, slot int32, name string, words []string) Result {
+	c := &r.cmds[slot]
+	if c.epoch != i.cmdEpoch || c.name != name {
+		c.epoch, c.name = i.cmdEpoch, name
+		if cmd, ok := i.commands[name]; ok {
+			c.kind, c.cmd, c.proc = 1, cmd, nil
+		} else if p, ok := i.procs[name]; ok {
+			c.kind, c.cmd, c.proc = 2, nil, p
+		} else {
+			c.kind, c.cmd, c.proc = 0, nil, nil
+		}
+	}
+	switch c.kind {
+	case 1:
+		return c.cmd(i, words)
+	case 2:
+		return i.callProc(name, c.proc, words[1:])
+	default:
+		return Errf("invalid command name %q", name)
+	}
+}
+
+// vmSpecOK reports whether name still binds its canonical builtin.
+func (i *Interp) vmSpecOK(r *vmRun, slot int32, name string) bool {
+	c := &r.specs[slot]
+	if c.epoch == i.cmdEpoch {
+		return c.ok
+	}
+	c.epoch = i.cmdEpoch
+	c.ok = false
+	if cmd, ok := i.commands[name]; ok {
+		if want, known := canonicalBuiltins[name]; known {
+			c.ok = reflect.ValueOf(cmd).Pointer() == want
+		}
+	}
+	return c.ok
+}
+
+// vmSpecFast reports whether a specialized site may take its fast path:
+// no observer hooks armed and the canonical builtin still bound.
+func (i *Interp) vmSpecFast(r *vmRun, aux *vm.CmdAux) bool {
+	if i.Trace != nil || i.DispatchHook != nil {
+		return false
+	}
+	return i.vmSpecOK(r, aux.SpecSlot, aux.Name)
+}
+
+// vmEvalBlock runs a body block with EvalScript framing (depth guard,
+// script step, depth bump) — the specialized twin of cmdIf/cmdWhile
+// calling i.EvalScript(body).
+func (i *Interp) vmEvalBlock(r *vmRun, blk *vm.Block) (Result, vm.Value, bool) {
+	if blk.Prog == nil {
+		return i.EvalScript(blk.Src), vm.Value{}, false
+	}
+	if i.depth >= i.MaxDepth {
+		return Errf("too many nested evaluations (infinite loop?)"), vm.Value{}, false
+	}
+	if res, ok := i.spendStep(); !ok {
+		return res, vm.Value{}, false
+	}
+	i.depth++
+	res, _, num, numOK := i.runProgram(r, blk.Prog)
+	i.depth--
+	return res, num, numOK
+}
+
+// vmExprBool evaluates a condition expression (ExprBool semantics).
+func (i *Interp) vmExprBool(r *vmRun, p *vm.ExprProg) (bool, Result) {
+	if !p.Lowered() {
+		return i.ExprBool(p.Src)
+	}
+	v, res := i.runExprProg(r, p)
+	if res.Code != OK {
+		return false, res
+	}
+	if v.Kind() == vm.KInt {
+		return v.Int() != 0, Ok("")
+	}
+	b, msg := v.Truth()
+	if msg != "" {
+		return false, Result{Code: Error, Value: msg}
+	}
+	return b, Ok("")
+}
+
+// --- the script machine -------------------------------------------------
+
+// execProgram is the script interpreter loop. The register window is
+// re-sliced from the shared stack at each instruction because nested
+// evaluation (brackets, bodies, dispatched commands re-entering the vm)
+// may grow and reallocate it.
+func (i *Interp) execProgram(r *vmRun, p *vm.Program, base int) (Result, bool, vm.Value, bool) {
+	last := Ok("")
+	var lastNum vm.Value
+	lastNumOK := false
+	code := p.Code
+	for pc := 0; pc < len(code); {
+		in := &code[pc]
+		regs := i.vmRegs[base:]
+		switch in.Op {
+		case vm.OpConst:
+			regs[in.Dst] = p.Consts[in.A]
+			pc++
+
+		case vm.OpVarRead:
+			name := p.Names[in.A]
+			val, ok := i.vmReadVar(r, in.B, name)
+			if !ok {
+				// A failed substitution aborts the command with no step
+				// charged and no ErrorInfo note, like substCompiledSeg.
+				return Errf("can't read %q: no such variable", name), false, vm.Value{}, false
+			}
+			regs[in.Dst] = vm.StringValue(val)
+			pc++
+
+		case vm.OpArrRead:
+			name, idx := p.Names[in.A], p.Names[in.B]
+			t := i.vmVar(r, in.C, name)
+			if t == nil || !t.isArr {
+				return Errf("can't read %q: no such element in array", name+"("+idx+")"), false, vm.Value{}, false
+			}
+			val, ok := t.arr[idx]
+			if !ok {
+				return Errf("can't read %q: no such element in array", name+"("+idx+")"), false, vm.Value{}, false
+			}
+			regs[in.Dst] = vm.StringValue(val)
+			pc++
+
+		case vm.OpConcat:
+			if in.B == 2 {
+				regs[in.Dst] = vm.StringValue(regs[in.A].Text() + regs[in.A+1].Text())
+			} else {
+				var sb strings.Builder
+				for k := int32(0); k < in.B; k++ {
+					sb.WriteString(regs[in.A+k].Text())
+				}
+				regs[in.Dst] = vm.StringValue(sb.String())
+			}
+			pc++
+
+		case vm.OpBracket:
+			out, atBracket, num, numOK := i.runProgram(r, p.Blocks[in.A].Prog)
+			if out.Code == Return {
+				if !atBracket {
+					return Errf("missing close-bracket"), false, vm.Value{}, false
+				}
+			} else if out.Code != OK {
+				return out, false, vm.Value{}, false
+			}
+			regs = i.vmRegs[base:]
+			if numOK {
+				// out.Value is num's canonical rendering; carry it so a
+				// downstream set/concat never re-formats the integer.
+				regs[in.Dst] = vm.IntStringValue(num.Int(), out.Value)
+			} else {
+				regs[in.Dst] = vm.StringValue(out.Value)
+			}
+			pc++
+
+		case vm.OpInvoke:
+			aux := &p.Aux[in.Dst]
+			var words []string
+			if in.B == 0 {
+				words = p.LitWords[aux.LitIdx]
+			} else {
+				words = make([]string, in.B)
+				for k := int32(0); k < in.B; k++ {
+					words[k] = regs[in.A+k].Text()
+				}
+			}
+			var res Result
+			if i.Trace != nil || i.DispatchHook != nil {
+				res = i.EvalWords(words)
+			} else if sres, ok := i.spendStep(); !ok {
+				res = sres
+			} else {
+				res = i.vmDispatch(r, aux.CacheSlot, words[0], words)
+			}
+			if res.Code != OK {
+				if res.Code == Error {
+					i.noteErrorLine(words)
+				}
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			last, lastNumOK = res, false
+			pc++
+
+		case vm.OpCmd:
+			// Classic replay of one original command, byte for byte the
+			// loop body of runCompiled.
+			cmd := r.hosts[in.A]
+			words, res := i.substCompiledWords(cmd)
+			if res.Code != OK {
+				return res, false, vm.Value{}, false
+			}
+			if cmd.parseErr != nil {
+				if _, res := i.substSegs(cmd.partial); res.Code != OK {
+					return res, false, vm.Value{}, false
+				}
+				return *cmd.parseErr, false, vm.Value{}, false
+			}
+			if cmd.poisoned {
+				return Errf("internal: poisoned command survived substitution"), false, vm.Value{}, false
+			}
+			res = i.EvalWords(words)
+			if res.Code != OK {
+				if res.Code == Error {
+					i.noteErrorLine(words)
+				}
+				return res, cmd.bracketOK, vm.Value{}, false
+			}
+			last, lastNumOK = res, false
+			pc++
+
+		case vm.OpJump:
+			pc = int(in.A)
+
+		case vm.OpRaise:
+			rz := &p.Raises[in.A]
+			return Result{Code: Code(rz.Code), Value: rz.Msg}, false, vm.Value{}, false
+
+		case vm.OpSpecEnter:
+			aux := &p.Aux[in.Dst]
+			if !i.vmSpecFast(r, aux) {
+				words := p.LitWords[aux.LitIdx]
+				res := i.EvalWords(words)
+				if res.Code != OK {
+					if res.Code == Error {
+						i.noteErrorLine(words)
+					}
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = res, false
+				pc = int(in.A)
+				break
+			}
+			if res, ok := i.spendStep(); !ok {
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			pc++
+
+		case vm.OpTestExpr:
+			aux := &p.Aux[in.Dst]
+			b, res := i.vmExprBool(r, p.Exprs[in.A])
+			if res.Code != OK {
+				if res.Code == Error {
+					i.noteErrorLine(p.LitWords[aux.LitIdx])
+				}
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			if b {
+				pc++
+			} else {
+				pc = int(in.B)
+			}
+
+		case vm.OpIfBody:
+			aux := &p.Aux[in.Dst]
+			res, num, numOK := i.vmEvalBlock(r, &p.Blocks[in.A])
+			if res.Code != OK {
+				if res.Code == Error {
+					i.noteErrorLine(p.LitWords[aux.LitIdx])
+				}
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			last, lastNum, lastNumOK = res, num, numOK
+			pc = int(in.B)
+
+		case vm.OpLoopBody:
+			aux := &p.Aux[in.Dst]
+			res, _, _ := i.vmEvalBlock(r, &p.Blocks[in.A])
+			switch res.Code {
+			case OK, Continue:
+				pc = int(in.B)
+			case Break:
+				pc++ // falls through to OpSpecDone
+			default:
+				if res.Code == Error {
+					i.noteErrorLine(p.LitWords[aux.LitIdx])
+				}
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+
+		case vm.OpForeachNext:
+			f := &p.Foreach[in.A]
+			items := p.Lists[f.List]
+			ctr := regs[in.Dst].Int()
+			if ctr >= int64(len(items)) {
+				pc = int(in.B)
+				break
+			}
+			i.vmWriteVar(r, f.VarSlot, p.Names[f.Name], vm.StringValue(items[ctr]))
+			regs[in.Dst] = vm.IntValue(ctr + 1)
+			pc++
+
+		case vm.OpSpecDone:
+			last, lastNumOK = Ok(""), false
+			pc++
+
+		case vm.OpSetVar:
+			aux := &p.Aux[in.Dst]
+			name := p.Names[in.A]
+			if !i.vmSpecFast(r, aux) {
+				res := i.vmRunGeneric(p, aux, in, regs)
+				if res.Code != OK {
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = res, false
+				pc++
+				break
+			}
+			if res, ok := i.spendStep(); !ok {
+				i.noteErrorLine(i.vmSpecWords(p, aux, in, regs))
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			val := regs[in.B]
+			last = Ok(i.vmWriteVar(r, in.C, name, val))
+			if val.Kind() == vm.KInt {
+				lastNum, lastNumOK = val, true
+			} else {
+				lastNumOK = false
+			}
+			pc++
+
+		case vm.OpGetVar:
+			aux := &p.Aux[in.Dst]
+			name := p.Names[in.A]
+			if !i.vmSpecFast(r, aux) {
+				res := i.vmRunGeneric(p, aux, in, regs)
+				if res.Code != OK {
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = res, false
+				pc++
+				break
+			}
+			if res, ok := i.spendStep(); !ok {
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			val, ok := i.vmReadVar(r, in.C, name)
+			if !ok {
+				res := Errf("can't read %q: no such variable", name)
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			last, lastNumOK = Ok(val), false
+			pc++
+
+		case vm.OpIncr:
+			aux := &p.Aux[in.Dst]
+			name := p.Names[in.A]
+			if !i.vmSpecFast(r, aux) {
+				res := i.vmRunGeneric(p, aux, in, regs)
+				if res.Code != OK {
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = res, false
+				pc++
+				break
+			}
+			if res, ok := i.spendStep(); !ok {
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			t := i.vmVar(r, in.C, name)
+			if t == nil || t.isArr {
+				res := Errf("can't read %q: no such variable", name)
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			var n int64
+			if t.numState == 1 && t.num.Kind() == vm.KInt {
+				n = t.num.Int()
+			} else {
+				pn, err := strconv.ParseInt(strings.TrimSpace(t.value), 0, 64)
+				if err != nil {
+					res := Errf("expected integer but got %q", t.value)
+					i.noteErrorLine(p.LitWords[aux.LitIdx])
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				n = pn
+			}
+			delta := int64(1)
+			if in.B >= 0 {
+				delta = p.Consts[in.B].Int()
+			}
+			n += delta
+			s := strconv.FormatInt(n, 10)
+			t.isArr = false
+			t.value = s
+			t.num = vm.IntValue(n)
+			t.numState = 1
+			last = Ok(s)
+			lastNum, lastNumOK = t.num, true
+			pc++
+
+		case vm.OpExprCmd:
+			aux := &p.Aux[in.Dst]
+			if !i.vmSpecFast(r, aux) {
+				res := i.vmRunGeneric(p, aux, in, regs)
+				if res.Code != OK {
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = res, false
+				pc++
+				break
+			}
+			if res, ok := i.spendStep(); !ok {
+				i.noteErrorLine(p.LitWords[aux.LitIdx])
+				return res, aux.BracketOK, vm.Value{}, false
+			}
+			ep := p.Exprs[in.A]
+			if ep.Lowered() {
+				v, res := i.runExprProg(r, ep)
+				if res.Code != OK {
+					if res.Code == Error {
+						i.noteErrorLine(p.LitWords[aux.LitIdx])
+					}
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last = Ok(v.Text())
+				if v.Kind() == vm.KInt {
+					lastNum, lastNumOK = v, true
+				} else {
+					lastNumOK = false
+				}
+			} else {
+				s, res := i.ExprString(ep.Src)
+				if res.Code != OK {
+					if res.Code == Error {
+						i.noteErrorLine(p.LitWords[aux.LitIdx])
+					}
+					return res, aux.BracketOK, vm.Value{}, false
+				}
+				last, lastNumOK = Ok(s), false
+			}
+			pc++
+
+		default:
+			return Errf("internal: unknown vm opcode %d", in.Op), false, vm.Value{}, false
+		}
+	}
+	return last, p.EndAtBracket, lastNum, lastNumOK
+}
+
+// vmSpecWords rebuilds the substituted word list of a simple specialized
+// command (for generic fallback and ErrorInfo notes).
+func (i *Interp) vmSpecWords(p *vm.Program, aux *vm.CmdAux, in *vm.Instr, regs []vm.Value) []string {
+	if aux.LitIdx >= 0 {
+		return p.LitWords[aux.LitIdx]
+	}
+	// Only OpSetVar sites can be non-literal (computed value word).
+	return []string{aux.Name, p.Names[in.A], regs[in.B].Text()}
+}
+
+// vmRunGeneric dispatches a specialized site through the classic
+// EvalWords path (hooks armed, or the builtin was rebound), applying the
+// standard command tail (ErrorInfo note on error).
+func (i *Interp) vmRunGeneric(p *vm.Program, aux *vm.CmdAux, in *vm.Instr, regs []vm.Value) Result {
+	words := i.vmSpecWords(p, aux, in, regs)
+	res := i.EvalWords(words)
+	if res.Code == Error {
+		i.noteErrorLine(words)
+	}
+	return res
+}
+
+// --- the expression machine ---------------------------------------------
+
+// exprCtl is one lazy-operator control frame: the enclosing takenness
+// and the operator's own test flag (lhs truth / ternary condition).
+type exprCtl struct {
+	taken bool
+	flag  bool
+}
+
+// runExprProg executes a lowered expression.
+func (i *Interp) runExprProg(r *vmRun, p *vm.ExprProg) (vm.Value, Result) {
+	base := i.pushRegs(p.NRegs)
+	v, res := i.execExpr(r, p, base)
+	i.vmRegs = i.vmRegs[:base]
+	return v, res
+}
+
+// execExpr is the expression interpreter loop. Only EBracket can grow
+// the register stack, so the window is hoisted and re-sliced after it.
+func (i *Interp) execExpr(r *vmRun, p *vm.ExprProg, base int) (vm.Value, Result) {
+	var ctlArr [8]exprCtl
+	ctl := ctlArr[:0]
+	taken := true
+	code := p.Code
+	regs := i.vmRegs[base:]
+	for pc := 0; pc < len(code); pc++ {
+		in := &code[pc]
+		switch in.Op {
+		case vm.EConst:
+			regs[in.Dst] = p.Consts[in.A]
+
+		case vm.EVar:
+			if !taken {
+				regs[in.Dst] = vm.IntValue(0)
+				break
+			}
+			if c := &r.vars[in.B]; c.epoch == i.varEpoch && c.fr == i.current() && !c.v.isArr && c.v.numState == 1 {
+				regs[in.Dst] = c.v.num
+				break
+			}
+			name := p.Names[in.A]
+			v, ok := i.vmReadVarNum(r, in.B, name)
+			if !ok {
+				return vm.Value{}, Errf("can't read %q: no such variable", name)
+			}
+			regs[in.Dst] = v
+
+		case vm.EBracket:
+			if !taken {
+				// The classic evaluator skips the bracket lexically on
+				// untaken sides; reproduce the skip's verdict.
+				if in.B == 0 {
+					return vm.Value{}, Errf("missing close-bracket")
+				}
+				regs[in.Dst] = vm.IntValue(0)
+				break
+			}
+			out, atBracket, num, numOK := i.runProgram(r, p.Blocks[in.A].Prog)
+			if out.Code == Return {
+				if !atBracket {
+					return vm.Value{}, Errf("missing close-bracket")
+				}
+			} else if out.Code != OK {
+				return vm.Value{}, out
+			}
+			regs = i.vmRegs[base:]
+			if numOK {
+				regs[in.Dst] = num
+			} else {
+				regs[in.Dst] = vm.ClassifyOperand(out.Value)
+			}
+
+		case vm.EUnary:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			out, msg := vm.ApplyUnary(byte(in.B), regs[in.A])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+
+		// Each binary operator gets its own case so dispatch is a single
+		// jump-table hop with the int⊗int path inline; the mixed/string
+		// path falls through to ApplyBinary. Untaken binaries pass the
+		// lhs through, as the walker does. Int semantics (flooring,
+		// zero checks, shift bounds, error strings) mirror applyArith,
+		// applyIntOp and applyCompare exactly; the differential fuzzer
+		// holds the two in lockstep.
+		case vm.EAdd:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x + y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.ESub:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x - y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EMul:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x * y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EDiv:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				if y == 0 {
+					return vm.Value{}, Result{Code: Error, Value: "divide by zero"}
+				}
+				q := x / y
+				if (x%y != 0) && ((x < 0) != (y < 0)) {
+					q--
+				}
+				regs[in.Dst] = vm.IntValue(q)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EMod:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				if y == 0 {
+					return vm.Value{}, Result{Code: Error, Value: "divide by zero"}
+				}
+				rem := x % y
+				if rem != 0 && ((x < 0) != (y < 0)) {
+					rem += y
+				}
+				regs[in.Dst] = vm.IntValue(rem)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EBitOr:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x | y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EBitXor:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x ^ y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EBitAnd:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.IntValue(x & y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EShl:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				if y < 0 || y > 63 {
+					return vm.Value{}, Result{Code: Error, Value: "invalid shift count " + strconv.FormatInt(y, 10)}
+				}
+				regs[in.Dst] = vm.IntValue(x << uint(y))
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EShr:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				if y < 0 || y > 63 {
+					return vm.Value{}, Result{Code: Error, Value: "invalid shift count " + strconv.FormatInt(y, 10)}
+				}
+				regs[in.Dst] = vm.IntValue(x >> uint(y))
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EEq:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x == y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.ENe:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x != y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.ELt:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x < y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EGt:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x > y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.ELe:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x <= y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+		case vm.EGe:
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if a, b := regs[in.A], regs[in.B]; a.Kind() == vm.KInt && b.Kind() == vm.KInt {
+				x, y := a.Int(), b.Int()
+				regs[in.Dst] = vm.BoolValue(x >= y)
+				break
+			}
+			out, msg := vm.ApplyBinary(vm.BinOpOf(in.Op), regs[in.A], regs[in.B])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+
+		case vm.EAndTest:
+			lt := true
+			if taken {
+				if av := regs[in.A]; av.Kind() == vm.KInt {
+					lt = av.Int() != 0
+				} else {
+					b, msg := av.Truth()
+					if msg != "" {
+						return vm.Value{}, Result{Code: Error, Value: msg}
+					}
+					lt = b
+				}
+			}
+			ctl = append(ctl, exprCtl{taken: taken, flag: lt})
+			taken = taken && lt
+
+		case vm.EAndEnd:
+			fr := ctl[len(ctl)-1]
+			ctl = ctl[:len(ctl)-1]
+			taken = fr.taken
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if !fr.flag {
+				regs[in.Dst] = vm.BoolValue(false)
+				break
+			}
+			if av := regs[in.B]; av.Kind() == vm.KInt {
+				regs[in.Dst] = vm.BoolValue(av.Int() != 0)
+			} else {
+				b, msg := av.Truth()
+				if msg != "" {
+					return vm.Value{}, Result{Code: Error, Value: msg}
+				}
+				regs[in.Dst] = vm.BoolValue(b)
+			}
+
+		case vm.EOrTest:
+			lf := false
+			if taken {
+				if av := regs[in.A]; av.Kind() == vm.KInt {
+					lf = av.Int() != 0
+				} else {
+					b, msg := av.Truth()
+					if msg != "" {
+						return vm.Value{}, Result{Code: Error, Value: msg}
+					}
+					lf = b
+				}
+			}
+			ctl = append(ctl, exprCtl{taken: taken, flag: lf})
+			taken = taken && !lf
+
+		case vm.EOrEnd:
+			fr := ctl[len(ctl)-1]
+			ctl = ctl[:len(ctl)-1]
+			taken = fr.taken
+			if !taken {
+				regs[in.Dst] = regs[in.A]
+				break
+			}
+			if fr.flag {
+				regs[in.Dst] = vm.BoolValue(true)
+				break
+			}
+			if av := regs[in.B]; av.Kind() == vm.KInt {
+				regs[in.Dst] = vm.BoolValue(av.Int() != 0)
+			} else {
+				b, msg := av.Truth()
+				if msg != "" {
+					return vm.Value{}, Result{Code: Error, Value: msg}
+				}
+				regs[in.Dst] = vm.BoolValue(b)
+			}
+
+		case vm.ETernTest:
+			take := false
+			if taken {
+				if av := regs[in.A]; av.Kind() == vm.KInt {
+					take = av.Int() != 0
+				} else {
+					b, msg := av.Truth()
+					if msg != "" {
+						return vm.Value{}, Result{Code: Error, Value: msg}
+					}
+					take = b
+				}
+			}
+			ctl = append(ctl, exprCtl{taken: taken, flag: take})
+			taken = taken && take
+
+		case vm.ETernElse:
+			fr := &ctl[len(ctl)-1]
+			taken = fr.taken && !fr.flag
+
+		case vm.ETernEnd:
+			fr := ctl[len(ctl)-1]
+			ctl = ctl[:len(ctl)-1]
+			taken = fr.taken
+			if !taken {
+				regs[in.Dst] = vm.IntValue(0)
+				break
+			}
+			if fr.flag {
+				regs[in.Dst] = regs[in.A]
+			} else {
+				regs[in.Dst] = regs[in.B]
+			}
+
+		case vm.EFunc:
+			if !taken {
+				regs[in.Dst] = vm.IntValue(0)
+				break
+			}
+			out, msg := vm.ApplyMathFunc(p.Funcs[in.B], regs[in.A])
+			if msg != "" {
+				return vm.Value{}, Result{Code: Error, Value: msg}
+			}
+			regs[in.Dst] = out
+
+		case vm.EEnd:
+			return regs[in.A], Ok("")
+		}
+	}
+	return vm.Value{}, Errf("internal: expression program fell off the end")
+}

@@ -1,0 +1,256 @@
+package tcl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tcl/vm"
+)
+
+// vmEquivScripts is the cross-mode conformance table: every script runs
+// under classic, cached, and vm evaluation and must produce identical
+// results, error text, ErrorInfo traces, output, and step counts. The
+// list deliberately covers every specialized opcode (set/incr/expr/if/
+// while/foreach), the generic dispatch path, substitution errors, and
+// the control-flow edges (break/continue/return/error).
+var vmEquivScripts = []string{
+	// Specialized builtins and the native-value channel.
+	`set a 1`,
+	`set a 1; set b $a; set b`,
+	`set a 0x10; set b [set a]; set b`,
+	`set total 0; foreach n {1 2 3 4 5 6 7 8} { if {$n % 2 == 0} { set total [expr {$total + $n * 3}] } else { set log "skip $n" } }; set total`,
+	`set x 5; while {$x > 0} { incr x -1 }; set x`,
+	`set v 7; incr v; incr v 3; incr v -11; set v`,
+	`set v notanum; incr v`,
+	`incr novar`,
+	`if {1 < 2} then {set r yes} else {set r no}`,
+	`if {0} {set r a} elseif {1} {set r b} else {set r c}; set r`,
+	`while {1} { break }`,
+	`set s 0; foreach {a b} {1 2 3 4} { incr s $a; incr s $b }; set s`,
+	`foreach v {a b} { continue; set never 1 }`,
+	// Expressions: lazy operators, ternaries, floats, strings, functions.
+	`expr {3.5 * 2}`,
+	`expr {1 ? "a" : [set q]}`,
+	`expr {0 && [undefined]}`,
+	`expr {1 || [undefined]}`,
+	`expr {"abc" < "abd"}`,
+	`expr {abs(-4) + round(2.6)}`,
+	`expr {(5 / -2) + (-5 % 3)}`,
+	`expr {1 << 4 | 3 & 6 ^ 2}`,
+	`expr {1 << 99}`,
+	`expr {10 % 0}`,
+	`expr {"x" + 1}`,
+	`set x 21; set y 3; expr {($x * 2 + 100 / $y) > 50 && $x % 7 <= 3 || !($y == 3)}`,
+	// Arrays, lists, procs, frames.
+	`set a(x) 1; set a(y) 2; expr {$a(x) + $a(y)}`,
+	`proc f {a b} { expr {$a + $b} }; f 3 4`,
+	`proc g {} { upvar 1 v loc; set loc 42 }; set v 0; g; set v`,
+	`proc h {} { global gv; incr gv }; set gv 9; h; set gv`,
+	`proc fib {n} { if {$n < 2} { return $n }; expr {[fib [expr {$n-1}]] + [fib [expr {$n-2}]]} }; fib 9`,
+	`set l {}; foreach v {a b c} { lappend l $v-$v }; set l`,
+	`set s hello; string length $s`,
+	// Errors, traces, and the substitution edges.
+	`catch {expr {1/0}} msg; set msg`,
+	`catch {error boom} msg; set msg`,
+	`unknowncmd foo`,
+	`set`,
+	`set x [`,
+	`expr {[}`,
+	`puts "a $missing b"`,
+	// Command-table churn: inline caches must revalidate.
+	`rename set myset; myset z 9; myset z`,
+	`proc set2 {n v} { uplevel 1 [list set $n $v] }; set2 q 5; set q`,
+	`proc w {} {return inner}; w; rename w ""; w`,
+	// Interpolated (non-literal) words through the specialized sites.
+	`set n total; set $n 3; incr $n 4; set total`,
+	`set i 2; set "v$i" x; set v2`,
+}
+
+// runEquiv evaluates script in the given mode on a fresh interpreter and
+// reports everything the differential check compares. When warm is set
+// the script runs twice (state reset in between where possible is not
+// attempted — warm runs compare warm-vs-warm across modes instead).
+func runEquiv(mode EvalMode, script string, warm bool) (res Result, info string, steps int64, out string) {
+	var sb strings.Builder
+	i := New()
+	i.SetEvalMode(mode)
+	i.Stdout = &sb
+	i.Stderr = &sb
+	i.StepLimit = 100000
+	if warm {
+		i.EvalScript(script)
+		i.ErrorInfo = ""
+	}
+	res = i.EvalScript(script)
+	return res, i.ErrorInfo, i.Steps(), sb.String()
+}
+
+func TestVMEquivalence(t *testing.T) {
+	for _, script := range vmEquivScripts {
+		for _, warm := range []bool{false, true} {
+			rc, infoC, stepsC, outC := runEquiv(EvalClassic, script, warm)
+			for _, mode := range []EvalMode{EvalCached, EvalVM} {
+				rm, infoM, stepsM, outM := runEquiv(mode, script, warm)
+				label := fmt.Sprintf("%s warm=%v script=%q", mode, warm, script)
+				if rc != rm {
+					t.Errorf("%s: result classic=%+v got=%+v", label, rc, rm)
+				}
+				if infoC != infoM {
+					t.Errorf("%s: errorinfo classic=%q got=%q", label, infoC, infoM)
+				}
+				if stepsC != stepsM {
+					t.Errorf("%s: steps classic=%d got=%d", label, stepsC, stepsM)
+				}
+				if outC != outM {
+					t.Errorf("%s: output classic=%q got=%q", label, outC, outM)
+				}
+			}
+		}
+	}
+}
+
+// TestVMStepLimitParity pins the satellite requirement that step counts
+// are variant-neutral: a tight StepLimit must trip at the same step with
+// the same error text in all three modes.
+func TestVMStepLimitParity(t *testing.T) {
+	const script = `set n 0; while {1} { incr n }`
+	var ref Result
+	var refSteps int64
+	for k, mode := range []EvalMode{EvalClassic, EvalCached, EvalVM} {
+		i := New()
+		i.SetEvalMode(mode)
+		i.StepLimit = 500
+		res := i.EvalScript(script)
+		if res.Code != Error || !strings.Contains(res.Value, "step limit exceeded") {
+			t.Fatalf("%s: expected step-limit error, got %+v", mode, res)
+		}
+		if k == 0 {
+			ref, refSteps = res, i.Steps()
+			continue
+		}
+		if res != ref {
+			t.Errorf("%s: result %+v, classic %+v", mode, res, ref)
+		}
+		if i.Steps() != refSteps {
+			t.Errorf("%s: steps %d, classic %d", mode, i.Steps(), refSteps)
+		}
+	}
+}
+
+// TestVMHookParity checks that Trace and DispatchHook observe the same
+// command sequence under vm evaluation: arming a hook drops the
+// specialized sites back to the generic dispatch path, so the hook's view
+// is identical to the classic evaluator's.
+func TestVMHookParity(t *testing.T) {
+	const script = `set a 1; incr a; if {$a > 1} { set b [expr {$a * 2}] }; foreach x {1 2} { set c $x }`
+	seq := func(mode EvalMode) (trace, hook []string) {
+		i := New()
+		i.SetEvalMode(mode)
+		i.Trace = func(depth int, words []string) {
+			trace = append(trace, fmt.Sprintf("%d:%s", depth, strings.Join(words, " ")))
+		}
+		i.DispatchHook = func(name string, depth int, d time.Duration) {
+			hook = append(hook, fmt.Sprintf("%d:%s", depth, name))
+		}
+		if res := i.EvalScript(script); res.Code != OK {
+			t.Fatalf("%s: %+v", mode, res)
+		}
+		return trace, hook
+	}
+	traceC, hookC := seq(EvalClassic)
+	for _, mode := range []EvalMode{EvalCached, EvalVM} {
+		traceM, hookM := seq(mode)
+		if strings.Join(traceC, "\n") != strings.Join(traceM, "\n") {
+			t.Errorf("%s trace diverged:\nclassic:\n%s\ngot:\n%s", mode, strings.Join(traceC, "\n"), strings.Join(traceM, "\n"))
+		}
+		if strings.Join(hookC, "\n") != strings.Join(hookM, "\n") {
+			t.Errorf("%s dispatch hook diverged:\nclassic:\n%s\ngot:\n%s", mode, strings.Join(hookC, "\n"), strings.Join(hookM, "\n"))
+		}
+	}
+}
+
+// TestVMHookMidStream arms the hooks after the vm has already compiled
+// and specialized the script, which must flip the specialized sites back
+// to the generic (observable) path without recompilation.
+func TestVMHookMidStream(t *testing.T) {
+	const script = `set a 1; incr a 2; set a`
+	i := New()
+	i.SetEvalMode(EvalVM)
+	if res := i.EvalScript(script); res.Code != OK || res.Value != "3" {
+		t.Fatalf("cold run: %+v", res)
+	}
+	var hook []string
+	i.DispatchHook = func(name string, depth int, d time.Duration) { hook = append(hook, name) }
+	if res := i.EvalScript(script); res.Code != OK || res.Value != "3" {
+		t.Fatalf("hooked run: %+v", res)
+	}
+	want := "set,incr,set"
+	if got := strings.Join(hook, ","); got != want {
+		t.Errorf("dispatch hook saw %q, want %q", got, want)
+	}
+}
+
+func TestEvalModeRoundTrip(t *testing.T) {
+	for _, m := range []EvalMode{EvalClassic, EvalCached, EvalVM} {
+		got, ok := ParseEvalMode(m.String())
+		if !ok || got != m {
+			t.Errorf("ParseEvalMode(%q) = %v, %v", m.String(), got, ok)
+		}
+	}
+	if _, ok := ParseEvalMode("turbo"); ok {
+		t.Errorf("ParseEvalMode accepted unknown mode")
+	}
+	i := New()
+	if i.EvalMode() != EvalCached {
+		t.Errorf("default mode = %v, want cached", i.EvalMode())
+	}
+	i.SetEvalMode(EvalVM)
+	if res := i.EvalScript(`set a 5; expr {$a * 2}`); res.Value != "10" {
+		t.Fatalf("vm eval: %+v", res)
+	}
+	// Switching modes mid-stream must keep interpreter state.
+	i.SetEvalMode(EvalClassic)
+	if res := i.EvalScript(`incr a`); res.Value != "6" {
+		t.Fatalf("classic after vm: %+v", res)
+	}
+	i.SetEvalMode(EvalVM)
+	if res := i.EvalScript(`incr a`); res.Value != "7" {
+		t.Fatalf("vm after classic: %+v", res)
+	}
+}
+
+// TestVMMutationDetected corrupts a lowered program's constant pool and
+// checks the differential comparison actually reports the divergence —
+// the proof that the equivalence harness has teeth.
+func TestVMMutationDetected(t *testing.T) {
+	const script = `set a 40; expr {$a + 2}`
+	i := New()
+	i.SetEvalMode(EvalVM)
+	if res := i.EvalScript(script); res.Value != "42" {
+		t.Fatalf("cold run: %+v", res)
+	}
+	// The front cache now holds the lowered program; corrupt the literal
+	// "40" in its constant pool.
+	if i.vmFront == nil || i.vmFrontKey != script {
+		t.Fatalf("front cache not primed")
+	}
+	mutated := false
+	for bi := range i.vmFront.prog.Consts {
+		if i.vmFront.prog.Consts[bi].Text() == "40" {
+			i.vmFront.prog.Consts[bi] = vm.StringValue("41")
+			mutated = true
+		}
+	}
+	if !mutated {
+		t.Fatalf("constant pool holds no literal 40: %v", i.vmFront.prog.Consts)
+	}
+	ref := New()
+	ref.SetEvalMode(EvalClassic)
+	rc := ref.EvalScript(script)
+	rv := i.EvalScript(script)
+	if rc == rv {
+		t.Fatalf("mutation was not detected: classic=%+v vm=%+v", rc, rv)
+	}
+}

@@ -30,6 +30,13 @@ go test -count=1 -shuffle=on -short ./...
 # schedule as the repro recipe.
 go test -race -count=1 ./internal/conformance
 
+# Bytecode-vm leg: the cross-mode equivalence table, step-limit and hook
+# parity, golden disassembly, and the mutation check proving the
+# differential harness has teeth — all under the race detector, plus a
+# goexpect run of a shipped script with -evalmode vm.
+go test -race -count=1 -run 'TestVM|TestEvalMode' ./internal/tcl
+go run ./cmd/goexpect -evalmode vm -transport pipe -sims -q scripts/passwd.exp >/dev/null
+
 # Sharded-scheduler matrix leg: the shard unit tests plus a goexpect run
 # under -shards, proving the flag-wired path end to end.
 go test -race -count=1 -run 'Shard|Scheduler' ./internal/core
@@ -59,6 +66,7 @@ go test -race -count=1 -run 'TestCrashRecoverySoak|TestExpectdCheckpointRestore'
 # few CPU-minutes of fresh exploration to every gate.
 go test -race -fuzz=FuzzGlobEquivalence -fuzztime=10s ./internal/pattern
 go test -race -fuzz=FuzzEvalCacheEquivalence -fuzztime=10s ./internal/tcl
+go test -race -fuzz=FuzzVMEquivalence -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzShardHash -fuzztime=10s ./internal/core
 go test -race -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/trace
@@ -129,3 +137,9 @@ rm -rf "$tmpd"
 # 3% per dialogue, and an armed-but-unscraped plane at most a third of
 # that (1%).
 go run ./cmd/benchreport -exp e21 -json BENCH_8.json -statsguard 3
+
+# Bytecode-vm economics snapshot + guard: rerun the E22 pricing into
+# BENCH_9.json. vmguard: the vm must stay at least 3x faster than the
+# cached evaluator on the E15 eval and expr benchmarks, and its
+# differential sweep must show zero divergences from the classic referee.
+go run ./cmd/benchreport -exp e22 -json BENCH_9.json -vmguard 3
