@@ -36,6 +36,10 @@
 //	                            X times faster than the cached evaluator
 //	                            on eval and expr, or if any script in the
 //	                            differential sweep diverges from classic
+//	benchreport -muxguard X     fail if E23's 100k-session gateway
+//	                            per-dialogue cost exceeds X times the
+//	                            committed 10k socket baseline, or if any
+//	                            expectd gateway drained dirty
 //	benchreport -cpuprofile F   write a CPU profile of the run to F
 //	benchreport -memprofile F   write an allocation profile of the run to F
 package main
@@ -67,6 +71,7 @@ func main() {
 		ckptguard   = flag.Float64("ckptguard", 0, "with -baseline: fail when E20's checkpoint/restore round-trip p99 regresses by more than this percentage (0 disables)")
 		statsguard  = flag.Float64("statsguard", 0, "fail when E21's scraped telemetry overhead exceeds this percentage per dialogue, or armed-but-unscraped exceeds a third of it (0 disables)")
 		vmguard     = flag.Float64("vmguard", 0, "fail when E22's bytecode vm eval or expr speedup over the cached evaluator is below this factor, or its differential sweep diverges (0 disables)")
+		muxguard    = flag.Float64("muxguard", 0, "fail when E23's 100k-session gateway per-dialogue ratio vs the 10k socket baseline exceeds this factor, or any gateway drained dirty (0 disables)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
@@ -344,6 +349,37 @@ func main() {
 		}
 		if !guarded {
 			fmt.Fprintln(os.Stderr, "benchreport: -vmguard set but E22 did not run; add e22 to -exp")
+			os.Exit(2)
+		}
+	}
+
+	if *muxguard > 0 {
+		guarded := false
+		for _, r := range results {
+			ratio, ok1 := r.Metrics["ratio_100k_mux_vs_10k_net_baseline"]
+			dirty, ok2 := r.Metrics["mux_dirty_drains"]
+			if !ok1 || !ok2 {
+				continue
+			}
+			guarded = true
+			if dirty > 0 {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: mux guard FAILED: %d expectd gateway(s) did not drain clean under 100k live streams\n",
+					int(dirty))
+				os.Exit(1)
+			}
+			if ratio > *muxguard {
+				fmt.Fprintf(os.Stderr,
+					"benchreport: mux guard FAILED: 100k gateway sessions cost %.2fx the 10k socket baseline per dialogue (bar %.2fx)\n",
+					ratio, *muxguard)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr,
+				"benchreport: mux guard ok: 100k gateway sessions at %.2fx the 10k socket baseline per dialogue (bar %.2fx), all drains clean\n",
+				ratio, *muxguard)
+		}
+		if !guarded {
+			fmt.Fprintln(os.Stderr, "benchreport: -muxguard set but E23 did not run; add e23 to -exp")
 			os.Exit(2)
 		}
 	}

@@ -13,6 +13,17 @@
 // line per program (machine-parseable — E18 scrapes them) and then
 // "expectd: ready".
 //
+// With -mux addr the daemon additionally runs a session gateway: one
+// framed listener (internal/netx/mux) multiplexing every served program,
+// many sessions per TCP connection — OPEN frames name the program, DATA
+// frames interleave per-stream, and a pooled client (netx.MuxPool,
+// core.SpawnMux) drives thousands of dialogues over a handful of
+// sockets. Its address is printed as "expectd: mux on <host:port>" (E23
+// scrapes it). -mux-sessions caps concurrent gateway streams and
+// -tenant-quota caps them per tenant; an OPEN over either limit is
+// refused immediately with a GOAWAY frame naming the reason, never
+// queued. The gateway snapshot is served on /debug/mux when -admin is up.
+//
 // With -admin addr the daemon also serves a telemetry plane: Prometheus
 // metrics on /metrics, live session and shard introspection on
 // /debug/sessions and /debug/shards, pprof under /debug/pprof/, and a
@@ -118,6 +129,12 @@ func main() {
 			"engine-checkpoint file to read at startup; its interpreter globals are reinstalled before -drive runs")
 		adminAddr = flag.String("admin", "",
 			"telemetry-plane listen address (host:0 picks a port): /metrics, /debug/sessions, /debug/shards, /debug/pprof/, /debug/trace")
+		muxAddr = flag.String("mux", "",
+			"session-gateway listen address (host:0 picks a port): one framed TCP listener multiplexing every served program, many sessions per connection")
+		muxSessions = flag.Int("mux-sessions", 0,
+			"gateway-wide concurrent session cap (0 = unlimited); excess OPENs are refused with GOAWAY")
+		tenantQuota = flag.Int("tenant-quota", 0,
+			"per-tenant concurrent session cap on the gateway (0 = unlimited); a tenant at quota gets GOAWAY, not a queue")
 	)
 	flag.Parse()
 
@@ -184,6 +201,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The session gateway multiplexes every served program behind one
+	// framed listener: a client pool opens thousands of sessions over a
+	// handful of TCP connections (OPEN names the program), which is how the
+	// daemon scales past the one-socket-per-dialogue fd ceiling.
+	var muxSrv *netx.MuxServer
+	if *muxAddr != "" {
+		progs := make(map[string]proc.Program, len(serverNames))
+		for _, name := range serverNames {
+			progs[name] = reg[name]()
+		}
+		var err error
+		muxSrv, err = netx.NewMuxServer(*muxAddr, progs, netx.MuxServerOptions{
+			TenantQuota: *tenantQuota,
+			MaxSessions: *muxSessions,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expectd: mux listen %s: %v\n", *muxAddr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("expectd: mux on %s\n", muxSrv.Addr())
+	}
+
 	// The telemetry plane comes up after the listeners (so its per-program
 	// gauges have servers to read) and before the ready line (so a harness
 	// that waits for ready already knows the admin address).
@@ -215,7 +254,41 @@ func main() {
 				}
 				return 0
 			})
+		if muxSrv != nil {
+			mreg.Gauge("expectd_mux_sessions_active",
+				"Streams currently running a program instance on the session gateway.",
+				func() float64 { return float64(muxSrv.Stats().Active) })
+			mreg.Counter("expectd_mux_sessions_served_total",
+				"Gateway streams whose program ran to completion.",
+				func() float64 { return float64(muxSrv.Served()) })
+			mreg.Gauge("expectd_mux_conns",
+				"Live multiplexed TCP connections on the session gateway.",
+				func() float64 { return float64(muxSrv.Stats().Conns) })
+			mreg.GaugeVec("expectd_mux_tenant_sessions",
+				"Live gateway streams per tenant (quota accounting).",
+				"tenant", func() map[string]float64 {
+					st := muxSrv.Stats()
+					out := make(map[string]float64, len(st.Tenants))
+					for tenant, n := range st.Tenants {
+						out[tenant] = float64(n)
+					}
+					return out
+				})
+			mreg.CounterVec("expectd_mux_refused_total",
+				"Gateway OPENs refused with GOAWAY, by reason.",
+				"reason", func() map[string]float64 {
+					st := muxSrv.Stats()
+					out := make(map[string]float64, len(st.Refused))
+					for reason, n := range st.Refused {
+						out[reason] = float64(n)
+					}
+					return out
+				})
+		}
 		opt := admin.Options{Registry: mreg}
+		if muxSrv != nil {
+			opt.Mux = muxSrv.Stats
+		}
 		if eng != nil {
 			eng.RegisterMetrics(mreg)
 			opt.Sessions = eng.SessionInfos
@@ -269,18 +342,31 @@ func main() {
 
 	clean := true
 	var served uint64
-	done := make(chan bool, len(servers))
+	nDrains := len(servers)
+	if muxSrv != nil {
+		nDrains++
+	}
+	done := make(chan bool, nDrains)
 	for _, srv := range servers {
 		srv := srv
 		go func() { done <- srv.Shutdown(*grace) }()
 	}
-	for range servers {
+	if muxSrv != nil {
+		// The gateway drains under the same contract: GOAWAY every muxed
+		// connection, let in-flight streams finish within grace, cut only
+		// at the deadline.
+		go func() { done <- muxSrv.Shutdown(*grace) }()
+	}
+	for i := 0; i < nDrains; i++ {
 		if !<-done {
 			clean = false
 		}
 	}
 	for _, srv := range servers {
 		served += srv.Served()
+	}
+	if muxSrv != nil {
+		served += muxSrv.Served()
 	}
 	// The admin listener closes LAST — after the wire has drained and the
 	// final report is out — so /debug/sessions and /metrics stay readable

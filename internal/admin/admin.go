@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type Options struct {
 	Shards func() []core.ShardSnapshot
 	// Recorder backs /debug/trace: live JSONL event streaming by tap.
 	Recorder *trace.Recorder
+	// Mux backs /debug/mux: the session-gateway snapshot (stream and
+	// connection counts, per-tenant quota accounting, refusal tallies).
+	// Nil turns the endpoint into a 404.
+	Mux func() netx.MuxServerStats
 }
 
 // Server is one admin listener. Close is immediate (it hangs up streaming
@@ -62,6 +67,7 @@ func Listen(addr string, opt Options) (*Server, error) {
 	mux.HandleFunc("/debug/sessions", s.handleSessions)
 	mux.HandleFunc("/debug/shards", s.handleShards)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/mux", s.handleMux)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -143,6 +149,27 @@ func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
 	}
 	reply.Count = len(reply.Shards)
 	writeJSON(w, reply)
+}
+
+// handleMux reports the session gateway's live snapshot. The maps are
+// normalized to empty (never null) so scrapers can index without nil
+// checks.
+func (s *Server) handleMux(w http.ResponseWriter, r *http.Request) {
+	if !get(w, r) {
+		return
+	}
+	if s.opt.Mux == nil {
+		http.Error(w, "no session gateway", http.StatusNotFound)
+		return
+	}
+	st := s.opt.Mux()
+	if st.Tenants == nil {
+		st.Tenants = map[string]int{}
+	}
+	if st.Refused == nil {
+		st.Refused = map[string]uint64{}
+	}
+	writeJSON(w, st)
 }
 
 // handleTrace streams live trace events as JSONL (the journal schema;

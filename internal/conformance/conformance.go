@@ -70,6 +70,14 @@ type Variant struct {
 	// segmentation, which is exactly what the invariant surfaces are
 	// chosen to be immune to.
 	Network bool
+	// Mux serves every simulated program behind one shared session
+	// gateway (netx.MuxServer) and registers the names as mux remotes, so
+	// each spawn opens a framed stream on a pooled TCP connection instead
+	// of dialing its own socket — the multiplexed-gateway transport
+	// variant. Demultiplexing adds another layer of re-segmentation and
+	// interleaving on a shared wire; the observables must still be
+	// byte-identical to the one-conn-one-session referee.
+	Mux bool
 }
 
 // Variants is the full matrix: both matchers × the three evaluation
@@ -91,6 +99,9 @@ var Variants = []Variant{
 	{Name: "rescan-cached-net", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Network: true},
 	{Name: "rescan-cached-net-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8, Network: true},
 	{Name: "rescan-vm-net", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Network: true},
+	{Name: "rescan-cached-mux", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Mux: true},
+	{Name: "rescan-cached-mux-shard8", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, Shards: 8, Mux: true},
+	{Name: "rescan-vm-mux", Matcher: core.MatcherRescan, EvalCacheSize: tcl.DefaultEvalCacheSize, EvalMode: "vm", Mux: true},
 }
 
 // Condition names one transport treatment. A Clean schedule means the
@@ -232,32 +243,64 @@ func deterministicSims() []sim {
 	}
 }
 
+// simServers owns whatever loopback infrastructure a transport variant
+// stood up for the simulated programs: one plain server per sim for the
+// Network axis, or one shared session gateway for the Mux axis.
+type simServers struct {
+	plain []*netx.Server
+	mux   *netx.MuxServer
+}
+
+// shutdown drains every server within grace. Called after the engine has
+// hung up all its sessions, so programs are already returning.
+func (ss *simServers) shutdown(grace time.Duration) {
+	for _, s := range ss.plain {
+		s.Shutdown(grace)
+	}
+	if ss.mux != nil {
+		ss.mux.Shutdown(grace)
+	}
+}
+
 // registerDeterministicSims installs the sims into the engine: as
-// in-process virtuals normally, or — for a Network variant — behind
-// per-run loopback TCP servers dialed by name, the remote registration
-// keeping spawn names (and hence Child.Name and trace text) identical
-// across transports. It returns the servers to shut down after the run
-// (nil when not networked).
-func registerDeterministicSims(eng *core.Engine, network bool) ([]*netx.Server, error) {
-	if !network {
+// in-process virtuals normally; for a Network variant behind per-run
+// loopback TCP servers dialed by name; for a Mux variant behind one
+// shared session gateway whose streams the engine's pooled client opens
+// by program name. The remote registrations keep spawn names (and hence
+// Child.Name and trace text) identical across transports. It returns the
+// servers to shut down after the run (zero-valued when in-process).
+func registerDeterministicSims(eng *core.Engine, v Variant) (*simServers, error) {
+	ss := &simServers{}
+	switch {
+	case v.Mux:
+		progs := make(map[string]proc.Program)
+		for _, sm := range deterministicSims() {
+			progs[sm.name] = sm.prog
+		}
+		srv, err := netx.NewMuxServer("127.0.0.1:0", progs, netx.MuxServerOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mux gateway for sims: %w", err)
+		}
+		ss.mux = srv
+		for name := range progs {
+			eng.RegisterRemoteMux(name, srv.Addr())
+		}
+	case v.Network:
+		for _, sm := range deterministicSims() {
+			srv, err := netx.NewServer("127.0.0.1:0", sm.prog)
+			if err != nil {
+				ss.shutdown(0)
+				return nil, fmt.Errorf("loopback server for %s: %w", sm.name, err)
+			}
+			ss.plain = append(ss.plain, srv)
+			eng.RegisterRemote(sm.name, srv.Addr())
+		}
+	default:
 		for _, sm := range deterministicSims() {
 			eng.RegisterVirtual(sm.name, sm.prog)
 		}
-		return nil, nil
 	}
-	var servers []*netx.Server
-	for _, sm := range deterministicSims() {
-		srv, err := netx.NewServer("127.0.0.1:0", sm.prog)
-		if err != nil {
-			for _, s := range servers {
-				s.Shutdown(0)
-			}
-			return nil, fmt.Errorf("loopback server for %s: %w", sm.name, err)
-		}
-		servers = append(servers, srv)
-		eng.RegisterRemote(sm.name, srv.Addr())
-	}
-	return servers, nil
+	return ss, nil
 }
 
 // lockedBuf is a pump-goroutine-safe byte sink.
@@ -354,7 +397,7 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	if m, ok := tcl.ParseEvalMode(v.EvalMode); ok {
 		eng.Interp.SetEvalMode(m)
 	}
-	servers, err := registerDeterministicSims(eng, v.Network)
+	servers, err := registerDeterministicSims(eng, v)
 	if err != nil {
 		return nil, err
 	}
@@ -381,10 +424,9 @@ func RunScript(scriptsDir string, sc ScriptCase, v Variant, sched faultify.Sched
 	}
 	eng.Shutdown()
 	// Loopback servers drain after the engine hangs up: every session has
-	// had its FIN, so the programs are already returning.
-	for _, srv := range servers {
-		srv.Shutdown(drainDeadline)
-	}
+	// had its FIN (or its CLOSE frame), so the programs are already
+	// returning.
+	servers.shutdown(drainDeadline)
 
 	out := &Outcome{
 		User:     user.String(),

@@ -125,14 +125,17 @@ func TestConformanceScenarios(t *testing.T) {
 		mode    core.MatcherMode
 		shards  int
 		network bool
+		mux     bool
 	}{
-		{"rescan", core.MatcherRescan, 0, false},
-		{"incremental", core.MatcherIncremental, 0, false},
-		{"rescan-shard1", core.MatcherRescan, 1, false},
-		{"rescan-shard8", core.MatcherRescan, 8, false},
-		{"incremental-shard8", core.MatcherIncremental, 8, false},
-		{"rescan-net", core.MatcherRescan, 0, true},
-		{"rescan-net-shard8", core.MatcherRescan, 8, true},
+		{"rescan", core.MatcherRescan, 0, false, false},
+		{"incremental", core.MatcherIncremental, 0, false, false},
+		{"rescan-shard1", core.MatcherRescan, 1, false, false},
+		{"rescan-shard8", core.MatcherRescan, 8, false, false},
+		{"incremental-shard8", core.MatcherIncremental, 8, false, false},
+		{"rescan-net", core.MatcherRescan, 0, true, false},
+		{"rescan-net-shard8", core.MatcherRescan, 8, true, false},
+		{"rescan-mux", core.MatcherRescan, 0, false, true},
+		{"rescan-mux-shard8", core.MatcherRescan, 8, false, true},
 	}
 	for _, sc := range AllScenarios() {
 		sc := sc
@@ -152,7 +155,7 @@ func TestConformanceScenarios(t *testing.T) {
 						t.Parallel()
 						got, err := RunScenarioWith(sc, ScenarioRun{
 							Matcher: m.mode, Sched: cond.Sched,
-							Shards: m.shards, Network: m.network,
+							Shards: m.shards, Network: m.network, Mux: m.mux,
 						})
 						if err != nil {
 							t.Fatalf("run: %v", err)

@@ -156,6 +156,11 @@ type ScenarioRun struct {
 	Sched   faultify.Schedule
 	Shards  int
 	Network bool
+	// Mux runs each spawn behind a one-shot session gateway instead: the
+	// program is served by a netx.MuxServer and the session is a framed
+	// stream opened through a MuxPool — the multiplexed transport arm of
+	// the differential. Takes precedence over Network.
+	Mux bool
 	// NoPoller pins network sessions to the fallback reader goroutine
 	// instead of a shard readiness poller. The epoll loop and the
 	// fallback reader must be byte-identical; this flag is the other arm
@@ -168,8 +173,28 @@ type ScenarioRun struct {
 }
 
 // spawn starts one scenario child under the run's transport. The
-// returned cleanup tears down the loopback server (no-op for virtual).
+// returned cleanup tears down the loopback server or gateway (no-op for
+// virtual).
 func (rn ScenarioRun) spawn(cfg *core.Config, name string, prog proc.Program) (*core.Session, func(), error) {
+	if rn.Mux {
+		srv, err := netx.NewMuxServer("127.0.0.1:0",
+			map[string]proc.Program{name: prog}, netx.MuxServerOptions{})
+		if err != nil {
+			return nil, nil, err
+		}
+		pool := netx.NewMuxPool(netx.MuxOptions{})
+		cfg.Mux = pool
+		s, err := core.SpawnMux(cfg, name, srv.Addr(), name)
+		if err != nil {
+			pool.Close()
+			srv.Shutdown(0)
+			return nil, nil, err
+		}
+		return s, func() {
+			pool.Close()
+			srv.Shutdown(drainDeadline)
+		}, nil
+	}
 	if !rn.Network {
 		s, err := core.SpawnProgram(cfg, name, prog)
 		return s, func() {}, err

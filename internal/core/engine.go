@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/proc"
 	"repro/internal/tcl"
 	"repro/internal/trace"
@@ -42,6 +43,14 @@ type Engine struct {
 	// remotes maps program names to network addresses (RegisterRemote);
 	// spawning a mapped name dials instead of forking.
 	remotes map[string]string
+	// muxRemotes maps program names to session-gateway addresses
+	// (RegisterRemoteMux); spawning a mapped name opens one multiplexed
+	// stream on the engine-owned pool instead of dialing a fresh socket.
+	muxRemotes map[string]string
+	// muxPool is created lazily on the first mux spawn and closed by
+	// Shutdown. Guarded by muxMu: spawns can race from event handlers.
+	muxMu   sync.Mutex
+	muxPool *netx.MuxPool
 	// transport selects how spawn starts real programs.
 	transport string
 	// childTap/spawnWrap are the observability and fault-injection hooks;
@@ -107,19 +116,20 @@ type EngineOptions struct {
 // command set registered.
 func NewEngine(opt EngineOptions) *Engine {
 	e := &Engine{
-		Interp:    tcl.New(),
-		sessions:  make(map[int]*Session),
-		userIn:    opt.UserIn,
-		userOut:   opt.UserOut,
-		logUser:   true,
-		prof:      opt.Prof,
-		rec:       opt.Rec,
-		matcher:   opt.Matcher,
-		virtuals:  make(map[string]proc.Program),
-		remotes:   make(map[string]string),
-		transport: opt.Transport,
-		childTap:  opt.ChildTap,
-		spawnWrap: opt.SpawnWrap,
+		Interp:     tcl.New(),
+		sessions:   make(map[int]*Session),
+		userIn:     opt.UserIn,
+		userOut:    opt.UserOut,
+		logUser:    true,
+		prof:       opt.Prof,
+		rec:        opt.Rec,
+		matcher:    opt.Matcher,
+		virtuals:   make(map[string]proc.Program),
+		remotes:    make(map[string]string),
+		muxRemotes: make(map[string]string),
+		transport:  opt.Transport,
+		childTap:   opt.ChildTap,
+		spawnWrap:  opt.SpawnWrap,
 	}
 	if e.userIn == nil {
 		e.userIn = os.Stdin
@@ -179,6 +189,37 @@ func (e *Engine) RegisterVirtual(name string, program proc.Program) {
 // loopback servers without touching the scripts.
 func (e *Engine) RegisterRemote(name, addr string) {
 	e.remotes[name] = addr
+}
+
+// RegisterRemoteMux maps a program name to a session-gateway address:
+// `spawn name` then opens one multiplexed stream on a pooled framed
+// connection to an expectd -mux listener instead of dialing a socket per
+// session. Mux registrations shadow plain remote and virtual ones. The
+// engine lazily creates and owns the connection pool; Shutdown closes it.
+func (e *Engine) RegisterRemoteMux(name, addr string) {
+	e.muxRemotes[name] = addr
+}
+
+// MuxPoolOptions presets the engine-owned mux pool's options. It must be
+// called before the first mux spawn; afterwards the pool exists and the
+// options are frozen.
+func (e *Engine) MuxPoolOptions(opt netx.MuxOptions) {
+	e.muxMu.Lock()
+	defer e.muxMu.Unlock()
+	if e.muxPool == nil {
+		e.muxPool = netx.NewMuxPool(opt)
+	}
+}
+
+// muxPoolLazy returns the engine-owned pool, creating it with defaults on
+// first use.
+func (e *Engine) muxPoolLazy() *netx.MuxPool {
+	e.muxMu.Lock()
+	defer e.muxMu.Unlock()
+	if e.muxPool == nil {
+		e.muxPool = netx.NewMuxPool(netx.MuxOptions{})
+	}
+	return e.muxPool
 }
 
 // Profiler returns the engine's profiler (may be nil).
@@ -359,7 +400,10 @@ func (e *Engine) Spawn(name string, args ...string) (*Session, int, error) {
 		s   *Session
 		err error
 	)
-	if addr, ok := e.remotes[name]; ok {
+	if addr, ok := e.muxRemotes[name]; ok {
+		cfg.Mux = e.muxPoolLazy()
+		s, err = SpawnMux(cfg, name, addr, name)
+	} else if addr, ok := e.remotes[name]; ok {
 		s, err = SpawnNetwork(cfg, name, addr)
 	} else if prog, ok := e.virtuals[name]; ok {
 		s, err = SpawnProgram(cfg, name, prog)
@@ -434,6 +478,12 @@ func (e *Engine) Shutdown() {
 	if e.sched != nil {
 		e.sched.Stop()
 	}
+	e.muxMu.Lock()
+	if e.muxPool != nil {
+		e.muxPool.Close()
+		e.muxPool = nil
+	}
+	e.muxMu.Unlock()
 	e.logMu.Lock()
 	if e.logFile != nil {
 		e.logFile.Close()

@@ -90,6 +90,11 @@ type Config struct {
 	// for the zero-copy experiments. Defaults NetOptions.Stats when that
 	// is unset.
 	Ingest *metrics.IngestStats
+	// Mux, when non-nil, is the pooled gateway client SpawnMux opens
+	// streams on: many sessions share a few framed TCP connections
+	// instead of dialing one socket each. The caller owns the pool's
+	// lifetime; closing a session closes only its stream.
+	Mux *netx.MuxPool
 }
 
 func (c *Config) matchMax() int {
@@ -243,6 +248,29 @@ func SpawnNetwork(cfg *Config, name, addr string) (*Session, error) {
 		return nil, err
 	}
 	p := proc.SpawnStream(name, proc.KindNetwork, nc, nc.WaitStatus, opt)
+	return newSession(cfg, name, p, p), nil
+}
+
+// SpawnMux opens program as one multiplexed stream on a session gateway
+// (an expectd -mux listener at addr) through cfg.Mux's connection pool
+// and adopts the stream as a session. The stream satisfies the full
+// event-capable, ownership-transferring transport contract, so under a
+// sharded scheduler a muxed session runs goroutine-free on the shard
+// loop — the gateway's point: 100k dialogues over a few dozen sockets.
+// WrapTransport composes on the stream as usual, so fault schedules
+// replay over the mux exactly like every other transport.
+func SpawnMux(cfg *Config, name, addr, program string) (*Session, error) {
+	if cfg == nil || cfg.Mux == nil {
+		return nil, errors.New("expect: SpawnMux requires Config.Mux pool")
+	}
+	opt := spawnOptions(cfg)
+	stopFork := opt.Prof.Start(metrics.PhaseFork)
+	st, err := cfg.Mux.Open(addr, program)
+	stopFork()
+	if err != nil {
+		return nil, err
+	}
+	p := proc.SpawnStream(name, proc.KindMux, st, st.WaitStatus, opt)
 	return newSession(cfg, name, p, p), nil
 }
 

@@ -32,6 +32,7 @@ func All(repoRoot string) []Spec {
 		{"E20", "replay journal & checkpoint economics", ReplayEconomics},
 		{"E21", "telemetry plane economics", TelemetryEconomics},
 		{"E22", "register bytecode vm economics", VMBytecode},
+		{"E23", "session gateway: 100k multiplexed sessions via expectd -mux", func() (Result, error) { return MuxGatewayScaling(repoRoot) }},
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netx"
 	"repro/internal/testutil"
 )
 
@@ -97,6 +98,13 @@ func startDaemon(t *testing.T, args ...string) *crashDaemon {
 			var name, addr string
 			if _, err := fmt.Sscanf(line, "expectd: serving %s on %s", &name, &addr); err == nil {
 				d.addrs[name] = addr
+				continue
+			}
+			// The session gateway advertises itself under the reserved
+			// name "mux" (program names never collide with it: the
+			// registry has no program called mux).
+			if _, err := fmt.Sscanf(line, "expectd: mux on %s", &addr); err == nil {
+				d.addrs["mux"] = addr
 				continue
 			}
 			if line == "expectd: ready" {
@@ -435,6 +443,255 @@ func TestCrashRecoverySoak(t *testing.T) {
 	matches, timeouts := tall.matches.Load(), tall.timeouts.Load()
 	eofs, errs := tall.eofs.Load(), tall.errors.Load()
 	t.Logf("crash battery: %d dialogues across the crash: %d matches %d timeouts %d EOFs %d errors",
+		dialogues, matches, timeouts, eofs, errs)
+	if errs != 0 {
+		t.Errorf("%d dialogue errors across the crash", errs)
+	}
+	if dialogues != expected {
+		t.Errorf("lost dialogues: scheduled %d, ran %d", expected, dialogues)
+	}
+	if got := matches + timeouts + eofs; got != dialogues {
+		t.Errorf("conservation broken across the crash: %d+%d+%d = %d, want %d",
+			matches, timeouts, eofs, got, dialogues)
+	}
+}
+
+// TestMuxCrashRecoverySoak is the gateway arm of the crash battery: 2048
+// sessions ride a handful of pooled framed connections into one expectd
+// -mux gateway, checkpoint at a seeded point, and the gateway is
+// SIGKILLed — which tears down every muxed connection at once, the
+// failure mode the one-socket-per-session battery above cannot produce
+// (there a dead daemon costs each session only its own socket; here one
+// lost TCP connection strands thousands of streams). Every session then
+// restores from its checkpoint file against a fresh gateway over a fresh
+// pool, a 16-session cohort resuming expects that were parked when the
+// lights went out. The conservation law must hold with zero lost
+// dialogues, and the client side must never have held more than the
+// pool's connection bound in sockets.
+func TestMuxCrashRecoverySoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash battery: skipped under -short")
+	}
+	defer testutil.LeakCheck(t, 25, 20*time.Second)()
+
+	const (
+		sessions = 2048
+		cohort   = 16 // sessions that crash with a parked expect
+		shards   = 8
+		maxConns = 4 // 2048 sessions over at most 4 sockets
+		seed     = 2611
+	)
+
+	rng := rand.New(rand.NewSource(seed))
+	pre := make([]int, sessions)
+	post := make([]int, sessions)
+	kinds := make([][]string, sessions)
+	var expected int64
+	for i := range pre {
+		pre[i] = 1 + rng.Intn(2)
+		post[i] = 1 + rng.Intn(2)
+		for n := 0; n < pre[i]+post[i]; n++ {
+			k := "match"
+			if rng.Intn(8) == 0 {
+				k = "timeout"
+			}
+			kinds[i] = append(kinds[i], k)
+		}
+		if i%37 == 0 {
+			kinds[i][len(kinds[i])-1] = "eof"
+		}
+		expected += int64(pre[i] + post[i])
+		if i < cohort {
+			expected++ // the crash-straddling resume dialogue
+		}
+	}
+
+	d := startDaemon(t, "-serve", "echo", "-mux", "127.0.0.1:0", "-grace", "60s")
+	muxAddr := d.addrs["mux"]
+	if muxAddr == "" {
+		t.Fatalf("daemon did not advertise its gateway: %v", d.addrs)
+	}
+
+	sc := core.NewScheduler(core.SchedulerOptions{Shards: shards})
+	prof := metrics.NewProfiler()
+	pool := netx.NewMuxPool(netx.MuxOptions{MaxConns: maxConns})
+	tall := &counters{}
+	live := make([]*core.Session, sessions)
+
+	// Phase 1: open all 2048 streams through the pool and run the
+	// pre-crash slice of each schedule; the cohort then parks a long
+	// expect that will be mid-flight when the gateway dies.
+	var wg sync.WaitGroup
+	spawnErr := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := &core.Config{Sched: sc, SID: int32(i + 1), Prof: prof, Mux: pool}
+			s, err := core.SpawnMux(cfg, fmt.Sprintf("muxcrash-%d", i), muxAddr, "echo")
+			if err != nil {
+				spawnErr <- fmt.Errorf("open stream %d: %w", i, err)
+				return
+			}
+			live[i] = s
+			for n := 0; n < pre[i]; n++ {
+				crashDialogue(s, tall, kinds[i][n], n)
+			}
+			if i < cohort {
+				tall.dialogues.Add(1)
+				go s.ExpectTimeout(10*time.Minute,
+					core.Exact(fmt.Sprintf("echo:resume-%d\n", i)), core.EOFCase())
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(spawnErr)
+	for err := range spawnErr {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Conns > maxConns {
+		t.Fatalf("pool used %d connections for %d sessions, bound is %d", st.Conns, sessions, maxConns)
+	} else {
+		t.Logf("mux crash battery: %d sessions over %d pooled connections", sessions, st.Conns)
+	}
+
+	// Wait until every cohort op is actually parked on its shard loop.
+	for i := 0; i < cohort; i++ {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			cp, err := sc.CheckpointSession(live[i])
+			if err != nil {
+				t.Fatalf("checkpoint poll %d: %v", i, err)
+			}
+			if len(cp.Pending) > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("session %d never parked its resume expect", i)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	ckptDir := t.TempDir()
+	ckptFile := func(i int) string { return filepath.Join(ckptDir, fmt.Sprintf("sess-%04d.json", i)) }
+	for i, s := range live {
+		cp, err := sc.CheckpointSession(s)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		if i < cohort && len(cp.Pending) != 1 {
+			t.Fatalf("session %d checkpoint carries %d pending ops, want 1", i, len(cp.Pending))
+		}
+		if err := os.WriteFile(ckptFile(i), cp.Marshal(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The crash: SIGKILL. Four TCP connections die and take all 2048
+	// streams with them — every stream finishes with EOF at once.
+	d.kill()
+
+	for _, s := range live {
+		s.Close()
+		s.WaitPumpDrained()
+	}
+	pool.Close()
+	sc.Stop()
+
+	// Recovery: fresh gateway, fresh pool, sessions rebuilt from their
+	// checkpoint files with a fresh stream as the live transport.
+	d2 := startDaemon(t, "-serve", "echo", "-mux", "127.0.0.1:0", "-grace", "60s")
+	muxAddr2 := d2.addrs["mux"]
+	pool2 := netx.NewMuxPool(netx.MuxOptions{MaxConns: maxConns})
+	defer pool2.Close()
+
+	restoreErr := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, err := os.ReadFile(ckptFile(i))
+			if err != nil {
+				restoreErr <- err
+				return
+			}
+			cp, err := core.ParseSessionCheckpoint(b)
+			if err != nil {
+				restoreErr <- fmt.Errorf("parse checkpoint %d: %w", i, err)
+				return
+			}
+			st, err := pool2.Open(muxAddr2, "echo")
+			if err != nil {
+				restoreErr <- fmt.Errorf("reopen stream %d: %w", i, err)
+				return
+			}
+			s, err := core.RestoreSession(&core.Config{Prof: prof}, cp, st)
+			if err != nil {
+				st.Close()
+				restoreErr <- fmt.Errorf("restore %d: %w", i, err)
+				return
+			}
+			defer func() {
+				s.Close()
+				s.WaitPumpDrained()
+			}()
+			if got := s.TotalSeen(); got != cp.TotalSeen {
+				restoreErr <- fmt.Errorf("session %d: restored TotalSeen %d, checkpoint says %d", i, got, cp.TotalSeen)
+				return
+			}
+			if i < cohort {
+				res := make(chan *core.MatchResult, 1)
+				resErr := make(chan error, 1)
+				go func() {
+					r, err := s.ResumeExpect(cp.Pending[0])
+					if err != nil {
+						resErr <- err
+						return
+					}
+					res <- r
+				}()
+				s.Send(fmt.Sprintf("resume-%d\n", i))
+				select {
+				case r := <-res:
+					if r.Eof || r.TimedOut {
+						restoreErr <- fmt.Errorf("session %d: resumed expect resolved %+v, want match", i, r)
+						return
+					}
+					tall.matches.Add(1)
+				case err := <-resErr:
+					restoreErr <- fmt.Errorf("session %d: resumed expect: %w", i, err)
+					return
+				case <-time.After(30 * time.Second):
+					restoreErr <- fmt.Errorf("session %d: resumed expect never resolved", i)
+					return
+				}
+			}
+			for n := 0; n < post[i]; n++ {
+				crashDialogue(s, tall, kinds[i][pre[i]+n], pre[i]+n)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(restoreErr)
+	for err := range restoreErr {
+		t.Error(err)
+	}
+	if t.Failed() {
+		d2.kill()
+		t.FailNow()
+	}
+
+	// The surviving gateway must drain clean: every restored stream hung
+	// up tidily, so no session was cut.
+	if err := d2.stop(); err != nil {
+		t.Error(err)
+	}
+
+	dialogues := tall.dialogues.Load()
+	matches, timeouts := tall.matches.Load(), tall.timeouts.Load()
+	eofs, errs := tall.eofs.Load(), tall.errors.Load()
+	t.Logf("mux crash battery: %d dialogues across the crash: %d matches %d timeouts %d EOFs %d errors",
 		dialogues, matches, timeouts, eofs, errs)
 	if errs != 0 {
 		t.Errorf("%d dialogue errors across the crash", errs)

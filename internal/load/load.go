@@ -70,6 +70,24 @@ func ServeLoopback(slowGap time.Duration, burstLines int) (*NetAddrs, func(grace
 	return &NetAddrs{Echo: addrs[0], Slow: addrs[1], Bursty: addrs[2]}, stop, nil
 }
 
+// ServeMuxLoopback stands up one in-process session gateway serving the
+// three talker programs by name (echo, slow, bursty) for a gateway-mode
+// workbench run — the hermetic stand-in for an expectd -mux process.
+// Shut it down with (*netx.MuxServer).Shutdown.
+func ServeMuxLoopback(slowGap time.Duration, burstLines int, opt netx.MuxServerOptions) (*netx.MuxServer, error) {
+	if slowGap <= 0 {
+		slowGap = 100 * time.Microsecond
+	}
+	if burstLines <= 0 {
+		burstLines = 8
+	}
+	return netx.NewMuxServer("127.0.0.1:0", map[string]proc.Program{
+		"echo":   EchoServer(),
+		"slow":   SlowTalker(slowGap),
+		"bursty": BurstyLogger(burstLines),
+	}, opt)
+}
+
 // Mix weighs the dialogue kinds the seeded driver deals out. The zero
 // value means the default mix (mostly matches, a sprinkling of the
 // other three).
@@ -119,6 +137,20 @@ type Config struct {
 	// virtual programs in-process. The dialogue mix, seeds, and flaky-cut
 	// schedule are identical; only the transport changes.
 	Net *NetAddrs
+	// MuxAddrs, when non-empty, switches the workbench to gateway mode:
+	// workers open framed streams on these expectd -mux addresses through
+	// one run-owned connection pool (core.SpawnMux) instead of dialing a
+	// socket per session. Addresses are dealt round-robin by worker id, so
+	// an E23 run spreads its sessions across every gateway process. The
+	// dialogue mix, seeds, and flaky-cut schedule are identical to the
+	// other transports. Takes precedence over Net.
+	MuxAddrs []string
+	// MuxConns bounds pooled connections per gateway address (0 = the
+	// netx default of 8); the E23 acceptance bound is ≤64 per process.
+	MuxConns int
+	// MuxStreamsPerConn bounds concurrent streams per pooled connection
+	// (0 = the netx default of 2048).
+	MuxStreamsPerConn int
 	// LegacyNet pins network sessions to the copying slab ingest path —
 	// reader goroutine per connection, no segment pool, no readiness
 	// loop. It is the frozen referee the E19 zero-copy comparison
@@ -209,6 +241,13 @@ type Result struct {
 	// evidence at 10k sessions.
 	GoroutinePeak int
 
+	// Gateway-mode reporting (zero otherwise): pooled TCP connections
+	// live at the end of the dialogue phase — the "K sessions over how
+	// many sockets" number E23's ≤64-per-process bound reads — and
+	// streams opened over the whole run (respawns included).
+	MuxConns         int
+	MuxStreamsOpened uint64
+
 	// Wakeup is the engine's wakeup-to-match latency distribution;
 	// Dialogue is end-to-end per-dialogue latency as the driver saw it.
 	Wakeup   metrics.HistSummary
@@ -237,6 +276,8 @@ type worker struct {
 	// segment pool.
 	ingest *metrics.IngestStats
 	pool   *netx.SegmentPool
+	// mux is the run-owned gateway connection pool (gateway mode only).
+	mux *netx.MuxPool
 }
 
 // respawn replaces w.s with a fresh incarnation of the worker's program.
@@ -275,7 +316,7 @@ func (w *worker) respawn() error {
 			cfg.SpawnOptions.WrapTransport = faultify.Wrapper(cut, nil)
 		}
 	}
-	if net := w.cfg.Net; net != nil {
+	if net := w.cfg.Net; net != nil && w.mux == nil {
 		switch w.id % 4 {
 		case 0:
 			addr = net.Echo
@@ -290,7 +331,18 @@ func (w *worker) respawn() error {
 	label := fmt.Sprintf("%s-%d.%d", name, w.id, w.gen)
 	var s *core.Session
 	var err error
-	if addr != "" {
+	if w.mux != nil {
+		// Gateway mode: the stream is opened by program name on a pooled
+		// framed connection (flaky = echo behind the client-side cut, same
+		// as network mode).
+		prog := name
+		if prog == "flaky" {
+			prog = "echo"
+		}
+		gw := w.cfg.MuxAddrs[w.id%len(w.cfg.MuxAddrs)]
+		cfg.Mux = w.mux
+		s, err = core.SpawnMux(cfg, label, gw, prog)
+	} else if addr != "" {
 		s, err = core.SpawnNetwork(cfg, label, addr)
 	} else {
 		s, err = core.SpawnProgram(cfg, label, program)
@@ -393,11 +445,25 @@ func Run(cfg Config) (*Result, error) {
 	// reuse crosses sessions and the per-dialogue quotients aggregate.
 	var ingest *metrics.IngestStats
 	var pool *netx.SegmentPool
-	if cfg.Net != nil {
+	if cfg.Net != nil || len(cfg.MuxAddrs) > 0 {
 		ingest = &metrics.IngestStats{}
 		if !cfg.LegacyNet {
 			pool = netx.NewSegmentPool(netx.Options{}.ReadChunk(), ingest)
 		}
+	}
+
+	// Gateway mode shares one connection pool across every worker: that
+	// is the architecture under test — K sessions over a bounded set of
+	// framed sockets, not K sockets.
+	var muxPool *netx.MuxPool
+	if len(cfg.MuxAddrs) > 0 {
+		muxPool = netx.NewMuxPool(netx.MuxOptions{
+			MaxConns:          cfg.MuxConns,
+			MaxStreamsPerConn: cfg.MuxStreamsPerConn,
+			Stats:             ingest,
+			Pool:              pool,
+		})
+		defer muxPool.Close()
 	}
 
 	if cfg.OnScheduler != nil {
@@ -430,6 +496,7 @@ func Run(cfg Config) (*Result, error) {
 			hist:   dialHist,
 			ingest: ingest,
 			pool:   pool,
+			mux:    muxPool,
 		}
 		if err := workers[i].respawn(); err != nil {
 			return nil, fmt.Errorf("load: spawn session %d: %w", i, err)
@@ -483,6 +550,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var muxStats netx.MuxPoolStats
+	if muxPool != nil {
+		// Snapshot while sessions are still open: Conns is the live
+		// socket count carrying all K sessions.
+		muxStats = muxPool.Stats()
+	}
 	close(sampleStop)
 	sampleDone.Wait()
 	if n := runtime.NumGoroutine(); n > goroPeak {
@@ -511,6 +584,10 @@ func Run(cfg Config) (*Result, error) {
 		res.DialoguesPerSec = float64(res.Dialogues) / elapsed.Seconds()
 	}
 	res.GoroutinePeak = goroPeak
+	if muxPool != nil {
+		res.MuxConns = muxStats.Conns
+		res.MuxStreamsOpened = muxStats.Opened
+	}
 	if ingest != nil {
 		res.BytesCopied = ingest.BytesCopied()
 		res.BytesHandedOff = ingest.BytesHandedOff()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netx"
 )
 
 // TestDialogueConservation is the workbench's metamorphic property:
@@ -137,6 +138,57 @@ func TestNetworkModeConservation(t *testing.T) {
 		}
 		if res.Matches == 0 || res.Timeouts == 0 || res.EOFs == 0 || res.Overflows == 0 {
 			t.Errorf("net/shards=%d: degenerate mix: %+v", shards, res)
+		}
+	}
+}
+
+// TestMuxModeConservation reruns the conservation property in gateway
+// mode: every worker's session is a framed stream on a shared connection
+// pool to one in-process mux gateway — same mix, same seeds, same flaky
+// cut. Beyond the conservation law, this pins the architecture under
+// test: all K sessions ride a handful of pooled sockets (MuxConns ≤ the
+// configured bound), and the gateway drains clean afterwards.
+func TestMuxModeConservation(t *testing.T) {
+	gw, err := ServeMuxLoopback(0, 0, netx.MuxServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if !gw.Shutdown(10 * time.Second) {
+			t.Error("gateway did not drain clean")
+		}
+	}()
+	for _, shards := range []int{0, 4} {
+		res, err := Run(Config{
+			Sessions:  12,
+			Dialogues: 15,
+			Shards:    shards,
+			Seed:      42,
+			MuxAddrs:  []string{gw.Addr()},
+			MuxConns:  2,
+		})
+		if err != nil {
+			t.Fatalf("mux/shards=%d: %v", shards, err)
+		}
+		if res.Errors != 0 {
+			t.Errorf("mux/shards=%d: %d dialogue errors", shards, res.Errors)
+		}
+		if got := res.Matches + res.Timeouts + res.EOFs; got != res.Dialogues {
+			t.Errorf("mux/shards=%d: matches %d + timeouts %d + EOFs %d = %d, want %d dialogues",
+				shards, res.Matches, res.Timeouts, res.EOFs, got, res.Dialogues)
+		}
+		if res.Dropped != 0 {
+			t.Errorf("mux/shards=%d: scheduler dropped %d events", shards, res.Dropped)
+		}
+		if res.Matches == 0 || res.Timeouts == 0 || res.EOFs == 0 || res.Overflows == 0 {
+			t.Errorf("mux/shards=%d: degenerate mix: %+v", shards, res)
+		}
+		if res.MuxConns < 1 || res.MuxConns > 2 {
+			t.Errorf("mux/shards=%d: %d pooled connections, want 1..2", shards, res.MuxConns)
+		}
+		if res.MuxStreamsOpened < uint64(res.Sessions) {
+			t.Errorf("mux/shards=%d: only %d streams opened for %d sessions",
+				shards, res.MuxStreamsOpened, res.Sessions)
 		}
 	}
 }

@@ -1,0 +1,108 @@
+package mux
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzMuxFrameRoundTrip is the adversarial decoder fuzz, styled after
+// FuzzJournalRoundTrip: arbitrary bytes hit the production decoder and
+// must partition cleanly into a well-formed frame prefix and, when the
+// input is not entirely well-formed, one positioned *FrameError — never
+// a panic, never an unpositioned error, never an allocation past
+// MaxPayload. The well-formed prefix must re-encode byte-identically
+// (the canonical fixpoint property) and end exactly where the decoder
+// says it does.
+//
+// Seeds cover the attack shapes the protocol must survive: truncated
+// headers and payloads, unknown types, oversized length prefixes,
+// zero-stream data, and frames of two sessions interleaved mid-stream.
+func FuzzMuxFrameRoundTrip(f *testing.F) {
+	// The production encoder's own output: a two-session interleaved
+	// gateway dialogue with ping, refusal, and drain frames.
+	good := wire(dialogueFrames()...)
+	f.Add(good)
+	f.Add(good[:len(good)-1])        // truncated final payload
+	f.Add(good[:HeaderLen-2])        // truncated first header
+	f.Add(good[:len(good)-3])        // mid-payload cut
+	f.Add([]byte{})                  // empty input is a clean EOF
+	f.Add(make([]byte, HeaderLen*3)) // all-zero headers: unknown type 0
+
+	unknown := append([]byte{}, good...)
+	unknown[4] = 0x7f // first frame's type byte
+	f.Add(unknown)
+
+	oversized := wire(Frame{Type: TypeData, Stream: 9, Payload: []byte("x")})
+	oversized[0], oversized[1] = 0xff, 0xff // length prefix claims ~4 GiB
+	f.Add(oversized)
+
+	zeroStream := wire(Frame{Type: TypeData, Stream: 1, Payload: []byte("hi")})
+	zeroStream[6], zeroStream[7], zeroStream[8], zeroStream[9] = 0, 0, 0, 0
+	f.Add(zeroStream)
+
+	f.Add(wire(
+		Frame{Type: TypeData, Stream: 2, Payload: bytes.Repeat([]byte("ab"), 600)},
+		Frame{Type: TypeGoaway, Stream: 0, Payload: []byte("draining")},
+		Frame{Type: TypeClose, Stream: 2, Flags: FlagHalfClose | FlagError},
+	))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dec := NewDecoder(bytes.NewReader(raw))
+		var reenc []byte
+		for {
+			fr, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var fe *FrameError
+				if !errors.As(err, &fe) {
+					t.Fatalf("decode error is %T (%v), want *FrameError", err, err)
+				}
+				if fe.Offset < 0 || fe.Offset > int64(len(raw)) {
+					t.Fatalf("error offset %d out of input bounds [0,%d]", fe.Offset, len(raw))
+				}
+				if fe.Offset != dec.Offset() {
+					t.Fatalf("error offset %d != decoder offset %d", fe.Offset, dec.Offset())
+				}
+				if fe.Error() == "" {
+					t.Fatal("empty error message")
+				}
+				break
+			}
+			if len(fr.Payload) > MaxPayload {
+				t.Fatalf("decoder produced %d-byte payload past MaxPayload", len(fr.Payload))
+			}
+			// Keeping the payload across Next calls requires a copy;
+			// AppendFrame copies, so re-encoding now is safe.
+			reenc = AppendFrame(reenc, fr)
+		}
+		// Over-allocation bound: the reused payload buffer never grows past
+		// one frame, no matter what the length prefixes claimed.
+		if cap(dec.buf) > MaxPayload {
+			t.Fatalf("decoder buffer grew to %d, past MaxPayload %d", cap(dec.buf), MaxPayload)
+		}
+		// Fixpoint: the decoded prefix re-encodes to exactly the bytes the
+		// decoder says it consumed.
+		if int64(len(reenc)) != dec.Offset() {
+			t.Fatalf("re-encoded %d bytes, decoder consumed %d", len(reenc), dec.Offset())
+		}
+		if !bytes.Equal(reenc, raw[:len(reenc)]) {
+			t.Fatalf("re-encoding is not a fixpoint:\n got %x\nwant %x", reenc, raw[:len(reenc)])
+		}
+		// And the prefix is stable: decoding it again consumes all of it.
+		dec2 := NewDecoder(bytes.NewReader(reenc))
+		for {
+			if _, err := dec2.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("good prefix does not re-decode: %v", err)
+			}
+		}
+		if dec2.Offset() != int64(len(reenc)) {
+			t.Fatalf("prefix re-decode consumed %d of %d", dec2.Offset(), len(reenc))
+		}
+	})
+}

@@ -1,0 +1,240 @@
+// Package mux is the framed wire protocol of the session gateway: a
+// length-prefixed binary framing that lets one TCP connection host many
+// concurrent expect sessions, each identified by a stream id.
+//
+// Frame grammar (all integers big-endian):
+//
+//	frame  := header payload
+//	header := length(u32) type(u8) flags(u8) stream(u32)   — 10 bytes
+//
+// length counts payload bytes only and is bounded by MaxPayload, so a
+// hostile peer cannot make the decoder allocate more than one frame's
+// worth of memory. Five frame types:
+//
+//	OPEN   client → server   open stream id; payload = program NUL tenant
+//	DATA   both directions   payload = session bytes for stream id
+//	CLOSE  both directions   stream is over. FlagHalfClose from the
+//	                         client half-closes (program stdin EOF, its
+//	                         output keeps flowing); without the flag the
+//	                         close is a cancel and the server discards
+//	                         further output. From the server it reports
+//	                         the program returned (FlagError = it
+//	                         returned an error).
+//	PING   both directions   liveness probe on stream 0; FlagAck replies.
+//	GOAWAY server → client   stream id N>0: that OPEN was refused,
+//	                         payload = reason ("quota", "draining", ...).
+//	                         stream id 0: the connection is draining —
+//	                         open no new streams; in-flight streams run
+//	                         to completion (the hot-drain handshake).
+//
+// The decoder is strict and positioned: any malformed input — truncated
+// header or payload, unknown type, oversized length, zero stream id on a
+// stream-scoped frame — fails with a *FrameError carrying the byte
+// offset of the offending frame, and never panics. Every well-formed
+// frame re-encodes byte-identically (the encoding has no redundancy),
+// which is the round-trip property FuzzMuxFrameRoundTrip pins.
+package mux
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// HeaderLen is the fixed frame header size in bytes.
+const HeaderLen = 10
+
+// MaxPayload bounds one frame's payload. A decoder never allocates more
+// than this for a single frame, so a hostile length prefix cannot drive
+// memory allocation.
+const MaxPayload = 64 << 10
+
+// Type is the frame type tag.
+type Type uint8
+
+// Frame types. Zero is deliberately invalid so an all-zero header is
+// rejected rather than silently decoded.
+const (
+	TypeOpen   Type = 1
+	TypeData   Type = 2
+	TypeClose  Type = 3
+	TypePing   Type = 4
+	TypeGoaway Type = 5
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeOpen:
+		return "OPEN"
+	case TypeData:
+		return "DATA"
+	case TypeClose:
+		return "CLOSE"
+	case TypePing:
+		return "PING"
+	case TypeGoaway:
+		return "GOAWAY"
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Frame flags. Bits are interpreted per type; unknown bits round-trip
+// verbatim so a newer peer's flags survive re-encoding.
+const (
+	// FlagHalfClose on CLOSE: only the client→server direction ends
+	// (program stdin EOF); the program's remaining output still flows.
+	FlagHalfClose uint8 = 1 << 0
+	// FlagError on a server CLOSE: the program returned an error.
+	FlagError uint8 = 1 << 1
+	// FlagAck on PING marks the reply.
+	FlagAck uint8 = 1 << 0
+)
+
+// Frame is one decoded protocol frame. Payload returned by Decoder.Next
+// aliases the decoder's internal buffer and is valid only until the next
+// Next call; callers that keep it must copy.
+type Frame struct {
+	Type    Type
+	Flags   uint8
+	Stream  uint32
+	Payload []byte
+}
+
+// EncodedLen reports the wire size of f.
+func (f Frame) EncodedLen() int { return HeaderLen + len(f.Payload) }
+
+// AppendFrame appends the wire encoding of f to dst. Frames are
+// validated on the way out too — an oversized payload or an invalid
+// type/stream combination panics, because the sender constructing such a
+// frame is a programming error the peer would reject anyway.
+func AppendFrame(dst []byte, f Frame) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("mux: frame payload %d exceeds MaxPayload %d", len(f.Payload), MaxPayload))
+	}
+	if err := validate(f.Type, f.Stream, len(f.Payload)); err != nil {
+		panic("mux: encoding invalid frame: " + err.Error())
+	}
+	var hdr [HeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(f.Payload)))
+	hdr[4] = uint8(f.Type)
+	hdr[5] = f.Flags
+	binary.BigEndian.PutUint32(hdr[6:10], f.Stream)
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// validate holds the type/stream rules shared by encoder and decoder.
+func validate(t Type, stream uint32, plen int) error {
+	switch t {
+	case TypeOpen, TypeData, TypeClose:
+		if stream == 0 {
+			return fmt.Errorf("%s frame on stream 0", t)
+		}
+	case TypePing:
+		if stream != 0 {
+			return fmt.Errorf("PING frame on stream %d, must be 0", stream)
+		}
+	case TypeGoaway:
+		// Any stream: 0 = connection drain, N = refused open.
+	default:
+		return fmt.Errorf("unknown frame type %d", uint8(t))
+	}
+	if t == TypePing && plen > 64 {
+		return fmt.Errorf("PING payload %d bytes, max 64", plen)
+	}
+	return nil
+}
+
+// FrameError is a positioned decode failure: Offset is the byte offset
+// (from the start of the decoder's stream) of the frame header that
+// failed to decode.
+type FrameError struct {
+	Offset int64
+	Msg    string
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("mux: offset %d: %s", e.Offset, e.Msg)
+}
+
+// Decoder reads frames off a byte stream, tracking its offset for
+// positioned errors. The payload buffer is reused across Next calls and
+// never grows past MaxPayload.
+type Decoder struct {
+	r   io.Reader
+	off int64
+	hdr [HeaderLen]byte
+	buf []byte
+}
+
+// NewDecoder wraps r. The caller supplies buffering (bufio) if the
+// reader is unbuffered; the decoder issues exactly two reads per frame.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Offset reports how many bytes of well-formed frames have been
+// consumed — after an error, the offset of the frame that failed.
+func (d *Decoder) Offset() int64 { return d.off }
+
+// Next decodes one frame. io.EOF is returned only at a clean frame
+// boundary; any mid-frame truncation or malformed header fails with a
+// *FrameError positioned at the frame's start. The returned payload is
+// valid only until the next call.
+func (d *Decoder) Next() (Frame, error) {
+	start := d.off
+	n, err := io.ReadFull(d.r, d.hdr[:])
+	if err != nil {
+		if n == 0 && (err == io.EOF || err == io.ErrUnexpectedEOF) {
+			return Frame{}, io.EOF
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, &FrameError{Offset: start, Msg: fmt.Sprintf("truncated header: %d of %d bytes", n, HeaderLen)}
+		}
+		return Frame{}, err
+	}
+	plen := binary.BigEndian.Uint32(d.hdr[0:4])
+	t := Type(d.hdr[4])
+	flags := d.hdr[5]
+	stream := binary.BigEndian.Uint32(d.hdr[6:10])
+	if plen > MaxPayload {
+		return Frame{}, &FrameError{Offset: start, Msg: fmt.Sprintf("payload length %d exceeds max %d", plen, MaxPayload)}
+	}
+	if verr := validate(t, stream, int(plen)); verr != nil {
+		return Frame{}, &FrameError{Offset: start, Msg: verr.Error()}
+	}
+	if int(plen) > cap(d.buf) {
+		d.buf = make([]byte, plen)
+	}
+	d.buf = d.buf[:plen]
+	if k, err := io.ReadFull(d.r, d.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, &FrameError{Offset: start, Msg: fmt.Sprintf("truncated payload: %d of %d bytes", k, plen)}
+		}
+		return Frame{}, err
+	}
+	d.off += int64(HeaderLen) + int64(plen)
+	return Frame{Type: t, Flags: flags, Stream: stream, Payload: d.buf}, nil
+}
+
+// AppendOpen appends an OPEN payload: program NUL tenant. Program names
+// must be NUL-free (enforced at the session layer by ParseOpen).
+func AppendOpen(dst []byte, program, tenant string) []byte {
+	dst = append(dst, program...)
+	dst = append(dst, 0)
+	return append(dst, tenant...)
+}
+
+// ParseOpen splits an OPEN payload into program and tenant.
+func ParseOpen(p []byte) (program, tenant string, err error) {
+	i := bytes.IndexByte(p, 0)
+	if i < 0 {
+		return "", "", fmt.Errorf("mux: OPEN payload missing program/tenant separator")
+	}
+	if i == 0 {
+		return "", "", fmt.Errorf("mux: OPEN payload has empty program name")
+	}
+	if bytes.IndexByte(p[i+1:], 0) >= 0 {
+		return "", "", fmt.Errorf("mux: OPEN payload has stray NUL in tenant")
+	}
+	return string(p[:i]), string(p[i+1:]), nil
+}

@@ -1,0 +1,158 @@
+package mux
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// wire encodes a frame sequence the way both gateway endpoints do.
+func wire(frames ...Frame) []byte {
+	var b []byte
+	for _, f := range frames {
+		b = AppendFrame(b, f)
+	}
+	return b
+}
+
+// dialogueFrames is a realistic gateway exchange: two interleaved
+// sessions on one connection, a ping, a refusal, and a drain notice.
+func dialogueFrames() []Frame {
+	return []Frame{
+		{Type: TypeOpen, Stream: 1, Payload: AppendOpen(nil, "echo", "acme")},
+		{Type: TypeOpen, Stream: 3, Payload: AppendOpen(nil, "slow", "acme")},
+		{Type: TypeData, Stream: 1, Payload: []byte("m0\n")},
+		{Type: TypeData, Stream: 3, Payload: []byte("hello there\n")},
+		{Type: TypePing, Stream: 0, Payload: []byte("p1")},
+		{Type: TypePing, Stream: 0, Flags: FlagAck, Payload: []byte("p1")},
+		{Type: TypeData, Stream: 1, Payload: []byte("echo:m0\n")},
+		{Type: TypeGoaway, Stream: 5, Payload: []byte("quota")},
+		{Type: TypeClose, Stream: 1, Flags: FlagHalfClose},
+		{Type: TypeClose, Stream: 1},
+		{Type: TypeGoaway, Stream: 0, Payload: []byte("draining")},
+		{Type: TypeClose, Stream: 3, Flags: FlagError, Payload: []byte("boom")},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := dialogueFrames()
+	raw := wire(want...)
+	dec := NewDecoder(bytes.NewReader(raw))
+	for i, w := range want {
+		f, err := dec.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != w.Type || f.Flags != w.Flags || f.Stream != w.Stream || !bytes.Equal(f.Payload, w.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, f, w)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at the end, got %v", err)
+	}
+	if dec.Offset() != int64(len(raw)) {
+		t.Fatalf("decoder consumed %d of %d bytes", dec.Offset(), len(raw))
+	}
+}
+
+func TestDecoderPositionedErrors(t *testing.T) {
+	good := wire(dialogueFrames()[:3]...)
+	cases := []struct {
+		name string
+		raw  []byte
+		want string // substring of the error
+	}{
+		{"truncated header", good[:len(good)-HeaderLen-3+2], "truncated header"},
+		{"truncated payload", good[:len(good)-1], "truncated payload"},
+		{"unknown type", wireBad(good, func(h []byte) { h[4] = 9 }), "unknown frame type 9"},
+		{"oversized length", wireBad(good, func(h []byte) { h[0] = 0xff }), "exceeds max"},
+		{"data on stream 0", wireBad(good, func(h []byte) { h[4] = byte(TypeData); h[6], h[7], h[8], h[9] = 0, 0, 0, 0 }), "DATA frame on stream 0"},
+		{"ping on a stream", wireBad(good, func(h []byte) { h[4] = byte(TypePing); h[9] = 7; h[0], h[1], h[2], h[3] = 0, 0, 0, 0 }), "must be 0"},
+		{"all zero header", append(append([]byte{}, good...), make([]byte, HeaderLen)...), "unknown frame type 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec := NewDecoder(bytes.NewReader(tc.raw))
+			var ferr *FrameError
+			for {
+				_, err := dec.Next()
+				if err == nil {
+					continue
+				}
+				if err == io.EOF {
+					t.Fatalf("decoded to clean EOF, wanted a FrameError %q", tc.want)
+				}
+				if !errors.As(err, &ferr) {
+					t.Fatalf("error is %T (%v), want *FrameError", err, err)
+				}
+				break
+			}
+			if !strings.Contains(ferr.Msg, tc.want) {
+				t.Fatalf("error %q does not mention %q", ferr.Msg, tc.want)
+			}
+			if ferr.Offset < 0 || ferr.Offset > int64(len(tc.raw)) {
+				t.Fatalf("error offset %d out of bounds [0,%d]", ferr.Offset, len(tc.raw))
+			}
+			// The offset must point at the start of the bad frame: the good
+			// prefix before it re-decodes cleanly.
+			dec2 := NewDecoder(bytes.NewReader(tc.raw[:ferr.Offset]))
+			for {
+				_, err := dec2.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("good prefix before offset %d does not decode: %v", ferr.Offset, err)
+				}
+			}
+		})
+	}
+}
+
+// wireBad appends one frame to good and corrupts its header with mutate.
+func wireBad(good []byte, mutate func(hdr []byte)) []byte {
+	raw := append([]byte{}, good...)
+	raw = AppendFrame(raw, Frame{Type: TypeClose, Stream: 7})
+	mutate(raw[len(raw)-HeaderLen:])
+	return raw
+}
+
+func TestOpenPayload(t *testing.T) {
+	p := AppendOpen(nil, "eliza-sim", "tenant-7")
+	prog, ten, err := ParseOpen(p)
+	if err != nil || prog != "eliza-sim" || ten != "tenant-7" {
+		t.Fatalf("ParseOpen = %q %q %v", prog, ten, err)
+	}
+	if _, _, err := ParseOpen([]byte("no-separator")); err == nil {
+		t.Fatal("missing separator accepted")
+	}
+	if _, _, err := ParseOpen([]byte("\x00tenant")); err == nil {
+		t.Fatal("empty program accepted")
+	}
+	if _, _, err := ParseOpen([]byte("p\x00t\x00x")); err == nil {
+		t.Fatal("stray NUL accepted")
+	}
+	// Empty tenant is legal: it means the default tenant.
+	if prog, ten, err := ParseOpen(AppendOpen(nil, "echo", "")); err != nil || prog != "echo" || ten != "" {
+		t.Fatalf("default tenant: %q %q %v", prog, ten, err)
+	}
+}
+
+func TestAppendFramePanicsOnInvalid(t *testing.T) {
+	for _, f := range []Frame{
+		{Type: TypeData, Stream: 1, Payload: make([]byte, MaxPayload+1)},
+		{Type: TypeOpen, Stream: 0},
+		{Type: Type(77), Stream: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AppendFrame(%+v) did not panic", f.Type)
+				}
+			}()
+			AppendFrame(nil, f)
+		}()
+	}
+}

@@ -322,18 +322,17 @@ func TestServerShutdownDrains(t *testing.T) {
 	drained := make(chan bool, 1)
 	go func() { drained <- srv.Shutdown(10 * time.Second) }()
 
-	// New sessions are refused once the listener is down.
-	refusedBy := time.Now().Add(5 * time.Second)
-	for {
-		nc, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
-		if err != nil {
-			break
-		}
+	// The drain gate closes only after the listener is down, so a single
+	// dial here is deterministically refused — no dial-until-refused poll
+	// racing the listener close against in-flight accepts.
+	select {
+	case <-srv.Draining():
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain gate never closed")
+	}
+	if nc, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
 		nc.Close()
-		if time.Now().After(refusedBy) {
-			t.Fatal("new dials still accepted during drain")
-		}
-		time.Sleep(time.Millisecond)
+		t.Fatal("new dial accepted after the drain gate closed")
 	}
 
 	// But the in-flight dialogue is not dropped: it completes normally.

@@ -61,14 +61,20 @@ type SegmentPool struct {
 	size  int
 	stats *metrics.IngestStats
 
-	mu   sync.Mutex
-	free []*Segment
+	mu     sync.Mutex
+	free   []*Segment
+	leased int // segments currently out on lease
+	peak   int // high-water of leased: the observed working set
 }
 
-// defaultPoolFreeCap bounds how many idle segments a pool retains; beyond
-// it, released segments are dropped for the GC. 256 × the default 8 KiB
-// segment is a 2 MiB ceiling per pool.
-const defaultPoolFreeCap = 256
+// poolFreeFloor is the minimum idle retention; beyond it a pool retains
+// up to its own lease high-water mark, so retention tracks the observed
+// working set: a 64-session run idles a few dozen segments, a
+// 100k-session gateway run keeps its tens of thousands in circulation
+// instead of re-allocating (and re-zeroing, and GC-scanning) 8 KiB per
+// delivery. Total memory stays bounded by 2x the peak working set —
+// peak leased out plus at most peak idle.
+const poolFreeFloor = 256
 
 // NewSegmentPool returns a pool of segments with the given capacity
 // (bytes). stats, when non-nil, receives lease/reuse/alloc accounting.
@@ -86,6 +92,10 @@ func (p *SegmentPool) Size() int { return p.size }
 // its buf. The caller owns it until Release.
 func (p *SegmentPool) Get() *Segment {
 	p.mu.Lock()
+	p.leased++
+	if p.leased > p.peak {
+		p.peak = p.leased
+	}
 	if k := len(p.free); k > 0 {
 		g := p.free[k-1]
 		p.free[k-1] = nil
@@ -116,7 +126,12 @@ func (p *SegmentPool) put(g *Segment) {
 		panic("netx: segment released twice (use after ownership return)")
 	}
 	g.leased = false
-	if len(p.free) < defaultPoolFreeCap {
+	p.leased--
+	cap := p.peak
+	if cap < poolFreeFloor {
+		cap = poolFreeFloor
+	}
+	if len(p.free) < cap {
 		p.free = append(p.free, g)
 	}
 	p.mu.Unlock()

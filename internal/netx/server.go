@@ -30,6 +30,11 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
+	// draining closes once Shutdown has closed the listener, so a dial
+	// attempted after the gate is deterministically refused. Tests and
+	// supervisors sequence against it instead of polling with sleeps.
+	draining chan struct{}
+
 	served uint64 // sessions fully completed (program returned)
 }
 
@@ -46,13 +51,17 @@ func NewServer(addr string, prog proc.Program) (*Server, error) {
 // Serve starts the accept loop on an existing listener. The Server owns
 // the listener from here on.
 func Serve(ln net.Listener, prog proc.Program) *Server {
-	s := &Server{ln: ln, prog: prog, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, prog: prog, conns: make(map[net.Conn]struct{}), draining: make(chan struct{})}
 	go s.acceptLoop()
 	return s
 }
 
 // Addr reports the bound listen address (useful with :0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Draining is the drain-start gate: closed once Shutdown has closed the
+// listener — from that moment new dials are refused, deterministically.
+func (s *Server) Draining() <-chan struct{} { return s.draining }
 
 func (s *Server) acceptLoop() {
 	for {
@@ -139,6 +148,7 @@ func (s *Server) Shutdown(grace time.Duration) bool {
 	s.closed = true
 	s.mu.Unlock()
 	s.ln.Close()
+	close(s.draining)
 
 	done := make(chan struct{})
 	go func() {

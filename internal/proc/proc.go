@@ -36,6 +36,9 @@ const (
 	KindPipe    Kind = "pipe"
 	KindVirtual Kind = "virtual"
 	KindNetwork Kind = "network"
+	// KindMux is a session multiplexed over a pooled gateway connection
+	// (netx.MuxStream adopted via SpawnStream).
+	KindMux Kind = "mux"
 )
 
 // Options configures spawning.

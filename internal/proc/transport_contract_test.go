@@ -141,6 +141,40 @@ func contractLegs() []contractLeg {
 			},
 			halfClose: true, event: true, cleanEOF: true, owned: false,
 		},
+		{
+			// A session multiplexed over a pooled gateway connection: the
+			// full contract — half-close via CLOSE(half) frames, the
+			// TryRead/notify doorbell, clean per-stream EOF, and segment
+			// ownership transfer — over one shared TCP connection.
+			name: "mux",
+			spawn: func(t *testing.T, opt proc.Options) (*proc.Process, func()) {
+				srv, err := netx.NewMuxServer("127.0.0.1:0", map[string]proc.Program{
+					"cat": func(stdin io.Reader, stdout io.Writer) error {
+						io.Copy(stdout, stdin)
+						return nil
+					},
+				}, netx.MuxServerOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool := netx.NewMuxPool(netx.MuxOptions{})
+				st, err := pool.Open(srv.Addr(), "cat")
+				if err != nil {
+					pool.Close()
+					srv.Shutdown(0)
+					t.Fatal(err)
+				}
+				p := proc.SpawnStream("cat", proc.KindMux, st, st.WaitStatus, opt)
+				return p, func() {
+					p.Close()
+					if !srv.Shutdown(5 * time.Second) {
+						t.Error("gateway did not drain clean")
+					}
+					pool.Close()
+				}
+			},
+			halfClose: true, event: true, cleanEOF: true, owned: true,
+		},
 	}
 }
 

@@ -61,6 +61,16 @@ go test -race -count=1 -run 'Journal|Replay' ./internal/conformance
 # checkpoint-all / -restore round-trip through a live driven daemon.
 go test -race -count=1 -run 'TestCrashRecoverySoak|TestExpectdCheckpointRestore' ./internal/load
 
+# Gateway leg: the framed-protocol codec tier, the mux client/server
+# battery (quota refusal, head-of-line isolation, GOAWAY-then-drain), the
+# transport-contract and conformance mux variants, the gateway-mode
+# workbench conservation run, and the mux crash battery — SIGKILL a
+# gateway hosting 2048 multiplexed sessions, restore every one from its
+# checkpoint over a fresh pooled connection, and require conservation.
+go test -race -count=1 ./internal/netx/mux ./internal/netx
+go test -race -count=1 -run 'TestTransportContract/mux|TestConformanceScenarios' ./internal/proc ./internal/conformance
+go test -race -count=1 -run 'TestMuxModeConservation|TestMuxCrashRecoverySoak' ./internal/load
+
 # Fuzz smoke: a short budget per differential target. The real corpora
 # live in testdata/fuzz/ and always run as plain tests above; this adds a
 # few CPU-minutes of fresh exploration to every gate.
@@ -70,6 +80,7 @@ go test -race -fuzz=FuzzVMEquivalence -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzParseRoundTrip -fuzztime=10s ./internal/tcl
 go test -race -fuzz=FuzzShardHash -fuzztime=10s ./internal/core
 go test -race -fuzz=FuzzJournalRoundTrip -fuzztime=10s ./internal/trace
+go test -race -fuzz=FuzzMuxFrameRoundTrip -fuzztime=10s ./internal/netx/mux
 
 # Perf snapshot + trace-overhead guard: regenerate the hot-path benchmarks
 # (E15: eval/glob/gap-buffer) and the flight-recorder overhead + latency
@@ -143,3 +154,11 @@ go run ./cmd/benchreport -exp e21 -json BENCH_8.json -statsguard 3
 # cached evaluator on the E15 eval and expr benchmarks, and its
 # differential sweep must show zero divergences from the classic referee.
 go run ./cmd/benchreport -exp e22 -json BENCH_9.json -vmguard 3
+
+# Gateway-scaling snapshot + guard: build expectd, start two -mux
+# gateway processes, and drive the E23 sweep — 100k concurrent sessions
+# multiplexed over ≤64 pooled TCP connections per process — into
+# BENCH_10.json. muxguard: the 100k-session per-dialogue cost may be at
+# most 2x the committed 10k one-socket-per-session baseline (BENCH_5's
+# E18 sharded cell), and both gateways must drain clean on SIGTERM.
+go run ./cmd/benchreport -exp e23 -json BENCH_10.json -muxguard 2
